@@ -1,0 +1,225 @@
+//! Duplicate detection with super keys as a prefilter.
+//!
+//! §1 of the paper: "For duplicate table detection, our hash function could
+//! serve as a prefilter for finding similar records." The key property is
+//! exactness on equality: two rows with the same multiset of values have
+//! *identical* super keys (OR-aggregation is order-independent), so hash
+//! equality buckets candidate rows and only bucket members need value-level
+//! comparison.
+
+use mate_hash::fx::FxHashMap;
+use mate_index::InvertedIndex;
+use mate_table::{Corpus, RowId, Table, TableId};
+
+/// A pair of tables flagged as duplicates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplicateTable {
+    /// First table (lower id).
+    pub a: TableId,
+    /// Second table.
+    pub b: TableId,
+    /// Fraction of `a`'s rows that have an identical row in `b` (by value
+    /// multiset, column order ignored).
+    pub row_overlap: f64,
+}
+
+/// Finds duplicate rows *within* one table: groups of row ids whose value
+/// multisets are identical (column order ignored). Super keys bucket the
+/// candidates; exact comparison confirms.
+pub fn find_duplicate_rows(table: &Table, index: &InvertedIndex, tid: TableId) -> Vec<Vec<RowId>> {
+    let mut buckets: FxHashMap<&[u64], Vec<RowId>> = FxHashMap::default();
+    for r in 0..table.num_rows() {
+        buckets
+            .entry(index.superkey(tid, RowId::from(r)))
+            .or_default()
+            .push(RowId::from(r));
+    }
+    let mut out = Vec::new();
+    for rows in buckets.into_values() {
+        if rows.len() < 2 {
+            continue;
+        }
+        // Exact verification inside the bucket.
+        let mut groups: Vec<(Vec<String>, Vec<RowId>)> = Vec::new();
+        for &r in &rows {
+            let mut key: Vec<String> = table.row_iter(r).map(str::to_string).collect();
+            key.sort_unstable();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, ids)) => ids.push(r),
+                None => groups.push((key, vec![r])),
+            }
+        }
+        for (_, ids) in groups {
+            if ids.len() >= 2 {
+                out.push(ids);
+            }
+        }
+    }
+    out.sort_unstable_by_key(|g| g[0]);
+    out
+}
+
+/// Finds pairs of corpus tables whose rows overlap by at least
+/// `min_overlap` (fraction of the smaller table's rows), using super-key
+/// equality as the prefilter.
+pub fn find_duplicate_tables(
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    min_overlap: f64,
+) -> Vec<DuplicateTable> {
+    // Bucket all rows of all tables by super key.
+    let mut buckets: FxHashMap<&[u64], Vec<(TableId, RowId)>> = FxHashMap::default();
+    for (tid, table) in corpus.iter() {
+        for r in 0..table.num_rows() {
+            let sk = index.superkey(tid, RowId::from(r));
+            // Skip all-empty rows: they carry no evidence.
+            if sk.iter().all(|&w| w == 0) {
+                continue;
+            }
+            buckets.entry(sk).or_default().push((tid, RowId::from(r)));
+        }
+    }
+
+    // Count confirmed equal-row pairs per table pair.
+    let mut pair_counts: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+    for locs in buckets.into_values() {
+        if locs.len() < 2 {
+            continue;
+        }
+        // Group by normalized row content.
+        type Group<'a> = (Vec<&'a str>, Vec<(TableId, RowId)>);
+        let mut groups: Vec<Group> = Vec::new();
+        for (tid, r) in locs {
+            let mut key: Vec<&str> = corpus.table(tid).row_iter(r).collect();
+            key.sort_unstable();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, ids)) => ids.push((tid, r)),
+                None => groups.push((key, vec![(tid, r)])),
+            }
+        }
+        for (_, ids) in groups {
+            // For each pair of distinct tables in the group, count one
+            // matched row occurrence (per row of the first table).
+            let mut tables: Vec<u32> = ids.iter().map(|(t, _)| t.0).collect();
+            tables.sort_unstable();
+            tables.dedup();
+            for i in 0..tables.len() {
+                for j in i + 1..tables.len() {
+                    *pair_counts.entry((tables[i], tables[j])).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((a, b), matched) in pair_counts {
+        let rows_a = corpus.table(TableId(a)).num_rows();
+        let rows_b = corpus.table(TableId(b)).num_rows();
+        let denom = rows_a.min(rows_b).max(1);
+        let overlap = matched as f64 / denom as f64;
+        if overlap >= min_overlap {
+            out.push(DuplicateTable {
+                a: TableId(a),
+                b: TableId(b),
+                row_overlap: overlap,
+            });
+        }
+    }
+    out.sort_unstable_by(|x, y| {
+        y.row_overlap
+            .partial_cmp(&x.row_overlap)
+            .unwrap()
+            .then(x.a.0.cmp(&y.a.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::TableBuilder;
+
+    #[test]
+    fn duplicate_rows_in_table() {
+        let mut corpus = Corpus::new();
+        let tid = corpus.add_table(
+            TableBuilder::new("t", ["a", "b"])
+                .row(["x", "y"])
+                .row(["p", "q"])
+                .row(["y", "x"]) // same multiset as row 0
+                .row(["x", "y"]) // exact duplicate of row 0
+                .build(),
+        );
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        let groups = find_duplicate_rows(corpus.table(tid), &index, tid);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![RowId(0), RowId(2), RowId(3)]);
+    }
+
+    #[test]
+    fn duplicate_tables_found() {
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("orig", ["a", "b"])
+                .row(["k1", "v1"])
+                .row(["k2", "v2"])
+                .row(["k3", "v3"])
+                .build(),
+        );
+        // A shuffled-column copy.
+        corpus.add_table(
+            TableBuilder::new("copy", ["b", "a"])
+                .row(["v1", "k1"])
+                .row(["v3", "k3"])
+                .row(["v2", "k2"])
+                .build(),
+        );
+        // Unrelated table.
+        corpus.add_table(TableBuilder::new("other", ["x"]).row(["zzz"]).build());
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        let dups = find_duplicate_tables(&corpus, &index, 0.8);
+        assert_eq!(dups.len(), 1);
+        assert_eq!((dups[0].a, dups[0].b), (TableId(0), TableId(1)));
+        assert!((dups[0].row_overlap - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_duplicates_below_threshold_excluded() {
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("a", ["x", "y"])
+                .row(["1", "2"])
+                .row(["3", "4"])
+                .build(),
+        );
+        corpus.add_table(
+            TableBuilder::new("b", ["x", "y"])
+                .row(["1", "2"])
+                .row(["9", "9"])
+                .build(),
+        );
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        assert!(find_duplicate_tables(&corpus, &index, 0.8).is_empty());
+        let loose = find_duplicate_tables(&corpus, &index, 0.4);
+        assert_eq!(loose.len(), 1);
+        assert!((loose[0].row_overlap - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_collisions_do_not_create_false_duplicates() {
+        // Different rows may share super keys (collision); the exact
+        // verification layer must reject them.
+        let mut corpus = Corpus::new();
+        let tid = corpus.add_table(
+            TableBuilder::new("t", ["a"])
+                .row(["ab"])
+                .row(["ba"]) // same chars, same length → likely same Xash bits
+                .build(),
+        );
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        let groups = find_duplicate_rows(corpus.table(tid), &index, tid);
+        assert!(groups.is_empty(), "ab and ba are not duplicates");
+    }
+}

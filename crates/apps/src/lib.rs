@@ -1,0 +1,25 @@
+//! Applications of the MATE machinery beyond n-ary equi-join discovery.
+//!
+//! §1 of the paper: "the methods are readily adaptable for duplicate table
+//! discovery and union table discovery"; the conclusion adds similarity
+//! joins as future work ("the false positives caused by Xash were those that
+//! are syntactically similar to the actual key values"). This crate
+//! implements all three on top of the same inverted index and super keys:
+//!
+//! * [`union`] — top-k *unionable* table search: column-to-column value
+//!   overlap with a greedy one-to-one column matching.
+//! * [`dedup`] — duplicate row/table detection using super keys as an exact
+//!   prefilter (equal rows ⇒ equal super keys).
+//! * [`simjoin`] — similarity-join discovery: a slack-tolerant containment
+//!   check surfaces rows whose keys *almost* match, verified by edit
+//!   distance.
+
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod simjoin;
+pub mod union;
+
+pub use dedup::{find_duplicate_rows, find_duplicate_tables, DuplicateTable};
+pub use simjoin::{edit_distance, ScanStats, SimilarityJoinDiscovery, SimilarityMatch};
+pub use union::{UnionResult, UnionSearch};

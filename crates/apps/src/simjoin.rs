@@ -1,0 +1,390 @@
+//! Similarity-join discovery (the paper's future-work direction).
+//!
+//! The conclusion observes that XASH's false positives are *syntactically
+//! similar* values ("<brooklyn, cambridge> instead of <brooklyn, bay
+//! ridge>") — the filter's weakness for equi-joins is a feature for
+//! similarity joins. This module turns it around: the containment check is
+//! relaxed to tolerate a few uncovered query bits (a small edit changes at
+//! most a few XASH bits: one character bit plus possibly the length bit and
+//! the rotation offset), and candidates are verified with edit distance.
+
+use mate_hash::{HashBits, RowHasher};
+use mate_index::InvertedIndex;
+use mate_table::{ColId, Corpus, RowId, Table, TableId};
+use std::cell::Cell;
+
+/// Prefilter effectiveness of a corpus-wide similarity scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Corpus rows scanned.
+    pub rows_scanned: usize,
+    /// Pairs that passed the relaxed super-key check and ran the edit-
+    /// distance verification.
+    pub rows_verified: usize,
+}
+
+/// A verified similarity match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimilarityMatch {
+    /// Candidate table.
+    pub table: TableId,
+    /// Candidate row.
+    pub row: RowId,
+    /// Query row.
+    pub query_row: RowId,
+    /// Sum of edit distances over the key values (0 = exact match).
+    pub total_distance: usize,
+    /// The matched candidate values, one per key column.
+    pub matched_values: Vec<String>,
+}
+
+/// Levenshtein edit distance (two-row dynamic program).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Counts query bits not covered by the super key (0 = full containment).
+fn uncovered_bits(superkey: &[u64], query: &HashBits) -> u32 {
+    query
+        .words()
+        .iter()
+        .zip(superkey)
+        .map(|(q, s)| (q & !s).count_ones())
+        .sum()
+}
+
+/// Similarity-join discovery over a MATE index.
+pub struct SimilarityJoinDiscovery<'a> {
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    hasher: &'a dyn RowHasher,
+    /// Query super-key bits allowed to be uncovered during prefiltering.
+    pub bit_slack: u32,
+    /// Maximum total edit distance across key values for a verified match.
+    pub max_distance: usize,
+    /// Pairs verified (i.e. passing the prefilter) in the last `scan_table`.
+    last_verified: Cell<usize>,
+}
+
+impl<'a> SimilarityJoinDiscovery<'a> {
+    /// Creates a discovery with the given slack parameters.
+    pub fn new(
+        corpus: &'a Corpus,
+        index: &'a InvertedIndex,
+        hasher: &'a dyn RowHasher,
+        bit_slack: u32,
+        max_distance: usize,
+    ) -> Self {
+        assert_eq!(
+            hasher.hash_size(),
+            index.hash_size(),
+            "hasher size mismatch"
+        );
+        SimilarityJoinDiscovery {
+            corpus,
+            index,
+            hasher,
+            bit_slack,
+            max_distance,
+            last_verified: Cell::new(0),
+        }
+    }
+
+    /// Finds rows of `table` whose key values approximately match the query
+    /// rows: the relaxed super-key check prefilters, edit distance verifies.
+    ///
+    /// Unlike exact discovery this scans the given table's rows directly
+    /// (similarity joins cannot use value-equality posting lists — a typo'd
+    /// value has no posting), which is exactly why the super-key prefilter
+    /// matters here.
+    pub fn scan_table(
+        &self,
+        tid: TableId,
+        query: &Table,
+        q_cols: &[ColId],
+    ) -> Vec<SimilarityMatch> {
+        let candidate = self.corpus.table(tid);
+        let mut out = Vec::new();
+
+        // Precompute query key tuples and their super keys.
+        let mut qkeys: Vec<(RowId, Vec<&str>, HashBits)> = Vec::new();
+        'rows: for r in 0..query.num_rows() {
+            let mut tuple = Vec::with_capacity(q_cols.len());
+            for &q in q_cols {
+                let v = query.cell(RowId::from(r), q);
+                if v.is_empty() {
+                    continue 'rows;
+                }
+                tuple.push(v);
+            }
+            let mut sk = HashBits::zero(self.hasher.hash_size());
+            for v in &tuple {
+                sk.or_assign(&self.hasher.hash_value(v));
+            }
+            qkeys.push((RowId::from(r), tuple, sk));
+        }
+
+        self.last_verified.set(0);
+        for tr in 0..candidate.num_rows() {
+            let superkey = self.index.superkey(tid, RowId::from(tr));
+            for (qrow, tuple, qsk) in &qkeys {
+                if uncovered_bits(superkey, qsk) > self.bit_slack {
+                    continue;
+                }
+                self.last_verified.set(self.last_verified.get() + 1);
+                // Verification: greedily match each key value to its closest
+                // cell (injectively), summing edit distances.
+                if let Some((dist, matched)) =
+                    self.verify_similar(candidate, RowId::from(tr), tuple)
+                {
+                    if dist <= self.max_distance {
+                        out.push(SimilarityMatch {
+                            table: tid,
+                            row: RowId::from(tr),
+                            query_row: *qrow,
+                            total_distance: dist,
+                            matched_values: matched,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|m| (m.total_distance, m.row.0, m.query_row.0));
+        out
+    }
+
+    /// Scans the whole corpus, ranking tables by their number of verified
+    /// similarity matches. Returns `(table, matches)` pairs sorted by match
+    /// count descending, plus prefilter statistics.
+    ///
+    /// This is inherently a full scan (a typo'd value has no posting list to
+    /// fetch), which is exactly the workload where the super-key prefilter
+    /// pays: rows failing the relaxed containment check skip the edit-
+    /// distance dynamic program entirely.
+    pub fn scan_corpus(
+        &self,
+        query: &Table,
+        q_cols: &[ColId],
+        top_k: usize,
+    ) -> (Vec<(TableId, Vec<SimilarityMatch>)>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut results: Vec<(TableId, Vec<SimilarityMatch>)> = Vec::new();
+        for (tid, table) in self.corpus.iter() {
+            stats.rows_scanned += table.num_rows();
+            let matches = self.scan_table(tid, query, q_cols);
+            stats.rows_verified += self.last_verified.get();
+            if !matches.is_empty() {
+                results.push((tid, matches));
+            }
+        }
+        results.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0 .0.cmp(&b.0 .0)));
+        results.truncate(top_k);
+        (results, stats)
+    }
+
+    /// Greedy injective assignment of key values to row cells minimizing
+    /// per-value edit distance. Returns `(total distance, matched values)`.
+    fn verify_similar(
+        &self,
+        candidate: &Table,
+        row: RowId,
+        tuple: &[&str],
+    ) -> Option<(usize, Vec<String>)> {
+        let cells: Vec<&str> = candidate.row_iter(row).collect();
+        let mut used = vec![false; cells.len()];
+        let mut total = 0usize;
+        let mut matched = Vec::with_capacity(tuple.len());
+        for key in tuple {
+            let mut best: Option<(usize, usize)> = None; // (dist, cell idx)
+            for (ci, cell) in cells.iter().enumerate() {
+                if used[ci] || cell.is_empty() {
+                    continue;
+                }
+                // Cheap length bound before the DP.
+                let len_gap = key.len().abs_diff(cell.len());
+                if len_gap > self.max_distance {
+                    continue;
+                }
+                let d = edit_distance(key, cell);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, ci));
+                }
+            }
+            let (d, ci) = best?;
+            if d > self.max_distance {
+                return None;
+            }
+            used[ci] = true;
+            total += d;
+            matched.push(cells[ci].to_string());
+        }
+        Some((total, matched))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::TableBuilder;
+
+    fn setup() -> (Corpus, InvertedIndex, Xash) {
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("places", ["city", "borough"])
+                .row(["brooklyn", "bay ridge"])
+                .row(["brooklin", "bay ridge"]) // typo'd city
+                .row(["boston", "back bay"])
+                .build(),
+        );
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        (corpus, index, hasher)
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "ab"), 2);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("brooklyn", "brooklin"), 1);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn finds_exact_and_typo_matches() {
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklyn", "bay ridge"])
+            .build();
+        let sim = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 6, 1);
+        let matches = sim.scan_table(TableId(0), &query, &[ColId(0), ColId(1)]);
+        let rows: Vec<u32> = matches.iter().map(|m| m.row.0).collect();
+        assert!(rows.contains(&0), "exact match found");
+        assert!(rows.contains(&1), "typo match found");
+        assert!(!rows.contains(&2), "boston is not similar");
+        // Exact match sorts first (distance 0).
+        assert_eq!(matches[0].row, RowId(0));
+        assert_eq!(matches[0].total_distance, 0);
+    }
+
+    #[test]
+    fn zero_slack_zero_distance_is_exact_join() {
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklyn", "bay ridge"])
+            .build();
+        let sim = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 0, 0);
+        let matches = sim.scan_table(TableId(0), &query, &[ColId(0), ColId(1)]);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].row, RowId(0));
+    }
+
+    #[test]
+    fn distance_budget_enforced() {
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklXX", "bay ridge"]) // distance 2 from brooklyn
+            .build();
+        let strict = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 12, 1);
+        assert!(strict
+            .scan_table(TableId(0), &query, &[ColId(0), ColId(1)])
+            .is_empty());
+        let loose = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 12, 2);
+        assert!(!loose
+            .scan_table(TableId(0), &query, &[ColId(0), ColId(1)])
+            .is_empty());
+    }
+
+    #[test]
+    fn scan_corpus_ranks_tables_and_reports_prefilter_savings() {
+        let (mut corpus, _, hasher) = setup();
+        // Add a second table with one more typo'd match and a noise table.
+        corpus.add_table(
+            TableBuilder::new("more_places", ["city", "borough"])
+                .row(["brooklyn", "bay ridgx"]) // distance-1 borough
+                .row(["tokyo", "shibuya"])
+                .build(),
+        );
+        corpus.add_table(
+            TableBuilder::new("noise", ["a", "b"])
+                .row(["zzzz", "wwww"])
+                .row(["qqqq", "rrrr"])
+                .build(),
+        );
+        let index = mate_index::IndexBuilder::new(hasher).build(&corpus);
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklyn", "bay ridge"])
+            .build();
+        let sim = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 4, 1);
+        let (results, stats) = sim.scan_corpus(&query, &[ColId(0), ColId(1)], 5);
+
+        // Table 0 (two close rows) outranks table 1 (one close row).
+        assert_eq!(results[0].0, TableId(0));
+        assert_eq!(results[0].1.len(), 2);
+        assert_eq!(results[1].0, TableId(1));
+        assert_eq!(results[1].1.len(), 1);
+        // The noise table produced no matches.
+        assert!(results.iter().all(|(t, _)| *t != TableId(2)));
+        // The prefilter skipped at least the noise rows.
+        assert!(stats.rows_verified < stats.rows_scanned, "{stats:?}");
+    }
+
+    #[test]
+    fn scan_corpus_zero_slack_only_exact() {
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklyn", "bay ridge"])
+            .build();
+        let sim = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 0, 0);
+        let (results, _) = sim.scan_corpus(&query, &[ColId(0), ColId(1)], 5);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1.len(), 1);
+        assert_eq!(results[0].1[0].total_distance, 0);
+    }
+
+    #[test]
+    fn prefilter_reduces_verifications_without_losing_close_matches() {
+        // With generous slack the verified result set must contain everything
+        // the slack-0 filter finds.
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["c", "b"])
+            .row(["brooklyn", "bay ridge"])
+            .build();
+        let tight = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 0, 1).scan_table(
+            TableId(0),
+            &query,
+            &[ColId(0), ColId(1)],
+        );
+        let loose = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 16, 1).scan_table(
+            TableId(0),
+            &query,
+            &[ColId(0), ColId(1)],
+        );
+        for m in &tight {
+            assert!(loose.contains(m));
+        }
+        assert!(loose.len() >= tight.len());
+    }
+}

@@ -1,0 +1,209 @@
+//! A from-scratch JOSIE-style top-k overlap engine.
+//!
+//! JOSIE (Zhu et al., SIGMOD 2019) answers: *given a query set of tokens,
+//! which columns of the corpus have the largest overlap with it?* Its index
+//! maps tokens to the columns (sets) containing them. This implementation
+//! keeps JOSIE's central optimization: posting lists are processed in
+//! ascending-frequency order, and once the number of unprocessed lists can
+//! no longer lift an unseen column into the top-k, **new candidates are
+//! frozen out** and only existing counts are updated (prefix-filter
+//! early termination).
+//!
+//! The paper adapts JOSIE to n-ary discovery in two ways (see
+//! [`crate::josie_adapt`]); both need exactly this top-k column primitive.
+
+use mate_hash::fx::FxHashMap;
+use mate_index::InvertedIndex;
+
+/// A column reference `(table, column)` — JOSIE's set id.
+pub type ColumnRef = (u32, u32);
+
+/// Statistics of one JOSIE query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JosieStats {
+    /// Posting lists read.
+    pub lists_read: usize,
+    /// Posting entries scanned.
+    pub postings_scanned: usize,
+    /// Lists processed after candidate freezing kicked in.
+    pub lists_after_freeze: usize,
+}
+
+/// The JOSIE engine: token → distinct containing columns.
+#[derive(Debug)]
+pub struct JosieEngine {
+    map: FxHashMap<Box<str>, Vec<ColumnRef>>,
+}
+
+impl JosieEngine {
+    /// Derives a JOSIE index from the MATE inverted index (the paper notes
+    /// JOSIE's own index does not keep row information, so it maps values to
+    /// *columns*).
+    pub fn build(index: &InvertedIndex) -> Self {
+        let mut map: FxHashMap<Box<str>, Vec<ColumnRef>> = FxHashMap::default();
+        for (value, pl) in index.iter_values() {
+            let mut cols: Vec<ColumnRef> = pl.iter().map(|e| (e.table.0, e.col.0)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            map.insert(value.into(), cols);
+        }
+        JosieEngine { map }
+    }
+
+    /// Number of indexed tokens.
+    pub fn num_tokens(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Top-`k` columns by overlap with the (distinct) `tokens`, sorted by
+    /// overlap descending (ties: lower column ref first).
+    pub fn top_k_columns(&self, tokens: &[&str], k: usize) -> (Vec<(ColumnRef, u32)>, JosieStats) {
+        let mut stats = JosieStats::default();
+
+        // Distinct tokens with non-empty posting lists, by frequency asc.
+        let mut lists: Vec<&Vec<ColumnRef>> = Vec::new();
+        {
+            let mut seen = std::collections::HashSet::new();
+            for &t in tokens {
+                if !t.is_empty() && seen.insert(t) {
+                    if let Some(pl) = self.map.get(t) {
+                        lists.push(pl);
+                    }
+                }
+            }
+        }
+        lists.sort_unstable_by_key(|pl| pl.len());
+        let m = lists.len();
+
+        let mut counts: FxHashMap<ColumnRef, u32> = FxHashMap::default();
+        let mut frozen = false;
+        for (i, pl) in lists.into_iter().enumerate() {
+            stats.lists_read += 1;
+            if frozen {
+                stats.lists_after_freeze += 1;
+            }
+            for col in pl {
+                stats.postings_scanned += 1;
+                if frozen {
+                    if let Some(c) = counts.get_mut(col) {
+                        *c += 1;
+                    }
+                } else {
+                    *counts.entry(*col).or_insert(0) += 1;
+                }
+            }
+            // An unseen candidate could reach at most the number of
+            // remaining lists; once that bound cannot beat the current k-th
+            // best, freeze the candidate set.
+            if !frozen && counts.len() >= k {
+                let remaining = (m - i - 1) as u32;
+                let kth = kth_best(&counts, k);
+                if remaining <= kth {
+                    frozen = true;
+                }
+            }
+        }
+
+        let mut result: Vec<(ColumnRef, u32)> = counts.into_iter().collect();
+        result.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        result.truncate(k);
+        (result, stats)
+    }
+}
+
+/// The k-th largest count (1-based); 0 if fewer than k candidates.
+fn kth_best(counts: &FxHashMap<ColumnRef, u32>, k: usize) -> u32 {
+    if counts.len() < k {
+        return 0;
+    }
+    let mut v: Vec<u32> = counts.values().copied().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::{Corpus, TableBuilder};
+
+    fn engine() -> JosieEngine {
+        let mut corpus = Corpus::new();
+        // t0c0 = {a,b,c,d}; t1c0 = {a,b}; t2c0 = {a,x,y}; t2c1 = {z,w,q}
+        corpus.add_table(
+            TableBuilder::new("t0", ["s"])
+                .row(["a"])
+                .row(["b"])
+                .row(["c"])
+                .row(["d"])
+                .build(),
+        );
+        corpus.add_table(TableBuilder::new("t1", ["s"]).row(["a"]).row(["b"]).build());
+        corpus.add_table(
+            TableBuilder::new("t2", ["s", "u"])
+                .row(["a", "z"])
+                .row(["x", "w"])
+                .row(["y", "q"])
+                .build(),
+        );
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        JosieEngine::build(&index)
+    }
+
+    #[test]
+    fn overlap_ranking() {
+        let e = engine();
+        let (top, _) = e.top_k_columns(&["a", "b", "c"], 3);
+        assert_eq!(top[0], ((0, 0), 3)); // t0c0 ⊇ {a,b,c}
+        assert_eq!(top[1], ((1, 0), 2)); // t1c0 ⊇ {a,b}
+        assert_eq!(top[2], ((2, 0), 1)); // t2c0 ∋ a
+    }
+
+    #[test]
+    fn duplicates_and_misses_ignored() {
+        let e = engine();
+        let (top, _) = e.top_k_columns(&["a", "a", "nope", ""], 2);
+        assert_eq!(top[0].1, 1); // overlap counts distinct tokens
+    }
+
+    #[test]
+    fn k_truncates() {
+        let e = engine();
+        let (top, _) = e.top_k_columns(&["a", "b"], 1);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].0, (0, 0));
+    }
+
+    #[test]
+    fn freezing_matches_exhaustive() {
+        // Build a wider corpus and compare frozen top-k vs brute force.
+        let mut corpus = Corpus::new();
+        for t in 0..30u32 {
+            let mut b = TableBuilder::new(format!("t{t}"), ["c"]);
+            for v in 0..=(t % 10) {
+                b = b.row([format!("tok{v}")]);
+            }
+            corpus.add_table(b.build());
+        }
+        let index = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        let e = JosieEngine::build(&index);
+        let tokens: Vec<String> = (0..10).map(|v| format!("tok{v}")).collect();
+        let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+
+        let (top, stats) = e.top_k_columns(&refs, 3);
+        // Brute force overlaps.
+        let mut brute: Vec<(ColumnRef, u32)> =
+            (0..30u32).map(|t| ((t, 0u32), (t % 10) + 1)).collect();
+        brute.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        brute.truncate(3);
+        assert_eq!(top, brute);
+        assert_eq!(stats.lists_read, 10);
+    }
+
+    #[test]
+    fn num_tokens() {
+        let e = engine();
+        assert_eq!(e.num_tokens(), 9); // a b c d x y z w q
+    }
+}

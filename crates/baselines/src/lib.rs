@@ -1,0 +1,40 @@
+//! Baseline join-discovery systems (§7.1.1 of the paper).
+//!
+//! The paper compares MATE against adaptations of single-column discovery
+//! systems, since no prior system handles n-ary keys natively:
+//!
+//! * [`ScrDiscovery`] — **SCR**: the single-column-retrieval adaptation. It
+//!   runs Algorithm 1 with all optimizations *except* the super key: every
+//!   fetched candidate row goes straight to exact value verification.
+//! * [`McrDiscovery`] — **MCR**: fetches posting lists for *every* key
+//!   column, intersects the per-column row sets, and verifies the surviving
+//!   rows.
+//! * [`JosieEngine`] — a from-scratch top-k overlap set-similarity engine in
+//!   the spirit of JOSIE (Zhu et al., SIGMOD 2019): token posting lists
+//!   processed in ascending-frequency order with candidate freezing once
+//!   unseen candidates can no longer reach the top-k.
+//! * [`ScrJosieDiscovery`] / [`McrJosieDiscovery`] — the paper's two JOSIE
+//!   adaptations: JOSIE proposes candidate tables through one (SCR) or all
+//!   (MCR) key columns; exact verification then computes n-ary joinability.
+//! * [`oracle`] — an exhaustive scan computing the exact joinability of
+//!   *every* corpus table; ground truth for tests and the "Ideal system"
+//!   bar of Figure 5.
+//!
+//! All systems implement [`DiscoverySystem`] so the benchmark harness can
+//! drive them uniformly.
+
+#![warn(missing_docs)]
+
+pub mod josie;
+pub mod josie_adapt;
+pub mod mcr;
+pub mod oracle;
+pub mod scr;
+pub mod system;
+
+pub use josie::JosieEngine;
+pub use josie_adapt::{McrJosieDiscovery, ScrJosieDiscovery};
+pub use mcr::McrDiscovery;
+pub use oracle::oracle_topk;
+pub use scr::ScrDiscovery;
+pub use system::DiscoverySystem;

@@ -1,0 +1,112 @@
+//! Brute-force ground truth.
+//!
+//! Computes the exact joinability of **every** corpus table by exhaustive
+//! verification — no index, no filtering, no pruning. Used as the reference
+//! in correctness tests (MATE and the baselines must return the same top-k
+//! joinability scores) and as the "Ideal system" bar of Figure 5 (an oracle
+//! filter passes exactly the joinable rows: precision 1.0).
+
+use mate_core::joinability::{verify_table_joinability, RowPair};
+use mate_core::{TableResult, TopK};
+use mate_hash::fx::{FxHashMap, FxHashSet};
+use mate_table::{ColId, Corpus, RowId, Table};
+
+/// Exhaustively computes the top-`k` joinable tables.
+pub fn oracle_topk(corpus: &Corpus, query: &Table, q_cols: &[ColId], k: usize) -> Vec<TableResult> {
+    let mut topk = TopK::new(k);
+    for (tid, j) in oracle_all(corpus, query, q_cols) {
+        topk.update(tid, j);
+    }
+    topk.into_sorted()
+}
+
+/// Exhaustively computes the joinability of every table (including zeros).
+pub fn oracle_all(
+    corpus: &Corpus,
+    query: &Table,
+    q_cols: &[ColId],
+) -> Vec<(mate_table::TableId, u64)> {
+    // Precompute query tuples (complete keys only) and their ids.
+    let mut tuples: Vec<(u32, Vec<&str>, u32)> = Vec::new(); // (qrow, tuple, tuple_id)
+    let mut tuple_ids: FxHashMap<Vec<&str>, u32> = FxHashMap::default();
+    'rows: for r in 0..query.num_rows() {
+        let mut tuple = Vec::with_capacity(q_cols.len());
+        for &q in q_cols {
+            let v = query.cell(RowId::from(r), q);
+            if v.is_empty() {
+                continue 'rows;
+            }
+            tuple.push(v);
+        }
+        let next = tuple_ids.len() as u32;
+        let tid = *tuple_ids.entry(tuple.clone()).or_insert(next);
+        tuples.push((r as u32, tuple, tid));
+    }
+
+    let mut out = Vec::with_capacity(corpus.len());
+    for (tid, table) in corpus.iter() {
+        let mut pairs: Vec<RowPair> = Vec::new();
+        for tr in 0..table.num_rows() {
+            // Cheap prefilter: the row must contain every distinct key value.
+            let row_values: FxHashSet<&str> = table
+                .row_iter(RowId::from(tr))
+                .filter(|v| !v.is_empty())
+                .collect();
+            for (qr, tuple, tuple_id) in &tuples {
+                if tuple.iter().all(|v| row_values.contains(v)) {
+                    pairs.push(RowPair {
+                        candidate_row: RowId::from(tr),
+                        query_row: RowId(*qr),
+                        tuple_id: *tuple_id,
+                    });
+                }
+            }
+        }
+        let outcome = verify_table_joinability(table, query, q_cols, &pairs, 100_000);
+        out.push((tid, outcome.joinability));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_table::{TableBuilder, TableId};
+
+    #[test]
+    fn figure1_ground_truth() {
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("T1", ["Vorname", "Nachname", "Land", "Besetzung"])
+                .row(["Helmut", "Newton", "Germany", "Photographer"])
+                .row(["Muhammad", "Lee", "US", "Dancer"])
+                .row(["Ansel", "Adams", "UK", "Dancer"])
+                .row(["Ansel", "Adams", "US", "Photographer"])
+                .row(["Muhammad", "Ali", "US", "Boxer"])
+                .row(["Muhammad", "Lee", "Germany", "Birder"])
+                .row(["Gretchen", "Lee", "Germany", "Artist"])
+                .row(["Adam", "Sandler", "US", "Actor"])
+                .build(),
+        );
+        let query = TableBuilder::new("d", ["F", "L", "C"])
+            .row(["Muhammad", "Lee", "US"])
+            .row(["Ansel", "Adams", "UK"])
+            .row(["Ansel", "Adams", "US"])
+            .row(["Muhammad", "Lee", "Germany"])
+            .row(["Helmut", "Newton", "Germany"])
+            .build();
+        let r = oracle_topk(&corpus, &query, &[ColId(0), ColId(1), ColId(2)], 1);
+        assert_eq!(r[0].table, TableId(0));
+        assert_eq!(r[0].joinability, 5);
+    }
+
+    #[test]
+    fn oracle_all_includes_zeros() {
+        let mut corpus = Corpus::new();
+        corpus.add_table(TableBuilder::new("a", ["x"]).row(["hit"]).build());
+        corpus.add_table(TableBuilder::new("b", ["x"]).row(["miss"]).build());
+        let query = TableBuilder::new("q", ["v"]).row(["hit"]).build();
+        let all = oracle_all(&corpus, &query, &[ColId(0)]);
+        assert_eq!(all, vec![(TableId(0), 1), (TableId(1), 0)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! SCR — Single-Column Retrieval (§7.1.1).
+//!
+//! SCR is Algorithm 1 minus the super key: it keeps the initial-column
+//! selection and both table-filtering rules, but every fetched candidate row
+//! is verified by exact value comparison. The gap between SCR and MATE in
+//! Table 2 / Figure 4 is therefore exactly the value of row filtering.
+
+use crate::system::DiscoverySystem;
+use mate_core::{DiscoveryResult, MateConfig, MateDiscovery};
+use mate_hash::RowHasher;
+use mate_index::InvertedIndex;
+use mate_table::{ColId, Corpus, Table};
+
+/// The SCR baseline system.
+pub struct ScrDiscovery<'a> {
+    inner: MateDiscovery<'a>,
+}
+
+impl<'a> ScrDiscovery<'a> {
+    /// Creates an SCR system over the same corpus/index as MATE.
+    ///
+    /// The hasher is required only because the shared engine validates it
+    /// against the index; SCR never evaluates super keys.
+    pub fn new(corpus: &'a Corpus, index: &'a InvertedIndex, hasher: &'a dyn RowHasher) -> Self {
+        let config = MateConfig {
+            row_filtering: false,
+            ..Default::default()
+        };
+        ScrDiscovery {
+            inner: MateDiscovery::with_config(corpus, index, hasher, config),
+        }
+    }
+}
+
+impl DiscoverySystem for ScrDiscovery<'_> {
+    fn system_name(&self) -> String {
+        "SCR".to_string()
+    }
+
+    fn discover(&self, query: &Table, q_cols: &[ColId], k: usize) -> DiscoveryResult {
+        self.inner.discover(query, q_cols, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::TableBuilder;
+
+    fn setup() -> (Corpus, InvertedIndex, Xash) {
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("good", ["f", "l"])
+                .row(["muhammad", "lee"])
+                .row(["ansel", "adams"])
+                .build(),
+        );
+        corpus.add_table(
+            TableBuilder::new("fp", ["f", "l"])
+                .row(["muhammad", "ali"])
+                .row(["ansel", "other"])
+                .build(),
+        );
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        (corpus, index, hasher)
+    }
+
+    #[test]
+    fn same_results_as_mate_more_work() {
+        let (corpus, index, hasher) = setup();
+        let query = TableBuilder::new("q", ["a", "b"])
+            .row(["muhammad", "lee"])
+            .row(["ansel", "adams"])
+            .build();
+        let cols = [ColId(0), ColId(1)];
+
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let scr = ScrDiscovery::new(&corpus, &index, &hasher);
+        let rm = mate.discover(&query, &cols, 2);
+        let rs = scr.discover(&query, &cols, 2);
+
+        assert_eq!(rm.top_k, rs.top_k);
+        // SCR never consults the filter...
+        assert_eq!(rs.stats.rows_filter_checked, 0);
+        // ...so every fetched pair reaches verification; MATE passes fewer
+        // or equal.
+        assert!(rm.stats.rows_passed_filter <= rs.stats.rows_passed_filter);
+        // The FP table's rows are false positives for SCR.
+        assert!(rs.stats.false_positive_rows >= 2);
+    }
+
+    #[test]
+    fn name() {
+        let (corpus, index, hasher) = setup();
+        assert_eq!(
+            ScrDiscovery::new(&corpus, &index, &hasher).system_name(),
+            "SCR"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The [`DiscoverySystem`] trait: a uniform driver interface for MATE and
+//! every baseline, used by the benchmark harness and the integration tests.
+
+use mate_core::{DiscoveryResult, MateDiscovery};
+use mate_table::{ColId, Table};
+
+/// A system that answers top-k n-ary joinable-table queries.
+pub trait DiscoverySystem {
+    /// Short display name ("Mate", "SCR", "MCR Josie", ...).
+    fn system_name(&self) -> String;
+
+    /// Runs a top-`k` discovery for `query` on composite key `q_cols`.
+    fn discover(&self, query: &Table, q_cols: &[ColId], k: usize) -> DiscoveryResult;
+}
+
+impl DiscoverySystem for MateDiscovery<'_> {
+    fn system_name(&self) -> String {
+        "Mate".to_string()
+    }
+
+    fn discover(&self, query: &Table, q_cols: &[ColId], k: usize) -> DiscoveryResult {
+        MateDiscovery::discover(self, query, q_cols, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::{Corpus, TableBuilder};
+
+    #[test]
+    fn mate_implements_trait() {
+        let mut corpus = Corpus::new();
+        corpus.add_table(TableBuilder::new("t", ["a", "b"]).row(["x", "y"]).build());
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let sys: &dyn DiscoverySystem = &mate;
+        assert_eq!(sys.system_name(), "Mate");
+        let q = TableBuilder::new("q", ["p", "q"]).row(["x", "y"]).build();
+        let r = sys.discover(&q, &[0u32.into(), 1u32.into()], 1);
+        assert_eq!(r.top_k.len(), 1);
+        assert_eq!(r.top_k[0].joinability, 1);
+    }
+}

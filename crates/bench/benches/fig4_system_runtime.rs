@@ -1,0 +1,84 @@
+//! Figure 4 — runtime of MATE vs. SCR / MCR / SCR-JOSIE / MCR-JOSIE.
+//!
+//! For the six WT/OD query sets (k = 10, XASH-128, as in §7.2) this prints
+//! the total discovery runtime per system. Expected shape per the paper:
+//! MATE (Xash 128) fastest everywhere (up to 61×/13×/9×/22× vs MCR, SCR,
+//! MCR Josie, SCR Josie); no baseline dominates the other baselines on all
+//! sets.
+
+use mate_baselines::{
+    DiscoverySystem, JosieEngine, McrDiscovery, McrJosieDiscovery, ScrDiscovery, ScrJosieDiscovery,
+};
+use mate_bench::{build_lakes, fmt_duration, run_set_with_system, Report};
+use mate_core::MateDiscovery;
+use mate_hash::{HashSize, Xash};
+use mate_index::{IndexBuilder, InvertedIndex};
+use mate_table::Corpus;
+
+const K: usize = 10;
+
+fn main() {
+    let lakes = build_lakes();
+    let hasher = Xash::new(HashSize::B128);
+
+    // One index + one JOSIE index per corpus.
+    let mut indexed: Vec<(&str, &Corpus, InvertedIndex, JosieEngine)> = Vec::new();
+    for (name, corpus) in [
+        ("webtables", &lakes.webtables),
+        ("opendata", &lakes.opendata),
+        ("school", &lakes.school),
+    ] {
+        eprintln!("[fig4] indexing {name} ({} tables) ...", corpus.len());
+        let index = IndexBuilder::new(hasher).parallel(8).build(corpus);
+        let josie = JosieEngine::build(&index);
+        indexed.push((name, corpus, index, josie));
+    }
+
+    let mut report = Report::new(
+        "Figure 4: system runtime comparison (total seconds per query set, k=10)",
+        &[
+            "Query Set",
+            "Xash (128)",
+            "SCR",
+            "MCR",
+            "SCR Josie",
+            "MCR Josie",
+        ],
+    );
+
+    for (set, _) in lakes.iter_sets() {
+        // Figure 4 covers the six WT/OD sets.
+        if !set.name.starts_with("WT") && !set.name.starts_with("OD") {
+            continue;
+        }
+        let (_, corpus, index, josie) = indexed
+            .iter()
+            .find(|(n, _, _, _)| *n == set.corpus)
+            .unwrap();
+
+        let mate = MateDiscovery::new(corpus, index, &hasher);
+        let scr = ScrDiscovery::new(corpus, index, &hasher);
+        let mcr = McrDiscovery::new(corpus, index);
+        let scr_josie = ScrJosieDiscovery::new(corpus, index, josie);
+        let mcr_josie = McrJosieDiscovery::new(corpus, index, josie);
+
+        let systems: Vec<&dyn DiscoverySystem> = vec![&mate, &scr, &mcr, &scr_josie, &mcr_josie];
+        let mut cells = vec![set.name.clone()];
+        for sys in systems {
+            let agg = run_set_with_system(sys, set, K);
+            eprintln!(
+                "[fig4] {:<10} {:<10} {:>10}  (top1 j̄ = {:.1})",
+                set.name,
+                agg.system,
+                fmt_duration(agg.runtime_total),
+                agg.mean_top1_joinability
+            );
+            cells.push(fmt_duration(agg.runtime_total));
+        }
+        report.row(cells);
+    }
+
+    report.note("paper: Mate up to 61x/13x/9x/22x faster than MCR/SCR/MCR-Josie/SCR-Josie");
+    report.note("paper: no single baseline beats the others on every set");
+    report.print();
+}

@@ -1,0 +1,116 @@
+//! Figure 6 — runtime and precision vs. composite-key size |Q|.
+//!
+//! The paper runs an open-data table with up to 10 key columns (out of 33)
+//! and reports (a) runtime for Xash/BF/HT/SCR and (b) precision, for
+//! |Q| ∈ {2, 5, 10}. Expected shape: runtime falls as |Q| grows (more 1-bits
+//! in the query super key → harder to mask → fewer FPs, and rule 2 prunes
+//! earlier); precision dips when a new key column first wipes out most
+//! joinable rows, then recovers.
+
+use mate_baselines::ScrDiscovery;
+use mate_bench::{
+    bench_seed, fmt_duration, mean_std, run_set_with_hasher, run_set_with_system, Report,
+};
+use mate_core::MateConfig;
+use mate_hash::{BloomFilterHasher, HashSize, HashTableHasher, Xash};
+use mate_index::IndexBuilder;
+use mate_lake::{CorpusProfile, LakeGenerator, LakeSpec, QuerySet, QuerySpec};
+use mate_table::Corpus;
+
+const K: usize = 10;
+
+fn main() {
+    // Dedicated wide-key lake (the standard sets use |Q| = 2).
+    eprintln!("[fig6] generating wide-key open-data lake ...");
+    let mut generator = LakeGenerator::new(LakeSpec::new(
+        CorpusProfile::open_data(0),
+        bench_seed() ^ 0xf166,
+    ));
+    let mut corpus = Corpus::new();
+    let mut sets: Vec<(usize, QuerySet)> = Vec::new();
+    for key_size in [2usize, 5, 10] {
+        let spec = QuerySpec {
+            rows: 300,
+            key_size,
+            payload_cols: 33 - key_size,
+            column_cardinality: 60,
+            column_cardinalities: None,
+            joinable_tables: 8,
+            share_range: (0.3, 0.9),
+            duplication: (1, 3),
+            fp_tables: 25,
+            fp_rows: (30, 100),
+            hard_fp_fraction: 0.15,
+            noise_rows: (20, 60),
+        };
+        let queries = (0..4)
+            .map(|_| generator.generate_query(&mut corpus, &spec))
+            .collect();
+        sets.push((
+            key_size,
+            QuerySet {
+                name: format!("|Q|={key_size}"),
+                corpus: "opendata",
+                queries,
+            },
+        ));
+    }
+    generator.generate_noise(&mut corpus, 150);
+
+    eprintln!("[fig6] indexing ({} tables) ...", corpus.len());
+    let base_hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(base_hasher).parallel(8).build(&corpus);
+
+    let mut runtime_report = Report::new(
+        "Figure 6a: runtime vs key size (total seconds)",
+        &["|Q|", "Xash", "BF", "HT", "SCR"],
+    );
+    let mut precision_report = Report::new(
+        "Figure 6b: precision vs key size",
+        &["|Q|", "Xash", "BF", "HT", "SCR"],
+    );
+
+    for (key_size, set) in &sets {
+        let mut rt = vec![key_size.to_string()];
+        let mut pr = vec![key_size.to_string()];
+
+        for hasher in [
+            Box::new(Xash::new(HashSize::B128)) as Box<dyn mate_hash::RowHasher>,
+            Box::new(BloomFilterHasher::for_corpus(HashSize::B128, 26)),
+            Box::new(HashTableHasher::new(HashSize::B128)),
+        ] {
+            let agg = run_set_with_hasher(
+                &corpus,
+                &index,
+                hasher.as_ref(),
+                set,
+                K,
+                MateConfig::default(),
+            );
+            let (m, _) = mean_std(&agg.precisions);
+            eprintln!(
+                "[fig6] |Q|={key_size} {:<6} runtime {:>10} precision {m:.3}",
+                agg.system,
+                fmt_duration(agg.runtime_total)
+            );
+            rt.push(fmt_duration(agg.runtime_total));
+            pr.push(format!("{m:.3}"));
+        }
+
+        let scr = ScrDiscovery::new(&corpus, &index, &base_hasher);
+        let agg = run_set_with_system(&scr, set, K);
+        let (m, _) = mean_std(&agg.precisions);
+        rt.push(fmt_duration(agg.runtime_total));
+        pr.push(format!("{m:.3}"));
+
+        runtime_report.row(rt);
+        precision_report.row(pr);
+    }
+
+    runtime_report.note("paper: Mate runtime constantly falls as |Q| grows");
+    precision_report.note(
+        "paper: precision dips at |Q|=3-ish (97% of joinable rows vanish), recovers from 4 up",
+    );
+    runtime_report.print();
+    precision_report.print();
+}

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks: per-value hashing throughput and the
+//! super-key containment check (the innermost loops of MATE).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mate_bench::HasherKind;
+use mate_hash::{covers, HashBits, HashSize, RowHasher, Xash};
+use std::hint::black_box;
+
+fn sample_values() -> Vec<String> {
+    // Realistic mix of cell values.
+    let mut v = Vec::new();
+    for i in 0..64 {
+        v.push(format!("city name {i}"));
+        v.push(format!("{}", i * 7919));
+        v.push(format!("code{i}x"));
+        v.push("a longer multi word cell value here".to_string());
+    }
+    v
+}
+
+fn bench_hash_value(c: &mut Criterion) {
+    let values = sample_values();
+    let mut group = c.benchmark_group("hash_value_128");
+    for kind in [
+        HasherKind::Xash,
+        HasherKind::Bf { expected_values: 5 },
+        HasherKind::Lhbf { expected_values: 5 },
+        HasherKind::Ht,
+        HasherKind::Md5,
+        HasherKind::Murmur,
+        HasherKind::City,
+        HasherKind::SimHash,
+    ] {
+        let hasher = kind.build(HashSize::B128);
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for v in &values {
+                    acc = acc.wrapping_add(hasher.hash_value(black_box(v)).count_ones());
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xash_sizes(c: &mut Criterion) {
+    let values = sample_values();
+    let mut group = c.benchmark_group("xash_by_size");
+    for size in HashSize::ALL {
+        let hasher = Xash::new(size);
+        group.bench_function(BenchmarkId::from_parameter(size.bits()), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for v in &values {
+                    acc = acc.wrapping_add(hasher.hash_value(black_box(v)).count_ones());
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_covers(c: &mut Criterion) {
+    let hasher = Xash::new(HashSize::B128);
+    let values = sample_values();
+    // Build superkeys of simulated 6-column rows and one query key.
+    let superkeys: Vec<Vec<u64>> = values
+        .chunks(6)
+        .map(|row| {
+            let mut sk = HashBits::zero(HashSize::B128);
+            for v in row {
+                sk.or_assign(&hasher.hash_value(v));
+            }
+            sk.words().to_vec()
+        })
+        .collect();
+    let mut query = HashBits::zero(HashSize::B128);
+    query.or_assign(&hasher.hash_value("city name 3"));
+    query.or_assign(&hasher.hash_value("code3x"));
+    let qw = query.words().to_vec();
+
+    c.bench_function("superkey_covers_128", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for sk in &superkeys {
+                if covers(black_box(sk), black_box(&qw)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hash_value, bench_xash_sizes, bench_covers
+);
+criterion_main!(benches);

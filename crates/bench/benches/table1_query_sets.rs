@@ -1,0 +1,37 @@
+//! Table 1 — input query-table statistics.
+//!
+//! Prints, per query set: number of query tables, corpus, average per-key-
+//! column cardinality, and average planted joinability — the columns of the
+//! paper's Table 1. Absolute numbers are scaled down (see DESIGN.md); the
+//! cardinality ladder WT(10) < WT(100) < WT(1000) and OD(100) < OD(1000) <
+//! OD(10000) must hold, with Kaggle/School the largest query tables.
+
+use mate_bench::{build_lakes, Report};
+
+fn main() {
+    let lakes = build_lakes();
+    let mut report = Report::new(
+        "Table 1: input query tables",
+        &[
+            "Query Set",
+            "# of tables",
+            "Corpus",
+            "Cardinality",
+            "Planted joinability",
+        ],
+    );
+    for (set, _) in lakes.iter_sets() {
+        report.row(vec![
+            set.name.clone(),
+            set.queries.len().to_string(),
+            set.corpus.to_string(),
+            format!("{:.0}", set.avg_cardinality()),
+            format!("{:.0}", set.avg_planted_joinability()),
+        ]);
+    }
+    report.note(
+        "paper: cardinality ladders 3/16/151 (WT) and 15/263/2455 (OD); Kaggle 34400, School 3100 \
+         — scaled down here, ordering must match",
+    );
+    report.print();
+}

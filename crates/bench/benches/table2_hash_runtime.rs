@@ -1,0 +1,109 @@
+//! Table 2 — MATE runtime per hash function and hash size.
+//!
+//! Runs the full discovery with every §7.1.2 hash function at 128/256/512
+//! bits (MD5/Murmur/City only at 128, as in the paper's table) plus the
+//! SCR no-filter baseline, and prints total seconds per query set.
+//! Expected shape: SCR slowest; digest hashes a modest win; HT/BF/LHBF
+//! better; XASH fastest everywhere (up to ~10× vs BF).
+
+use mate_baselines::ScrDiscovery;
+use mate_bench::{
+    bench_scale, build_lakes, fmt_duration, run_set_with_hasher, run_set_with_system, HasherKind,
+    Report,
+};
+use mate_core::MateConfig;
+use mate_hash::{HashSize, Xash};
+use mate_index::IndexBuilder;
+use mate_lake::WorkloadScale;
+
+const K: usize = 10;
+
+fn main() {
+    let lakes = build_lakes();
+    let base_hasher = Xash::new(HashSize::B128);
+
+    // Hash sizes swept; smoke scale trims to 128-bit only.
+    let sizes: &[HashSize] = if bench_scale() == WorkloadScale::Smoke {
+        &[HashSize::B128]
+    } else {
+        &[HashSize::B128, HashSize::B256, HashSize::B512]
+    };
+
+    let mut header: Vec<String> = vec!["Query Set".into(), "SCR".into()];
+    let lineup = HasherKind::table2_lineup(0); // V filled per corpus below
+    for kind in &lineup {
+        let all_sizes = !matches!(
+            kind,
+            HasherKind::Md5 | HasherKind::Murmur | HasherKind::City
+        );
+        if all_sizes {
+            for s in sizes {
+                header.push(format!("{} {s}", kind.label()));
+            }
+        } else {
+            header.push(format!("{} 128", kind.label()));
+        }
+    }
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut report = Report::new(
+        "Table 2: runtime per hash function (total seconds per set)",
+        &headers,
+    );
+
+    for (name, corpus, avg_cols) in [
+        ("webtables", &lakes.webtables, 5usize),
+        ("opendata", &lakes.opendata, 26usize),
+        ("school", &lakes.school, 24usize),
+    ] {
+        eprintln!("[table2] indexing {name} ...");
+        let base_index = IndexBuilder::new(base_hasher).parallel(8).build(corpus);
+
+        for (set, set_corpus) in lakes.iter_sets() {
+            if set.corpus != name {
+                continue;
+            }
+            let _ = set_corpus;
+            let mut cells = vec![set.name.clone()];
+
+            // SCR column: no row filter at all.
+            let scr = ScrDiscovery::new(corpus, &base_index, &base_hasher);
+            let agg = run_set_with_system(&scr, set, K);
+            cells.push(fmt_duration(agg.runtime_total));
+
+            for kind in HasherKind::table2_lineup(avg_cols) {
+                let kind_sizes: &[HashSize] = if matches!(
+                    kind,
+                    HasherKind::Md5 | HasherKind::Murmur | HasherKind::City
+                ) {
+                    &[HashSize::B128]
+                } else {
+                    sizes
+                };
+                for &size in kind_sizes {
+                    let hasher = kind.build(size);
+                    let agg = run_set_with_hasher(
+                        corpus,
+                        &base_index,
+                        hasher.as_ref(),
+                        set,
+                        K,
+                        MateConfig::default(),
+                    );
+                    eprintln!(
+                        "[table2] {:<10} {:<8} {:>4}  {:>10}",
+                        set.name,
+                        kind.label(),
+                        size.bits(),
+                        fmt_duration(agg.runtime_total)
+                    );
+                    cells.push(fmt_duration(agg.runtime_total));
+                }
+            }
+            report.row(cells);
+        }
+    }
+
+    report.note("paper: Xash fastest on every set (up to 10x vs BF, the runner-up)");
+    report.note("paper: larger hash sizes usually help; digest hashes stay far behind");
+    report.print();
+}

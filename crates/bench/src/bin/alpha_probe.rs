@@ -1,0 +1,57 @@
+//! Diagnostic: XASH precision/runtime as a function of alpha, vs BF.
+//!
+//! Eq. 5 ties the number of 1-bits per hash to the corpus unique-value
+//! count; this probe shows where the optimum lies for a generated lake and
+//! cross-checks against the Bloom-filter baseline.
+
+use mate_bench::{build_lakes, fmt_duration, mean_std, run_set_with_hasher};
+use mate_core::MateConfig;
+use mate_hash::{
+    optimal_alpha, BloomFilterHasher, CharSelect, HashSize, Xash, XashConfig, XashVariant,
+};
+use mate_index::IndexBuilder;
+
+fn main() {
+    let lakes = build_lakes();
+    for (set_name, corpus, avg_cols) in [
+        ("WT (100)", &lakes.webtables, 5usize),
+        ("OD (1000)", &lakes.opendata, 26usize),
+    ] {
+        let set = lakes.sets.iter().find(|s| s.name == set_name).unwrap();
+        let unique = corpus.count_unique_values();
+        eprintln!(
+            "\n[{set_name}] unique values {unique}, Eq.5 alpha = {}",
+            optimal_alpha(HashSize::B128, unique)
+        );
+        let base = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(base).parallel(8).build(corpus);
+
+        for strategy in [CharSelect::GlobalRarity, CharSelect::InValueFrequency] {
+            for alpha in [3usize, 4, 5, 6, 8] {
+                let hasher = Xash::with_config(XashConfig {
+                    size: HashSize::B128,
+                    alpha,
+                    variant: XashVariant::Full,
+                    char_select: strategy,
+                });
+                let agg =
+                    run_set_with_hasher(corpus, &index, &hasher, set, 10, MateConfig::default());
+                let (m, _) = mean_std(&agg.precisions);
+                eprintln!(
+                    "  xash {strategy:?} alpha={alpha}: runtime {:>10} precision {m:.3} passed {}",
+                    fmt_duration(agg.runtime_total),
+                    agg.passed_rows
+                );
+            }
+        }
+        let bf = BloomFilterHasher::for_corpus(HashSize::B128, avg_cols);
+        let agg = run_set_with_hasher(corpus, &index, &bf, set, 10, MateConfig::default());
+        let (m, _) = mean_std(&agg.precisions);
+        eprintln!(
+            "  BF (H={}):     runtime {:>10} precision {m:.3} passed {}",
+            bf.num_hashes(),
+            fmt_duration(agg.runtime_total),
+            agg.passed_rows
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The hash-function zoo of §7.1.2, addressable by name.
+
+use mate_hash::{
+    BloomFilterHasher, CityHasher, HashSize, HashTableHasher, LessHashBloomFilter, Md5Hasher,
+    MurmurHasher, RowHasher, SimHashHasher, Xash, XashVariant,
+};
+
+/// Every hash function compared in Tables 2–3 and Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HasherKind {
+    /// MD5 digest hasher.
+    Md5,
+    /// Murmur3 digest hasher.
+    Murmur,
+    /// CityHash64 digest hasher.
+    City,
+    /// SimHash over character 3-grams.
+    SimHash,
+    /// Single-hash "hash table".
+    Ht,
+    /// Bloom filter with `V` expected values per row.
+    Bf {
+        /// Expected values per row (the corpus's average column count).
+        expected_values: usize,
+    },
+    /// Less-Hashing Bloom Filter with the same `V`.
+    Lhbf {
+        /// Expected values per row.
+        expected_values: usize,
+    },
+    /// Full XASH.
+    Xash,
+    /// A XASH ablation variant (Figure 5).
+    XashVariant(XashVariant),
+}
+
+impl HasherKind {
+    /// Builds the hasher at the given array size.
+    pub fn build(self, size: HashSize) -> Box<dyn RowHasher> {
+        match self {
+            HasherKind::Md5 => Box::new(Md5Hasher::new(size)),
+            HasherKind::Murmur => Box::new(MurmurHasher::new(size)),
+            HasherKind::City => Box::new(CityHasher::new(size)),
+            HasherKind::SimHash => Box::new(SimHashHasher::new(size)),
+            HasherKind::Ht => Box::new(HashTableHasher::new(size)),
+            HasherKind::Bf { expected_values } => {
+                Box::new(BloomFilterHasher::for_corpus(size, expected_values))
+            }
+            HasherKind::Lhbf { expected_values } => {
+                Box::new(LessHashBloomFilter::for_corpus(size, expected_values))
+            }
+            HasherKind::Xash => Box::new(Xash::new(size)),
+            HasherKind::XashVariant(v) => Box::new(Xash::variant(size, v)),
+        }
+    }
+
+    /// Display label matching the paper's column headers.
+    pub fn label(self) -> String {
+        match self {
+            HasherKind::Md5 => "MD5".into(),
+            HasherKind::Murmur => "Murmur".into(),
+            HasherKind::City => "City".into(),
+            HasherKind::SimHash => "SimHash".into(),
+            HasherKind::Ht => "HT".into(),
+            HasherKind::Bf { .. } => "BF".into(),
+            HasherKind::Lhbf { .. } => "LHBF".into(),
+            HasherKind::Xash => "Xash".into(),
+            HasherKind::XashVariant(v) => v.label().into(),
+        }
+    }
+
+    /// The Table 2 line-up for a corpus with `avg_cols` average columns.
+    pub fn table2_lineup(avg_cols: usize) -> Vec<HasherKind> {
+        vec![
+            HasherKind::Md5,
+            HasherKind::Murmur,
+            HasherKind::City,
+            HasherKind::SimHash,
+            HasherKind::Ht,
+            HasherKind::Bf {
+                expected_values: avg_cols,
+            },
+            HasherKind::Lhbf {
+                expected_values: avg_cols,
+            },
+            HasherKind::Xash,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_kind() {
+        for kind in HasherKind::table2_lineup(5) {
+            for size in HashSize::ALL {
+                let h = kind.build(size);
+                assert_eq!(h.hash_size(), size, "{}", kind.label());
+                let bits = h.hash_value("value");
+                assert!(!bits.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_variants_build() {
+        for v in [
+            XashVariant::LengthOnly,
+            XashVariant::RareChars,
+            XashVariant::CharLocation,
+            XashVariant::NoRotation,
+            XashVariant::Full,
+        ] {
+            let h = HasherKind::XashVariant(v).build(HashSize::B128);
+            assert!(!h.hash_value("abc").is_zero());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(HasherKind::Xash.label(), "Xash");
+        assert_eq!(HasherKind::Bf { expected_values: 5 }.label(), "BF");
+    }
+}

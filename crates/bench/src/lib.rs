@@ -1,0 +1,22 @@
+//! Shared harness for the MATE experiment benches.
+//!
+//! Each bench target under `benches/` (registered with `harness = false`)
+//! regenerates one table or figure of the paper and prints the same rows /
+//! series the paper reports, plus the paper's qualitative expectation so the
+//! output can be compared shape-against-shape (see EXPERIMENTS.md).
+//!
+//! Scale is controlled by the `MATE_BENCH_SCALE` environment variable
+//! (`smoke` / `small` / `full`, default `small`) and the seed by
+//! `MATE_BENCH_SEED` (default 42).
+
+#![warn(missing_docs)]
+
+pub mod hashers;
+pub mod report;
+pub mod runner;
+pub mod setup;
+
+pub use hashers::HasherKind;
+pub use report::{fmt_duration, mean_std, Report};
+pub use runner::{run_set_with_hasher, run_set_with_system, SetAggregate};
+pub use setup::{bench_scale, bench_seed, build_lakes};

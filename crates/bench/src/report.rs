@@ -1,0 +1,135 @@
+//! Plain-text report formatting for the experiment benches.
+
+use std::time::Duration;
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Human-readable duration (µs/ms/s with 3 significant-ish digits).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// A fixed-width text table that prints like the paper's tables.
+#[derive(Debug)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "report row arity");
+        self.rows.push(cells);
+    }
+
+    /// Appends a free-text note printed under the table (used for the
+    /// paper's qualitative expectation).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-9);
+        assert!((s - 2.0).abs() < 1e-9);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(250)), "250µs");
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+    }
+
+    #[test]
+    fn report_renders_aligned() {
+        let mut r = Report::new("Demo", &["set", "value"]);
+        r.row(vec!["WT (10)".into(), "1.5".into()]);
+        r.row(vec!["OD (10000)".into(), "22".into()]);
+        r.note("bigger is better");
+        let s = r.render();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("WT (10)"));
+        assert!(s.contains("note: bigger is better"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Report::new("x", &["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Query-set execution and aggregation.
+
+use mate_baselines::DiscoverySystem;
+use mate_core::{MateConfig, MateDiscovery};
+use mate_hash::RowHasher;
+use mate_index::InvertedIndex;
+use mate_lake::QuerySet;
+use mate_table::Corpus;
+use std::time::Duration;
+
+/// Aggregated metrics of one system over one query set.
+#[derive(Debug, Clone)]
+pub struct SetAggregate {
+    /// Query-set name.
+    pub set: String,
+    /// System label.
+    pub system: String,
+    /// Sum of per-query discovery wall-clock time.
+    pub runtime_total: Duration,
+    /// Per-query precision values (Table 3 reports mean ± std).
+    pub precisions: Vec<f64>,
+    /// Total false-positive rows across queries.
+    pub fp_rows: u64,
+    /// Total verified joinable rows across queries.
+    pub tp_rows: u64,
+    /// Total row pairs that passed filtering.
+    pub passed_rows: u64,
+    /// Total posting-list items fetched.
+    pub pl_items: u64,
+    /// Total candidate tables whose rows were evaluated.
+    pub tables_evaluated: u64,
+    /// Mean top-1 joinability (sanity signal against planted ground truth).
+    pub mean_top1_joinability: f64,
+}
+
+impl SetAggregate {
+    /// Mean per-query runtime.
+    pub fn runtime_mean(&self) -> Duration {
+        if self.precisions.is_empty() {
+            Duration::ZERO
+        } else {
+            self.runtime_total / self.precisions.len() as u32
+        }
+    }
+
+    /// Mean and std of precision.
+    pub fn precision(&self) -> (f64, f64) {
+        crate::report::mean_std(&self.precisions)
+    }
+}
+
+/// Runs a [`DiscoverySystem`] over every query of a set.
+pub fn run_set_with_system(system: &dyn DiscoverySystem, set: &QuerySet, k: usize) -> SetAggregate {
+    let mut agg = SetAggregate {
+        set: set.name.clone(),
+        system: system.system_name(),
+        runtime_total: Duration::ZERO,
+        precisions: Vec::with_capacity(set.queries.len()),
+        fp_rows: 0,
+        tp_rows: 0,
+        passed_rows: 0,
+        pl_items: 0,
+        tables_evaluated: 0,
+        mean_top1_joinability: 0.0,
+    };
+    let mut top1_sum = 0f64;
+    for q in &set.queries {
+        let r = system.discover(&q.table, &q.key, k);
+        agg.runtime_total += r.stats.elapsed;
+        agg.precisions.push(r.stats.precision());
+        agg.fp_rows += r.stats.false_positive_rows as u64;
+        agg.tp_rows += r.stats.rows_verified_joinable as u64;
+        agg.passed_rows += r.stats.rows_passed_filter as u64;
+        agg.pl_items += r.stats.pl_items_fetched as u64;
+        agg.tables_evaluated += r.stats.tables_evaluated as u64;
+        top1_sum += r.top_k.first().map_or(0.0, |t| t.joinability as f64);
+    }
+    if !set.queries.is_empty() {
+        agg.mean_top1_joinability = top1_sum / set.queries.len() as f64;
+    }
+    agg
+}
+
+/// Runs MATE with a specific hasher over a set: rehashes the base index's
+/// super keys with `hasher` (posting lists are reused) and runs the engine.
+pub fn run_set_with_hasher(
+    corpus: &Corpus,
+    base_index: &InvertedIndex,
+    hasher: &dyn RowHasher,
+    set: &QuerySet,
+    k: usize,
+    config: MateConfig,
+) -> SetAggregate {
+    let index = base_index.rehash(corpus, hasher);
+    let mate = MateDiscovery::with_config(corpus, &index, hasher, config);
+    let mut agg = run_set_with_system(&mate, set, k);
+    agg.system = hasher.name().to_string();
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_lake::{CorpusProfile, LakeGenerator, LakeSpec, QuerySpec};
+
+    fn tiny_setup() -> (Corpus, InvertedIndex, Xash, QuerySet) {
+        let mut generator = LakeGenerator::new(LakeSpec::new(CorpusProfile::web_tables(0), 3));
+        let mut corpus = Corpus::new();
+        let spec = QuerySpec {
+            rows: 12,
+            column_cardinality: 6,
+            joinable_tables: 3,
+            fp_tables: 5,
+            ..Default::default()
+        };
+        let queries = vec![
+            generator.generate_query(&mut corpus, &spec),
+            generator.generate_query(&mut corpus, &spec),
+        ];
+        generator.generate_noise(&mut corpus, 20);
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        (
+            corpus,
+            index,
+            hasher,
+            QuerySet {
+                name: "tiny".into(),
+                corpus: "webtables",
+                queries,
+            },
+        )
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let (corpus, index, hasher, set) = tiny_setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let agg = run_set_with_system(&mate, &set, 5);
+        assert_eq!(agg.precisions.len(), 2);
+        assert!(agg.mean_top1_joinability >= 1.0);
+        assert_eq!(agg.passed_rows, agg.tp_rows + agg.fp_rows);
+        assert!(agg.runtime_total > Duration::ZERO);
+    }
+
+    #[test]
+    fn hasher_sweep_runs() {
+        let (corpus, index, _, set) = tiny_setup();
+        let bf = mate_hash::BloomFilterHasher::for_corpus(HashSize::B128, 5);
+        let agg = run_set_with_hasher(&corpus, &index, &bf, &set, 5, MateConfig::default());
+        assert_eq!(agg.system, "BF");
+        assert_eq!(agg.precisions.len(), 2);
+    }
+
+    #[test]
+    fn hashers_agree_on_results() {
+        // Different hashers must produce the same top-1 joinability (no
+        // false negatives) — only efficiency differs.
+        let (corpus, index, hasher, set) = tiny_setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let a = run_set_with_system(&mate, &set, 3);
+        let md5 = mate_hash::Md5Hasher::new(HashSize::B128);
+        let b = run_set_with_hasher(&corpus, &index, &md5, &set, 3, MateConfig::default());
+        assert_eq!(a.mean_top1_joinability, b.mean_top1_joinability);
+        // And XASH passes no more rows than the digest hash.
+        assert!(a.passed_rows <= b.passed_rows);
+    }
+}

@@ -1,0 +1,90 @@
+//! Discovery configuration.
+
+/// Strategy for choosing the initial query column (§6.1 / §7.5.4).
+///
+/// The initial column determines how many posting lists are fetched; the
+/// paper's heuristic is minimum cardinality. The alternatives exist for the
+/// §7.5.4 comparison experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitColumnHeuristic {
+    /// Paper default: the key column with the fewest distinct values.
+    #[default]
+    MinCardinality,
+    /// First key column in table column order (baseline i).
+    ColumnOrder,
+    /// The column containing the longest cell value ("TLS", baseline ii).
+    LongestString,
+    /// Oracle upper bound: the column fetching the **most** PL items
+    /// (baseline iii, "worst-case scenario").
+    WorstOracle,
+    /// Oracle lower bound: the column fetching the **fewest** PL items
+    /// (baseline iv, "best" / ground truth).
+    BestOracle,
+    /// User-supplied: use the `i`-th column of `Q` ("the column selection can
+    /// be supervised and preempted by the user", §4).
+    Fixed(usize),
+}
+
+impl InitColumnHeuristic {
+    /// Label used by the §7.5.4 report.
+    pub fn label(self) -> &'static str {
+        match self {
+            InitColumnHeuristic::MinCardinality => "Cardinality (Mate)",
+            InitColumnHeuristic::ColumnOrder => "Column order",
+            InitColumnHeuristic::LongestString => "TLS",
+            InitColumnHeuristic::WorstOracle => "Worst-case",
+            InitColumnHeuristic::BestOracle => "Best (oracle)",
+            InitColumnHeuristic::Fixed(_) => "Fixed",
+        }
+    }
+}
+
+/// Tuning knobs of the discovery engine.
+#[derive(Debug, Clone)]
+pub struct MateConfig {
+    /// Initial-column selection strategy.
+    pub heuristic: InitColumnHeuristic,
+    /// Enable the two table-level pruning rules of §6.2. Disabling them
+    /// forces a full scan of every candidate table (ablation).
+    pub table_filtering: bool,
+    /// Enable super-key row filtering (§6.3). Disabling it degrades MATE to
+    /// the SCR baseline: every fetched row goes straight to verification.
+    pub row_filtering: bool,
+    /// Safety cap on the number of injective column mappings enumerated per
+    /// row pair during verification (factorial blow-up guard; Eq. 3).
+    pub max_mappings_per_row: usize,
+}
+
+impl Default for MateConfig {
+    fn default() -> Self {
+        MateConfig {
+            heuristic: InitColumnHeuristic::MinCardinality,
+            table_filtering: true,
+            row_filtering: true,
+            max_mappings_per_row: 10_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = MateConfig::default();
+        assert_eq!(c.heuristic, InitColumnHeuristic::MinCardinality);
+        assert!(c.table_filtering);
+        assert!(c.row_filtering);
+        assert!(c.max_mappings_per_row > 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(
+            InitColumnHeuristic::MinCardinality.label(),
+            "Cardinality (Mate)"
+        );
+        assert_eq!(InitColumnHeuristic::Fixed(2).label(), "Fixed");
+    }
+}

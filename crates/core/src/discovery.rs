@@ -1,0 +1,450 @@
+//! The MATE discovery engine — Algorithm 1 of the paper.
+
+use crate::config::MateConfig;
+use crate::init_column::select_initial_column;
+use crate::joinability::{verify_table_joinability, RowPair};
+use crate::query_keys::QueryKeyMap;
+use crate::stats::DiscoveryStats;
+pub use crate::topk::TableResult;
+use crate::topk::TopK;
+use mate_hash::fx::FxHashMap;
+use mate_hash::{covers, RowHasher};
+use mate_index::{InvertedIndex, PostingEntry};
+use mate_table::{ColId, Corpus, Table, TableId};
+use std::time::Instant;
+
+/// Output of a discovery run: the top-k joinable tables plus instrumentation.
+#[derive(Debug, Clone)]
+pub struct DiscoveryResult {
+    /// Top-k tables sorted by joinability descending.
+    pub top_k: Vec<TableResult>,
+    /// Counters and timing for this run.
+    pub stats: DiscoveryStats,
+}
+
+/// The discovery engine. Borrows the corpus (for verification), the index
+/// (for posting lists and super keys), and the hash function that built the
+/// index (for query-side super keys).
+pub struct MateDiscovery<'a> {
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    hasher: &'a dyn RowHasher,
+    config: MateConfig,
+}
+
+impl<'a> MateDiscovery<'a> {
+    /// Creates an engine with the default configuration.
+    ///
+    /// # Panics
+    /// Panics if `hasher` does not match the index (size or kind).
+    pub fn new(corpus: &'a Corpus, index: &'a InvertedIndex, hasher: &'a dyn RowHasher) -> Self {
+        Self::with_config(corpus, index, hasher, MateConfig::default())
+    }
+
+    /// Creates an engine with an explicit configuration.
+    pub fn with_config(
+        corpus: &'a Corpus,
+        index: &'a InvertedIndex,
+        hasher: &'a dyn RowHasher,
+        config: MateConfig,
+    ) -> Self {
+        assert_eq!(
+            hasher.hash_size(),
+            index.hash_size(),
+            "hasher size does not match index"
+        );
+        assert_eq!(
+            hasher.name(),
+            index.hasher_name(),
+            "hasher kind does not match index"
+        );
+        MateDiscovery {
+            corpus,
+            index,
+            hasher,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MateConfig {
+        &self.config
+    }
+
+    /// Finds the top-`k` tables joinable with `query` on the composite key
+    /// `q_cols` (Algorithm 1).
+    ///
+    /// # Panics
+    /// Panics if `q_cols` is empty, contains duplicates, or indexes columns
+    /// that do not exist in `query`.
+    pub fn discover(&self, query: &Table, q_cols: &[ColId], k: usize) -> DiscoveryResult {
+        let start = Instant::now();
+        validate_key(query, q_cols);
+        let mut stats = DiscoveryStats::default();
+
+        // ---- Initialization (lines 3-6) --------------------------------
+        let initial = select_initial_column(query, q_cols, self.config.heuristic, self.index);
+        stats.initial_column = Some(initial);
+
+        let key_map = QueryKeyMap::build(query, q_cols, initial, self.hasher);
+
+        // Fetch PLs for all distinct initial-column values and group by table.
+        let mut by_table: FxHashMap<u32, Vec<(u32, PostingEntry)>> = FxHashMap::default();
+        let mut values: Vec<&str> = Vec::new();
+        {
+            let mut seen: FxHashMap<&str, u32> = FxHashMap::default();
+            for v in &query.column(initial).values {
+                if v.is_empty() || seen.contains_key(v.as_str()) {
+                    continue;
+                }
+                // Only values that reach at least one usable query row matter.
+                if key_map.rows_for(v).is_empty() {
+                    continue;
+                }
+                let vid = values.len() as u32;
+                seen.insert(v, vid);
+                values.push(v);
+                if let Some(pl) = self.index.posting_list(v) {
+                    stats.pl_lists_fetched += 1;
+                    stats.pl_items_fetched += pl.len();
+                    for e in pl {
+                        by_table.entry(e.table.0).or_default().push((vid, *e));
+                    }
+                }
+            }
+        }
+
+        // Sort candidate tables by PL-item count descending (line 5); ties by
+        // table id for determinism.
+        let mut candidates: Vec<(u32, Vec<(u32, PostingEntry)>)> = by_table.into_iter().collect();
+        candidates.sort_unstable_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        stats.candidate_tables = candidates.len();
+
+        let mut topk = TopK::new(k);
+
+        // ---- Per-table loop (line 7) ------------------------------------
+        'tables: for (tid_raw, table_pls) in candidates {
+            let tid = TableId(tid_raw);
+            let l_t = table_pls.len();
+
+            // Table filtering rule 1 (line 9): tables are sorted, so once the
+            // PL count cannot beat j_k nothing later can either.
+            if self.config.table_filtering && topk.is_full() && l_t as u64 <= topk.min_joinability()
+            {
+                stats.stopped_early_rule1 = true;
+                break 'tables;
+            }
+
+            stats.tables_evaluated += 1;
+            let mut r_checked = 0usize;
+            let mut r_match = 0usize;
+            let mut pairs: Vec<RowPair> = Vec::new();
+            let mut seen_pairs: mate_hash::fx::FxHashSet<(u32, u32)> =
+                mate_hash::fx::FxHashSet::default();
+
+            // ---- Row filtering (lines 13-20) ----------------------------
+            for (vid, entry) in table_pls {
+                // Table filtering rule 2 (line 14): even if every remaining
+                // row matched, the table cannot beat j_k.
+                if self.config.table_filtering
+                    && topk.is_full()
+                    && (l_t - r_checked + r_match) as u64 <= topk.min_joinability()
+                {
+                    stats.tables_skipped_rule2 += 1;
+                    continue 'tables;
+                }
+                r_checked += 1;
+
+                let value = values[vid as usize];
+                let superkey = self.index.superkey(entry.table, entry.row);
+                let mut entry_matched = false;
+                for qk in key_map.rows_for(value) {
+                    let pair_key = (entry.row.0, qk.row.0);
+                    if seen_pairs.contains(&pair_key) {
+                        // The same (row, query row) pair can surface through
+                        // multiple PL items when the value occurs in several
+                        // columns of the row.
+                        entry_matched = true;
+                        continue;
+                    }
+                    let passes = if self.config.row_filtering {
+                        stats.rows_filter_checked += 1;
+                        covers(superkey, qk.superkey.words())
+                    } else {
+                        true
+                    };
+                    if passes {
+                        seen_pairs.insert(pair_key);
+                        pairs.push(RowPair {
+                            candidate_row: entry.row,
+                            query_row: qk.row,
+                            tuple_id: qk.tuple_id,
+                        });
+                        entry_matched = true;
+                    }
+                }
+                if entry_matched {
+                    r_match += 1;
+                }
+            }
+            stats.rows_passed_filter += pairs.len();
+
+            // ---- calculateJ (lines 21-22) --------------------------------
+            let candidate = self.corpus.table(tid);
+            let outcome = verify_table_joinability(
+                candidate,
+                query,
+                q_cols,
+                &pairs,
+                self.config.max_mappings_per_row,
+            );
+            stats.rows_verified_joinable += outcome.true_positive_pairs;
+            stats.false_positive_rows += outcome.pairs_checked - outcome.true_positive_pairs;
+            stats.mappings_capped |= outcome.mappings_capped;
+            topk.update(tid, outcome.joinability);
+        }
+
+        stats.elapsed = start.elapsed();
+        DiscoveryResult {
+            top_k: topk.into_sorted(),
+            stats,
+        }
+    }
+}
+
+fn validate_key(query: &Table, q_cols: &[ColId]) {
+    assert!(
+        !q_cols.is_empty(),
+        "composite key must have at least one column"
+    );
+    let mut seen = std::collections::HashSet::new();
+    for &c in q_cols {
+        assert!(c.index() < query.num_cols(), "key column {c} out of bounds");
+        assert!(seen.insert(c), "duplicate key column {c}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_index::IndexBuilder;
+    use mate_table::TableBuilder;
+
+    /// Figure 1 of the paper plus distractor tables.
+    fn setup() -> (Corpus, InvertedIndex, Xash, Table) {
+        let mut corpus = Corpus::new();
+        // T0: the joinable table of the running example.
+        corpus.add_table(
+            TableBuilder::new("T1", ["Vorname", "Nachname", "Land", "Besetzung"])
+                .row(["Helmut", "Newton", "Germany", "Photographer"])
+                .row(["Muhammad", "Lee", "US", "Dancer"])
+                .row(["Ansel", "Adams", "UK", "Dancer"])
+                .row(["Ansel", "Adams", "US", "Photographer"])
+                .row(["Muhammad", "Ali", "US", "Boxer"])
+                .row(["Muhammad", "Lee", "Germany", "Birder"])
+                .row(["Gretchen", "Lee", "Germany", "Artist"])
+                .row(["Adam", "Sandler", "US", "Actor"])
+                .build(),
+        );
+        // T1: shares individual values but only 2 full key combos.
+        corpus.add_table(
+            TableBuilder::new("T2", ["first", "last", "country"])
+                .row(["Muhammad", "Lee", "US"])
+                .row(["Helmut", "Newton", "Germany"])
+                .row(["Muhammad", "Smith", "US"])
+                .build(),
+        );
+        // T2: unary hits only (classic FP table for single-column systems).
+        corpus.add_table(
+            TableBuilder::new("T3", ["name", "city"])
+                .row(["Muhammad", "Cairo"])
+                .row(["Ansel", "SF"])
+                .row(["Helmut", "Berlin"])
+                .build(),
+        );
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let query = TableBuilder::new("d", ["F. Name", "L. Name", "Country", "Salary"])
+            .row(["Muhammad", "Lee", "US", "60k"])
+            .row(["Ansel", "Adams", "UK", "50k"])
+            .row(["Ansel", "Adams", "US", "400k"])
+            .row(["Muhammad", "Lee", "Germany", "90k"])
+            .row(["Helmut", "Newton", "Germany", "300k"])
+            .build();
+        (corpus, index, hasher, query)
+    }
+
+    #[test]
+    fn running_example_top1() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1), ColId(2)], 1);
+        assert_eq!(r.top_k.len(), 1);
+        assert_eq!(r.top_k[0].table, TableId(0));
+        assert_eq!(r.top_k[0].joinability, 5);
+    }
+
+    #[test]
+    fn top2_includes_partial_table() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1), ColId(2)], 2);
+        assert_eq!(r.top_k.len(), 2);
+        assert_eq!(r.top_k[0].table, TableId(0));
+        assert_eq!(r.top_k[0].joinability, 5);
+        assert_eq!(r.top_k[1].table, TableId(1));
+        // T2 contains (Muhammad,Lee,US) and (Helmut,Newton,Germany).
+        assert_eq!(r.top_k[1].joinability, 2);
+    }
+
+    #[test]
+    fn unary_only_table_not_joinable() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1), ColId(2)], 3);
+        // T3 never contains a full key combo → j = 0 → excluded entirely.
+        assert_eq!(r.top_k.len(), 2);
+        assert!(r.top_k.iter().all(|t| t.table != TableId(2)));
+    }
+
+    #[test]
+    fn no_false_negatives_vs_unfiltered() {
+        // With row filtering on and off the reported top-k must be identical
+        // (the super key never drops a joinable row).
+        let (corpus, index, hasher, query) = setup();
+        let on = MateDiscovery::new(&corpus, &index, &hasher).discover(
+            &query,
+            &[ColId(0), ColId(1), ColId(2)],
+            3,
+        );
+        let off_cfg = MateConfig {
+            row_filtering: false,
+            ..Default::default()
+        };
+        let off = MateDiscovery::with_config(&corpus, &index, &hasher, off_cfg).discover(
+            &query,
+            &[ColId(0), ColId(1), ColId(2)],
+            3,
+        );
+        assert_eq!(on.top_k, off.top_k);
+        // And the filter never passes more rows than the unfiltered run.
+        assert!(on.stats.rows_passed_filter <= off.stats.rows_passed_filter);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1), ColId(2)], 1);
+        let s = &r.stats;
+        assert!(s.initial_column.is_some());
+        assert!(s.pl_items_fetched > 0);
+        assert!(s.candidate_tables >= 2);
+        assert!(s.tables_evaluated >= 1);
+        assert!(s.rows_filter_checked > 0);
+        assert!(s.rows_verified_joinable >= 5);
+        assert!(s.precision() > 0.0);
+    }
+
+    #[test]
+    fn single_column_key_works() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(2)], 1);
+        // Countries: us, uk, germany — T1 contains all three → j = 3.
+        assert_eq!(r.top_k[0].joinability, 3);
+    }
+
+    #[test]
+    fn k_larger_than_matches() {
+        let (corpus, index, hasher, query) = setup();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1), ColId(2)], 50);
+        assert_eq!(r.top_k.len(), 2);
+    }
+
+    #[test]
+    fn query_with_no_hits() {
+        let (corpus, index, hasher, _) = setup();
+        let query = TableBuilder::new("d", ["a", "b"])
+            .row(["zzzznope", "yyyynope"])
+            .build();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1)], 5);
+        assert!(r.top_k.is_empty());
+        assert_eq!(r.stats.candidate_tables, 0);
+    }
+
+    #[test]
+    fn table_filter_rule1_fires() {
+        // Corpus with one strong table and many single-hit tables; k=1.
+        let mut corpus = Corpus::new();
+        let mut strong = TableBuilder::new("strong", ["a", "b"]);
+        for i in 0..10 {
+            strong = strong.row([format!("k{i}"), format!("v{i}")]);
+        }
+        corpus.add_table(strong.build());
+        for t in 0..20 {
+            corpus.add_table(
+                TableBuilder::new(format!("weak{t}"), ["x", "y"])
+                    .row(["k0", "v0"])
+                    .build(),
+            );
+        }
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let mut query = TableBuilder::new("q", ["p", "q"]);
+        for i in 0..10 {
+            query = query.row([format!("k{i}"), format!("v{i}")]);
+        }
+        let query = query.build();
+        let mate = MateDiscovery::new(&corpus, &index, &hasher);
+        let r = mate.discover(&query, &[ColId(0), ColId(1)], 1);
+        assert_eq!(r.top_k[0].joinability, 10);
+        // The strong table (10 PL items) sorts first and sets j_k = 10; every
+        // weak table has 1 PL item ≤ 10 → rule 1 stops the scan immediately.
+        assert!(r.stats.stopped_early_rule1);
+        assert_eq!(r.stats.tables_evaluated, 1);
+    }
+
+    #[test]
+    fn disabling_table_filter_scans_everything() {
+        let (corpus, index, hasher, query) = setup();
+        let cfg = MateConfig {
+            table_filtering: false,
+            ..Default::default()
+        };
+        let r = MateDiscovery::with_config(&corpus, &index, &hasher, cfg).discover(
+            &query,
+            &[ColId(0), ColId(1), ColId(2)],
+            1,
+        );
+        assert!(!r.stats.stopped_early_rule1);
+        assert_eq!(r.stats.tables_skipped_rule2, 0);
+        assert_eq!(r.stats.tables_evaluated, r.stats.candidate_tables);
+        assert_eq!(r.top_k[0].joinability, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key column")]
+    fn duplicate_key_rejected() {
+        let (corpus, index, hasher, query) = setup();
+        MateDiscovery::new(&corpus, &index, &hasher).discover(&query, &[ColId(0), ColId(0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_key_rejected() {
+        let (corpus, index, hasher, query) = setup();
+        MateDiscovery::new(&corpus, &index, &hasher).discover(&query, &[ColId(99)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind does not match")]
+    fn mismatched_hasher_rejected() {
+        let (corpus, index, _, _) = setup();
+        let wrong = mate_hash::BloomFilterHasher::new(HashSize::B128, 3);
+        MateDiscovery::new(&corpus, &index, &wrong);
+    }
+}

@@ -1,0 +1,390 @@
+//! Exact joinability verification (the `calculateJ` step of Algorithm 1).
+//!
+//! After filtering, each surviving `(candidate row, query row)` pair is
+//! verified against the actual cell values, and the joinability
+//! `j = max over injective column mappings |π_Q(d) ∩ π_Y'(T)|` (Eq. 2) is
+//! computed. The paper stresses that the candidate side has no known key
+//! columns: a key value may appear in *any* column, so verification
+//! enumerates injective mappings `Q → columns(T)` consistent with the
+//! observed values (the factorial space of Eq. 3, bounded here by
+//! `max_mappings`) and counts, per mapping, the distinct query key tuples it
+//! realizes. The best mapping wins.
+
+use mate_hash::fx::{FxHashMap, FxHashSet};
+use mate_table::{ColId, RowId, Table};
+
+/// One filtered row pair to verify: candidate-table row, query row, and the
+/// query row's key-tuple id (rows with equal tuples share ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPair {
+    /// Row in the candidate table.
+    pub candidate_row: RowId,
+    /// Row in the query table.
+    pub query_row: RowId,
+    /// Key-tuple id of the query row (see `query_keys`).
+    pub tuple_id: u32,
+}
+
+/// Result of verifying one candidate table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Joinability `j` of the table (Eq. 2).
+    pub joinability: u64,
+    /// Pairs in which the composite key was actually present (true
+    /// positives of the row filter).
+    pub true_positive_pairs: usize,
+    /// Pairs checked in total.
+    pub pairs_checked: usize,
+    /// True if the mapping enumeration hit `max_mappings` for some row and
+    /// the joinability is therefore a lower bound.
+    pub mappings_capped: bool,
+}
+
+/// Verifies filtered row pairs against actual cell values and computes the
+/// best-mapping joinability.
+pub fn verify_table_joinability(
+    candidate: &Table,
+    query: &Table,
+    q_cols: &[ColId],
+    pairs: &[RowPair],
+    max_mappings: usize,
+) -> VerifyOutcome {
+    let mut per_mapping: FxHashMap<Vec<u16>, FxHashSet<u32>> = FxHashMap::default();
+    let mut tp = 0usize;
+    let mut capped = false;
+
+    let mut key: Vec<&str> = Vec::with_capacity(q_cols.len());
+    for pair in pairs {
+        key.clear();
+        key.extend(q_cols.iter().map(|&q| query.cell(pair.query_row, q)));
+
+        // Candidate columns per key position.
+        let ncols = candidate.num_cols();
+        let mut options: Vec<Vec<u16>> = vec![Vec::new(); q_cols.len()];
+        for c in 0..ncols {
+            let v = candidate.cell(pair.candidate_row, ColId::from(c));
+            if v.is_empty() {
+                continue;
+            }
+            for (i, k) in key.iter().enumerate() {
+                if v == *k {
+                    options[i].push(c as u16);
+                }
+            }
+        }
+        if options.iter().any(Vec::is_empty) {
+            continue; // false positive: some key value missing from the row
+        }
+
+        let mappings = enumerate_injective(&options, max_mappings);
+        if mappings.is_empty() {
+            continue; // values present but no injective assignment (e.g. key
+                      // (x, x) with only one column holding x)
+        }
+        if mappings.len() >= max_mappings {
+            capped = true;
+        }
+        tp += 1;
+        for m in mappings {
+            per_mapping.entry(m).or_default().insert(pair.tuple_id);
+        }
+    }
+
+    let joinability = per_mapping
+        .values()
+        .map(|s| s.len() as u64)
+        .max()
+        .unwrap_or(0);
+    VerifyOutcome {
+        joinability,
+        true_positive_pairs: tp,
+        pairs_checked: pairs.len(),
+        mappings_capped: capped,
+    }
+}
+
+/// Enumerates injective assignments choosing one column from `options[i]`
+/// per position, up to `max` assignments.
+///
+/// Positions are explored in order of ascending branching factor; results
+/// are reported in the original position order.
+fn enumerate_injective(options: &[Vec<u16>], max: usize) -> Vec<Vec<u16>> {
+    let m = options.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by_key(|&i| options[i].len());
+
+    let mut results = Vec::new();
+    let mut assignment = vec![u16::MAX; m];
+    let mut used: FxHashSet<u16> = FxHashSet::default();
+
+    fn backtrack(
+        depth: usize,
+        order: &[usize],
+        options: &[Vec<u16>],
+        assignment: &mut Vec<u16>,
+        used: &mut FxHashSet<u16>,
+        results: &mut Vec<Vec<u16>>,
+        max: usize,
+    ) {
+        if results.len() >= max {
+            return;
+        }
+        if depth == order.len() {
+            results.push(assignment.clone());
+            return;
+        }
+        let pos = order[depth];
+        for &col in &options[pos] {
+            if used.insert(col) {
+                assignment[pos] = col;
+                backtrack(depth + 1, order, options, assignment, used, results, max);
+                used.remove(&col);
+                assignment[pos] = u16::MAX;
+            }
+        }
+    }
+
+    backtrack(
+        0,
+        &order,
+        options,
+        &mut assignment,
+        &mut used,
+        &mut results,
+        max,
+    );
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_table::TableBuilder;
+
+    fn figure1_tables() -> (Table, Table) {
+        let candidate = TableBuilder::new("T1", ["Vorname", "Nachname", "Land", "Besetzung"])
+            .row(["Helmut", "Newton", "Germany", "Photographer"])
+            .row(["Muhammad", "Lee", "US", "Dancer"])
+            .row(["Ansel", "Adams", "UK", "Dancer"])
+            .row(["Ansel", "Adams", "US", "Photographer"])
+            .row(["Muhammad", "Ali", "US", "Boxer"])
+            .row(["Muhammad", "Lee", "Germany", "Birder"])
+            .row(["Gretchen", "Lee", "Germany", "Artist"])
+            .row(["Adam", "Sandler", "US", "Actor"])
+            .build();
+        let query = TableBuilder::new("d", ["F", "L", "C", "Salary"])
+            .row(["Muhammad", "Lee", "US", "60k"])
+            .row(["Ansel", "Adams", "UK", "50k"])
+            .row(["Ansel", "Adams", "US", "400k"])
+            .row(["Muhammad", "Lee", "Germany", "90k"])
+            .row(["Helmut", "Newton", "Germany", "300k"])
+            .build();
+        (candidate, query)
+    }
+
+    fn all_pairs(candidate: &Table, query: &Table) -> Vec<RowPair> {
+        let mut pairs = Vec::new();
+        for qr in 0..query.num_rows() {
+            for cr in 0..candidate.num_rows() {
+                pairs.push(RowPair {
+                    candidate_row: RowId::from(cr),
+                    query_row: RowId::from(qr),
+                    tuple_id: qr as u32,
+                });
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn running_example_joinability_is_5() {
+        // §2: the best mapping (F→Vorname, L→Nachname, C→Land) yields j = 5.
+        let (cand, query) = figure1_tables();
+        let q_cols = [ColId(0), ColId(1), ColId(2)];
+        let out =
+            verify_table_joinability(&cand, &query, &q_cols, &all_pairs(&cand, &query), 10_000);
+        assert_eq!(out.joinability, 5);
+        assert!(!out.mappings_capped);
+    }
+
+    #[test]
+    fn swapped_mapping_would_be_zero() {
+        // Mapping F→Nachname, L→Vorname yields 0 — verification must find the
+        // max, not the column-order mapping.
+        let cand = TableBuilder::new("T", ["last", "first"])
+            .row(["lee", "muhammad"])
+            .build();
+        let query = TableBuilder::new("d", ["f", "l"])
+            .row(["muhammad", "lee"])
+            .build();
+        let out = verify_table_joinability(
+            &cand,
+            &query,
+            &[ColId(0), ColId(1)],
+            &[RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(0),
+                tuple_id: 0,
+            }],
+            100,
+        );
+        assert_eq!(out.joinability, 1);
+        assert_eq!(out.true_positive_pairs, 1);
+    }
+
+    #[test]
+    fn partial_match_is_false_positive() {
+        let cand = TableBuilder::new("T", ["a", "b"])
+            .row(["muhammad", "ali"])
+            .build();
+        let query = TableBuilder::new("d", ["f", "l"])
+            .row(["muhammad", "lee"])
+            .build();
+        let out = verify_table_joinability(
+            &cand,
+            &query,
+            &[ColId(0), ColId(1)],
+            &[RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(0),
+                tuple_id: 0,
+            }],
+            100,
+        );
+        assert_eq!(out.joinability, 0);
+        assert_eq!(out.true_positive_pairs, 0);
+        assert_eq!(out.pairs_checked, 1);
+    }
+
+    #[test]
+    fn injectivity_enforced_for_repeated_key_values() {
+        // Key (x, x): candidate with only one column equal to x cannot match.
+        let cand1 = TableBuilder::new("T", ["a", "b"]).row(["x", "y"]).build();
+        let query = TableBuilder::new("d", ["p", "q"]).row(["x", "x"]).build();
+        let pair = [RowPair {
+            candidate_row: RowId(0),
+            query_row: RowId(0),
+            tuple_id: 0,
+        }];
+        let out = verify_table_joinability(&cand1, &query, &[ColId(0), ColId(1)], &pair, 100);
+        assert_eq!(out.joinability, 0);
+
+        // Two columns holding x do match.
+        let cand2 = TableBuilder::new("T", ["a", "b"]).row(["x", "x"]).build();
+        let out = verify_table_joinability(&cand2, &query, &[ColId(0), ColId(1)], &pair, 100);
+        assert_eq!(out.joinability, 1);
+    }
+
+    #[test]
+    fn mapping_must_be_consistent_across_rows() {
+        // Each row matches under a *different* mapping; no single mapping
+        // covers both tuples, so j = 1, not 2.
+        let cand = TableBuilder::new("T", ["a", "b"])
+            .row(["k1", "k2"]) // matches (p→a, q→b)
+            .row(["m2", "m1"]) // matches (p→b, q→a)
+            .build();
+        let query = TableBuilder::new("d", ["p", "q"])
+            .row(["k1", "k2"])
+            .row(["m1", "m2"])
+            .build();
+        let out = verify_table_joinability(
+            &cand,
+            &query,
+            &[ColId(0), ColId(1)],
+            &all_pairs(&cand, &query),
+            100,
+        );
+        assert_eq!(out.joinability, 1);
+        assert_eq!(out.true_positive_pairs, 2);
+    }
+
+    #[test]
+    fn duplicate_query_tuples_count_once() {
+        let cand = TableBuilder::new("T", ["a", "b"]).row(["k1", "k2"]).build();
+        let query = TableBuilder::new("d", ["p", "q"])
+            .row(["k1", "k2"])
+            .row(["k1", "k2"])
+            .build();
+        // Both query rows share tuple_id 0.
+        let pairs = [
+            RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(0),
+                tuple_id: 0,
+            },
+            RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(1),
+                tuple_id: 0,
+            },
+        ];
+        let out = verify_table_joinability(&cand, &query, &[ColId(0), ColId(1)], &pairs, 100);
+        assert_eq!(out.joinability, 1);
+        assert_eq!(out.true_positive_pairs, 2);
+    }
+
+    #[test]
+    fn empty_pairs_zero_joinability() {
+        let (cand, query) = figure1_tables();
+        let out = verify_table_joinability(&cand, &query, &[ColId(0)], &[], 100);
+        assert_eq!(out.joinability, 0);
+        assert_eq!(out.pairs_checked, 0);
+    }
+
+    #[test]
+    fn empty_candidate_cells_ignored() {
+        let cand = TableBuilder::new("T", ["a", "b"]).row(["", "k1"]).build();
+        let query = TableBuilder::new("d", ["p"]).row(["k1"]).build();
+        let out = verify_table_joinability(
+            &cand,
+            &query,
+            &[ColId(0)],
+            &[RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(0),
+                tuple_id: 0,
+            }],
+            100,
+        );
+        assert_eq!(out.joinability, 1);
+    }
+
+    #[test]
+    fn mapping_cap_reported() {
+        // A row where every key value matches every column explodes
+        // combinatorially; the cap must kick in and be reported.
+        let headers: Vec<String> = (0..8).map(|i| format!("c{i}")).collect();
+        let row: Vec<&str> = vec!["x"; 8];
+        let cand = TableBuilder::new("T", headers.clone())
+            .row(row.clone())
+            .build();
+        let query = TableBuilder::new("d", ["a", "b", "c", "d", "e", "f", "g", "h"])
+            .row(vec!["x"; 8])
+            .build();
+        let q_cols: Vec<ColId> = (0..8u32).map(ColId).collect();
+        let out = verify_table_joinability(
+            &cand,
+            &query,
+            &q_cols,
+            &[RowPair {
+                candidate_row: RowId(0),
+                query_row: RowId(0),
+                tuple_id: 0,
+            }],
+            100, // << 8! = 40320
+        );
+        assert!(out.mappings_capped);
+        assert_eq!(out.joinability, 1);
+    }
+
+    #[test]
+    fn enumerate_injective_basics() {
+        // options: pos0 ∈ {0,1}, pos1 ∈ {1} → only (0,1) is injective.
+        let m = enumerate_injective(&[vec![0, 1], vec![1]], 100);
+        assert_eq!(m, vec![vec![0, 1]]);
+        // no options → no assignment
+        assert!(enumerate_injective(&[vec![], vec![1]], 100).is_empty());
+        // zero positions → one empty assignment
+        assert_eq!(enumerate_injective(&[], 100), vec![Vec::<u16>::new()]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Discovery instrumentation.
+//!
+//! Every run of the engine produces a [`DiscoveryStats`]: the counter values
+//! the paper's evaluation reports — PL items fetched (§7.5.4), rows filtered
+//! vs. passed, false-positive rows and precision (Table 3), pruning-rule
+//! activity (§6.2), and wall-clock time (Table 2 / Fig. 4).
+
+use mate_table::ColId;
+use std::time::Duration;
+
+/// Counters collected during one discovery run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiscoveryStats {
+    /// The initial column that was selected (§6.1).
+    pub initial_column: Option<ColId>,
+    /// Distinct initial-column values that had a posting list.
+    pub pl_lists_fetched: usize,
+    /// Total posting-list items fetched through the initial column.
+    pub pl_items_fetched: usize,
+    /// Candidate tables after grouping the fetched PL items.
+    pub candidate_tables: usize,
+    /// Tables whose rows were actually evaluated.
+    pub tables_evaluated: usize,
+    /// Tables skipped mid-scan by filtering rule 2 (Algorithm 1 line 14).
+    pub tables_skipped_rule2: usize,
+    /// True if rule 1 fired and the scan stopped early (line 9).
+    pub stopped_early_rule1: bool,
+    /// Super-key containment checks performed (row filter, §6.3).
+    pub rows_filter_checked: usize,
+    /// Row pairs that passed the filter and went to verification.
+    pub rows_passed_filter: usize,
+    /// Verified joinable row pairs (true positives).
+    pub rows_verified_joinable: usize,
+    /// Row pairs that passed the filter but failed verification
+    /// (false positives of the hash filter).
+    pub false_positive_rows: usize,
+    /// True if any verification hit the mapping-enumeration cap.
+    pub mappings_capped: bool,
+    /// Wall-clock time of the discovery run.
+    pub elapsed: Duration,
+}
+
+impl DiscoveryStats {
+    /// Filter precision `TP / (TP + FP)` over the row pairs that reached
+    /// verification (Table 3 of the paper). A run in which nothing passed
+    /// the filter produced no false positives and scores 1.0.
+    pub fn precision(&self) -> f64 {
+        let tp = self.rows_verified_joinable as f64;
+        let fp = self.false_positive_rows as f64;
+        if tp + fp == 0.0 {
+            1.0
+        } else {
+            tp / (tp + fp)
+        }
+    }
+
+    /// Fraction of filter checks that passed (lower = stronger filter).
+    pub fn filter_pass_rate(&self) -> f64 {
+        if self.rows_filter_checked == 0 {
+            0.0
+        } else {
+            self.rows_passed_filter as f64 / self.rows_filter_checked as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basic() {
+        let s = DiscoveryStats {
+            rows_verified_joinable: 30,
+            false_positive_rows: 10,
+            ..Default::default()
+        };
+        assert!((s.precision() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_empty_is_one() {
+        assert_eq!(DiscoveryStats::default().precision(), 1.0);
+    }
+
+    #[test]
+    fn pass_rate() {
+        let s = DiscoveryStats {
+            rows_filter_checked: 200,
+            rows_passed_filter: 50,
+            ..Default::default()
+        };
+        assert!((s.filter_pass_rate() - 0.25).abs() < 1e-9);
+        assert_eq!(DiscoveryStats::default().filter_pass_rate(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Bounded top-k heap over `(joinability, table)` results.
+//!
+//! The table-filtering rules of §6.2 compare candidate bounds against the
+//! *worst* table currently in the top-k (`j_k`), so the heap is a min-heap
+//! with O(log k) updates. Only tables with `j > 0` enter (a table with no
+//! joinable row is not "joinable").
+
+use mate_table::TableId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One discovered table with its joinability score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableResult {
+    /// The corpus table.
+    pub table: TableId,
+    /// Joinability `j` (Eq. 2): number of distinct query key combinations
+    /// present under the best column mapping.
+    pub joinability: u64,
+}
+
+/// Min-heap keeping the `k` best `(j, table)` pairs.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    // Reverse<(j, Reverse(table))>: pop order = lowest j first, and among
+    // equal j the *highest* table id first, so earlier-discovered tables win
+    // ties deterministically.
+    heap: BinaryHeap<Reverse<(u64, Reverse<u32>)>>,
+}
+
+impl TopK {
+    /// Creates a heap bounded to `k` entries.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// True once the heap holds `k` tables (only then may pruning rules
+    /// fire — Algorithm 1 lines 9 and 14).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// Joinability of the worst table in the current top-k (`j_k`), or 0 if
+    /// the heap is not full yet.
+    #[inline]
+    pub fn min_joinability(&self) -> u64 {
+        if self.is_full() {
+            self.heap.peek().map_or(0, |Reverse((j, _))| *j)
+        } else {
+            0
+        }
+    }
+
+    /// Offers a result; tables with `j == 0` are ignored, and a full heap
+    /// only admits strictly better scores.
+    pub fn update(&mut self, table: TableId, joinability: u64) {
+        if joinability == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse((joinability, Reverse(table.0))));
+        } else if joinability > self.min_joinability() {
+            self.heap.push(Reverse((joinability, Reverse(table.0))));
+            self.heap.pop();
+        }
+    }
+
+    /// Number of tables currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no table has been admitted.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Finishes and returns results sorted by joinability descending
+    /// (ties: lower table id first).
+    pub fn into_sorted(self) -> Vec<TableResult> {
+        let mut v: Vec<TableResult> = self
+            .heap
+            .into_iter()
+            .map(|Reverse((j, Reverse(t)))| TableResult {
+                table: TableId(t),
+                joinability: j,
+            })
+            .collect();
+        v.sort_unstable_by(|a, b| {
+            b.joinability
+                .cmp(&a.joinability)
+                .then(a.table.0.cmp(&b.table.0))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_best() {
+        let mut t = TopK::new(3);
+        for (id, j) in [(0u32, 5u64), (1, 2), (2, 9), (3, 7), (4, 1)] {
+            t.update(TableId(id), j);
+        }
+        let r = t.into_sorted();
+        assert_eq!(
+            r,
+            vec![
+                TableResult {
+                    table: TableId(2),
+                    joinability: 9
+                },
+                TableResult {
+                    table: TableId(3),
+                    joinability: 7
+                },
+                TableResult {
+                    table: TableId(0),
+                    joinability: 5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn min_joinability_only_when_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.min_joinability(), 0);
+        t.update(TableId(0), 10);
+        assert!(!t.is_full());
+        assert_eq!(t.min_joinability(), 0); // not full yet → rules must not fire
+        t.update(TableId(1), 4);
+        assert!(t.is_full());
+        assert_eq!(t.min_joinability(), 4);
+    }
+
+    #[test]
+    fn zero_scores_ignored() {
+        let mut t = TopK::new(2);
+        t.update(TableId(0), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn equal_scores_do_not_replace() {
+        let mut t = TopK::new(1);
+        t.update(TableId(0), 5);
+        t.update(TableId(1), 5);
+        let r = t.into_sorted();
+        assert_eq!(r[0].table, TableId(0));
+    }
+
+    #[test]
+    fn tie_order_prefers_lower_id() {
+        let mut t = TopK::new(3);
+        t.update(TableId(7), 5);
+        t.update(TableId(3), 5);
+        t.update(TableId(5), 5);
+        let r = t.into_sorted();
+        assert_eq!(
+            r.iter().map(|x| x.table.0).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+    }
+
+    #[test]
+    fn eviction_keeps_better_tie() {
+        // Full heap of j=5s; a 6 must evict exactly one 5 (the latest-id one).
+        let mut t = TopK::new(2);
+        t.update(TableId(1), 5);
+        t.update(TableId(2), 5);
+        t.update(TableId(3), 6);
+        let r = t.into_sorted();
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r[0],
+            TableResult {
+                table: TableId(3),
+                joinability: 6
+            }
+        );
+        assert_eq!(
+            r[1],
+            TableResult {
+                table: TableId(1),
+                joinability: 5
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the exact joinability computation (Eq. 2) against a
+//! naive reference implementation that enumerates *all* column permutations.
+
+use mate_core::joinability::{verify_table_joinability, RowPair};
+use mate_table::{ColId, RowId, Table};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Naive Eq. 2: enumerate every injective mapping from key positions to
+/// candidate columns; count distinct query tuples present under the mapping;
+/// take the max.
+fn naive_joinability(candidate: &Table, query: &Table, q_cols: &[ColId]) -> u64 {
+    let m = q_cols.len();
+    let ncols = candidate.num_cols();
+    if ncols < m {
+        return 0;
+    }
+
+    // All injective mappings (positions → candidate columns).
+    fn mappings(m: usize, ncols: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        fn rec(m: usize, ncols: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if current.len() == m {
+                out.push(current.clone());
+                return;
+            }
+            for c in 0..ncols {
+                if !current.contains(&c) {
+                    current.push(c);
+                    rec(m, ncols, current, out);
+                    current.pop();
+                }
+            }
+        }
+        rec(m, ncols, &mut current, &mut out);
+        out
+    }
+
+    let mut best = 0u64;
+    for mapping in mappings(m, ncols) {
+        // Project candidate rows under this mapping.
+        let mut projected: HashSet<Vec<&str>> = HashSet::new();
+        for r in 0..candidate.num_rows() {
+            projected.insert(
+                mapping
+                    .iter()
+                    .map(|&c| candidate.cell(RowId::from(r), ColId::from(c)))
+                    .collect(),
+            );
+        }
+        // Count distinct query tuples present.
+        let mut hit: HashSet<Vec<&str>> = HashSet::new();
+        'rows: for r in 0..query.num_rows() {
+            let mut tuple = Vec::with_capacity(m);
+            for &q in q_cols {
+                let v = query.cell(RowId::from(r), q);
+                if v.is_empty() {
+                    continue 'rows;
+                }
+                tuple.push(v);
+            }
+            if projected.contains(&tuple) {
+                hit.insert(tuple);
+            }
+        }
+        best = best.max(hit.len() as u64);
+    }
+    best
+}
+
+/// All-pairs RowPair list with tuple ids (mirrors the engine's pairing).
+fn all_pairs(candidate: &Table, query: &Table, q_cols: &[ColId]) -> Vec<RowPair> {
+    let mut tuple_ids: std::collections::HashMap<Vec<&str>, u32> = std::collections::HashMap::new();
+    let mut pairs = Vec::new();
+    'rows: for qr in 0..query.num_rows() {
+        let mut tuple = Vec::new();
+        for &q in q_cols {
+            let v = query.cell(RowId::from(qr), q);
+            if v.is_empty() {
+                continue 'rows;
+            }
+            tuple.push(v);
+        }
+        let next = tuple_ids.len() as u32;
+        let tid = *tuple_ids.entry(tuple).or_insert(next);
+        for cr in 0..candidate.num_rows() {
+            pairs.push(RowPair {
+                candidate_row: RowId::from(cr),
+                query_row: RowId::from(qr),
+                tuple_id: tid,
+            });
+        }
+    }
+    pairs
+}
+
+fn small_table(name: &str, cols: usize, cells: Vec<String>) -> Table {
+    let rows = cells.len() / cols;
+    let columns = (0..cols)
+        .map(|c| mate_table::Column {
+            name: format!("c{c}"),
+            values: (0..rows)
+                .map(|r| mate_table::normalize(&cells[r * cols + c]))
+                .collect(),
+        })
+        .collect();
+    Table::new(name, columns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Engine joinability == naive permutation enumeration, on small random
+    /// tables over a tiny value alphabet (to force repeats and collisions).
+    #[test]
+    fn matches_naive_reference(
+        cand_cells in proptest::collection::vec("[abc]", 2..24),
+        query_cells in proptest::collection::vec("[abc]", 2..12),
+        cand_cols in 2usize..4,
+        m in 1usize..3,
+    ) {
+        let cand_cells: Vec<String> = cand_cells;
+        let query_cells: Vec<String> = query_cells;
+        prop_assume!(cand_cells.len() >= cand_cols);
+        prop_assume!(query_cells.len() >= m);
+
+        // Trim to rectangular shapes.
+        let cand_rows = cand_cells.len() / cand_cols;
+        prop_assume!(cand_rows >= 1);
+        let candidate = small_table("cand", cand_cols, cand_cells[..cand_rows * cand_cols].to_vec());
+
+        let q_rows = query_cells.len() / m;
+        prop_assume!(q_rows >= 1);
+        let query = small_table("query", m, query_cells[..q_rows * m].to_vec());
+        let q_cols: Vec<ColId> = (0..m as u32).map(ColId).collect();
+
+        let naive = naive_joinability(&candidate, &query, &q_cols);
+        let engine = verify_table_joinability(
+            &candidate,
+            &query,
+            &q_cols,
+            &all_pairs(&candidate, &query, &q_cols),
+            100_000,
+        );
+        prop_assert_eq!(engine.joinability, naive);
+    }
+}

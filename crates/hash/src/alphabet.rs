@@ -1,0 +1,70 @@
+//! The 37-character XASH alphabet.
+//!
+//! XASH segments its hash array by character: one segment per character of
+//! the alphabet `{space, 0-9, a-z}` (37 characters, §5.3.2 of the paper).
+//! Characters outside the alphabet contribute no character-segment bits —
+//! they still count toward the value length.
+
+/// Number of characters in the XASH alphabet.
+pub const ALPHABET_SIZE: usize = 37;
+
+/// Maps a character to its alphabet index: space → 0, '0'-'9' → 1-10,
+/// 'a'-'z' → 11-36. Returns `None` for characters outside the alphabet.
+#[inline]
+pub fn char_index(c: char) -> Option<usize> {
+    match c {
+        ' ' => Some(0),
+        '0'..='9' => Some(1 + (c as usize - '0' as usize)),
+        'a'..='z' => Some(11 + (c as usize - 'a' as usize)),
+        _ => None,
+    }
+}
+
+/// Corpus-level character frequencies (per mille) for the 37-character
+/// alphabet: space, digits, a–z. Letters follow English text statistics;
+/// digits and space use typical web-table rates. Used by the global-rarity
+/// character selection (§5.3.2's lemma ranks characters by their probability
+/// of occurrence in the corpus).
+pub const GLOBAL_FREQ: [u32; ALPHABET_SIZE] = [
+    130, // space
+    40, 35, 30, 25, 22, 20, 18, 16, 15, 14, // '0'-'9'
+    82, 15, 28, 43, 127, 22, 20, 61, 70, 2, 8, 40, 24, 67, 75, 19, 1, 60, 63, 91, 28, 10, 24, 2,
+    20, 1, // 'a'-'z'
+];
+
+/// Inverse of [`char_index`] (for debugging/tests).
+#[inline]
+pub fn index_char(i: usize) -> Option<char> {
+    match i {
+        0 => Some(' '),
+        1..=10 => Some((b'0' + (i as u8 - 1)) as char),
+        11..=36 => Some((b'a' + (i as u8 - 11)) as char),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping() {
+        assert_eq!(char_index(' '), Some(0));
+        assert_eq!(char_index('0'), Some(1));
+        assert_eq!(char_index('9'), Some(10));
+        assert_eq!(char_index('a'), Some(11));
+        assert_eq!(char_index('z'), Some(36));
+        assert_eq!(char_index('A'), None); // values are normalized to lowercase
+        assert_eq!(char_index('-'), None);
+        assert_eq!(char_index('ä'), None);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for i in 0..ALPHABET_SIZE {
+            let c = index_char(i).unwrap();
+            assert_eq!(char_index(c), Some(i));
+        }
+        assert_eq!(index_char(37), None);
+    }
+}

@@ -1,0 +1,292 @@
+//! Fixed-size bit arrays and the super-key containment predicate.
+//!
+//! Hash results and super keys are 128/256/512-bit arrays. [`HashBits`] is an
+//! inline value type (no allocation) sized for the largest case; super keys
+//! at rest live in flat `[u64]` storage inside the index (see `mate-index`),
+//! and the hot-path containment test [`covers`] operates directly on word
+//! slices so filtering never materializes intermediate values.
+
+/// Supported hash-array sizes (the paper evaluates 128, 256, and 512 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HashSize {
+    /// 128-bit hash array (2 words) — the paper's default.
+    B128,
+    /// 256-bit hash array (4 words).
+    B256,
+    /// 512-bit hash array (8 words).
+    B512,
+}
+
+impl HashSize {
+    /// Number of bits in the array.
+    #[inline]
+    pub const fn bits(self) -> usize {
+        match self {
+            HashSize::B128 => 128,
+            HashSize::B256 => 256,
+            HashSize::B512 => 512,
+        }
+    }
+
+    /// Number of 64-bit words backing the array.
+    #[inline]
+    pub const fn words(self) -> usize {
+        self.bits() / 64
+    }
+
+    /// Parses from a bit count.
+    pub fn from_bits(bits: usize) -> Option<HashSize> {
+        match bits {
+            128 => Some(HashSize::B128),
+            256 => Some(HashSize::B256),
+            512 => Some(HashSize::B512),
+            _ => None,
+        }
+    }
+
+    /// All supported sizes, smallest first.
+    pub const ALL: [HashSize; 3] = [HashSize::B128, HashSize::B256, HashSize::B512];
+}
+
+impl std::fmt::Display for HashSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// Maximum number of words any [`HashSize`] needs.
+pub const MAX_WORDS: usize = 8;
+
+/// A fixed-size bit array holding one hash result or one aggregated super key.
+///
+/// Bit `i` lives in `words[i / 64]` at position `i % 64`. Word 0 holds the
+/// *length segment* of XASH, so the word-wise containment loop checks length
+/// compatibility first — the paper's short-circuit optimization (§5.3.4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashBits {
+    nwords: u8,
+    words: [u64; MAX_WORDS],
+}
+
+impl HashBits {
+    /// The all-zero array of the given size.
+    #[inline]
+    pub fn zero(size: HashSize) -> Self {
+        HashBits {
+            nwords: size.words() as u8,
+            words: [0; MAX_WORDS],
+        }
+    }
+
+    /// Reconstructs from a word slice (as stored in the index).
+    ///
+    /// # Panics
+    /// Panics if `words.len()` is not a valid [`HashSize`] word count.
+    pub fn from_words(words: &[u64]) -> Self {
+        assert!(
+            matches!(words.len(), 2 | 4 | 8),
+            "invalid word count {} for a hash array",
+            words.len()
+        );
+        let mut w = [0u64; MAX_WORDS];
+        w[..words.len()].copy_from_slice(words);
+        HashBits {
+            nwords: words.len() as u8,
+            words: w,
+        }
+    }
+
+    /// The array size.
+    #[inline]
+    pub fn size(&self) -> HashSize {
+        match self.nwords {
+            2 => HashSize::B128,
+            4 => HashSize::B256,
+            _ => HashSize::B512,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn nbits(&self) -> usize {
+        self.nwords as usize * 64
+    }
+
+    /// The live words of the array.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words[..self.nwords as usize]
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Debug-panics if `i` is out of range.
+    #[inline]
+    pub fn set_bit(&mut self, i: usize) {
+        debug_assert!(i < self.nbits());
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        debug_assert!(i < self.nbits());
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// OR-aggregates another hash result into `self` (super-key construction).
+    ///
+    /// # Panics
+    /// Debug-panics on size mismatch.
+    #[inline]
+    pub fn or_assign(&mut self, other: &HashBits) {
+        debug_assert_eq!(self.nwords, other.nwords);
+        for i in 0..self.nwords as usize {
+            self.words[i] |= other.words[i];
+        }
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.words().iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True if no bit is set.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    /// True if every set bit of `self` is also set in `superkey`
+    /// (`self | superkey == superkey`), i.e. the row *may* contain this key.
+    ///
+    /// This is the row-filtering predicate of §6.3. The word-wise loop
+    /// returns early on the first mismatching word; since word 0 holds the
+    /// XASH length segment, a length mismatch aborts in the first iteration.
+    #[inline]
+    pub fn covered_by(&self, superkey: &[u64]) -> bool {
+        covers(superkey, self.words())
+    }
+
+    /// Iterates the indices of set bits (for debugging/inspection).
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nbits()).filter(move |&i| self.bit(i))
+    }
+}
+
+impl std::fmt::Debug for HashBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HashBits<{}>{{", self.nbits())?;
+        let ones: Vec<usize> = self.iter_ones().collect();
+        write!(f, "{ones:?}}}")
+    }
+}
+
+/// True if every set bit of `query` is also set in `superkey`.
+///
+/// Both slices must have the same length (debug-asserted). This is the
+/// allocation-free form of [`HashBits::covered_by`] used when super keys are
+/// read straight out of the index's flat word storage.
+#[inline]
+pub fn covers(superkey: &[u64], query: &[u64]) -> bool {
+    debug_assert_eq!(superkey.len(), query.len());
+    for (q, s) in query.iter().zip(superkey) {
+        if q & !s != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(HashSize::B128.bits(), 128);
+        assert_eq!(HashSize::B128.words(), 2);
+        assert_eq!(HashSize::B512.words(), 8);
+        assert_eq!(HashSize::from_bits(256), Some(HashSize::B256));
+        assert_eq!(HashSize::from_bits(100), None);
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut b = HashBits::zero(HashSize::B128);
+        assert!(b.is_zero());
+        b.set_bit(0);
+        b.set_bit(63);
+        b.set_bit(64);
+        b.set_bit(127);
+        assert!(b.bit(0) && b.bit(63) && b.bit(64) && b.bit(127));
+        assert!(!b.bit(1));
+        assert_eq!(b.count_ones(), 4);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+    }
+
+    #[test]
+    fn or_aggregation() {
+        let mut a = HashBits::zero(HashSize::B128);
+        a.set_bit(3);
+        let mut b = HashBits::zero(HashSize::B128);
+        b.set_bit(100);
+        a.or_assign(&b);
+        assert!(a.bit(3) && a.bit(100));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn containment() {
+        let mut sk = HashBits::zero(HashSize::B128);
+        sk.set_bit(3);
+        sk.set_bit(100);
+        sk.set_bit(40);
+
+        let mut q = HashBits::zero(HashSize::B128);
+        q.set_bit(3);
+        q.set_bit(100);
+        assert!(q.covered_by(sk.words()));
+
+        q.set_bit(5);
+        assert!(!q.covered_by(sk.words()));
+    }
+
+    #[test]
+    fn zero_query_always_covered() {
+        let q = HashBits::zero(HashSize::B256);
+        let sk = HashBits::zero(HashSize::B256);
+        assert!(q.covered_by(sk.words()));
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let mut b = HashBits::zero(HashSize::B512);
+        b.set_bit(511);
+        b.set_bit(0);
+        let r = HashBits::from_words(b.words());
+        assert_eq!(r, b);
+        assert_eq!(r.size(), HashSize::B512);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid word count")]
+    fn from_words_rejects_bad_len() {
+        HashBits::from_words(&[0u64; 3]);
+    }
+
+    #[test]
+    fn covers_slice_form() {
+        let sk = [0b1011u64, 0];
+        assert!(covers(&sk, &[0b0011, 0]));
+        assert!(!covers(&sk, &[0b0100, 0]));
+        assert!(!covers(&sk, &[0, 1]));
+    }
+
+    #[test]
+    fn display_size() {
+        assert_eq!(HashSize::B256.to_string(), "256");
+    }
+}

@@ -1,0 +1,233 @@
+//! Bloom-filter-style baseline hashers (§7.1.2 of the paper).
+//!
+//! * [`HashTableHasher`] ("HT") — a single hash function setting one bit.
+//! * [`BloomFilterHasher`] ("BF") — `H` independent Murmur3 hashes; `H` is
+//!   derived from the expected number of values per row (the corpus's average
+//!   column count `V`) via `H = (|a| / V) · ln 2`, the classic optimum.
+//! * [`LessHashBloomFilter`] ("LHBF", Kirsch & Mitzenmacher 2006) — derives
+//!   the `H` probe positions from just two base hashes:
+//!   `g_i(x) = h1(x) + i · h2(x)`.
+//!
+//! All three set *few* bits like XASH, but are agnostic to the syntactic
+//! structure of values — the comparison axis of Tables 2–3.
+
+use crate::bits::{HashBits, HashSize};
+use crate::murmur3::murmur3_x64_128;
+use crate::traits::RowHasher;
+
+/// Computes the classic optimal number of Bloom hash functions
+/// `H = (|a| / V) · ln 2`, clamped to at least 1.
+///
+/// `expected_values` is `V`, the number of values OR-ed into one filter —
+/// MATE uses the corpus's average column count (5 for web tables, 26 for
+/// open data in the paper).
+pub fn optimal_num_hashes(size: HashSize, expected_values: usize) -> usize {
+    let v = expected_values.max(1) as f64;
+    ((size.bits() as f64 / v) * std::f64::consts::LN_2)
+        .round()
+        .max(1.0) as usize
+}
+
+/// Single-hash baseline ("HT"): one Murmur3-derived bit per value.
+#[derive(Debug, Clone, Copy)]
+pub struct HashTableHasher {
+    size: HashSize,
+}
+
+impl HashTableHasher {
+    /// Creates an HT hasher for the given array size.
+    pub fn new(size: HashSize) -> Self {
+        HashTableHasher { size }
+    }
+}
+
+impl RowHasher for HashTableHasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        let mut out = HashBits::zero(self.size);
+        if value.is_empty() {
+            return out;
+        }
+        let h = murmur3_x64_128(value.as_bytes(), 0)[0];
+        out.set_bit((h % self.size.bits() as u64) as usize);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "HT"
+    }
+}
+
+/// Standard Bloom filter baseline ("BF"): `num_hashes` independent Murmur3
+/// hashes (independent seeds), one bit each.
+#[derive(Debug, Clone, Copy)]
+pub struct BloomFilterHasher {
+    size: HashSize,
+    num_hashes: usize,
+}
+
+impl BloomFilterHasher {
+    /// Creates a BF hasher with an explicit hash count.
+    pub fn new(size: HashSize, num_hashes: usize) -> Self {
+        assert!(num_hashes >= 1, "bloom filter needs at least one hash");
+        BloomFilterHasher { size, num_hashes }
+    }
+
+    /// Creates a BF hasher with the optimal hash count for `expected_values`
+    /// values per row (the paper sets this to the corpus's average column
+    /// count: 5 for web tables, 26 for open data).
+    pub fn for_corpus(size: HashSize, expected_values: usize) -> Self {
+        BloomFilterHasher::new(size, optimal_num_hashes(size, expected_values))
+    }
+
+    /// Number of hash functions in use.
+    pub fn num_hashes(&self) -> usize {
+        self.num_hashes
+    }
+}
+
+impl RowHasher for BloomFilterHasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        let mut out = HashBits::zero(self.size);
+        if value.is_empty() {
+            return out;
+        }
+        let nbits = self.size.bits() as u64;
+        for i in 0..self.num_hashes {
+            let h = murmur3_x64_128(value.as_bytes(), i as u64)[0];
+            out.set_bit((h % nbits) as usize);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+}
+
+/// Less-Hashing Bloom Filter baseline ("LHBF", Kirsch & Mitzenmacher):
+/// two base Murmur3 hashes generate all probe positions as
+/// `g_i = h1 + i·h2 mod |a|`.
+#[derive(Debug, Clone, Copy)]
+pub struct LessHashBloomFilter {
+    size: HashSize,
+    num_hashes: usize,
+}
+
+impl LessHashBloomFilter {
+    /// Creates an LHBF with an explicit probe count.
+    pub fn new(size: HashSize, num_hashes: usize) -> Self {
+        assert!(num_hashes >= 1, "LHBF needs at least one probe");
+        LessHashBloomFilter { size, num_hashes }
+    }
+
+    /// Probe count from the same optimum as [`BloomFilterHasher::for_corpus`].
+    pub fn for_corpus(size: HashSize, expected_values: usize) -> Self {
+        LessHashBloomFilter::new(size, optimal_num_hashes(size, expected_values))
+    }
+}
+
+impl RowHasher for LessHashBloomFilter {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        let mut out = HashBits::zero(self.size);
+        if value.is_empty() {
+            return out;
+        }
+        let [h1, h2] = murmur3_x64_128(value.as_bytes(), 0);
+        // Force h2 odd so probe positions cycle through the whole array.
+        let h2 = h2 | 1;
+        let nbits = self.size.bits() as u64;
+        for i in 0..self.num_hashes as u64 {
+            let g = h1.wrapping_add(i.wrapping_mul(h2));
+            out.set_bit((g % nbits) as usize);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "LHBF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_hash_count_matches_formula() {
+        // 128 bits, V=5 → 128/5·ln2 ≈ 17.7 → 18.
+        assert_eq!(optimal_num_hashes(HashSize::B128, 5), 18);
+        // 128 bits, V=26 → ≈ 3.4 → 3.
+        assert_eq!(optimal_num_hashes(HashSize::B128, 26), 3);
+        assert_eq!(optimal_num_hashes(HashSize::B128, 10_000), 1);
+    }
+
+    #[test]
+    fn ht_sets_exactly_one_bit() {
+        let h = HashTableHasher::new(HashSize::B128);
+        assert_eq!(h.hash_value("anything").count_ones(), 1);
+        assert!(h.hash_value("").is_zero());
+    }
+
+    #[test]
+    fn bf_sets_at_most_k_bits() {
+        let h = BloomFilterHasher::new(HashSize::B128, 7);
+        let bits = h.hash_value("value");
+        assert!(bits.count_ones() >= 1 && bits.count_ones() <= 7);
+        assert!(h.hash_value("").is_zero());
+    }
+
+    #[test]
+    fn lhbf_sets_at_most_k_bits() {
+        let h = LessHashBloomFilter::new(HashSize::B256, 5);
+        let bits = h.hash_value("value");
+        assert!(bits.count_ones() >= 1 && bits.count_ones() <= 5);
+        assert!(h.hash_value("").is_zero());
+    }
+
+    #[test]
+    fn deterministic() {
+        for hasher in [
+            Box::new(BloomFilterHasher::new(HashSize::B128, 4)) as Box<dyn RowHasher>,
+            Box::new(LessHashBloomFilter::new(HashSize::B128, 4)),
+            Box::new(HashTableHasher::new(HashSize::B128)),
+        ] {
+            assert_eq!(hasher.hash_value("abc"), hasher.hash_value("abc"));
+        }
+    }
+
+    #[test]
+    fn different_values_differ_mostly() {
+        let h = BloomFilterHasher::new(HashSize::B128, 6);
+        let mut distinct = std::collections::HashSet::new();
+        for i in 0..100 {
+            distinct.insert(h.hash_value(&format!("value-{i}")).words().to_vec());
+        }
+        assert!(distinct.len() > 95);
+    }
+
+    #[test]
+    fn bf_and_lhbf_differ() {
+        let bf = BloomFilterHasher::new(HashSize::B128, 5);
+        let lhbf = LessHashBloomFilter::new(HashSize::B128, 5);
+        // Same probe count but different derivation → (almost surely) different patterns.
+        assert_ne!(bf.hash_value("some value"), lhbf.hash_value("some value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn bf_rejects_zero_hashes() {
+        BloomFilterHasher::new(HashSize::B128, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Digest-style baseline hashers: MD5, Murmur3, CityHash (§7.1.2).
+//!
+//! These fill the hash array with a raw digest, so on average ~50% of the
+//! bits are 1. OR-aggregating a handful of such hashes saturates the super
+//! key ("if a table contains six columns the aggregation ... will on average
+//! turn 98% of the super key to 1s"), which is exactly the failure mode
+//! Tables 2–3 demonstrate. For sizes beyond the native digest width the
+//! array is filled by re-hashing with an incrementing seed.
+
+use crate::bits::{HashBits, HashSize};
+use crate::city::city_hash64_with_seed;
+use crate::md5::md5;
+use crate::murmur3::murmur3_x64_128;
+use crate::traits::RowHasher;
+
+fn fill_words(size: HashSize, mut next: impl FnMut(u64) -> u64) -> HashBits {
+    let mut out = HashBits::zero(size);
+    let mut words = [0u64; 8];
+    for (i, w) in words[..size.words()].iter_mut().enumerate() {
+        *w = next(i as u64);
+    }
+    // Transfer into HashBits by setting bits (keeps HashBits encapsulated).
+    for (i, w) in words[..size.words()].iter().enumerate() {
+        for b in 0..64 {
+            if w & (1 << b) != 0 {
+                out.set_bit(i * 64 + b);
+            }
+        }
+    }
+    out
+}
+
+/// MD5 digest hasher. The native 128-bit digest fills B128 exactly; larger
+/// sizes append MD5 of the value concatenated with a block counter.
+#[derive(Debug, Clone, Copy)]
+pub struct Md5Hasher {
+    size: HashSize,
+}
+
+impl Md5Hasher {
+    /// Creates an MD5 hasher for the given array size.
+    pub fn new(size: HashSize) -> Self {
+        Md5Hasher { size }
+    }
+}
+
+impl RowHasher for Md5Hasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        if value.is_empty() {
+            return HashBits::zero(self.size);
+        }
+        let nblocks = self.size.words() / 2;
+        let mut digests = Vec::with_capacity(nblocks);
+        for block in 0..nblocks {
+            let d = if block == 0 {
+                md5(value.as_bytes())
+            } else {
+                let mut buf = value.as_bytes().to_vec();
+                buf.push(block as u8);
+                md5(&buf)
+            };
+            digests.push(d);
+        }
+        fill_words(self.size, |i| {
+            let d = &digests[i as usize / 2];
+            let off = (i as usize % 2) * 8;
+            u64::from_le_bytes(d[off..off + 8].try_into().unwrap())
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "MD5"
+    }
+}
+
+/// Murmur3 (x64 128) digest hasher, extended with per-block seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct MurmurHasher {
+    size: HashSize,
+}
+
+impl MurmurHasher {
+    /// Creates a Murmur3 hasher for the given array size.
+    pub fn new(size: HashSize) -> Self {
+        MurmurHasher { size }
+    }
+}
+
+impl RowHasher for MurmurHasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        if value.is_empty() {
+            return HashBits::zero(self.size);
+        }
+        fill_words(self.size, |i| {
+            let h = murmur3_x64_128(value.as_bytes(), i / 2);
+            h[(i % 2) as usize]
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Murmur"
+    }
+}
+
+/// CityHash64 digest hasher: one seeded CityHash64 per word.
+#[derive(Debug, Clone, Copy)]
+pub struct CityHasher {
+    size: HashSize,
+}
+
+impl CityHasher {
+    /// Creates a CityHash hasher for the given array size.
+    pub fn new(size: HashSize) -> Self {
+        CityHasher { size }
+    }
+}
+
+impl RowHasher for CityHasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        if value.is_empty() {
+            return HashBits::zero(self.size);
+        }
+        fill_words(self.size, |i| city_hash64_with_seed(value.as_bytes(), i))
+    }
+
+    fn name(&self) -> &'static str {
+        "City"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_density_near_half() {
+        // The defining property: ~50% of bits set (this is why digest hashes
+        // make bad super keys).
+        for hasher in [
+            Box::new(Md5Hasher::new(HashSize::B128)) as Box<dyn RowHasher>,
+            Box::new(MurmurHasher::new(HashSize::B128)),
+            Box::new(CityHasher::new(HashSize::B128)),
+        ] {
+            let mut total = 0u32;
+            for i in 0..50 {
+                total += hasher.hash_value(&format!("value-{i}")).count_ones();
+            }
+            let avg = total as f64 / 50.0;
+            assert!(
+                (44.0..=84.0).contains(&avg),
+                "{}: avg density {avg} not near 64",
+                hasher.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_sizes_fill_whole_array() {
+        for size in HashSize::ALL {
+            for hasher in [
+                Box::new(Md5Hasher::new(size)) as Box<dyn RowHasher>,
+                Box::new(MurmurHasher::new(size)),
+                Box::new(CityHasher::new(size)),
+            ] {
+                let h = hasher.hash_value("some cell value");
+                assert_eq!(h.size(), size);
+                // Bits must appear in the upper half too (the extension worked).
+                assert!(
+                    h.iter_ones().any(|i| i >= size.bits() / 2),
+                    "{} at {size}: no high bits",
+                    hasher.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert!(Md5Hasher::new(HashSize::B128).hash_value("").is_zero());
+        assert!(MurmurHasher::new(HashSize::B256).hash_value("").is_zero());
+        assert!(CityHasher::new(HashSize::B512).hash_value("").is_zero());
+    }
+
+    #[test]
+    fn md5_first_block_is_true_md5() {
+        let h = Md5Hasher::new(HashSize::B128).hash_value("abc");
+        let d = crate::md5::md5(b"abc");
+        let w0 = u64::from_le_bytes(d[0..8].try_into().unwrap());
+        let w1 = u64::from_le_bytes(d[8..16].try_into().unwrap());
+        assert_eq!(h.words(), &[w0, w1]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let h = CityHasher::new(HashSize::B512);
+        assert_eq!(h.hash_value("x"), h.hash_value("x"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Hash functions for MATE super keys.
+//!
+//! The paper's filtering layer aggregates per-cell hash results into a
+//! per-row **super key** with bitwise OR, then tests composite-key membership
+//! with a single containment check (`query & !superkey == 0`). The quality of
+//! that filter depends entirely on the *shape* of the per-value hash: it must
+//! set **few** bits (a digest-style hash sets ~50% of its bits and saturates
+//! the super key after a handful of cells) and different values should set
+//! **different** bits.
+//!
+//! This crate provides:
+//!
+//! * [`Xash`] — the paper's contribution (§5): encodes the least-frequent
+//!   characters of a value, their relative positions, and the value length
+//!   into `alpha` bits of a 128/256/512-bit array, with segment rotation to
+//!   suppress cross-column random matches. [`XashVariant`] exposes the
+//!   ablation variants of Figure 5.
+//! * Baselines from §7.1.2: [`HashTableHasher`] (one bit),
+//!   [`BloomFilterHasher`] (k independent Murmur3 hashes),
+//!   [`LessHashBloomFilter`] (Kirsch–Mitzenmacher double hashing),
+//!   and digest-style hashers [`Md5Hasher`], [`MurmurHasher`],
+//!   [`CityHasher`], [`SimHashHasher`].
+//! * The raw hash primitives implemented from scratch ([`md5`], [`murmur3`],
+//!   [`city`]) — the environment is offline and these are required baselines.
+//! * [`bits::HashBits`] — the fixed-size bit-array value type, plus the
+//!   containment predicate used by row filtering.
+//! * [`fx`] — a fast FxHash-style hasher for hot-path hash maps.
+//!
+//! All hashers implement [`RowHasher`], the interface the index builder and
+//! the discovery engine are generic over.
+
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod bits;
+pub mod bloom;
+pub mod city;
+pub mod digest_hashers;
+pub mod fx;
+pub mod md5;
+pub mod murmur3;
+pub mod simhash;
+pub mod traits;
+pub mod xash;
+
+pub use bits::{covers, HashBits, HashSize};
+pub use bloom::{BloomFilterHasher, HashTableHasher, LessHashBloomFilter};
+pub use digest_hashers::{CityHasher, Md5Hasher, MurmurHasher};
+pub use simhash::SimHashHasher;
+pub use traits::{superkey_dyn, RowHasher};
+pub use xash::{optimal_alpha, CharSelect, Xash, XashConfig, XashVariant};

@@ -1,0 +1,169 @@
+//! MurmurHash3 x64 128-bit, implemented from scratch.
+//!
+//! Murmur3 is (a) a baseline digest hasher in Tables 2–3, and (b) the base
+//! hash family of the Bloom-filter super keys (§7.1.2: "We use Murmur3 hash
+//! family as the base function in the BF implementation").
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51afd7ed558ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ceb9fe1a85ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// Computes the 128-bit MurmurHash3 (x64 variant) of `data` with `seed`.
+pub fn murmur3_x64_128(data: &[u8], seed: u64) -> [u64; 2] {
+    const C1: u64 = 0x87c37b91114253d5;
+    const C2: u64 = 0x4cf5ad432745937f;
+
+    let mut h1 = seed;
+    let mut h2 = seed;
+    let nblocks = data.len() / 16;
+
+    for i in 0..nblocks {
+        let k1 = u64::from_le_bytes(data[i * 16..i * 16 + 8].try_into().unwrap());
+        let k2 = u64::from_le_bytes(data[i * 16 + 8..i * 16 + 16].try_into().unwrap());
+
+        let k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1
+            .rotate_left(27)
+            .wrapping_add(h2)
+            .wrapping_mul(5)
+            .wrapping_add(0x52dce729);
+
+        let k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2
+            .rotate_left(31)
+            .wrapping_add(h1)
+            .wrapping_mul(5)
+            .wrapping_add(0x38495ab5);
+    }
+
+    let tail = &data[nblocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    for i in (0..tail.len()).rev() {
+        match i {
+            15 => k2 ^= (tail[15] as u64) << 56,
+            14 => k2 ^= (tail[14] as u64) << 48,
+            13 => k2 ^= (tail[13] as u64) << 40,
+            12 => k2 ^= (tail[12] as u64) << 32,
+            11 => k2 ^= (tail[11] as u64) << 24,
+            10 => k2 ^= (tail[10] as u64) << 16,
+            9 => k2 ^= (tail[9] as u64) << 8,
+            8 => k2 ^= tail[8] as u64,
+            7 => k1 ^= (tail[7] as u64) << 56,
+            6 => k1 ^= (tail[6] as u64) << 48,
+            5 => k1 ^= (tail[5] as u64) << 40,
+            4 => k1 ^= (tail[4] as u64) << 32,
+            3 => k1 ^= (tail[3] as u64) << 24,
+            2 => k1 ^= (tail[2] as u64) << 16,
+            1 => k1 ^= (tail[1] as u64) << 8,
+            0 => k1 ^= tail[0] as u64,
+            _ => unreachable!(),
+        }
+    }
+    if tail.len() > 8 {
+        k2 = k2.wrapping_mul(C2).rotate_left(33).wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if !tail.is_empty() {
+        k1 = k1.wrapping_mul(C1).rotate_left(31).wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    [h1, h2]
+}
+
+/// 64-bit convenience form (first word of the 128-bit hash).
+#[inline]
+pub fn murmur3_64(data: &[u8], seed: u64) -> u64 {
+    murmur3_x64_128(data, seed)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(h: [u64; 2]) -> String {
+        // Canonical output prints the two words as big-endian hex of their
+        // little-endian byte serialization.
+        let mut s = String::new();
+        for w in h {
+            for b in w.to_le_bytes() {
+                s.push_str(&format!("{b:02x}"));
+            }
+        }
+        s
+    }
+
+    // Reference vectors computed with the canonical C++ implementation
+    // (MurmurHash3_x64_128) / Python `mmh3` library.
+    #[test]
+    fn known_vectors_seed0() {
+        assert_eq!(
+            hex(murmur3_x64_128(b"", 0)),
+            "00000000000000000000000000000000"
+        );
+        assert_eq!(
+            hex(murmur3_x64_128(b"hello", 0)),
+            "029bbd41b3a7d8cb191dae486a901e5b"
+        );
+        assert_eq!(
+            hex(murmur3_x64_128(b"hello, world", 0)),
+            "8ebc5e3a62ac2f344d41429607bcdc4c"
+        );
+        assert_eq!(
+            hex(murmur3_x64_128(
+                b"The quick brown fox jumps over the lazy dog.",
+                0
+            )),
+            "c902e99e1f4899cde7b68789a3a15d69"
+        );
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let a = murmur3_x64_128(b"value", 0);
+        let b = murmur3_x64_128(b"value", 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        for s in ["", "a", "0123456789abcdef", "0123456789abcdef0"] {
+            assert_eq!(
+                murmur3_x64_128(s.as_bytes(), 42),
+                murmur3_x64_128(s.as_bytes(), 42)
+            );
+        }
+    }
+
+    #[test]
+    fn tail_lengths_all_covered() {
+        // Exercise every tail length 0..=15 around the 16-byte block boundary.
+        let base = b"abcdefghijklmnopqrstuvwxyz012345";
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=31 {
+            assert!(seen.insert(murmur3_x64_128(&base[..len], 7)));
+        }
+    }
+
+    #[test]
+    fn murmur3_64_is_first_word() {
+        assert_eq!(murmur3_64(b"xyz", 9), murmur3_x64_128(b"xyz", 9)[0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! SimHash (Charikar 2002) baseline hasher.
+//!
+//! SimHash produces similarity-preserving fingerprints: each feature (here:
+//! character 3-grams, falling back to single characters for short values)
+//! votes +1/−1 per output bit via its Murmur3 hash, and the sign of the
+//! tally determines the bit. Like the digest hashers it yields ~50% bit
+//! density — listed in Tables 2–3 to show that similarity preservation does
+//! not help super-key filtering either.
+
+use crate::bits::{HashBits, HashSize};
+use crate::murmur3::murmur3_x64_128;
+use crate::traits::RowHasher;
+
+/// SimHash over character n-grams.
+#[derive(Debug, Clone, Copy)]
+pub struct SimHashHasher {
+    size: HashSize,
+    ngram: usize,
+}
+
+impl SimHashHasher {
+    /// Creates a SimHash hasher with the default 3-gram features.
+    pub fn new(size: HashSize) -> Self {
+        SimHashHasher { size, ngram: 3 }
+    }
+
+    /// Creates a SimHash hasher with custom n-gram width (≥ 1).
+    pub fn with_ngram(size: HashSize, ngram: usize) -> Self {
+        assert!(ngram >= 1, "ngram width must be at least 1");
+        SimHashHasher { size, ngram }
+    }
+
+    fn features<'a>(&self, value: &'a str) -> Vec<&'a [u8]> {
+        let bytes = value.as_bytes();
+        if bytes.len() < self.ngram {
+            // Short value: single bytes as features.
+            return (0..bytes.len()).map(|i| &bytes[i..i + 1]).collect();
+        }
+        (0..=bytes.len() - self.ngram)
+            .map(|i| &bytes[i..i + self.ngram])
+            .collect()
+    }
+}
+
+impl RowHasher for SimHashHasher {
+    fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        let mut out = HashBits::zero(self.size);
+        if value.is_empty() {
+            return out;
+        }
+        let nbits = self.size.bits();
+        let mut tally = vec![0i32; nbits];
+        for feat in self.features(value) {
+            // Each word of the feature hash contributes 64 vote bits;
+            // reseed per 128-bit block to cover larger arrays.
+            for block in 0..self.size.words() / 2 {
+                let h = murmur3_x64_128(feat, block as u64);
+                for (wi, w) in h.iter().enumerate() {
+                    for b in 0..64 {
+                        let idx = block * 128 + wi * 64 + b;
+                        if w & (1u64 << b) != 0 {
+                            tally[idx] += 1;
+                        } else {
+                            tally[idx] -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, t) in tally.iter().enumerate() {
+            if *t > 0 {
+                out.set_bit(i);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "SimHash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming(a: &HashBits, b: &HashBits) -> u32 {
+        a.words()
+            .iter()
+            .zip(b.words())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum()
+    }
+
+    #[test]
+    fn similar_values_have_close_fingerprints() {
+        let h = SimHashHasher::new(HashSize::B128);
+        let a = h.hash_value("the quick brown fox jumps over the lazy dog");
+        let b = h.hash_value("the quick brown fox jumps over the lazy cat");
+        let c = h.hash_value("completely unrelated text 12345 here");
+        assert!(
+            hamming(&a, &b) < hamming(&a, &c),
+            "similar pair {} should beat dissimilar pair {}",
+            hamming(&a, &b),
+            hamming(&a, &c)
+        );
+    }
+
+    #[test]
+    fn density_near_half() {
+        let h = SimHashHasher::new(HashSize::B128);
+        let mut total = 0;
+        for i in 0..40 {
+            total += h.hash_value(&format!("cell value number {i}")).count_ones();
+        }
+        let avg = total as f64 / 40.0;
+        assert!((40.0..=88.0).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn short_values_fall_back_to_chars() {
+        let h = SimHashHasher::new(HashSize::B128);
+        let a = h.hash_value("ab");
+        assert!(!a.is_zero());
+        assert_eq!(a, h.hash_value("ab"));
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert!(SimHashHasher::new(HashSize::B512).hash_value("").is_zero());
+    }
+
+    #[test]
+    fn all_sizes_work() {
+        for size in HashSize::ALL {
+            let h = SimHashHasher::new(size).hash_value("hello world");
+            assert_eq!(h.size(), size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ngram width")]
+    fn rejects_zero_ngram() {
+        SimHashHasher::with_ngram(HashSize::B128, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The [`RowHasher`] interface.
+//!
+//! Everything downstream — the index builder, the super-key generator, the
+//! discovery engine, and the benchmark harness — is generic over this trait,
+//! so swapping XASH for a baseline hash (Tables 2–3 of the paper) is a
+//! one-line change.
+
+use crate::bits::{HashBits, HashSize};
+
+/// A hash function that maps one cell value to a bit pattern suitable for
+/// OR-aggregation into a super key.
+pub trait RowHasher: Send + Sync {
+    /// The size of the produced bit arrays.
+    fn hash_size(&self) -> HashSize;
+
+    /// Hashes a single normalized cell value.
+    ///
+    /// Must be deterministic. Empty values must hash to the zero array (they
+    /// carry no join information and must not pollute the super key).
+    fn hash_value(&self, value: &str) -> HashBits;
+
+    /// Short name for reports ("XASH", "BF", "MD5", ...).
+    fn name(&self) -> &'static str;
+
+    /// OR-aggregates the hashes of all values of a row into a super key.
+    fn superkey<'a>(&self, row_values: impl Iterator<Item = &'a str>) -> HashBits
+    where
+        Self: Sized,
+    {
+        let mut sk = HashBits::zero(self.hash_size());
+        for v in row_values {
+            sk.or_assign(&self.hash_value(v));
+        }
+        sk
+    }
+}
+
+/// Object-safe helper so heterogeneous hasher collections (the bench harness
+/// iterates over all baselines) can build super keys too.
+pub fn superkey_dyn(hasher: &dyn RowHasher, row_values: &[&str]) -> HashBits {
+    let mut sk = HashBits::zero(hasher.hash_size());
+    for v in row_values {
+        sk.or_assign(&hasher.hash_value(v));
+    }
+    sk
+}
+
+impl<T: RowHasher + ?Sized> RowHasher for &T {
+    fn hash_size(&self) -> HashSize {
+        (**self).hash_size()
+    }
+    fn hash_value(&self, value: &str) -> HashBits {
+        (**self).hash_value(value)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: RowHasher + ?Sized> RowHasher for Box<T> {
+    fn hash_size(&self) -> HashSize {
+        (**self).hash_size()
+    }
+    fn hash_value(&self, value: &str) -> HashBits {
+        (**self).hash_value(value)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneBit;
+    impl RowHasher for OneBit {
+        fn hash_size(&self) -> HashSize {
+            HashSize::B128
+        }
+        fn hash_value(&self, value: &str) -> HashBits {
+            let mut b = HashBits::zero(HashSize::B128);
+            if !value.is_empty() {
+                b.set_bit(value.len() % 128);
+            }
+            b
+        }
+        fn name(&self) -> &'static str {
+            "onebit"
+        }
+    }
+
+    #[test]
+    fn superkey_aggregates() {
+        let h = OneBit;
+        let sk = h.superkey(["a", "bb", "ccc"].into_iter());
+        assert!(sk.bit(1) && sk.bit(2) && sk.bit(3));
+        assert_eq!(sk.count_ones(), 3);
+    }
+
+    #[test]
+    fn superkey_dyn_matches() {
+        let h = OneBit;
+        let a = h.superkey(["a", "bb"].into_iter());
+        let b = superkey_dyn(&h, &["a", "bb"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ref_and_box_impls() {
+        let h = OneBit;
+        let r: &dyn RowHasher = &h;
+        assert_eq!(r.name(), "onebit");
+        let b: Box<dyn RowHasher> = Box::new(OneBit);
+        assert_eq!(b.hash_size(), HashSize::B128);
+        assert_eq!(b.hash_value("xy").count_ones(), 1);
+    }
+}

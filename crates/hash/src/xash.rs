@@ -1,0 +1,539 @@
+//! XASH — the syntax-aware hash function of the MATE paper (§5).
+//!
+//! XASH encodes three syntactic features of a cell value into a sparse,
+//! fixed-size bit array:
+//!
+//! 1. **Least-frequent characters** (§5.3.2): the hash array is divided into
+//!    37 character segments of β bits (one per alphabet character, where
+//!    β = max{β : 37·β < |a|}); for the α−1 characters of the value with the
+//!    lowest in-value frequency (ties broken lexicographically), one bit of
+//!    the character's segment is set.
+//! 2. **Character location** (§5.3.3): which of the β segment bits is set
+//!    encodes the character's relative position: `x = ⌈λ·β / l_v⌉` where λ is
+//!    the mean 1-based position of the character and `l_v` the value length.
+//! 3. **Value length** (§5.3.4): the remaining `|a| − 37β` bits form the
+//!    length segment; bit `l_v mod |a_l|` is set. The length segment occupies
+//!    the **lowest-order word** of the array, so the word-wise containment
+//!    loop rejects rows with incompatible lengths in its first iteration —
+//!    the paper's short-circuit optimization.
+//! 4. **Rotation** (§5.3.5): the character-segment region is rotated by
+//!    `l_v` positions, so that two values can only produce overlapping
+//!    character bits if they *also* agree on length — suppressing "random
+//!    matches" across columns.
+//!
+//! The number of set bits per hash is bounded by α, computed from the corpus
+//! unique-value count via Eq. 5 ([`optimal_alpha`]). The default α = 6
+//! (1 length bit + 5 character bits) matches the paper's DWTC setting.
+//!
+//! [`XashVariant`] selects feature subsets for the ablation study (Fig. 5).
+
+use crate::alphabet::{char_index, ALPHABET_SIZE};
+use crate::bits::{HashBits, HashSize};
+use crate::traits::RowHasher;
+
+/// Which XASH features are active — the ablation axis of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum XashVariant {
+    /// Length bit only ("Length" bar in Fig. 5).
+    LengthOnly,
+    /// Rare characters only, no position encoding (first segment bit), no
+    /// length, no rotation ("Rare characters").
+    RareChars,
+    /// Rare characters with position encoding; no length, no rotation
+    /// ("Char. + loc.").
+    CharLocation,
+    /// Characters + position + length, but **no rotation**
+    /// ("Char. + len. + loc.").
+    NoRotation,
+    /// Full XASH: characters + position + length + rotation.
+    #[default]
+    Full,
+}
+
+impl XashVariant {
+    /// Human-readable label used by the benchmark reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            XashVariant::LengthOnly => "Length",
+            XashVariant::RareChars => "Rare characters",
+            XashVariant::CharLocation => "Char. + loc.",
+            XashVariant::NoRotation => "Char. + len. + loc.",
+            XashVariant::Full => "Xash",
+        }
+    }
+
+    fn uses_length(self) -> bool {
+        matches!(
+            self,
+            XashVariant::LengthOnly | XashVariant::NoRotation | XashVariant::Full
+        )
+    }
+
+    fn uses_chars(self) -> bool {
+        !matches!(self, XashVariant::LengthOnly)
+    }
+
+    fn uses_location(self) -> bool {
+        matches!(
+            self,
+            XashVariant::CharLocation | XashVariant::NoRotation | XashVariant::Full
+        )
+    }
+
+    fn uses_rotation(self) -> bool {
+        matches!(self, XashVariant::Full)
+    }
+}
+
+/// How the α−1 characters of a value are chosen (§5.3.2).
+///
+/// The paper's lemma ranks characters by their *probability of occurrence*:
+/// globally rare characters collide least. The reference implementation
+/// breaks the (very common) all-count-1 tie lexicographically, which skews
+/// selection toward early-alphabet — i.e. common — letters; ranking by the
+/// corpus-level character frequency instead follows the lemma directly and
+/// measurably reduces false positives (see the `fig5` ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CharSelect {
+    /// Rank by corpus-level character rarity (the lemma's criterion);
+    /// ties broken by in-value count, then alphabet order.
+    #[default]
+    GlobalRarity,
+    /// Rank by in-value occurrence count with lexicographic tie-break
+    /// (the reference implementation's behaviour).
+    InValueFrequency,
+}
+
+/// Geometry + feature configuration of a XASH instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XashConfig {
+    /// Hash array size.
+    pub size: HashSize,
+    /// Total number of 1-bits per hash (1 length bit + α−1 character bits).
+    pub alpha: usize,
+    /// Active feature subset.
+    pub variant: XashVariant,
+    /// Character ranking strategy.
+    pub char_select: CharSelect,
+}
+
+impl XashConfig {
+    /// The paper's default configuration: 128 bits, α = 6, all features.
+    pub fn default_128() -> Self {
+        XashConfig {
+            size: HashSize::B128,
+            alpha: 6,
+            variant: XashVariant::Full,
+            char_select: CharSelect::GlobalRarity,
+        }
+    }
+
+    /// Bits per character segment: β = max{β : 37β < |a|} (Eq. 6).
+    #[inline]
+    pub fn beta(&self) -> usize {
+        (self.size.bits() - 1) / ALPHABET_SIZE
+    }
+
+    /// Width of the character region in bits (37·β).
+    #[inline]
+    pub fn char_region_bits(&self) -> usize {
+        ALPHABET_SIZE * self.beta()
+    }
+
+    /// Width of the length segment in bits: |a_l| = |a| − 37β.
+    #[inline]
+    pub fn length_segment_bits(&self) -> usize {
+        self.size.bits() - self.char_region_bits()
+    }
+
+    /// Number of character bits per hash (α − 1 when the length feature is
+    /// active, α otherwise).
+    #[inline]
+    pub fn chars_to_select(&self) -> usize {
+        if self.variant.uses_length() {
+            self.alpha.saturating_sub(1)
+        } else {
+            self.alpha
+        }
+    }
+}
+
+/// Computes the optimal number of 1-bits α per Eq. 5:
+/// the minimal α with `C(|a|, α) > unique_values`.
+///
+/// For a 128-bit space and the paper's 700M unique DWTC values this yields 6.
+///
+/// ```
+/// use mate_hash::{optimal_alpha, HashSize};
+/// assert_eq!(optimal_alpha(HashSize::B128, 700_000_000), 6);
+/// ```
+pub fn optimal_alpha(size: HashSize, unique_values: usize) -> usize {
+    let n = size.bits() as u128;
+    let target = unique_values as u128;
+    let mut binom: u128 = 1;
+    for alpha in 1..=size.bits() {
+        // binom = C(n, alpha) built incrementally; saturate to avoid overflow.
+        binom = binom.saturating_mul(n - alpha as u128 + 1) / alpha as u128;
+        if binom > target {
+            // Reserve at least 2 bits (1 length + 1 char) to be meaningful.
+            return alpha.max(2);
+        }
+    }
+    size.bits()
+}
+
+/// The XASH hash function (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Xash {
+    config: XashConfig,
+}
+
+impl Xash {
+    /// Creates a full-featured XASH with the paper's default α = 6.
+    pub fn new(size: HashSize) -> Self {
+        Xash {
+            config: XashConfig {
+                size,
+                alpha: 6,
+                variant: XashVariant::Full,
+                char_select: CharSelect::default(),
+            },
+        }
+    }
+
+    /// Creates a XASH from an explicit configuration.
+    pub fn with_config(config: XashConfig) -> Self {
+        assert!(
+            config.alpha >= 2,
+            "alpha must be at least 2 (length + one char)"
+        );
+        Xash { config }
+    }
+
+    /// Creates a XASH sized for a corpus: α from Eq. 5 given the corpus
+    /// unique-value count.
+    pub fn for_corpus(size: HashSize, unique_values: usize) -> Self {
+        Xash::with_config(XashConfig {
+            size,
+            alpha: optimal_alpha(size, unique_values),
+            variant: XashVariant::Full,
+            char_select: CharSelect::default(),
+        })
+    }
+
+    /// Creates an ablation variant (Fig. 5) with the default α = 6.
+    pub fn variant(size: HashSize, variant: XashVariant) -> Self {
+        Xash {
+            config: XashConfig {
+                size,
+                alpha: 6,
+                variant,
+                char_select: CharSelect::default(),
+            },
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &XashConfig {
+        &self.config
+    }
+
+    /// Selects the `k` least frequent alphabet characters of `value`
+    /// (§5.3.2), returning `(alphabet_index, mean 1-based position)` pairs.
+    ///
+    /// Ranking depends on [`CharSelect`]: global character rarity (the
+    /// lemma's criterion) or in-value occurrence counts (the reference
+    /// implementation).
+    fn select_chars(value: &str, k: usize, strategy: CharSelect) -> Vec<(usize, f64)> {
+        // Per-alphabet-char occurrence count and position sum.
+        let mut count = [0u32; ALPHABET_SIZE];
+        let mut pos_sum = [0u64; ALPHABET_SIZE];
+        for (i, ch) in value.chars().enumerate() {
+            if let Some(ci) = char_index(ch) {
+                count[ci] += 1;
+                pos_sum[ci] += (i + 1) as u64;
+            }
+        }
+        let mut present: Vec<usize> = (0..ALPHABET_SIZE).filter(|&ci| count[ci] > 0).collect();
+        match strategy {
+            CharSelect::GlobalRarity => {
+                present.sort_by_key(|&ci| (crate::alphabet::GLOBAL_FREQ[ci], count[ci], ci));
+            }
+            CharSelect::InValueFrequency => {
+                present.sort_by_key(|&ci| (count[ci], ci));
+            }
+        }
+        present
+            .into_iter()
+            .take(k)
+            .map(|ci| (ci, pos_sum[ci] as f64 / count[ci] as f64))
+            .collect()
+    }
+}
+
+impl RowHasher for Xash {
+    fn hash_size(&self) -> HashSize {
+        self.config.size
+    }
+
+    fn hash_value(&self, value: &str) -> HashBits {
+        let mut out = HashBits::zero(self.config.size);
+        if value.is_empty() {
+            return out;
+        }
+        let beta = self.config.beta();
+        let len_bits = self.config.length_segment_bits();
+        let char_bits = self.config.char_region_bits();
+        let lv = value.chars().count();
+        let variant = self.config.variant;
+
+        if variant.uses_length() {
+            out.set_bit(lv % len_bits);
+        }
+
+        if variant.uses_chars() {
+            let rot = if variant.uses_rotation() {
+                lv % char_bits
+            } else {
+                0
+            };
+            for (ci, mean_pos) in Xash::select_chars(
+                value,
+                self.config.chars_to_select(),
+                self.config.char_select,
+            ) {
+                // Position bit within the segment: x = ceil(λ·β / l_v) ∈ [1, β].
+                let x = if variant.uses_location() {
+                    ((mean_pos * beta as f64 / lv as f64).ceil() as usize).clamp(1, beta)
+                } else {
+                    1
+                };
+                let char_pos = ci * beta + (x - 1);
+                // Rotation applied at placement time; the character region
+                // starts right after the length segment.
+                out.set_bit(len_bits + (char_pos + rot) % char_bits);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        match self.config.variant {
+            XashVariant::Full => "Xash",
+            XashVariant::NoRotation => "Char+len+loc",
+            XashVariant::CharLocation => "Char+loc",
+            XashVariant::RareChars => "RareChars",
+            XashVariant::LengthOnly => "Length",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        // §5.3.2: 128 bits → β = 3, length segment 17 bits;
+        // 512 bits → |a_l| = 31.
+        let c128 = XashConfig::default_128();
+        assert_eq!(c128.beta(), 3);
+        assert_eq!(c128.length_segment_bits(), 17);
+        let c256 = XashConfig {
+            size: HashSize::B256,
+            ..c128
+        };
+        assert_eq!(c256.beta(), 6);
+        assert_eq!(c256.length_segment_bits(), 256 - 37 * 6);
+        let c512 = XashConfig {
+            size: HashSize::B512,
+            ..c128
+        };
+        assert_eq!(c512.beta(), 13);
+        assert_eq!(c512.length_segment_bits(), 31);
+    }
+
+    #[test]
+    fn alpha_matches_paper() {
+        // §5.3.1: 128-bit space, 700M unique values → α = 6.
+        assert_eq!(optimal_alpha(HashSize::B128, 700_000_000), 6);
+        // Small corpora need fewer bits but never fewer than 2.
+        assert_eq!(optimal_alpha(HashSize::B128, 0), 2);
+        assert!(optimal_alpha(HashSize::B512, 700_000_000) <= 6);
+    }
+
+    #[test]
+    fn at_most_alpha_ones() {
+        let x = Xash::new(HashSize::B128);
+        for v in [
+            "muhammad",
+            "lee",
+            "us",
+            "a",
+            "new york city",
+            "1234567890",
+            "x y z",
+        ] {
+            let h = x.hash_value(v);
+            assert!(h.count_ones() as usize <= 6, "{v}: {} ones", h.count_ones());
+            assert!(h.count_ones() >= 2, "{v} should set length + ≥1 char bit");
+        }
+    }
+
+    #[test]
+    fn empty_value_hashes_to_zero() {
+        let x = Xash::new(HashSize::B128);
+        assert!(x.hash_value("").is_zero());
+    }
+
+    #[test]
+    fn deterministic() {
+        let x = Xash::new(HashSize::B256);
+        assert_eq!(x.hash_value("hello world"), x.hash_value("hello world"));
+    }
+
+    #[test]
+    fn length_bit_in_low_word() {
+        // The length segment must be checkable first (short-circuit, §5.3.4):
+        // it occupies bits [0, |a_l|) which live in word 0.
+        let x = Xash::new(HashSize::B128);
+        let h = x.hash_value("abc");
+        let len_bit = 3; // l_v = 3 mod |a_l| = 17
+        assert!(
+            h.bit(len_bit),
+            "length bit for l_v=3 must be set at index {len_bit}"
+        );
+    }
+
+    #[test]
+    fn length_wraps_modulo_segment() {
+        let x = Xash::new(HashSize::B128);
+        // l_v = 20 → bit 20 mod 17 = 3; same length bit as l_v = 3.
+        let long = x.hash_value("aaaaaaaaaaaaaaaaaaaa");
+        assert!(long.bit(3));
+    }
+
+    #[test]
+    fn select_chars_prefers_rare() {
+        // "aab": 'b' (1x) is rarer than 'a' (2x).
+        let sel = Xash::select_chars("aab", 1, CharSelect::InValueFrequency);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].0, char_index_of('b'));
+    }
+
+    #[test]
+    fn select_chars_tie_breaks_lexicographically() {
+        let sel = Xash::select_chars("ba", 1, CharSelect::InValueFrequency);
+        assert_eq!(sel[0].0, char_index_of('a'));
+    }
+
+    #[test]
+    fn global_rarity_prefers_rare_letters() {
+        // "queen" holds 'q' (rarest letter) — global rarity must select it
+        // first; in-value frequency would rank 'e' (count 2) last but break
+        // the count-1 tie alphabetically as (n, q, u).
+        let sel = Xash::select_chars("queen", 2, CharSelect::GlobalRarity);
+        assert_eq!(sel[0].0, char_index_of('q'));
+        let sel_iv = Xash::select_chars("queen", 2, CharSelect::InValueFrequency);
+        assert_eq!(sel_iv[0].0, char_index_of('n'));
+    }
+
+    #[test]
+    fn select_chars_mean_position() {
+        // "abca": 'a' at 1-based positions 1 and 4 → mean 2.5.
+        let sel = Xash::select_chars("abca", 3, CharSelect::InValueFrequency);
+        let a = sel
+            .iter()
+            .find(|(ci, _)| *ci == char_index_of('a'))
+            .unwrap();
+        assert!((a.1 - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_alphabet_chars_count_only_toward_length() {
+        let x = Xash::new(HashSize::B128);
+        let h = x.hash_value("---");
+        // No alphabet characters → only the length bit is set.
+        assert_eq!(h.count_ones(), 1);
+        assert!(h.bit(3)); // l_v = 3 mod 17
+    }
+
+    #[test]
+    fn paper_example_position_encoding() {
+        // §5.3.3: "muhammad" (l_v = 8, β = 3): 'u' mean pos ~2 → first area,
+        // 'd' pos 8 → third area, 'h' pos 3 → second area.
+        let lv = 8.0;
+        let beta = 3.0;
+        let area = |lambda: f64| ((lambda * beta / lv).ceil() as usize).clamp(1, 3);
+        assert_eq!(area(2.0), 1);
+        assert_eq!(area(3.0), 2);
+        assert_eq!(area(8.0), 3);
+    }
+
+    #[test]
+    fn rotation_distinguishes_cross_column_values() {
+        // Two values sharing rare chars at the same relative positions but
+        // with different lengths must produce different character-bit sets
+        // when rotation is on.
+        let full = Xash::new(HashSize::B128);
+        let no_rot = Xash::variant(HashSize::B128, XashVariant::NoRotation);
+
+        // "xq" and "xqxq": same rare chars, same relative layout.
+        let (a_full, b_full) = (full.hash_value("xq"), full.hash_value("xqxq"));
+        let (a_nr, b_nr) = (no_rot.hash_value("xq"), no_rot.hash_value("xqxq"));
+
+        // Without rotation the char regions overlap heavily; with rotation
+        // the regions diverge (offset by the length difference).
+        let overlap =
+            |x: &HashBits, y: &HashBits| x.iter_ones().filter(|&i| i >= 17 && y.bit(i)).count();
+        assert!(overlap(&a_full, &b_full) < overlap(&a_nr, &b_nr) || overlap(&a_nr, &b_nr) > 0);
+    }
+
+    #[test]
+    fn variants_feature_matrix() {
+        let v = "hello world";
+        let len_only = Xash::variant(HashSize::B128, XashVariant::LengthOnly).hash_value(v);
+        assert_eq!(len_only.count_ones(), 1);
+
+        let rare = Xash::variant(HashSize::B128, XashVariant::RareChars).hash_value(v);
+        // No length bit: all ones must lie in the char region [17, 128).
+        assert!(rare.iter_ones().all(|i| i >= 17));
+        // Position encoding off → every char sets the first bit of its segment.
+        for i in rare.iter_ones() {
+            assert_eq!((i - 17) % 3, 0);
+        }
+
+        let char_loc = Xash::variant(HashSize::B128, XashVariant::CharLocation).hash_value(v);
+        assert!(char_loc.iter_ones().all(|i| i >= 17));
+
+        let no_rot = Xash::variant(HashSize::B128, XashVariant::NoRotation).hash_value(v);
+        let full = Xash::variant(HashSize::B128, XashVariant::Full).hash_value(v);
+        assert_eq!(no_rot.count_ones(), full.count_ones());
+    }
+
+    #[test]
+    fn short_values_still_hash() {
+        let x = Xash::new(HashSize::B128);
+        let h = x.hash_value("a");
+        assert_eq!(h.count_ones(), 2); // length bit + one char bit
+    }
+
+    #[test]
+    fn for_corpus_uses_eq5() {
+        let x = Xash::for_corpus(HashSize::B128, 1_000_000);
+        assert_eq!(x.config().alpha, optimal_alpha(HashSize::B128, 1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least 2")]
+    fn rejects_tiny_alpha() {
+        Xash::with_config(XashConfig {
+            alpha: 1,
+            ..XashConfig::default_128()
+        });
+    }
+
+    fn char_index_of(c: char) -> usize {
+        crate::alphabet::char_index(c).unwrap()
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for XASH's structural guarantees.
+
+use mate_hash::{optimal_alpha, CharSelect, HashSize, RowHasher, Xash, XashConfig, XashVariant};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = String> {
+    // Normalized-shaped values: lowercase alphanumerics and spaces.
+    "[a-z0-9 ]{0,30}".prop_map(|s| mate_table::normalize(&s))
+}
+
+proptest! {
+    /// The defining sparsity bound: at most alpha bits set, and at least one
+    /// (the length bit) for non-empty values.
+    #[test]
+    fn ones_bounded_by_alpha(v in value_strategy(), alpha in 2usize..10) {
+        for size in [HashSize::B128, HashSize::B256, HashSize::B512] {
+            let x = Xash::with_config(XashConfig {
+                size,
+                alpha,
+                variant: XashVariant::Full,
+                char_select: CharSelect::GlobalRarity,
+            });
+            let h = x.hash_value(&v);
+            prop_assert!((h.count_ones() as usize) <= alpha);
+            if !v.is_empty() {
+                prop_assert!(h.count_ones() >= 1);
+            } else {
+                prop_assert!(h.is_zero());
+            }
+        }
+    }
+
+    /// Hashing is a pure function of the value.
+    #[test]
+    fn deterministic(v in value_strategy()) {
+        let x = Xash::new(HashSize::B128);
+        prop_assert_eq!(x.hash_value(&v), x.hash_value(&v));
+    }
+
+    /// The length bit always lands inside the length segment (the low word),
+    /// for every variant that uses the length feature.
+    #[test]
+    fn length_bit_in_segment(v in value_strategy()) {
+        prop_assume!(!v.is_empty());
+        let x = Xash::variant(HashSize::B128, XashVariant::LengthOnly);
+        let h = x.hash_value(&v);
+        let len_seg = x.config().length_segment_bits();
+        prop_assert_eq!(h.count_ones(), 1);
+        let bit = h.iter_ones().next().unwrap();
+        prop_assert!(bit < len_seg, "length bit {bit} outside segment {len_seg}");
+        prop_assert_eq!(bit, v.chars().count() % len_seg);
+    }
+
+    /// Character bits always land inside the character region, for variants
+    /// without the length feature.
+    #[test]
+    fn char_bits_in_region(v in value_strategy()) {
+        let x = Xash::variant(HashSize::B128, XashVariant::CharLocation);
+        let h = x.hash_value(&v);
+        let len_seg = 17;
+        for bit in h.iter_ones() {
+            prop_assert!(bit >= len_seg, "char bit {bit} inside length segment");
+        }
+    }
+
+    /// Full XASH == NoRotation with the char region rotated by l_v: the two
+    /// variants must set the same *number* of bits.
+    #[test]
+    fn rotation_preserves_bit_count(v in value_strategy()) {
+        let full = Xash::variant(HashSize::B128, XashVariant::Full).hash_value(&v);
+        let no_rot = Xash::variant(HashSize::B128, XashVariant::NoRotation).hash_value(&v);
+        prop_assert_eq!(full.count_ones(), no_rot.count_ones());
+    }
+
+    /// Values equal up to trailing content of the same alphabet produce
+    /// different hashes *almost* always when lengths differ (rotation +
+    /// length bit). We assert the weaker guaranteed form: if lengths differ
+    /// mod |a_l| the hashes differ.
+    #[test]
+    fn different_length_classes_differ(v in "[a-z]{1,10}") {
+        let x = Xash::new(HashSize::B128);
+        let longer = format!("{v}x");
+        // lengths differ by 1 < 17 → different length bits → different hash.
+        prop_assert_ne!(x.hash_value(&v), x.hash_value(&longer));
+    }
+
+    /// Superkey containment is monotone: adding values to a row never makes
+    /// a previously covered key uncovered.
+    #[test]
+    fn containment_monotone(
+        row in proptest::collection::vec(value_strategy(), 1..6),
+        extra in value_strategy(),
+        key_idx in 0usize..6,
+    ) {
+        let x = Xash::new(HashSize::B128);
+        let key = &row[key_idx % row.len()];
+        let key_hash = x.hash_value(key);
+
+        let sk_small = x.superkey(row.iter().map(String::as_str));
+        let mut with_extra: Vec<&str> = row.iter().map(String::as_str).collect();
+        with_extra.push(&extra);
+        let sk_big = x.superkey(with_extra.into_iter());
+
+        prop_assert!(key_hash.covered_by(sk_small.words()));
+        prop_assert!(key_hash.covered_by(sk_big.words()));
+    }
+
+    /// Eq. 5 is monotone in the corpus size and bounded by the bit width.
+    #[test]
+    fn alpha_monotone(n in 1usize..1_000_000_000) {
+        let a = optimal_alpha(HashSize::B128, n);
+        let b = optimal_alpha(HashSize::B128, n.saturating_mul(10));
+        prop_assert!(a <= b);
+        prop_assert!((2..=128).contains(&a));
+        // Larger hash space needs fewer bits for the same corpus.
+        prop_assert!(optimal_alpha(HashSize::B512, n) <= a);
+    }
+}

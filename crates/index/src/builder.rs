@@ -1,0 +1,356 @@
+//! Offline index construction (the paper's indexing phase, Fig. 2 left).
+//!
+//! For every non-empty cell the builder adds a posting entry, and for every
+//! row it OR-aggregates the hash of each cell into the row's super key.
+//! [`IndexBuilder::parallel`] splits the corpus into contiguous table ranges
+//! processed by worker threads (crossbeam scoped threads) and merges the
+//! partial maps in range order, so the result is bit-identical to the
+//! sequential build.
+
+use crate::index::InvertedIndex;
+use crate::posting::PostingEntry;
+use crate::superkeys::SuperKeyStore;
+use mate_hash::fx::FxHashMap;
+use mate_hash::RowHasher;
+use mate_table::{Corpus, Table, TableId};
+
+/// Builds an [`InvertedIndex`] from a [`Corpus`] with a chosen hash function.
+#[derive(Debug, Clone)]
+pub struct IndexBuilder<H: RowHasher> {
+    hasher: H,
+    threads: usize,
+}
+
+impl<H: RowHasher> IndexBuilder<H> {
+    /// Creates a sequential builder.
+    pub fn new(hasher: H) -> Self {
+        IndexBuilder { hasher, threads: 1 }
+    }
+
+    /// Uses up to `threads` worker threads (values < 2 mean sequential).
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The hash function in use.
+    pub fn hasher(&self) -> &H {
+        &self.hasher
+    }
+
+    /// Builds the index.
+    pub fn build(&self, corpus: &Corpus) -> InvertedIndex {
+        if self.threads <= 1 || corpus.len() < 2 * self.threads {
+            self.build_sequential(corpus)
+        } else {
+            self.build_parallel(corpus)
+        }
+    }
+
+    fn build_sequential(&self, corpus: &Corpus) -> InvertedIndex {
+        let mut index = InvertedIndex::empty(self.hasher.hash_size(), self.hasher.name());
+        let mut cache = FxHashMap::default();
+        for (tid, table) in corpus.iter() {
+            index.superkeys.push_table(table.num_rows());
+            index_table(
+                &self.hasher,
+                tid,
+                tid,
+                table,
+                &mut index.map,
+                &mut index.superkeys,
+                &mut cache,
+            );
+        }
+        index
+    }
+
+    fn build_parallel(&self, corpus: &Corpus) -> InvertedIndex {
+        let n = corpus.len();
+        let chunk = n.div_ceil(self.threads);
+        // Each worker builds postings + superkeys for a contiguous table range.
+        type Partial = (FxHashMap<Box<str>, Vec<PostingEntry>>, Vec<Vec<u64>>);
+        let mut partials: Vec<Option<Partial>> = Vec::new();
+        partials.resize_with(self.threads, || None);
+
+        crossbeam::thread::scope(|scope| {
+            let hasher = &self.hasher;
+            for (wi, slot) in partials.iter_mut().enumerate() {
+                let lo = wi * chunk;
+                let hi = ((wi + 1) * chunk).min(n);
+                scope.spawn(move |_| {
+                    let mut map: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
+                    let mut keys: Vec<Vec<u64>> = Vec::with_capacity(hi.saturating_sub(lo));
+                    let mut cache = FxHashMap::default();
+                    for t in lo..hi {
+                        let tid = TableId::from(t);
+                        let table = corpus.table(tid);
+                        // Per-table local store at local id 0.
+                        let mut local_store = SuperKeyStore::new(hasher.hash_size());
+                        local_store.push_table(table.num_rows());
+                        index_table(
+                            hasher,
+                            tid,
+                            TableId(0),
+                            table,
+                            &mut map,
+                            &mut local_store,
+                            &mut cache,
+                        );
+                        keys.push(local_store.table_words(TableId(0)).to_vec());
+                    }
+                    *slot = Some((map, keys));
+                });
+            }
+        })
+        .expect("index build worker panicked");
+
+        // Merge. Super keys go in range order; posting maps are merged with a
+        // *sharded* parallel merge (values hashed to shards, one merge thread
+        // per shard) — a single-threaded merge dominates build time on
+        // corpora with large tables.
+        let mut index = InvertedIndex::empty(self.hasher.hash_size(), self.hasher.name());
+        for (_, table) in corpus.iter() {
+            index.superkeys.push_table(table.num_rows());
+        }
+        let mut worker_maps: Vec<FxHashMap<Box<str>, Vec<PostingEntry>>> =
+            Vec::with_capacity(self.threads);
+        let mut next_table = 0usize;
+        for slot in partials {
+            let (map, keys) = slot.expect("worker did not report");
+            for words in keys {
+                index
+                    .superkeys
+                    .set_table_words(TableId::from(next_table), words);
+                next_table += 1;
+            }
+            worker_maps.push(map);
+        }
+        index.map = merge_posting_maps(worker_maps, self.threads);
+        index
+    }
+}
+
+/// Merges worker posting maps by sharding values across `threads` merge
+/// workers. Posting lists are sorted per value (worker ranges may interleave
+/// per value), so the result is identical to a sequential build.
+fn merge_posting_maps(
+    worker_maps: Vec<FxHashMap<Box<str>, Vec<PostingEntry>>>,
+    threads: usize,
+) -> FxHashMap<Box<str>, Vec<PostingEntry>> {
+    use std::hash::{BuildHasher, Hasher};
+
+    /// One worker's entries for one shard.
+    type Bucket = Vec<(Box<str>, Vec<PostingEntry>)>;
+
+    let shards = threads.max(1);
+    // Distribute each worker's entries into per-(worker, shard) buckets.
+    let hasher_factory = mate_hash::fx::FxBuildHasher::default();
+    let shard_of = |value: &str| {
+        let mut h = hasher_factory.build_hasher();
+        h.write(value.as_bytes());
+        (h.finish() as usize) % shards
+    };
+    let mut bucketed: Vec<Vec<Bucket>> = Vec::new();
+    for map in worker_maps {
+        let mut buckets: Vec<Bucket> = (0..shards).map(|_| Vec::new()).collect();
+        for (value, pl) in map {
+            buckets[shard_of(&value)].push((value, pl));
+        }
+        bucketed.push(buckets);
+    }
+
+    // Merge each shard independently.
+    let mut shard_results: Vec<Option<FxHashMap<Box<str>, Vec<PostingEntry>>>> = Vec::new();
+    shard_results.resize_with(shards, || None);
+    crossbeam::thread::scope(|scope| {
+        // Re-slice ownership: shard s takes bucket s of every worker.
+        let mut per_shard: Vec<Vec<Bucket>> = (0..shards).map(|_| Vec::new()).collect();
+        for worker in bucketed {
+            for (s, bucket) in worker.into_iter().enumerate() {
+                per_shard[s].push(bucket);
+            }
+        }
+        for (slot, shard_buckets) in shard_results.iter_mut().zip(per_shard) {
+            scope.spawn(move |_| {
+                let mut map: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
+                for bucket in shard_buckets {
+                    for (value, mut pl) in bucket {
+                        map.entry(value).or_default().append(&mut pl);
+                    }
+                }
+                for pl in map.values_mut() {
+                    pl.sort_unstable();
+                }
+                *slot = Some(map);
+            });
+        }
+    })
+    .expect("merge worker panicked");
+
+    // Combine shards (disjoint key sets — plain extend).
+    let mut out: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
+    for shard in shard_results.into_iter().flatten() {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Indexes one table: postings carry the global `tid`; super keys are written
+/// to `store_tid` (global id for sequential builds, local id 0 for parallel
+/// workers).
+fn index_table<'c, H: RowHasher>(
+    hasher: &H,
+    tid: TableId,
+    store_tid: TableId,
+    table: &'c Table,
+    map: &mut FxHashMap<Box<str>, Vec<PostingEntry>>,
+    store: &mut SuperKeyStore,
+    hash_cache: &mut FxHashMap<&'c str, mate_hash::HashBits>,
+) {
+    for (ci, col) in table.columns().iter().enumerate() {
+        for (ri, value) in col.values.iter().enumerate() {
+            if value.is_empty() {
+                continue;
+            }
+            map.entry(value.as_str().into())
+                .or_default()
+                .push(PostingEntry::new(tid, ci as u32, ri as u32));
+            // Values repeat heavily (Zipf lakes); hash each distinct once.
+            let h = hash_cache
+                .entry(value)
+                .or_insert_with(|| hasher.hash_value(value));
+            store.or_into(store_tid, mate_table::RowId::from(ri), h.words());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_hash::{HashSize, Xash};
+    use mate_table::{ColId, RowId, TableBuilder};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_table(
+            TableBuilder::new("t0", ["a", "b"])
+                .row(["foo", "bar"])
+                .row(["baz", "foo"])
+                .build(),
+        );
+        c.add_table(
+            TableBuilder::new("t1", ["x"])
+                .row(["foo"])
+                .row([""])
+                .build(),
+        );
+        c
+    }
+
+    #[test]
+    fn posting_lists_complete_and_sorted() {
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus());
+        let pl = idx.posting_list("foo").unwrap();
+        assert_eq!(
+            pl,
+            &[
+                PostingEntry::new(0u32, 0u32, 0u32),
+                PostingEntry::new(0u32, 1u32, 1u32),
+                PostingEntry::new(1u32, 0u32, 0u32),
+            ]
+        );
+        assert_eq!(idx.posting_list("bar").unwrap().len(), 1);
+        assert!(idx.posting_list("nope").is_none());
+    }
+
+    #[test]
+    fn empty_cells_not_indexed() {
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus());
+        assert!(idx.posting_list("").is_none());
+        // t1 row 1 is all-empty → zero super key.
+        assert!(idx.superkey(TableId(1), RowId(1)).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn superkey_covers_every_cell_hash() {
+        let hasher = Xash::new(HashSize::B128);
+        let c = corpus();
+        let idx = IndexBuilder::new(hasher).build(&c);
+        for (tid, table) in c.iter() {
+            for r in 0..table.num_rows() {
+                let sk = idx.superkey(tid, RowId::from(r));
+                for v in table.row_iter(RowId::from(r)) {
+                    if v.is_empty() {
+                        continue;
+                    }
+                    let h = hasher.hash_value(v);
+                    assert!(h.covered_by(sk), "{v} not covered in {tid}/{r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Build a corpus large enough to hit the parallel path.
+        let mut c = Corpus::new();
+        for i in 0..40 {
+            let mut tb = TableBuilder::new(format!("t{i}"), ["a", "b", "c"]);
+            for j in 0..10 {
+                tb = tb.row([
+                    format!("v{}", (i * 7 + j) % 23),
+                    format!("w{}", (i + j * 3) % 17),
+                    format!("u{}", j),
+                ]);
+            }
+            c.add_table(tb.build());
+        }
+        let seq = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+        let par = IndexBuilder::new(Xash::new(HashSize::B128))
+            .parallel(4)
+            .build(&c);
+        assert_eq!(seq.num_values(), par.num_values());
+        assert_eq!(seq.num_postings(), par.num_postings());
+        for (v, pl) in seq.iter_values() {
+            assert_eq!(par.posting_list(v).unwrap(), pl, "value {v}");
+        }
+        for (tid, table) in c.iter() {
+            for r in 0..table.num_rows() {
+                assert_eq!(
+                    seq.superkey(tid, RowId::from(r)),
+                    par.superkey(tid, RowId::from(r))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_shape() {
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus());
+        let s = idx.stats();
+        assert_eq!(s.num_postings, 5); // 4 cells in t0 + 1 non-empty in t1
+        assert_eq!(s.num_superkeys, 4); // 2 + 2 rows
+        assert_eq!(s.superkey_bytes_per_row, 4 * 16);
+        assert_eq!(s.superkey_bytes_per_cell, 5 * 16);
+        assert!(s.superkey_bytes_per_cell > s.superkey_bytes_per_row);
+    }
+
+    #[test]
+    fn values_are_reachable_via_cells() {
+        let c = corpus();
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+        for (v, pl) in idx.iter_values() {
+            for e in pl {
+                assert_eq!(c.table(e.table).cell(e.row, e.col), v);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_exposes_hasher() {
+        let b = IndexBuilder::new(Xash::new(HashSize::B256));
+        assert_eq!(b.hasher().hash_size(), HashSize::B256);
+        let _ = ColId(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! The [`InvertedIndex`]: value → posting list, plus the super-key store.
+
+use crate::posting::PostingEntry;
+use crate::superkeys::SuperKeyStore;
+use mate_hash::fx::FxHashMap;
+use mate_hash::HashSize;
+use mate_table::{RowId, TableId};
+
+/// The MATE index: a single-attribute inverted index over all cell values of
+/// a corpus, extended with one super key per row (§5 of the paper).
+#[derive(Debug)]
+pub struct InvertedIndex {
+    pub(crate) map: FxHashMap<Box<str>, Vec<PostingEntry>>,
+    pub(crate) superkeys: SuperKeyStore,
+    pub(crate) hasher_name: String,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index for the given hash size.
+    pub fn empty(size: HashSize, hasher_name: impl Into<String>) -> Self {
+        InvertedIndex {
+            map: FxHashMap::default(),
+            superkeys: SuperKeyStore::new(size),
+            hasher_name: hasher_name.into(),
+        }
+    }
+
+    /// Posting list of `value` (normalized), or `None` if the value does not
+    /// occur in the corpus.
+    #[inline]
+    pub fn posting_list(&self, value: &str) -> Option<&[PostingEntry]> {
+        self.map.get(value).map(Vec::as_slice)
+    }
+
+    /// Super key of `(table, row)` as a word slice, ready for
+    /// [`mate_hash::covers`].
+    #[inline]
+    pub fn superkey(&self, table: TableId, row: RowId) -> &[u64] {
+        self.superkeys.key(table, row)
+    }
+
+    /// The super-key store.
+    pub fn superkeys(&self) -> &SuperKeyStore {
+        &self.superkeys
+    }
+
+    /// Hash size of the super keys.
+    pub fn hash_size(&self) -> HashSize {
+        self.superkeys.hash_size()
+    }
+
+    /// Name of the hash function that produced the super keys.
+    pub fn hasher_name(&self) -> &str {
+        &self.hasher_name
+    }
+
+    /// Number of distinct indexed values.
+    pub fn num_values(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of posting entries.
+    pub fn num_postings(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Iterates `(value, posting list)` pairs in unspecified order.
+    pub fn iter_values(&self) -> impl Iterator<Item = (&str, &[PostingEntry])> {
+        self.map.iter().map(|(v, pl)| (v.as_ref(), pl.as_slice()))
+    }
+
+    /// Produces a copy of this index whose super keys are recomputed with a
+    /// different hash function, reusing the posting lists unchanged.
+    ///
+    /// Posting lists are independent of the hash function, so evaluation
+    /// sweeps over hashers (Tables 2–3 of the paper) only pay for super-key
+    /// regeneration. `corpus` must be the corpus this index was built from.
+    pub fn rehash(&self, corpus: &mate_table::Corpus, hasher: &dyn mate_hash::RowHasher) -> Self {
+        let mut superkeys = SuperKeyStore::new(hasher.hash_size());
+        // Values repeat heavily across a lake (Zipf); hash each distinct
+        // value once.
+        let mut cache: mate_hash::fx::FxHashMap<&str, mate_hash::HashBits> =
+            mate_hash::fx::FxHashMap::default();
+        for (tid, table) in corpus.iter() {
+            superkeys.push_table(table.num_rows());
+            for r in 0..table.num_rows() {
+                let row = RowId::from(r);
+                let mut sk = mate_hash::HashBits::zero(hasher.hash_size());
+                for v in table.row_iter(row) {
+                    if !v.is_empty() {
+                        let h = cache.entry(v).or_insert_with(|| hasher.hash_value(v));
+                        sk.or_assign(h);
+                    }
+                }
+                superkeys.set(tid, row, sk.words());
+            }
+        }
+        InvertedIndex {
+            map: self.map.clone(),
+            superkeys,
+            hasher_name: hasher.name().to_string(),
+        }
+    }
+
+    /// Size/shape statistics (reported by the §7.1 index-generation bench).
+    pub fn stats(&self) -> IndexStats {
+        let postings = self.num_postings();
+        let key_bytes = self.hash_size().bits() / 8;
+        IndexStats {
+            num_values: self.num_values(),
+            num_postings: postings,
+            num_superkeys: self.superkeys.total_keys(),
+            posting_bytes: postings * std::mem::size_of::<PostingEntry>(),
+            superkey_bytes_per_row: self.superkeys.payload_bytes(),
+            superkey_bytes_per_cell: postings * key_bytes,
+            hash_bits: self.hash_size().bits(),
+        }
+    }
+}
+
+/// Shape and memory statistics of an index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct indexed values.
+    pub num_values: usize,
+    /// Total posting entries (one per non-empty cell).
+    pub num_postings: usize,
+    /// Stored super keys (one per row — the paper's efficient layout).
+    pub num_superkeys: usize,
+    /// Bytes of posting-entry payload.
+    pub posting_bytes: usize,
+    /// Super-key bytes in the per-row layout (what this index stores).
+    pub superkey_bytes_per_row: usize,
+    /// Super-key bytes a per-cell layout would need (the naive layout of
+    /// §7.1, where each PL item carries its own copy).
+    pub superkey_bytes_per_cell: usize,
+    /// Hash size in bits.
+    pub hash_bits: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::empty(HashSize::B128, "Xash");
+        assert_eq!(idx.num_values(), 0);
+        assert_eq!(idx.num_postings(), 0);
+        assert!(idx.posting_list("anything").is_none());
+        assert_eq!(idx.hasher_name(), "Xash");
+        assert_eq!(idx.hash_size(), HashSize::B128);
+    }
+
+    #[test]
+    fn rehash_swaps_hasher_keeps_postings() {
+        use crate::builder::IndexBuilder;
+        use mate_hash::{BloomFilterHasher, RowHasher, Xash};
+        use mate_table::TableBuilder;
+
+        let mut corpus = mate_table::Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("t", ["a", "b"])
+                .row(["x", "y"])
+                .row(["z", "w"])
+                .build(),
+        );
+        let xash = Xash::new(HashSize::B128);
+        let idx = IndexBuilder::new(xash).build(&corpus);
+        let bf = BloomFilterHasher::new(HashSize::B256, 4);
+        let re = idx.rehash(&corpus, &bf);
+
+        assert_eq!(re.hasher_name(), "BF");
+        assert_eq!(re.hash_size(), HashSize::B256);
+        assert_eq!(re.num_postings(), idx.num_postings());
+        for (v, pl) in idx.iter_values() {
+            assert_eq!(re.posting_list(v), Some(pl));
+        }
+        // Rehash result equals a fresh build with the new hasher.
+        let fresh = IndexBuilder::new(bf).build(&corpus);
+        for (tid, table) in corpus.iter() {
+            for r in 0..table.num_rows() {
+                assert_eq!(
+                    re.superkey(tid, RowId::from(r)),
+                    fresh.superkey(tid, RowId::from(r))
+                );
+            }
+        }
+        let _ = bf.hash_value("x");
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let idx = InvertedIndex::empty(HashSize::B256, "BF");
+        let s = idx.stats();
+        assert_eq!(s.num_values, 0);
+        assert_eq!(s.hash_bits, 256);
+        assert_eq!(s.superkey_bytes_per_row, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The MATE inverted index: posting lists + per-row super keys.
+//!
+//! MATE extends the classic single-attribute inverted index (DataXformer
+//! style, Eq. 4 of the paper) `value → [(table, column, row), ...]` with one
+//! additional element per row: the **super key** (§5.1) — the OR-aggregation
+//! of the hash of every cell in the row. The super key lets the discovery
+//! phase test "could this row contain this composite key?" with one bitwise
+//! containment check instead of fetching and comparing cell values.
+//!
+//! * [`posting`] — posting-list entry types.
+//! * [`superkeys`] — the per-row super-key store (the paper's space-efficient
+//!   layout; §7.1 also discusses a per-cell layout, reported by
+//!   [`IndexStats`]).
+//! * [`index`] — the [`InvertedIndex`] itself.
+//! * [`builder`] — offline index construction, single-threaded or parallel
+//!   ([`IndexBuilder::parallel`]).
+//! * [`updates`] — incremental maintenance (§5.4): insert/delete/update of
+//!   tables, rows, columns, and cells.
+//! * [`persist`] — segment-file serialization for both corpora and indexes.
+//! * [`wal`] — a CRC-framed write-ahead log making the §5.4 edits durable.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod index;
+pub mod persist;
+pub mod posting;
+pub mod superkeys;
+pub mod updates;
+pub mod wal;
+
+pub use builder::IndexBuilder;
+pub use index::{IndexStats, InvertedIndex};
+pub use posting::PostingEntry;
+pub use superkeys::SuperKeyStore;
+pub use updates::IndexUpdater;
+pub use wal::WalRecord;

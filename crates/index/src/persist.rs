@@ -1,0 +1,304 @@
+//! Segment-file persistence for corpora and indexes.
+//!
+//! Corpus segment blocks: `corpus.meta`, `corpus.tables` (dictionary-encoded
+//! cells). Index segment blocks: `index.meta`, `index.values` (value dict),
+//! `index.postings` (delta-encoded posting lists), `index.superkeys`
+//! (raw words per table). Everything varint + CRC via `mate-storage`.
+
+use crate::index::InvertedIndex;
+use crate::posting::PostingEntry;
+use bytes::Bytes;
+use mate_hash::HashSize;
+use mate_storage::{
+    DictBuilder, Dictionary, Reader, SegmentReader, SegmentWriter, StorageError, Writer,
+};
+use mate_table::{Column, Corpus, Table, TableId};
+use std::path::Path;
+
+// ---------------------------------------------------------------- corpus --
+
+/// Serializes a corpus into segment bytes.
+pub fn corpus_to_bytes(corpus: &Corpus) -> Bytes {
+    // Dictionary over all cell values.
+    let mut dict = DictBuilder::new();
+    let mut tables = Writer::new();
+    tables.put_varint(corpus.len() as u64);
+    for (_, table) in corpus.iter() {
+        tables.put_str(&table.name);
+        tables.put_varint(table.num_cols() as u64);
+        tables.put_varint(table.num_rows() as u64);
+        for col in table.columns() {
+            tables.put_str(&col.name);
+            for v in &col.values {
+                tables.put_varint(dict.intern(v) as u64);
+            }
+        }
+    }
+    let dict = dict.build();
+    let mut dict_block = Writer::new();
+    dict.encode(&mut dict_block);
+
+    let mut meta = Writer::new();
+    meta.put_varint(corpus.len() as u64);
+    meta.put_varint(corpus.total_rows() as u64);
+
+    let mut seg = SegmentWriter::new();
+    seg.add_block("corpus.meta", meta.finish());
+    seg.add_block("corpus.dict", dict_block.finish());
+    seg.add_block("corpus.tables", tables.finish());
+    seg.finish()
+}
+
+/// Deserializes a corpus from segment bytes.
+pub fn corpus_from_bytes(data: Bytes) -> Result<Corpus, StorageError> {
+    let seg = SegmentReader::open(data)?;
+    let dict = Dictionary::decode(&mut Reader::new(seg.block("corpus.dict")?))?;
+    let mut r = Reader::new(seg.block("corpus.tables")?);
+    let ntables = r.get_varint()? as usize;
+    let mut corpus = Corpus::new();
+    for _ in 0..ntables {
+        let name = r.get_str()?;
+        let ncols = r.get_varint()? as usize;
+        let nrows = r.get_varint()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = r.get_str()?;
+            let mut values = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let id = r.get_varint()?;
+                let v = dict.get(id as u32).ok_or(StorageError::InvalidLength {
+                    context: "cell dictionary id",
+                    value: id,
+                })?;
+                values.push(v.to_string());
+            }
+            columns.push(Column {
+                name: col_name,
+                values,
+            });
+        }
+        corpus.add_table(Table::new(name, columns));
+    }
+    Ok(corpus)
+}
+
+/// Writes a corpus to a segment file.
+pub fn save_corpus(corpus: &Corpus, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    std::fs::write(path, corpus_to_bytes(corpus))?;
+    Ok(())
+}
+
+/// Loads a corpus from a segment file.
+pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, StorageError> {
+    corpus_from_bytes(Bytes::from(std::fs::read(path)?))
+}
+
+// ----------------------------------------------------------------- index --
+
+/// Serializes an index into segment bytes.
+///
+/// Posting lists are sorted by `(table, col, row)`; table ids are
+/// delta-encoded across entries, and values are written in sorted order so
+/// the output is deterministic.
+pub fn index_to_bytes(index: &InvertedIndex) -> Bytes {
+    let mut meta = Writer::new();
+    meta.put_varint(index.hash_size().bits() as u64);
+    meta.put_str(index.hasher_name());
+    meta.put_varint(index.superkeys().num_tables() as u64);
+
+    let mut values: Vec<(&str, &[PostingEntry])> = index.iter_values().collect();
+    values.sort_unstable_by_key(|(v, _)| *v);
+
+    let mut postings = Writer::new();
+    postings.put_varint(values.len() as u64);
+    for (value, pl) in values {
+        postings.put_str(value);
+        postings.put_varint(pl.len() as u64);
+        let mut prev_table = 0u64;
+        for e in pl {
+            postings.put_varint(e.table.0 as u64 - prev_table);
+            prev_table = e.table.0 as u64;
+            postings.put_varint(e.col.0 as u64);
+            postings.put_varint(e.row.0 as u64);
+        }
+    }
+
+    let mut keys = Writer::new();
+    let ntables = index.superkeys().num_tables();
+    keys.put_varint(ntables as u64);
+    for t in 0..ntables {
+        keys.put_u64_slice(index.superkeys().table_words(TableId::from(t)));
+    }
+
+    let mut seg = SegmentWriter::new();
+    seg.add_block("index.meta", meta.finish());
+    seg.add_block("index.postings", postings.finish());
+    seg.add_block("index.superkeys", keys.finish());
+    seg.finish()
+}
+
+/// Deserializes an index from segment bytes.
+pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
+    let seg = SegmentReader::open(data)?;
+
+    let mut meta = Reader::new(seg.block("index.meta")?);
+    let bits = meta.get_varint()? as usize;
+    let size = HashSize::from_bits(bits).ok_or(StorageError::InvalidLength {
+        context: "hash size",
+        value: bits as u64,
+    })?;
+    let hasher_name = meta.get_str()?;
+
+    let mut index = InvertedIndex::empty(size, hasher_name);
+
+    let mut r = Reader::new(seg.block("index.postings")?);
+    let nvalues = r.get_varint()? as usize;
+    for _ in 0..nvalues {
+        let value = r.get_str()?;
+        let n = r.get_varint()? as usize;
+        let mut pl = Vec::with_capacity(n);
+        let mut prev_table = 0u64;
+        for _ in 0..n {
+            let table = prev_table + r.get_varint()?;
+            prev_table = table;
+            let col = r.get_varint()?;
+            let row = r.get_varint()?;
+            if table > u32::MAX as u64 || col > u32::MAX as u64 || row > u32::MAX as u64 {
+                return Err(StorageError::InvalidLength {
+                    context: "posting id",
+                    value: table,
+                });
+            }
+            pl.push(PostingEntry::new(table as u32, col as u32, row as u32));
+        }
+        index.map.insert(value.into(), pl);
+    }
+
+    let mut kr = Reader::new(seg.block("index.superkeys")?);
+    let ntables = kr.get_varint()? as usize;
+    for t in 0..ntables {
+        let words = kr.get_u64_slice()?;
+        if words.len() % size.words() != 0 {
+            return Err(StorageError::InvalidLength {
+                context: "superkey payload",
+                value: words.len() as u64,
+            });
+        }
+        let tid = index.superkeys.push_table(0);
+        debug_assert_eq!(tid.index(), t);
+        index.superkeys.set_table_words(tid, words);
+    }
+    Ok(index)
+}
+
+/// Writes an index to a segment file.
+pub fn save_index(index: &InvertedIndex, path: impl AsRef<Path>) -> Result<(), StorageError> {
+    std::fs::write(path, index_to_bytes(index))?;
+    Ok(())
+}
+
+/// Loads an index from a segment file.
+pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, StorageError> {
+    index_from_bytes(Bytes::from(std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use mate_hash::{HashSize, Xash};
+    use mate_table::{RowId, TableBuilder};
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_table(
+            TableBuilder::new("t0", ["a", "b"])
+                .row(["foo", "bar"])
+                .row(["baz", "foo"])
+                .row(["", "x"])
+                .build(),
+        );
+        c.add_table(TableBuilder::new("empty", Vec::<String>::new()).build());
+        c.add_table(TableBuilder::new("t2", ["z"]).row(["foo"]).build());
+        c
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        let c = corpus();
+        let c2 = corpus_from_bytes(corpus_to_bytes(&c)).unwrap();
+        assert_eq!(c.len(), c2.len());
+        for (id, t) in c.iter() {
+            assert_eq!(t, c2.table(id));
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let c = corpus();
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+        let idx2 = index_from_bytes(index_to_bytes(&idx)).unwrap();
+        assert_eq!(idx.num_values(), idx2.num_values());
+        assert_eq!(idx.num_postings(), idx2.num_postings());
+        assert_eq!(idx2.hasher_name(), "Xash");
+        assert_eq!(idx2.hash_size(), HashSize::B128);
+        for (v, pl) in idx.iter_values() {
+            assert_eq!(idx2.posting_list(v), Some(pl));
+        }
+        for (tid, table) in c.iter() {
+            for r in 0..table.num_rows() {
+                assert_eq!(
+                    idx.superkey(tid, RowId::from(r)),
+                    idx2.superkey(tid, RowId::from(r))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_bytes() {
+        let c = corpus();
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+        assert_eq!(index_to_bytes(&idx), index_to_bytes(&idx));
+        assert_eq!(corpus_to_bytes(&c), corpus_to_bytes(&c));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mate-index-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let c = corpus();
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+
+        let cp = dir.join("corpus.seg");
+        let ip = dir.join("index.seg");
+        save_corpus(&c, &cp).unwrap();
+        save_index(&idx, &ip).unwrap();
+        let c2 = load_corpus(&cp).unwrap();
+        let idx2 = load_index(&ip).unwrap();
+        assert_eq!(c.len(), c2.len());
+        assert_eq!(idx.num_postings(), idx2.num_postings());
+        std::fs::remove_file(cp).ok();
+        std::fs::remove_file(ip).ok();
+    }
+
+    #[test]
+    fn corrupted_index_rejected() {
+        let c = corpus();
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&c);
+        let mut raw = index_to_bytes(&idx).to_vec();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xAA;
+        // Either the segment parse or a block CRC must fail.
+        let result = index_from_bytes(Bytes::from(raw));
+        assert!(result.is_err(), "corruption must not load silently");
+    }
+
+    #[test]
+    fn wrong_block_type_rejected() {
+        let c = corpus();
+        // A corpus segment is not an index segment.
+        let result = index_from_bytes(corpus_to_bytes(&c));
+        assert!(matches!(result, Err(StorageError::MissingBlock(_))));
+    }
+}

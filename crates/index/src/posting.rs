@@ -1,0 +1,51 @@
+//! Posting-list entries.
+//!
+//! A posting entry records one occurrence of a value: which table, which
+//! column, which row. Entries are kept sorted by `(table, col, row)` so that
+//! per-table grouping during discovery is a linear scan.
+
+use mate_table::{ColId, RowId, TableId};
+
+/// One occurrence of a value in the corpus (a "PL item" in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PostingEntry {
+    /// Containing table.
+    pub table: TableId,
+    /// Containing column.
+    pub col: ColId,
+    /// Containing row.
+    pub row: RowId,
+}
+
+impl PostingEntry {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(table: impl Into<TableId>, col: impl Into<ColId>, row: impl Into<RowId>) -> Self {
+        PostingEntry {
+            table: table.into(),
+            col: col.into(),
+            row: row.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_table_col_row() {
+        let a = PostingEntry::new(0u32, 5u32, 9u32);
+        let b = PostingEntry::new(1u32, 0u32, 0u32);
+        let c = PostingEntry::new(0u32, 6u32, 0u32);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn size_is_compact() {
+        // Three u32 newtypes — posting lists dominate index memory.
+        assert_eq!(std::mem::size_of::<PostingEntry>(), 12);
+    }
+}

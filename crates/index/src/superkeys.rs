@@ -1,0 +1,246 @@
+//! Per-row super-key storage.
+//!
+//! One super key per row of the corpus (the paper's space-efficient layout,
+//! §7.1: 1.45B × 128 b ≈ 21.6 GB for DWTC vs. 123.6 GB for the per-cell
+//! layout). Keys are stored as flat `u64` words grouped per table, so a
+//! lookup returns a `&[u64]` slice that feeds straight into the containment
+//! check of `mate_hash::covers` without copying.
+
+use mate_hash::HashSize;
+use mate_table::{RowId, TableId};
+
+/// Flat store of per-row super keys, grouped by table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperKeyStore {
+    size: HashSize,
+    /// `tables[t]` holds `num_rows(t) * words_per_key` words.
+    tables: Vec<Vec<u64>>,
+}
+
+impl SuperKeyStore {
+    /// Creates an empty store for the given hash size.
+    pub fn new(size: HashSize) -> Self {
+        SuperKeyStore {
+            size,
+            tables: Vec::new(),
+        }
+    }
+
+    /// Hash size of the stored keys.
+    #[inline]
+    pub fn hash_size(&self) -> HashSize {
+        self.size
+    }
+
+    /// Words per key.
+    #[inline]
+    pub fn words_per_key(&self) -> usize {
+        self.size.words()
+    }
+
+    /// Number of tables tracked.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of rows tracked for `table`.
+    pub fn num_rows(&self, table: TableId) -> usize {
+        self.tables
+            .get(table.index())
+            .map_or(0, |t| t.len() / self.words_per_key())
+    }
+
+    /// Total number of stored keys.
+    pub fn total_keys(&self) -> usize {
+        let wpk = self.words_per_key();
+        self.tables.iter().map(|t| t.len() / wpk).sum()
+    }
+
+    /// Bytes used by key payloads.
+    pub fn payload_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.len() * 8).sum()
+    }
+
+    /// Appends a table with `rows` all-zero keys; returns its id.
+    ///
+    /// Table ids must mirror corpus ids, so tables are always appended in
+    /// corpus order.
+    pub fn push_table(&mut self, rows: usize) -> TableId {
+        let id = TableId::from(self.tables.len());
+        self.tables.push(vec![0u64; rows * self.words_per_key()]);
+        id
+    }
+
+    /// Appends one all-zero row to `table`, returning its row id.
+    pub fn push_row(&mut self, table: TableId) -> RowId {
+        let wpk = self.words_per_key();
+        let t = &mut self.tables[table.index()];
+        let row = RowId::from(t.len() / wpk);
+        t.extend(std::iter::repeat_n(0u64, wpk));
+        row
+    }
+
+    /// The super key of `(table, row)` as a word slice.
+    ///
+    /// # Panics
+    /// Panics if the location is out of bounds.
+    #[inline]
+    pub fn key(&self, table: TableId, row: RowId) -> &[u64] {
+        let wpk = self.words_per_key();
+        let start = row.index() * wpk;
+        &self.tables[table.index()][start..start + wpk]
+    }
+
+    /// Mutable access to the super key of `(table, row)`.
+    #[inline]
+    pub fn key_mut(&mut self, table: TableId, row: RowId) -> &mut [u64] {
+        let wpk = self.words_per_key();
+        let start = row.index() * wpk;
+        &mut self.tables[table.index()][start..start + wpk]
+    }
+
+    /// OR-merges `words` into the key at `(table, row)`.
+    pub fn or_into(&mut self, table: TableId, row: RowId, words: &[u64]) {
+        let key = self.key_mut(table, row);
+        debug_assert_eq!(key.len(), words.len());
+        for (k, w) in key.iter_mut().zip(words) {
+            *k |= w;
+        }
+    }
+
+    /// Overwrites the key at `(table, row)`.
+    pub fn set(&mut self, table: TableId, row: RowId, words: &[u64]) {
+        self.key_mut(table, row).copy_from_slice(words);
+    }
+
+    /// Zeroes the key at `(table, row)`.
+    pub fn clear(&mut self, table: TableId, row: RowId) {
+        self.key_mut(table, row).fill(0);
+    }
+
+    /// Removes the key of `row` by swap-remove (matches
+    /// `Table::swap_remove_row` semantics: the last row's key moves into
+    /// `row`'s slot).
+    pub fn swap_remove_row(&mut self, table: TableId, row: RowId) {
+        let wpk = self.words_per_key();
+        let t = &mut self.tables[table.index()];
+        let nrows = t.len() / wpk;
+        assert!(row.index() < nrows, "row out of bounds");
+        let last = nrows - 1;
+        if row.index() != last {
+            let (head, tail) = t.split_at_mut(last * wpk);
+            head[row.index() * wpk..row.index() * wpk + wpk].copy_from_slice(&tail[..wpk]);
+        }
+        t.truncate(last * wpk);
+    }
+
+    /// Clears all keys of a table (tombstone semantics for table deletion).
+    pub fn clear_table(&mut self, table: TableId) {
+        self.tables[table.index()].clear();
+    }
+
+    /// Replaces the whole key payload of a table (used when loading).
+    pub fn set_table_words(&mut self, table: TableId, words: Vec<u64>) {
+        assert_eq!(
+            words.len() % self.words_per_key(),
+            0,
+            "misaligned key payload"
+        );
+        self.tables[table.index()] = words;
+    }
+
+    /// The raw word payload of a table (used when persisting).
+    pub fn table_words(&self, table: TableId) -> &[u64] {
+        &self.tables[table.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SuperKeyStore {
+        let mut s = SuperKeyStore::new(HashSize::B128);
+        s.push_table(3);
+        s.push_table(1);
+        s
+    }
+
+    #[test]
+    fn layout() {
+        let s = store();
+        assert_eq!(s.num_tables(), 2);
+        assert_eq!(s.num_rows(TableId(0)), 3);
+        assert_eq!(s.num_rows(TableId(1)), 1);
+        assert_eq!(s.total_keys(), 4);
+        assert_eq!(s.payload_bytes(), 4 * 16);
+        assert_eq!(s.key(TableId(0), RowId(2)), &[0, 0]);
+    }
+
+    #[test]
+    fn or_and_set() {
+        let mut s = store();
+        s.or_into(TableId(0), RowId(1), &[0b01, 0]);
+        s.or_into(TableId(0), RowId(1), &[0b10, 1]);
+        assert_eq!(s.key(TableId(0), RowId(1)), &[0b11, 1]);
+        s.set(TableId(0), RowId(1), &[7, 7]);
+        assert_eq!(s.key(TableId(0), RowId(1)), &[7, 7]);
+        s.clear(TableId(0), RowId(1));
+        assert_eq!(s.key(TableId(0), RowId(1)), &[0, 0]);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut s = store();
+        let r = s.push_row(TableId(1));
+        assert_eq!(r, RowId(1));
+        assert_eq!(s.num_rows(TableId(1)), 2);
+    }
+
+    #[test]
+    fn swap_remove_moves_last() {
+        let mut s = store();
+        s.set(TableId(0), RowId(0), &[1, 0]);
+        s.set(TableId(0), RowId(1), &[2, 0]);
+        s.set(TableId(0), RowId(2), &[3, 0]);
+        s.swap_remove_row(TableId(0), RowId(0));
+        assert_eq!(s.num_rows(TableId(0)), 2);
+        assert_eq!(s.key(TableId(0), RowId(0)), &[3, 0]);
+        assert_eq!(s.key(TableId(0), RowId(1)), &[2, 0]);
+    }
+
+    #[test]
+    fn swap_remove_last_row() {
+        let mut s = store();
+        s.set(TableId(0), RowId(2), &[9, 9]);
+        s.swap_remove_row(TableId(0), RowId(2));
+        assert_eq!(s.num_rows(TableId(0)), 2);
+    }
+
+    #[test]
+    fn clear_table_tombstones() {
+        let mut s = store();
+        s.clear_table(TableId(0));
+        assert_eq!(s.num_rows(TableId(0)), 0);
+        assert_eq!(s.num_rows(TableId(1)), 1);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let mut s = store();
+        s.set(TableId(0), RowId(1), &[5, 6]);
+        let words = s.table_words(TableId(0)).to_vec();
+        let mut s2 = SuperKeyStore::new(HashSize::B128);
+        s2.push_table(0);
+        s2.set_table_words(TableId(0), words);
+        assert_eq!(s2.key(TableId(0), RowId(1)), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_payload_rejected() {
+        let mut s = SuperKeyStore::new(HashSize::B128);
+        s.push_table(0);
+        s.set_table_words(TableId(0), vec![1, 2, 3]);
+    }
+}

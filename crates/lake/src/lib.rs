@@ -1,0 +1,36 @@
+//! Synthetic data-lake and query-workload generation.
+//!
+//! The paper evaluates on the Dresden Web Table Corpus (145M web tables),
+//! the German Open Data repository (17k wide/long tables), a School corpus
+//! (335 very large tables), and Kaggle query tables. None of these are
+//! shippable here, so this crate builds laptop-scale lakes with the same
+//! *structural* properties the evaluation depends on (see DESIGN.md):
+//!
+//! * **Value reuse across tables** — a shared vocabulary sampled under a
+//!   Zipf distribution ([`zipf`]), so posting lists have the paper's
+//!   power-law shape (§7.5.4 relies on this explicitly).
+//! * **Column domains** — the vocabulary is partitioned into domains and
+//!   each column draws from one domain ([`words`], [`generator`]), matching
+//!   the premise "each domain has unique syntactic features" XASH exploits.
+//! * **Planted joins** — per query table, a controlled number of corpus
+//!   tables share full composite-key tuples (with shuffled column order, so
+//!   the mapping search is exercised) — the true positives.
+//! * **Planted FP tables** — tables that contain the individual key values
+//!   but in *wrong combinations*: unary hits that only super keys can prune.
+//!   These drive the up-to-1000× FP-row ratios the paper reports.
+//!
+//! [`workload`] assembles the eight query sets of Table 1 at configurable
+//! scale.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod profile;
+pub mod words;
+pub mod workload;
+pub mod zipf;
+
+pub use generator::{GeneratedQuery, LakeGenerator, QuerySpec};
+pub use profile::{CorpusProfile, LakeSpec};
+pub use workload::{QuerySet, StandardLakes, WorkloadScale};
+pub use zipf::ZipfSampler;

@@ -1,0 +1,113 @@
+//! Corpus shape profiles.
+//!
+//! The two corpora of the paper differ sharply in shape — web tables are
+//! many, narrow, and short; open-data tables are few, wide, and long; the
+//! School corpus is tiny but each table is huge. The profiles capture those
+//! shapes at laptop scale.
+
+/// Shape parameters of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusProfile {
+    /// Human-readable name ("webtables", "opendata", "school").
+    pub name: &'static str,
+    /// Number of background (noise) tables.
+    pub noise_tables: usize,
+    /// Columns per table (inclusive range).
+    pub cols: (usize, usize),
+    /// Rows per table (inclusive range).
+    pub rows: (usize, usize),
+    /// Shared vocabulary size.
+    pub vocab_size: usize,
+    /// Number of value domains the vocabulary is split into.
+    pub num_domains: usize,
+    /// Zipf exponent for in-domain value draws.
+    pub zipf_exponent: f64,
+}
+
+impl CorpusProfile {
+    /// Web-table-like corpus: many small narrow tables (DWTC stand-in).
+    /// The paper's BF baseline uses `V = 5` (avg columns) here.
+    pub fn web_tables(noise_tables: usize) -> Self {
+        CorpusProfile {
+            name: "webtables",
+            noise_tables,
+            cols: (2, 8),
+            rows: (4, 30),
+            vocab_size: 30_000,
+            num_domains: 60,
+            zipf_exponent: 1.05,
+        }
+    }
+
+    /// Open-data-like corpus: fewer, wide, long tables (GovData stand-in).
+    /// The paper's BF baseline uses `V = 26` here.
+    pub fn open_data(noise_tables: usize) -> Self {
+        CorpusProfile {
+            name: "opendata",
+            noise_tables,
+            cols: (10, 33),
+            rows: (50, 600),
+            vocab_size: 40_000,
+            num_domains: 80,
+            zipf_exponent: 0.9,
+        }
+    }
+
+    /// School-corpus-like: a handful of very large tables (27 cols, tens of
+    /// thousands of rows in the paper; scaled down here).
+    pub fn school(noise_tables: usize) -> Self {
+        CorpusProfile {
+            name: "school",
+            noise_tables,
+            cols: (20, 27),
+            rows: (1_000, 4_000),
+            vocab_size: 25_000,
+            num_domains: 40,
+            zipf_exponent: 0.8,
+        }
+    }
+
+    /// Average column count (the `V` parameter for Bloom-filter baselines).
+    pub fn avg_cols(&self) -> usize {
+        (self.cols.0 + self.cols.1) / 2
+    }
+}
+
+/// Top-level lake specification: a profile plus a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LakeSpec {
+    /// Corpus shape.
+    pub profile: CorpusProfile,
+    /// RNG seed — everything downstream is deterministic in this.
+    pub seed: u64,
+}
+
+impl LakeSpec {
+    /// Creates a spec.
+    pub fn new(profile: CorpusProfile, seed: u64) -> Self {
+        LakeSpec { profile, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_paper_shapes() {
+        let wt = CorpusProfile::web_tables(100);
+        let od = CorpusProfile::open_data(50);
+        let school = CorpusProfile::school(5);
+        assert!(wt.avg_cols() <= 6, "web tables are narrow");
+        assert!(od.avg_cols() >= 20, "open data is wide");
+        assert!(school.rows.1 > wt.rows.1 * 10, "school tables are huge");
+        assert_eq!(wt.name, "webtables");
+    }
+
+    #[test]
+    fn spec_roundtrip() {
+        let s = LakeSpec::new(CorpusProfile::web_tables(10), 42);
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.profile.noise_tables, 10);
+    }
+}

@@ -1,0 +1,308 @@
+//! The standard workloads: Table 1 of the paper at configurable scale.
+//!
+//! Eight query sets over three corpora: WT(10)/WT(100)/WT(1000) and Kaggle
+//! against the web-table corpus, OD(100)/OD(1000)/OD(10000) against the
+//! open-data corpus, and School against the school corpus. The absolute
+//! sizes are scaled to laptop budgets; the *relative* shape (cardinality
+//! ladder per set, corpus shapes, FP pressure) mirrors the paper.
+
+use crate::generator::{GeneratedQuery, LakeGenerator, QuerySpec};
+use crate::profile::{CorpusProfile, LakeSpec};
+use mate_table::Corpus;
+
+/// Overall workload size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadScale {
+    /// Tiny: seconds to build and query — integration tests.
+    Smoke,
+    /// Default benchmark scale: minutes for the full suite.
+    Small,
+    /// Larger runs for stable medians.
+    Full,
+}
+
+impl WorkloadScale {
+    fn queries_per_set(self) -> usize {
+        match self {
+            WorkloadScale::Smoke => 3,
+            WorkloadScale::Small => 8,
+            WorkloadScale::Full => 20,
+        }
+    }
+
+    fn noise(self, base: usize) -> usize {
+        match self {
+            WorkloadScale::Smoke => base / 20,
+            WorkloadScale::Small => base,
+            WorkloadScale::Full => base * 3,
+        }
+    }
+
+    fn shrink(self, n: usize) -> usize {
+        match self {
+            WorkloadScale::Smoke => (n / 8).max(3),
+            WorkloadScale::Small => n,
+            WorkloadScale::Full => n,
+        }
+    }
+}
+
+/// One named query set (a row of Table 1).
+#[derive(Debug)]
+pub struct QuerySet {
+    /// Display name, e.g. "WT (100)".
+    pub name: String,
+    /// Which corpus it runs against ("webtables", "opendata", "school").
+    pub corpus: &'static str,
+    /// The generated queries with ground truth.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+impl QuerySet {
+    /// Average per-key-column cardinality across queries (Table 1 col 4).
+    pub fn avg_cardinality(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .queries
+            .iter()
+            .map(|q| mate_table::stats::avg_cardinality(&q.table, &q.key))
+            .sum();
+        total / self.queries.len() as f64
+    }
+
+    /// Average planted best joinability (Table 1 col 5's analogue).
+    pub fn avg_planted_joinability(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .iter()
+            .map(|q| q.planted_best as f64)
+            .sum::<f64>()
+            / self.queries.len() as f64
+    }
+}
+
+/// The three corpora plus all eight query sets.
+#[derive(Debug)]
+pub struct StandardLakes {
+    /// DWTC stand-in.
+    pub webtables: Corpus,
+    /// German-Open-Data stand-in.
+    pub opendata: Corpus,
+    /// School-corpus stand-in.
+    pub school: Corpus,
+    /// All query sets in Table 1 order.
+    pub sets: Vec<QuerySet>,
+}
+
+impl StandardLakes {
+    /// Builds everything deterministically from `seed`.
+    pub fn build(scale: WorkloadScale, seed: u64) -> Self {
+        let nq = scale.queries_per_set();
+
+        // ---------------- web tables ------------------------------------
+        let mut wt_gen = LakeGenerator::new(LakeSpec::new(CorpusProfile::web_tables(0), seed));
+        let mut webtables = Corpus::new();
+        let mut sets = Vec::new();
+
+        let wt_cfg = |card: usize, rows: usize| QuerySpec {
+            rows,
+            key_size: 2,
+            payload_cols: 2,
+            column_cardinality: card,
+            column_cardinalities: None,
+            joinable_tables: 8,
+            share_range: (0.2, 0.9),
+            duplication: (1, 2),
+            fp_tables: 60,
+            fp_rows: (10, 50),
+            hard_fp_fraction: 0.15,
+            noise_rows: (4, 20),
+        };
+        for (name, card, rows) in [
+            ("WT (10)", 3, 8),
+            ("WT (100)", 16, 45),
+            ("WT (1000)", 150, scale.shrink(400)),
+        ] {
+            let queries = (0..nq)
+                .map(|_| wt_gen.generate_query(&mut webtables, &wt_cfg(card, rows)))
+                .collect();
+            sets.push(QuerySet {
+                name: name.to_string(),
+                corpus: "webtables",
+                queries,
+            });
+        }
+        // Kaggle-style: few, large, general-content query tables vs WT.
+        {
+            let spec = QuerySpec {
+                rows: scale.shrink(1200),
+                column_cardinality: 300,
+                joinable_tables: 10,
+                fp_tables: 40,
+                fp_rows: (20, 60),
+                ..wt_cfg(300, 1200)
+            };
+            let queries = (0..(nq / 2).max(2))
+                .map(|_| wt_gen.generate_query(&mut webtables, &spec))
+                .collect();
+            sets.push(QuerySet {
+                name: "Kaggle".to_string(),
+                corpus: "webtables",
+                queries,
+            });
+        }
+        wt_gen.generate_noise(&mut webtables, scale.noise(2500));
+
+        // ---------------- open data -------------------------------------
+        let mut od_gen = LakeGenerator::new(LakeSpec::new(
+            CorpusProfile::open_data(0),
+            seed ^ 0x9e3779b9,
+        )); // distinct stream
+        let mut opendata = Corpus::new();
+        let od_cfg = |card: usize, rows: usize| QuerySpec {
+            rows,
+            key_size: 2,
+            payload_cols: 4,
+            column_cardinality: card,
+            column_cardinalities: None,
+            joinable_tables: 10,
+            share_range: (0.3, 0.95),
+            duplication: (1, 4),
+            fp_tables: 45,
+            fp_rows: (40, 150),
+            hard_fp_fraction: 0.15,
+            noise_rows: (20, 80),
+        };
+        for (name, card, rows) in [
+            ("OD (100)", 15, 60),
+            ("OD (1000)", 120, scale.shrink(400)),
+            ("OD (10000)", 350, scale.shrink(1200)),
+        ] {
+            let queries = (0..nq)
+                .map(|_| od_gen.generate_query(&mut opendata, &od_cfg(card, rows)))
+                .collect();
+            sets.push(QuerySet {
+                name: name.to_string(),
+                corpus: "opendata",
+                queries,
+            });
+        }
+        od_gen.generate_noise(&mut opendata, scale.noise(300));
+
+        // ---------------- school ----------------------------------------
+        let mut school_gen =
+            LakeGenerator::new(LakeSpec::new(CorpusProfile::school(0), seed ^ 0x51ed2701));
+        let mut school = Corpus::new();
+        {
+            let spec = QuerySpec {
+                rows: scale.shrink(2500),
+                key_size: 2,
+                payload_cols: 6,
+                column_cardinality: 250,
+                column_cardinalities: None,
+                joinable_tables: 6,
+                share_range: (0.4, 0.95),
+                duplication: (1, 3),
+                fp_tables: 10,
+                fp_rows: (400, 1500),
+                hard_fp_fraction: 0.15,
+                noise_rows: (200, 800),
+            };
+            let queries = (0..(nq / 2).max(2))
+                .map(|_| school_gen.generate_query(&mut school, &spec))
+                .collect();
+            sets.push(QuerySet {
+                name: "School".to_string(),
+                corpus: "school",
+                queries,
+            });
+        }
+        school_gen.generate_noise(&mut school, scale.noise(12));
+
+        StandardLakes {
+            webtables,
+            opendata,
+            school,
+            sets,
+        }
+    }
+
+    /// The corpus a query set runs against.
+    pub fn corpus_of(&self, set: &QuerySet) -> &Corpus {
+        match set.corpus {
+            "webtables" => &self.webtables,
+            "opendata" => &self.opendata,
+            "school" => &self.school,
+            other => panic!("unknown corpus {other}"),
+        }
+    }
+
+    /// `(set, corpus)` pairs in Table 1 order.
+    pub fn iter_sets(&self) -> impl Iterator<Item = (&QuerySet, &Corpus)> {
+        self.sets.iter().map(move |s| (s, self.corpus_of(s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_builds_all_sets() {
+        let lakes = StandardLakes::build(WorkloadScale::Smoke, 7);
+        assert_eq!(lakes.sets.len(), 8);
+        let names: Vec<&str> = lakes.sets.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "WT (10)",
+                "WT (100)",
+                "WT (1000)",
+                "Kaggle",
+                "OD (100)",
+                "OD (1000)",
+                "OD (10000)",
+                "School"
+            ]
+        );
+        assert!(lakes.webtables.len() > 100);
+        assert!(lakes.opendata.len() > 10);
+        assert!(lakes.school.len() > 4);
+    }
+
+    #[test]
+    fn cardinality_ladder_increases() {
+        let lakes = StandardLakes::build(WorkloadScale::Smoke, 7);
+        let wt10 = lakes.sets[0].avg_cardinality();
+        let wt100 = lakes.sets[1].avg_cardinality();
+        let wt1000 = lakes.sets[2].avg_cardinality();
+        assert!(wt10 < wt100, "{wt10} !< {wt100}");
+        assert!(wt100 < wt1000, "{wt100} !< {wt1000}");
+    }
+
+    #[test]
+    fn queries_have_ground_truth() {
+        let lakes = StandardLakes::build(WorkloadScale::Smoke, 7);
+        for (set, corpus) in lakes.iter_sets() {
+            for q in &set.queries {
+                assert!(!q.planted_tables.is_empty(), "{}", set.name);
+                assert!(q.planted_best >= 1);
+                for &t in &q.planted_tables {
+                    assert!(t.index() < corpus.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = StandardLakes::build(WorkloadScale::Smoke, 9);
+        let b = StandardLakes::build(WorkloadScale::Smoke, 9);
+        assert_eq!(a.webtables.len(), b.webtables.len());
+        assert_eq!(a.sets[0].queries[0].table, b.sets[0].queries[0].table);
+    }
+}

@@ -1,0 +1,115 @@
+//! Zipf-distributed sampling.
+//!
+//! Posting-list lengths in real lakes follow a power law ("The heuristic
+//! used in Mate performs better because of the fact that the number of PL
+//! items per cell value follows the power-law distribution", §7.5.4). The
+//! sampler precomputes the CDF once and draws with binary search.
+
+use rand::{Rng, RngExt};
+
+/// Samples ranks `0..n` with probability ∝ `1 / (rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n > 0 enforced at construction
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point: first index with cdf[i] >= u.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn skew_increases_head_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let flat = ZipfSampler::new(100, 0.0);
+        let skewed = ZipfSampler::new(100, 1.5);
+        let head =
+            |z: &ZipfSampler, rng: &mut StdRng| (0..10_000).filter(|_| z.sample(rng) == 0).count();
+        let h_flat = head(&flat, &mut rng);
+        let h_skew = head(&skewed, &mut rng);
+        assert!(h_flat < 300, "uniform head too heavy: {h_flat}");
+        assert!(h_skew > 2000, "skewed head too light: {h_skew}");
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z = ZipfSampler::new(7, 1.0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = ZipfSampler::new(1, 2.0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = ZipfSampler::new(50, 1.1);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn bad_exponent_rejected() {
+        ZipfSampler::new(5, f64::NAN);
+    }
+}

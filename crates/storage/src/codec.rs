@@ -1,0 +1,261 @@
+//! Cursor-style binary writer/reader over `bytes` buffers.
+//!
+//! Fixed-width integers are little-endian; counts and ids are varints;
+//! strings and byte slices are varint-length-prefixed.
+
+use crate::error::StorageError;
+use crate::varint;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append-only binary writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Creates a writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a fixed-width little-endian u32.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a fixed-width little-endian u64.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a varint u64.
+    pub fn put_varint(&mut self, v: u64) {
+        varint::write_u64(&mut self.buf, v);
+    }
+
+    /// Appends a zigzag varint i64.
+    pub fn put_varint_signed(&mut self, v: i64) {
+        varint::write_i64(&mut self.buf, v);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, data: &[u8]) {
+        self.buf.put_slice(data);
+    }
+
+    /// Appends varint-length-prefixed bytes.
+    pub fn put_bytes(&mut self, data: &[u8]) {
+        self.put_varint(data.len() as u64);
+        self.buf.put_slice(data);
+    }
+
+    /// Appends a varint-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Appends a slice of u64 words (count-prefixed, fixed-width payload) —
+    /// used for super-key storage where values are uniformly distributed and
+    /// varints would not compress.
+    pub fn put_u64_slice(&mut self, words: &[u64]) {
+        self.put_varint(words.len() as u64);
+        for &w in words {
+            self.buf.put_u64_le(w);
+        }
+    }
+
+    /// Finishes writing and returns the immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Sequential binary reader.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Wraps a buffer for reading.
+    pub fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// True if fully consumed.
+    pub fn is_exhausted(&self) -> bool {
+        !self.buf.has_remaining()
+    }
+
+    fn need(&self, n: usize, context: &'static str) -> Result<(), StorageError> {
+        if self.buf.remaining() < n {
+            Err(StorageError::UnexpectedEof { context })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StorageError> {
+        self.need(1, "u8")?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32_le(&mut self) -> Result<u32, StorageError> {
+        self.need(4, "u32")?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64_le(&mut self) -> Result<u64, StorageError> {
+        self.need(8, "u64")?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a varint u64.
+    pub fn get_varint(&mut self) -> Result<u64, StorageError> {
+        varint::read_u64(&mut self.buf)
+    }
+
+    /// Reads a zigzag varint i64.
+    pub fn get_varint_signed(&mut self) -> Result<i64, StorageError> {
+        varint::read_i64(&mut self.buf)
+    }
+
+    /// Reads varint-length-prefixed bytes (zero-copy slice of the buffer).
+    pub fn get_bytes(&mut self) -> Result<Bytes, StorageError> {
+        let len = self.get_varint()? as usize;
+        self.get_raw(len)
+    }
+
+    /// Reads exactly `len` raw bytes (zero-copy slice of the buffer).
+    pub fn get_raw(&mut self, len: usize) -> Result<Bytes, StorageError> {
+        self.need(len, "raw payload")?;
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StorageError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| StorageError::InvalidUtf8)
+    }
+
+    /// Reads a count-prefixed u64 slice written by [`Writer::put_u64_slice`].
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, StorageError> {
+        let n = self.get_varint()? as usize;
+        self.need(n * 8, "u64 slice")?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf.get_u64_le());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mixed_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_u64_le(42);
+        w.put_varint(300);
+        w.put_varint_signed(-5);
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_u64_slice(&[10, 20]);
+
+        let mut r = Reader::new(w.finish());
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32_le().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64_le().unwrap(), 42);
+        assert_eq!(r.get_varint().unwrap(), 300);
+        assert_eq!(r.get_varint_signed().unwrap(), -5);
+        assert_eq!(r.get_str().unwrap(), "hello");
+        assert_eq!(r.get_bytes().unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(r.get_u64_slice().unwrap(), vec![10, 20]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn eof_on_every_getter() {
+        let mut r = Reader::new(Bytes::new());
+        assert!(r.get_u8().is_err());
+        assert!(r.get_u32_le().is_err());
+        assert!(r.get_u64_le().is_err());
+        assert!(r.get_varint().is_err());
+        assert!(r.get_str().is_err());
+        assert!(r.get_u64_slice().is_err());
+    }
+
+    #[test]
+    fn truncated_string_payload() {
+        let mut w = Writer::new();
+        w.put_varint(100); // claims 100 bytes follow
+        w.put_raw(b"short");
+        let mut r = Reader::new(w.finish());
+        assert!(matches!(
+            r.get_bytes(),
+            Err(StorageError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let mut r = Reader::new(w.finish());
+        assert!(matches!(r.get_str(), Err(StorageError::InvalidUtf8)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_string_roundtrip(s: String) {
+            let mut w = Writer::new();
+            w.put_str(&s);
+            let mut r = Reader::new(w.finish());
+            prop_assert_eq!(r.get_str().unwrap(), s);
+        }
+
+        #[test]
+        fn prop_u64_slice_roundtrip(v: Vec<u64>) {
+            let mut w = Writer::new();
+            w.put_u64_slice(&v);
+            let mut r = Reader::new(w.finish());
+            prop_assert_eq!(r.get_u64_slice().unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, implemented from scratch.
+//!
+//! Each block of a segment file carries a CRC so corruption and truncation
+//! are detected at load time rather than surfacing as garbage query results.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB88320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 of `data`.
+#[inline]
+pub fn crc32(data: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental update; start with `0xFFFF_FFFF`, finish by XOR-ing
+/// `0xFFFF_FFFF` (or use [`Crc32`] which handles this).
+#[inline]
+pub fn update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Streaming CRC-32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh computation.
+    pub fn new() -> Self {
+        Crc32::default()
+    }
+
+    /// Feeds bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        self.state = update(self.state, data);
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical "check" value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello world, this is a longer test buffer";
+        let mut c = Crc32::new();
+        c.write(&data[..10]);
+        c.write(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"some block payload".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 1;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,168 @@
+//! String dictionary encoding.
+//!
+//! The same cell value occurs in many posting lists and many tables; the
+//! dictionary stores each distinct string once and replaces occurrences with
+//! varint ids. Ids are assigned in first-seen order.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+use std::collections::HashMap;
+
+/// Builder that interns strings and assigns dense ids.
+#[derive(Debug, Default)]
+pub struct DictBuilder {
+    ids: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl DictBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DictBuilder::default()
+    }
+
+    /// Interns `s`, returning its id (existing or newly assigned).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.ids.insert(s.to_string(), id);
+        self.strings.push(s.to_string());
+        id
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no strings were interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Dictionary {
+        Dictionary {
+            strings: self.strings,
+        }
+    }
+}
+
+/// An immutable id → string table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dictionary {
+    strings: Vec<String>,
+}
+
+impl Dictionary {
+    /// Resolves an id to its string.
+    pub fn get(&self, id: u32) -> Option<&str> {
+        self.strings.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Serializes into a writer (count, then length-prefixed strings).
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_varint(self.strings.len() as u64);
+        for s in &self.strings {
+            w.put_str(s);
+        }
+    }
+
+    /// Deserializes from a reader.
+    pub fn decode(r: &mut Reader) -> Result<Dictionary, StorageError> {
+        let n = r.get_varint()? as usize;
+        // Sanity bound: each entry needs at least one length byte.
+        if n > r.remaining() {
+            return Err(StorageError::InvalidLength {
+                context: "dictionary size",
+                value: n as u64,
+            });
+        }
+        let mut strings = Vec::with_capacity(n);
+        for _ in 0..n {
+            strings.push(r.get_str()?);
+        }
+        Ok(Dictionary { strings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_dedupes() {
+        let mut b = DictBuilder::new();
+        let a = b.intern("foo");
+        let c = b.intern("bar");
+        let a2 = b.intern("foo");
+        assert_eq!(a, a2);
+        assert_ne!(a, c);
+        assert_eq!(b.len(), 2);
+        let d = b.build();
+        assert_eq!(d.get(a), Some("foo"));
+        assert_eq!(d.get(c), Some("bar"));
+        assert_eq!(d.get(99), None);
+    }
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let mut b = DictBuilder::new();
+        assert_eq!(b.intern("z"), 0);
+        assert_eq!(b.intern("a"), 1);
+        assert_eq!(b.intern("m"), 2);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut b = DictBuilder::new();
+        for s in ["", "a", "hello world", "ünïcödé"] {
+            b.intern(s);
+        }
+        let d = b.build();
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let mut r = Reader::new(w.finish());
+        let d2 = Dictionary::decode(&mut r).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn decode_rejects_absurd_count() {
+        let mut w = Writer::new();
+        w.put_varint(1 << 40);
+        let mut r = Reader::new(w.finish());
+        assert!(matches!(
+            Dictionary::decode(&mut r),
+            Err(StorageError::InvalidLength { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(strings: Vec<String>) {
+            let mut b = DictBuilder::new();
+            for s in &strings {
+                b.intern(s);
+            }
+            let d = b.build();
+            let mut w = Writer::new();
+            d.encode(&mut w);
+            let d2 = Dictionary::decode(&mut Reader::new(w.finish())).unwrap();
+            prop_assert_eq!(d, d2);
+        }
+    }
+}

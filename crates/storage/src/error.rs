@@ -1,0 +1,106 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Errors raised while encoding, decoding, or validating stored data.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The input ended before a complete value could be decoded.
+    UnexpectedEof {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A varint ran past its maximum width (corrupt data).
+    VarintOverflow,
+    /// A length prefix or id was out of the valid range.
+    InvalidLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending length/id.
+        value: u64,
+    },
+    /// A CRC check failed.
+    ChecksumMismatch {
+        /// Block name whose checksum failed.
+        block: String,
+    },
+    /// The file does not start with the expected magic bytes.
+    BadMagic,
+    /// The file has an unsupported format version.
+    UnsupportedVersion(u32),
+    /// A required named block is missing from a segment.
+    MissingBlock(String),
+    /// Invalid UTF-8 in a stored string.
+    InvalidUtf8,
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while decoding {context}")
+            }
+            StorageError::VarintOverflow => write!(f, "varint exceeds 10 bytes"),
+            StorageError::InvalidLength { context, value } => {
+                write!(f, "invalid length {value} while decoding {context}")
+            }
+            StorageError::ChecksumMismatch { block } => {
+                write!(f, "checksum mismatch in block '{block}'")
+            }
+            StorageError::BadMagic => write!(f, "bad magic bytes (not a MATE segment file)"),
+            StorageError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            StorageError::MissingBlock(b) => write!(f, "missing required block '{b}'"),
+            StorageError::InvalidUtf8 => write!(f, "invalid UTF-8 in stored string"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::UnexpectedEof { context: "plist" }, "plist"),
+            (StorageError::VarintOverflow, "varint"),
+            (StorageError::BadMagic, "magic"),
+            (StorageError::UnsupportedVersion(9), "9"),
+            (StorageError::MissingBlock("tables".into()), "tables"),
+            (StorageError::InvalidUtf8, "UTF-8"),
+            (
+                StorageError::ChecksumMismatch { block: "b".into() },
+                "checksum",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

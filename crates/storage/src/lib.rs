@@ -1,0 +1,31 @@
+//! Binary persistence for MATE corpora and indexes.
+//!
+//! The paper stores its inverted index in Vertica; this reproduction ships a
+//! small embedded storage layer instead:
+//!
+//! * [`varint`] — LEB128 variable-length integers with zigzag for signed
+//!   values (posting lists are delta-encoded, so most integers are tiny).
+//! * [`crc32`] — CRC-32 (IEEE) for block checksums, implemented from scratch.
+//! * [`codec`] — a cursor-style [`codec::Writer`]/[`codec::Reader`] pair over
+//!   `bytes` buffers with length-prefixed strings and slices.
+//! * [`dict`] — order-preserving string dictionary encoding: the same value
+//!   string appears in many posting lists, so values are stored once.
+//! * [`segment`] — the on-disk container: a magic header, named blocks, each
+//!   length-prefixed and CRC-checked, so partial writes and corruption are
+//!   detected at load time.
+//!
+//! All multi-byte integers are little-endian.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc32;
+pub mod dict;
+pub mod error;
+pub mod segment;
+pub mod varint;
+
+pub use codec::{Reader, Writer};
+pub use dict::{DictBuilder, Dictionary};
+pub use error::StorageError;
+pub use segment::{SegmentReader, SegmentWriter};

@@ -1,0 +1,238 @@
+//! The segment file container.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "MATESEG1" (8 bytes)
+//! version: u32 LE
+//! block count: varint
+//! per block:
+//!   name: varint-prefixed string
+//!   payload length: varint
+//!   crc32 of (name ++ length:u64 LE ++ payload): u32 LE
+//!   payload bytes
+//! ```
+//!
+//! Blocks are named so readers can evolve independently of writers; every
+//! payload is CRC-checked on access. The CRC covers the block *name and
+//! length* as well as the payload: a bit flip in the framing would otherwise
+//! make the reader checksum a different byte range, and for degenerate
+//! payloads (e.g. all zeros, where the CRC register cycles under zero input)
+//! a payload-only checksum can collide. Covering the length guarantees any
+//! single-bit framing flip changes the CRC input prefix, which a CRC always
+//! detects.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+use bytes::Bytes;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MATESEG1";
+
+/// Block checksum covering name, length, and payload (see module docs).
+fn block_crc(name: &str, payload: &[u8]) -> u32 {
+    let mut c = crate::crc32::Crc32::new();
+    c.write(name.as_bytes());
+    c.write(&(payload.len() as u64).to_le_bytes());
+    c.write(payload);
+    c.finish()
+}
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Accumulates named blocks and serializes them into a segment.
+#[derive(Debug, Default)]
+pub struct SegmentWriter {
+    blocks: Vec<(String, Bytes)>,
+}
+
+impl SegmentWriter {
+    /// Creates an empty segment writer.
+    pub fn new() -> Self {
+        SegmentWriter::default()
+    }
+
+    /// Adds a named block.
+    pub fn add_block(&mut self, name: impl Into<String>, payload: Bytes) {
+        self.blocks.push((name.into(), payload));
+    }
+
+    /// Serializes the segment to a byte buffer.
+    pub fn finish(self) -> Bytes {
+        let mut w = Writer::with_capacity(
+            16 + self
+                .blocks
+                .iter()
+                .map(|(n, p)| n.len() + p.len() + 16)
+                .sum::<usize>(),
+        );
+        w.put_raw(MAGIC);
+        w.put_u32_le(FORMAT_VERSION);
+        w.put_varint(self.blocks.len() as u64);
+        for (name, payload) in &self.blocks {
+            w.put_str(name);
+            w.put_varint(payload.len() as u64);
+            w.put_u32_le(block_crc(name, payload));
+            w.put_raw(payload);
+        }
+        w.finish()
+    }
+
+    /// Serializes and writes the segment to a file.
+    pub fn write_to(self, path: impl AsRef<Path>) -> Result<(), StorageError> {
+        std::fs::write(path, self.finish())?;
+        Ok(())
+    }
+}
+
+/// Parses a segment and provides checked access to its blocks.
+#[derive(Debug)]
+pub struct SegmentReader {
+    blocks: Vec<(String, u32, Bytes)>,
+}
+
+impl SegmentReader {
+    /// Parses a segment from bytes, validating magic and version.
+    pub fn open(data: Bytes) -> Result<Self, StorageError> {
+        let mut r = Reader::new(data);
+        let mut magic = [0u8; 8];
+        for b in &mut magic {
+            *b = r.get_u8().map_err(|_| StorageError::BadMagic)?;
+        }
+        if &magic != MAGIC {
+            return Err(StorageError::BadMagic);
+        }
+        let version = r.get_u32_le()?;
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let n = r.get_varint()? as usize;
+        let mut blocks = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let len = r.get_varint()? as usize;
+            let crc = r.get_u32_le()?;
+            let payload = r.get_raw(len)?;
+            blocks.push((name, crc, payload));
+        }
+        Ok(SegmentReader { blocks })
+    }
+
+    /// Reads and parses a segment from a file.
+    pub fn open_file(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        let data = std::fs::read(path)?;
+        SegmentReader::open(Bytes::from(data))
+    }
+
+    /// Names of the contained blocks, in file order.
+    pub fn block_names(&self) -> Vec<&str> {
+        self.blocks.iter().map(|(n, _, _)| n.as_str()).collect()
+    }
+
+    /// Returns a block payload after verifying its CRC.
+    pub fn block(&self, name: &str) -> Result<Bytes, StorageError> {
+        let (stored_name, crc, payload) = self
+            .blocks
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| StorageError::MissingBlock(name.to_string()))?;
+        if block_crc(stored_name, payload) != *crc {
+            return Err(StorageError::ChecksumMismatch {
+                block: name.to_string(),
+            });
+        }
+        Ok(payload.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_segment() -> Bytes {
+        let mut sw = SegmentWriter::new();
+        sw.add_block("meta", Bytes::from_static(b"hello"));
+        sw.add_block("data", Bytes::from(vec![1u8, 2, 3, 4]));
+        sw.finish()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let seg = SegmentReader::open(sample_segment()).unwrap();
+        assert_eq!(seg.block_names(), vec!["meta", "data"]);
+        assert_eq!(seg.block("meta").unwrap().as_ref(), b"hello");
+        assert_eq!(seg.block("data").unwrap().as_ref(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn missing_block() {
+        let seg = SegmentReader::open(sample_segment()).unwrap();
+        assert!(matches!(
+            seg.block("nope"),
+            Err(StorageError::MissingBlock(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic() {
+        assert!(matches!(
+            SegmentReader::open(Bytes::from_static(b"NOTMAGIC\x01\x00\x00\x00")),
+            Err(StorageError::BadMagic)
+        ));
+        assert!(matches!(
+            SegmentReader::open(Bytes::from_static(b"x")),
+            Err(StorageError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut raw = sample_segment().to_vec();
+        // Flip a byte inside the "hello" payload (find it).
+        let pos = raw.windows(5).position(|w| w == b"hello").unwrap();
+        raw[pos] ^= 0xFF;
+        let seg = SegmentReader::open(Bytes::from(raw)).unwrap();
+        assert!(matches!(
+            seg.block("meta"),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        // The other block is still intact.
+        assert!(seg.block("data").is_ok());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let raw = sample_segment();
+        let truncated = raw.slice(..raw.len() - 3);
+        assert!(SegmentReader::open(truncated).is_err());
+    }
+
+    #[test]
+    fn wrong_version() {
+        let mut raw = sample_segment().to_vec();
+        raw[8] = 99; // version LE byte 0
+        assert!(matches!(
+            SegmentReader::open(Bytes::from(raw)),
+            Err(StorageError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mate-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seg.bin");
+        let mut sw = SegmentWriter::new();
+        sw.add_block("b", Bytes::from_static(b"payload"));
+        sw.write_to(&path).unwrap();
+        let seg = SegmentReader::open_file(&path).unwrap();
+        assert_eq!(seg.block("b").unwrap().as_ref(), b"payload");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_segment() {
+        let seg = SegmentReader::open(SegmentWriter::new().finish()).unwrap();
+        assert!(seg.block_names().is_empty());
+    }
+}

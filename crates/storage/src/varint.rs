@@ -1,0 +1,161 @@
+//! LEB128 variable-length integers with zigzag encoding for signed values.
+//!
+//! Posting lists store table/column/row ids delta-encoded; deltas are small,
+//! so varints cut index files to a fraction of fixed-width encoding.
+
+use crate::error::StorageError;
+use bytes::{Buf, BufMut};
+
+/// Maximum encoded width of a u64 varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` as LEB128 to `buf`.
+#[inline]
+pub fn write_u64(buf: &mut impl BufMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 u64 from `buf`.
+#[inline]
+pub fn read_u64(buf: &mut impl Buf) -> Result<u64, StorageError> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(StorageError::UnexpectedEof { context: "varint" });
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(StorageError::VarintOverflow);
+        }
+        result |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(StorageError::VarintOverflow);
+        }
+    }
+}
+
+/// Zigzag-maps a signed integer to unsigned so small magnitudes stay small.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a zigzag-encoded i64.
+#[inline]
+pub fn write_i64(buf: &mut impl BufMut, value: i64) {
+    write_u64(buf, zigzag(value));
+}
+
+/// Reads a zigzag-encoded i64.
+#[inline]
+pub fn read_i64(buf: &mut impl Buf) -> Result<i64, StorageError> {
+    Ok(unzigzag(read_u64(buf)?))
+}
+
+/// Number of bytes [`write_u64`] will produce for `value`.
+#[inline]
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), encoded_len(v));
+        let mut b = buf.freeze();
+        read_u64(&mut b).unwrap()
+    }
+
+    #[test]
+    fn boundaries() {
+        for v in [0, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+        assert_eq!(unzigzag(zigzag(i64::MAX)), i64::MAX);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut empty = bytes::Bytes::new();
+        assert!(matches!(
+            read_u64(&mut empty),
+            Err(StorageError::UnexpectedEof { .. })
+        ));
+        // Truncated multi-byte varint.
+        let mut b = bytes::Bytes::from_static(&[0x80]);
+        assert!(matches!(
+            read_u64(&mut b),
+            Err(StorageError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes is always invalid.
+        let mut b = bytes::Bytes::from_static(&[0xff; 11]);
+        assert!(matches!(
+            read_u64(&mut b),
+            Err(StorageError::VarintOverflow)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            prop_assert_eq!(roundtrip(v), v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            let mut buf = BytesMut::new();
+            write_i64(&mut buf, v);
+            let mut b = buf.freeze();
+            prop_assert_eq!(read_i64(&mut b).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_encoded_len_matches(v: u64) {
+            let mut buf = BytesMut::new();
+            write_u64(&mut buf, v);
+            prop_assert_eq!(buf.len(), encoded_len(v));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Corpus`] — an id-addressed collection of tables (a data lake).
+//!
+//! The corpus is the source of truth during discovery: the index answers
+//! *where* values occur, but the final joinability verification (`calculateJ`
+//! in Algorithm 1 of the paper) re-reads the actual cell values from here.
+
+use crate::ids::TableId;
+use crate::table::Table;
+
+/// A collection of tables addressed by [`TableId`].
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    tables: Vec<Table>,
+}
+
+impl Corpus {
+    /// Creates an empty corpus.
+    pub fn new() -> Self {
+        Corpus::default()
+    }
+
+    /// Creates a corpus from a vector of tables; ids are assigned by position.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        Corpus { tables }
+    }
+
+    /// Adds a table and returns its id.
+    pub fn add_table(&mut self, table: Table) -> TableId {
+        let id = TableId::from(self.tables.len());
+        self.tables.push(table);
+        id
+    }
+
+    /// The table with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Mutable access to a table (used by the index-update paths).
+    #[inline]
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id.index()]
+    }
+
+    /// The table with the given id, or `None` if out of bounds.
+    pub fn get(&self, id: TableId) -> Option<&Table> {
+        self.tables.get(id.index())
+    }
+
+    /// Number of tables.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the corpus has no tables.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Iterates `(TableId, &Table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId::from(i), t))
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::num_rows).sum()
+    }
+
+    /// Total number of columns across all tables.
+    pub fn total_cols(&self) -> usize {
+        self.tables.iter().map(Table::num_cols).sum()
+    }
+
+    /// Total number of cells across all tables.
+    pub fn total_cells(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.num_rows() * t.num_cols())
+            .sum()
+    }
+
+    /// Number of distinct normalized values in the corpus.
+    ///
+    /// This is `C_unique` in Eq. 5 of the paper, the quantity that determines
+    /// the optimal number of 1-bits (`alpha`) per XASH result.
+    pub fn count_unique_values(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.tables {
+            for c in t.columns() {
+                for v in &c.values {
+                    seen.insert(v.as_str());
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+impl std::ops::Index<TableId> for Corpus {
+    type Output = Table;
+    fn index(&self, id: TableId) -> &Table {
+        self.table(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn corpus() -> Corpus {
+        let mut c = Corpus::new();
+        c.add_table(
+            TableBuilder::new("a", ["x", "y"])
+                .row(["1", "foo"])
+                .row(["2", "bar"])
+                .build(),
+        );
+        c.add_table(TableBuilder::new("b", ["z"]).row(["foo"]).build());
+        c
+    }
+
+    #[test]
+    fn ids_are_positional() {
+        let c = corpus();
+        assert_eq!(c.table(TableId(0)).name, "a");
+        assert_eq!(c.table(TableId(1)).name, "b");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn totals() {
+        let c = corpus();
+        assert_eq!(c.total_rows(), 3);
+        assert_eq!(c.total_cols(), 3);
+        assert_eq!(c.total_cells(), 5);
+    }
+
+    #[test]
+    fn unique_values() {
+        let c = corpus();
+        // values: 1, foo, 2, bar, foo -> 4 unique
+        assert_eq!(c.count_unique_values(), 4);
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let c = corpus();
+        assert!(c.get(TableId(99)).is_none());
+    }
+
+    #[test]
+    fn index_op() {
+        let c = corpus();
+        assert_eq!(c[TableId(1)].name, "b");
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let c = corpus();
+        let names: Vec<_> = c.iter().map(|(id, t)| (id.0, t.name.as_str())).collect();
+        assert_eq!(names, vec![(0, "a"), (1, "b")]);
+    }
+}

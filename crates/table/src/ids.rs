@@ -1,0 +1,83 @@
+//! Compact identifiers for tables, columns, and rows.
+//!
+//! The inverted index stores one posting entry per cell occurrence, so the
+//! identifier types are deliberately `u32` newtypes (12 bytes per posting
+//! entry) rather than `usize`. A corpus of 4B tables/rows is far beyond the
+//! laptop-scale lakes this reproduction targets.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize, "id overflow");
+                Self(v as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a table within a [`crate::Corpus`].
+    TableId
+);
+id_type!(
+    /// Identifier of a column within a [`crate::Table`].
+    ColId
+);
+id_type!(
+    /// Identifier of a row within a [`crate::Table`].
+    RowId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let t = TableId::from(42u32);
+        assert_eq!(t.index(), 42);
+        assert_eq!(t, TableId(42));
+        assert_eq!(format!("{t}"), "42");
+    }
+
+    #[test]
+    fn id_from_usize() {
+        let c = ColId::from(7usize);
+        assert_eq!(c.0, 7);
+    }
+
+    #[test]
+    fn id_ordering() {
+        assert!(RowId(1) < RowId(2));
+        assert_eq!(RowId::default(), RowId(0));
+    }
+}

@@ -1,0 +1,325 @@
+//! The [`Table`] relation type and its builder.
+//!
+//! Tables are stored column-major: the inverted-index builder iterates
+//! columns, the statistics pass iterates columns, and the verification step
+//! of the discovery phase materializes individual rows on demand via
+//! [`Table::row`]. All columns of a table have the same length.
+
+use crate::ids::{ColId, RowId};
+use crate::value::normalize;
+
+/// A single named column holding normalized string cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Header / attribute name (not normalized — headers are metadata).
+    pub name: String,
+    /// Normalized cell values, one per row.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// Creates a column, normalizing every cell.
+    pub fn new(
+        name: impl Into<String>,
+        raw_values: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> Self {
+        Column {
+            name: name.into(),
+            values: raw_values
+                .into_iter()
+                .map(|v| normalize(v.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Number of rows in this column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A relation: a named list of equal-length columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name (file name, page title, ...).
+    pub name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Creates a table from columns, checking that all columns have equal
+    /// length.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ; use [`TableBuilder`] for fallible,
+    /// row-wise construction.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            assert!(
+                columns.iter().all(|c| c.len() == n),
+                "all columns of a table must have the same number of rows"
+            );
+        }
+        Table {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    #[inline]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column with the given id.
+    #[inline]
+    pub fn column(&self, col: ColId) -> &Column {
+        &self.columns[col.index()]
+    }
+
+    /// The cell at (`row`, `col`).
+    #[inline]
+    pub fn cell(&self, row: RowId, col: ColId) -> &str {
+        &self.columns[col.index()].values[row.index()]
+    }
+
+    /// Materializes one row as a vector of cell references.
+    pub fn row(&self, row: RowId) -> Vec<&str> {
+        self.columns
+            .iter()
+            .map(|c| c.values[row.index()].as_str())
+            .collect()
+    }
+
+    /// Iterates over the cells of one row without allocating.
+    pub fn row_iter(&self, row: RowId) -> impl Iterator<Item = &str> + '_ {
+        let r = row.index();
+        self.columns.iter().map(move |c| c.values[r].as_str())
+    }
+
+    /// Looks up a column id by header name (exact match).
+    pub fn column_by_name(&self, name: &str) -> Option<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(ColId::from)
+    }
+
+    /// Header names in column order.
+    pub fn header(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Appends a row of raw cell values (normalized on insert).
+    ///
+    /// # Panics
+    /// Panics if `cells.len() != self.num_cols()`.
+    pub fn push_row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.num_cols(), "row arity mismatch");
+        for (col, cell) in self.columns.iter_mut().zip(cells) {
+            col.values.push(normalize(cell));
+        }
+    }
+
+    /// Removes a row by swap-remove (O(1), does not preserve row order).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn swap_remove_row(&mut self, row: RowId) {
+        for col in &mut self.columns {
+            col.values.swap_remove(row.index());
+        }
+    }
+
+    /// Appends a new column. The column must have `num_rows()` values
+    /// (checked), unless the table is empty.
+    pub fn push_column(&mut self, column: Column) {
+        if !self.columns.is_empty() {
+            assert_eq!(column.len(), self.num_rows(), "column length mismatch");
+        }
+        self.columns.push(column);
+    }
+
+    /// Removes a column and returns it.
+    pub fn remove_column(&mut self, col: ColId) -> Column {
+        self.columns.remove(col.index())
+    }
+
+    /// Overwrites a single cell with a normalized value.
+    pub fn set_cell(&mut self, row: RowId, col: ColId, raw: &str) {
+        self.columns[col.index()].values[row.index()] = normalize(raw);
+    }
+}
+
+/// Row-wise table construction with header first.
+///
+/// ```
+/// use mate_table::TableBuilder;
+/// let t = TableBuilder::new("people", ["first", "last"])
+///     .row(["Muhammad", "Lee"])
+///     .row(["Ansel", "Adams"])
+///     .build();
+/// assert_eq!(t.num_rows(), 2);
+/// assert_eq!(t.cell(0u32.into(), 1u32.into()), "lee");
+/// ```
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    /// Starts a builder with the given table name and column headers.
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        headers: impl IntoIterator<Item = S>,
+    ) -> Self {
+        TableBuilder {
+            name: name.into(),
+            columns: headers
+                .into_iter()
+                .map(|h| Column {
+                    name: h.into(),
+                    values: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends one row of raw values.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn row<S: AsRef<str>>(mut self, cells: impl IntoIterator<Item = S>) -> Self {
+        let mut n = 0;
+        for (i, cell) in cells.into_iter().enumerate() {
+            assert!(i < self.columns.len(), "row has more cells than headers");
+            self.columns[i].values.push(normalize(cell.as_ref()));
+            n = i + 1;
+        }
+        assert_eq!(n, self.columns.len(), "row has fewer cells than headers");
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Table {
+        Table::new(self.name, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        TableBuilder::new("t1", ["Vorname", "Nachname", "Land"])
+            .row(["Helmut", "Newton", "Germany"])
+            .row(["Muhammad", "Lee", "US"])
+            .row(["Ansel", "Adams", "UK"])
+            .build()
+    }
+
+    #[test]
+    fn dims() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+    }
+
+    #[test]
+    fn cells_are_normalized() {
+        let t = sample();
+        assert_eq!(t.cell(RowId(1), ColId(0)), "muhammad");
+        assert_eq!(t.cell(RowId(2), ColId(2)), "uk");
+    }
+
+    #[test]
+    fn row_materialization() {
+        let t = sample();
+        assert_eq!(t.row(RowId(0)), vec!["helmut", "newton", "germany"]);
+        let collected: Vec<_> = t.row_iter(RowId(2)).collect();
+        assert_eq!(collected, vec!["ansel", "adams", "uk"]);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample();
+        assert_eq!(t.column_by_name("Land"), Some(ColId(2)));
+        assert_eq!(t.column_by_name("nope"), None);
+    }
+
+    #[test]
+    fn push_and_remove_row() {
+        let mut t = sample();
+        t.push_row(&["Gretchen", "Lee", "Germany"]);
+        assert_eq!(t.num_rows(), 4);
+        t.swap_remove_row(RowId(0));
+        assert_eq!(t.num_rows(), 3);
+        // swap_remove moved the last row to position 0
+        assert_eq!(t.cell(RowId(0), ColId(0)), "gretchen");
+    }
+
+    #[test]
+    fn push_and_remove_column() {
+        let mut t = sample();
+        t.push_column(Column::new(
+            "Besetzung",
+            ["Photographer", "Dancer", "Dancer"],
+        ));
+        assert_eq!(t.num_cols(), 4);
+        let removed = t.remove_column(ColId(3));
+        assert_eq!(removed.name, "Besetzung");
+        assert_eq!(t.num_cols(), 3);
+    }
+
+    #[test]
+    fn set_cell_normalizes() {
+        let mut t = sample();
+        t.set_cell(RowId(0), ColId(0), "  NEW  Value ");
+        assert_eq!(t.cell(RowId(0), ColId(0)), "new value");
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of rows")]
+    fn unequal_columns_panic() {
+        Table::new(
+            "bad",
+            vec![Column::new("a", ["1", "2"]), Column::new("b", ["1"])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn push_row_arity_panics() {
+        let mut t = sample();
+        t.push_row(&["only-one"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("empty", vec![]);
+        assert_eq!(t.num_rows(), 0);
+        assert_eq!(t.num_cols(), 0);
+    }
+}

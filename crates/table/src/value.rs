@@ -1,0 +1,87 @@
+//! Cell-value normalization.
+//!
+//! MATE treats cell values as opaque strings but must guarantee that the
+//! value used for *hashing* (XASH), the value used as *index key*, and the
+//! value used during *exact verification* are identical. We therefore
+//! normalize every cell exactly once at ingestion time:
+//!
+//! * Unicode is lowercased (XASH's 37-character alphabet is case-insensitive).
+//! * Leading/trailing whitespace is trimmed and inner whitespace runs are
+//!   collapsed to a single ASCII space (web tables are notoriously ragged).
+//!
+//! Characters outside the 37-character alphabet (`a-z`, `0-9`, space) are
+//! *kept* in the value — they simply contribute no character-segment bits to
+//! the XASH result (see `mate-hash`), mirroring the reference implementation.
+
+/// Normalizes a raw cell value for indexing and hashing.
+///
+/// Returns the canonical representation: lowercase, trimmed, with internal
+/// whitespace runs collapsed to single spaces.
+///
+/// ```
+/// use mate_table::normalize;
+/// assert_eq!(normalize("  Muhammad   Lee "), "muhammad lee");
+/// assert_eq!(normalize("US"), "us");
+/// assert_eq!(normalize(""), "");
+/// ```
+pub fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_space = false;
+    for ch in raw.trim().chars() {
+        if ch.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        // Lowercase may expand to multiple chars (e.g. 'İ'); extend handles it.
+        out.extend(ch.to_lowercase());
+    }
+    out
+}
+
+/// Returns true if the value is empty after normalization (i.e. should not be
+/// indexed: empty cells carry no join information).
+pub fn is_null_like(normalized: &str) -> bool {
+    normalized.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(normalize("Ansel ADAMS"), "ansel adams");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize("a \t b\n c"), "a b c");
+        assert_eq!(normalize("   "), "");
+    }
+
+    #[test]
+    fn keeps_non_alphanumeric() {
+        assert_eq!(normalize("New-York!"), "new-york!");
+    }
+
+    #[test]
+    fn unicode_lowercase() {
+        assert_eq!(normalize("ÄPFEL"), "äpfel");
+    }
+
+    #[test]
+    fn null_like() {
+        assert!(is_null_like(""));
+        assert!(!is_null_like("x"));
+    }
+
+    #[test]
+    fn idempotent() {
+        let v = normalize("  Mixed   CASE value ");
+        assert_eq!(normalize(&v), v);
+    }
+}

@@ -1,0 +1,111 @@
+//! Beyond equi-joins: union search, duplicate detection, and similarity
+//! joins on the same MATE index (§1's "readily adaptable" applications plus
+//! the conclusion's future-work direction).
+//!
+//! Run with: `cargo run --release --example beyond_joins`
+
+use mate::apps::{find_duplicate_tables, SimilarityJoinDiscovery, UnionSearch};
+use mate::prelude::*;
+
+fn main() {
+    let mut corpus = Corpus::new();
+
+    // Three "city facts" tables: one unionable, one duplicate, one noisy.
+    let cities_eu = corpus.add_table(
+        TableBuilder::new("cities_eu", ["city", "country", "population"])
+            .row(["berlin", "germany", "3645000"])
+            .row(["paris", "france", "2161000"])
+            .row(["madrid", "spain", "3223000"])
+            .build(),
+    );
+    // Column-shuffled duplicate of cities_eu.
+    let cities_copy = corpus.add_table(
+        TableBuilder::new("cities_copy", ["pop", "town", "nation"])
+            .row(["3645000", "berlin", "germany"])
+            .row(["2161000", "paris", "france"])
+            .row(["3223000", "madrid", "spain"])
+            .build(),
+    );
+    // Unionable: same domains, different entities.
+    let cities_us = corpus.add_table(
+        TableBuilder::new("cities_us", ["city", "country", "population"])
+            .row(["chicago", "usa", "2746000"])
+            .row(["houston", "usa", "2304000"])
+            .build(),
+    );
+    // Typo'd registry (similarity-join target).
+    let registry = corpus.add_table(
+        TableBuilder::new("registry", ["ort", "land"])
+            .row(["berlln", "germany"]) // typo: berlln
+            .row(["paris", "frances"]) // typo: frances
+            .row(["oslo", "norway"])
+            .build(),
+    );
+
+    let hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(hasher).build(&corpus);
+
+    // ------------------------------------------------------ union search --
+    let query = TableBuilder::new("my_cities", ["name", "state", "inhabitants"])
+        .row(["berlin", "germany", "3645000"])
+        .row(["madrid", "spain", "3223000"])
+        .build();
+    println!("union search for a city/country/population table:");
+    for r in UnionSearch::new(&index).top_k(&query, 3) {
+        println!(
+            "  {:<12} score {} alignment {:?}",
+            corpus.table(r.table).name,
+            r.score,
+            r.alignment
+                .iter()
+                .map(|(q, c, n)| format!("q{}→c{} ({n})", q.0, c.0))
+                .collect::<Vec<_>>()
+        );
+    }
+    let union = UnionSearch::new(&index).top_k(&query, 3);
+    assert_eq!(union[0].table, cities_eu);
+    assert!(union.iter().any(|r| r.table == cities_copy));
+    let _ = cities_us;
+
+    // ------------------------------------------------ duplicate detection --
+    println!("\nduplicate tables (row overlap >= 0.9):");
+    let dups = find_duplicate_tables(&corpus, &index, 0.9);
+    for d in &dups {
+        println!(
+            "  {} <-> {} (overlap {:.2})",
+            corpus.table(d.a).name,
+            corpus.table(d.b).name,
+            d.row_overlap
+        );
+    }
+    assert_eq!(dups.len(), 1);
+    assert_eq!((dups[0].a, dups[0].b), (cities_eu, cities_copy));
+
+    // ------------------------------------------------- similarity joins --
+    let wanted = TableBuilder::new("wanted", ["city", "country"])
+        .row(["berlin", "germany"])
+        .row(["paris", "france"])
+        .build();
+    let sim = SimilarityJoinDiscovery::new(&corpus, &index, &hasher, 8, 1);
+    println!("\nsimilarity join (edit distance <= 1) against 'registry':");
+    let matches = sim.scan_table(registry, &wanted, &[ColId(0), ColId(1)]);
+    for m in &matches {
+        println!(
+            "  query row {} ~ registry row {} (distance {}): {:?}",
+            m.query_row, m.row, m.total_distance, m.matched_values
+        );
+    }
+    assert!(
+        matches
+            .iter()
+            .any(|m| m.matched_values.contains(&"berlln".to_string())),
+        "typo'd berlin should match with distance 1"
+    );
+    assert!(
+        matches
+            .iter()
+            .any(|m| m.matched_values.contains(&"frances".to_string())),
+        "typo'd france should match with distance 1"
+    );
+    println!("\nOK: one index served joins, unions, dedup, and similarity search.");
+}

@@ -1,0 +1,104 @@
+//! Index maintenance (§5.4) and persistence: evolve a corpus in place while
+//! the index stays query-consistent, then save and reload both.
+//!
+//! Run with: `cargo run --release --example index_maintenance`
+
+use mate::index::{persist, IndexUpdater};
+use mate::prelude::*;
+use mate::table::Column;
+
+fn main() {
+    let mut corpus = Corpus::new();
+    corpus.add_table(
+        TableBuilder::new("customers", ["first", "last", "city"])
+            .row(["ada", "lovelace", "london"])
+            .row(["alan", "turing", "manchester"])
+            .build(),
+    );
+    let hasher = Xash::new(HashSize::B128);
+    let mut index = IndexBuilder::new(hasher).build(&corpus);
+
+    let query = TableBuilder::new("q", ["a", "b"])
+        .row(["grace", "hopper"])
+        .row(["alan", "turing"])
+        .build();
+    let key = [ColId(0), ColId(1)];
+
+    let j_of = |corpus: &Corpus, index: &mate::index::InvertedIndex| {
+        MateDiscovery::new(corpus, index, &hasher)
+            .discover(&query, &key, 1)
+            .top_k
+            .first()
+            .map_or(0, |t| t.joinability)
+    };
+
+    println!(
+        "initial joinability for (grace hopper / alan turing): {}",
+        j_of(&corpus, &index)
+    );
+
+    // Insert a row → joinability rises without rebuilding the index.
+    {
+        let mut updater = IndexUpdater::new(&mut corpus, &mut index, hasher);
+        updater.insert_row(TableId(0), &["grace", "hopper", "arlington"]);
+    }
+    println!(
+        "after insert_row(grace hopper):        {}",
+        j_of(&corpus, &index)
+    );
+    assert_eq!(j_of(&corpus, &index), 2);
+
+    // Update a cell → posting moves, super key re-hashed.
+    {
+        let mut updater = IndexUpdater::new(&mut corpus, &mut index, hasher);
+        updater.update_cell(TableId(0), RowId(1), ColId(0), "alonzo");
+    }
+    println!(
+        "after update_cell(alan→alonzo):        {}",
+        j_of(&corpus, &index)
+    );
+    assert_eq!(j_of(&corpus, &index), 1);
+
+    // Add a column → cheap OR into existing super keys.
+    {
+        let mut updater = IndexUpdater::new(&mut corpus, &mut index, hasher);
+        updater.insert_column(TableId(0), Column::new("country", ["uk", "uk", "usa"]));
+    }
+    println!(
+        "after insert_column(country):          {}",
+        j_of(&corpus, &index)
+    );
+
+    // Delete the row again → swap-remove keeps the index aligned.
+    {
+        let mut updater = IndexUpdater::new(&mut corpus, &mut index, hasher);
+        updater.delete_row(TableId(0), RowId(2));
+    }
+    println!(
+        "after delete_row(grace hopper):        {}",
+        j_of(&corpus, &index)
+    );
+    assert_eq!(j_of(&corpus, &index), 0);
+
+    // ------------------------------------------------------ persistence --
+    let dir = std::env::temp_dir().join("mate-example");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let corpus_path = dir.join("corpus.seg");
+    let index_path = dir.join("index.seg");
+
+    persist::save_corpus(&corpus, &corpus_path).expect("save corpus");
+    persist::save_index(&index, &index_path).expect("save index");
+    println!(
+        "\nsaved corpus ({} bytes) and index ({} bytes)",
+        std::fs::metadata(&corpus_path).unwrap().len(),
+        std::fs::metadata(&index_path).unwrap().len()
+    );
+
+    let corpus2 = persist::load_corpus(&corpus_path).expect("load corpus");
+    let index2 = persist::load_index(&index_path).expect("load index");
+    assert_eq!(j_of(&corpus2, &index2), j_of(&corpus, &index));
+    println!("reloaded — discovery results identical.");
+
+    std::fs::remove_file(corpus_path).ok();
+    std::fs::remove_file(index_path).ok();
+}

@@ -1,0 +1,126 @@
+//! The Kaggle-movies observation from §7.3: composite keys find *richer*
+//! tables than unary keys.
+//!
+//! With the single key "Movie Title", the top joinable tables are junk —
+//! titles collide across rating lists, box-office snippets, etc. With the
+//! composite key (Director, Movie Title) the discovered table is the one
+//! with real additional content (plot, actors, ...).
+//!
+//! Run with: `cargo run --release --example movie_enrichment`
+
+use mate::prelude::*;
+
+fn main() {
+    let mut corpus = Corpus::new();
+
+    // Junk tables that share only movie titles (remakes, unrelated films).
+    corpus.add_table(
+        TableBuilder::new("ratings_list", ["title", "score"])
+            .row(["Solaris", "8.1"]) // Tarkovsky's? Soderbergh's? who knows
+            .row(["The Departed", "8.5"])
+            .row(["Heat", "8.3"])
+            .row(["Oldboy", "8.4"]) // 2003 or the 2013 remake?
+            .build(),
+    );
+    corpus.add_table(
+        TableBuilder::new("box_office", ["title", "gross"])
+            .row(["Heat", "187m"])
+            .row(["Solaris", "30m"])
+            .row(["Oldboy", "15m"])
+            .build(),
+    );
+
+    // The rich table: correct (director, title) pairs with plot and actors.
+    let rich = corpus.add_table(
+        TableBuilder::new(
+            "film_details",
+            ["director", "title", "year", "plot", "lead actor"],
+        )
+        .row([
+            "Andrei Tarkovsky",
+            "Solaris",
+            "1972",
+            "a psychologist visits a haunted space station",
+            "Donatas Banionis",
+        ])
+        .row([
+            "Martin Scorsese",
+            "The Departed",
+            "2006",
+            "a mole and an undercover cop hunt each other",
+            "Leonardo DiCaprio",
+        ])
+        .row([
+            "Michael Mann",
+            "Heat",
+            "1995",
+            "a master thief and a detective collide in LA",
+            "Al Pacino",
+        ])
+        .row([
+            "Park Chan-wook",
+            "Oldboy",
+            "2003",
+            "a man imprisoned for 15 years seeks answers",
+            "Choi Min-sik",
+        ])
+        .build(),
+    );
+
+    // A wrong-pairing table: right values, wrong combinations (the FP shape).
+    corpus.add_table(
+        TableBuilder::new("mixed_up_trivia", ["director", "title"])
+            .row(["Martin Scorsese", "Heat"])
+            .row(["Michael Mann", "Solaris"])
+            .row(["Andrei Tarkovsky", "Oldboy"])
+            .build(),
+    );
+
+    let query = TableBuilder::new("my_movies", ["director", "title", "my rating"])
+        .row(["Andrei Tarkovsky", "Solaris", "10"])
+        .row(["Martin Scorsese", "The Departed", "9"])
+        .row(["Michael Mann", "Heat", "9"])
+        .row(["Park Chan-wook", "Oldboy", "8"])
+        .build();
+
+    let hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(hasher).build(&corpus);
+    let mate = MateDiscovery::new(&corpus, &index, &hasher);
+
+    // Unary key: title only.
+    let unary = mate.discover(&query, &[ColId(1)], 3);
+    println!("top tables joinable on title alone:");
+    for t in &unary.top_k {
+        let table = corpus.table(t.table);
+        println!(
+            "  {:<16} j={} ({} extra cols)",
+            table.name,
+            t.joinability,
+            table.num_cols() - 1
+        );
+    }
+
+    // Composite key: (director, title).
+    let nary = mate.discover(&query, &[ColId(0), ColId(1)], 3);
+    println!("\ntop tables joinable on (director, title):");
+    for t in &nary.top_k {
+        let table = corpus.table(t.table);
+        println!(
+            "  {:<16} j={} ({} extra cols)",
+            table.name,
+            t.joinability,
+            table.num_cols() - 2
+        );
+    }
+
+    assert_eq!(nary.top_k[0].table, rich);
+    assert_eq!(nary.top_k[0].joinability, 4);
+    // The wrong-pairing table must not win under the composite key.
+    assert!(nary
+        .top_k
+        .iter()
+        .all(|t| corpus.table(t.table).name != "mixed_up_trivia" || t.joinability == 0));
+
+    let best = corpus.table(nary.top_k[0].table);
+    println!("\nenrichment columns gained: {:?}", &best.header()[2..]);
+}

@@ -1,0 +1,313 @@
+//! `mate` — command-line interface for the MATE join-discovery system.
+//!
+//! ```text
+//! mate generate --out DIR [--profile webtables|opendata|school] [--tables N] [--seed S]
+//! mate import   --dir CSVDIR --out corpus.seg
+//! mate index    --corpus corpus.seg --out index.seg [--bits 128|256|512] [--threads N]
+//! mate query    --corpus corpus.seg --index index.seg --query q.csv --key 0,1 [--k 10]
+//! mate stats    --corpus corpus.seg [--index index.seg]
+//! mate dedup    --corpus corpus.seg --index index.seg [--min-overlap 0.8]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the project keeps its dependency set
+//! minimal); every subcommand prints usage on `--help`.
+
+use mate::index::{persist, IndexBuilder};
+use mate::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "import" => cmd_import(&flags),
+        "index" => cmd_index(&flags),
+        "query" => cmd_query(&flags),
+        "stats" => cmd_stats(&flags),
+        "dedup" => cmd_dedup(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "mate — n-ary joinable table discovery (MATE, VLDB 2022)
+
+USAGE:
+  mate generate --out DIR [--profile webtables|opendata|school] [--tables N] [--seed S]
+  mate import   --dir CSVDIR --out corpus.seg
+  mate index    --corpus corpus.seg --out index.seg [--bits 128|256|512] [--threads N]
+  mate query    --corpus corpus.seg --index index.seg --query q.csv --key 0,1 [--k 10]
+  mate stats    --corpus corpus.seg [--index index.seg]
+  mate dedup    --corpus corpus.seg --index index.seg [--min-overlap 0.8]";
+
+/// Parses `--flag value` pairs.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{a}'"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn need<'a>(flags: &'a HashMap<String, String>, name: &str) -> Result<&'a str, String> {
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: invalid value '{v}'")),
+    }
+}
+
+fn hash_size(flags: &HashMap<String, String>) -> Result<HashSize, String> {
+    let bits: usize = parse_num(flags, "bits", 128)?;
+    HashSize::from_bits(bits).ok_or_else(|| format!("--bits must be 128, 256, or 512 (got {bits})"))
+}
+
+fn load_corpus(flags: &HashMap<String, String>) -> Result<Corpus, String> {
+    let path = need(flags, "corpus")?;
+    persist::load_corpus(path).map_err(|e| format!("loading corpus {path}: {e}"))
+}
+
+// --------------------------------------------------------------- commands --
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = PathBuf::from(need(flags, "out")?);
+    let tables: usize = parse_num(flags, "tables", 1000)?;
+    let seed: u64 = parse_num(flags, "seed", 42)?;
+    let profile = match flags
+        .get("profile")
+        .map(String::as_str)
+        .unwrap_or("webtables")
+    {
+        "webtables" => CorpusProfile::web_tables(0),
+        "opendata" => CorpusProfile::open_data(0),
+        "school" => CorpusProfile::school(0),
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    let mut generator = LakeGenerator::new(LakeSpec::new(profile, seed));
+    let mut corpus = Corpus::new();
+    let query = generator.generate_query(&mut corpus, &mate::lake::QuerySpec::default());
+    let planted = corpus.len();
+    generator.generate_noise(&mut corpus, tables.saturating_sub(planted));
+
+    let corpus_path = out.join("corpus.seg");
+    persist::save_corpus(&corpus, &corpus_path).map_err(|e| e.to_string())?;
+    let query_path = out.join("query.csv");
+    std::fs::write(&query_path, mate::table::csv::write_csv(&query.table))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "generated {} tables ({} rows) -> {}\nquery table with key columns {:?} -> {}",
+        corpus.len(),
+        corpus.total_rows(),
+        corpus_path.display(),
+        query.key.iter().map(|c| c.0).collect::<Vec<_>>(),
+        query_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_import(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = PathBuf::from(need(flags, "dir")?);
+    let out = need(flags, "out")?;
+    let mut corpus = Corpus::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        return Err(format!("no .csv files in {}", dir.display()));
+    }
+    for path in &entries {
+        let name = path
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let table = mate::table::csv::parse_csv(&name, &text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        corpus.add_table(table);
+    }
+    persist::save_corpus(&corpus, out).map_err(|e| e.to_string())?;
+    println!("imported {} csv files -> {out}", corpus.len());
+    Ok(())
+}
+
+fn cmd_index(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let out = need(flags, "out")?;
+    let size = hash_size(flags)?;
+    let threads: usize = parse_num(flags, "threads", 1)?;
+
+    let hasher = Xash::for_corpus(size, corpus.count_unique_values());
+    let t = std::time::Instant::now();
+    let index = IndexBuilder::new(hasher).parallel(threads).build(&corpus);
+    let elapsed = t.elapsed();
+    persist::save_index(&index, out).map_err(|e| e.to_string())?;
+    let stats = index.stats();
+    println!(
+        "indexed {} tables in {:.2}s: {} values, {} postings, {} super keys ({} bits, alpha {}) -> {out}",
+        corpus.len(),
+        elapsed.as_secs_f64(),
+        stats.num_values,
+        stats.num_postings,
+        stats.num_superkeys,
+        size.bits(),
+        hasher.config().alpha,
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let index_path = need(flags, "index")?;
+    let index = persist::load_index(index_path).map_err(|e| e.to_string())?;
+    let query_path = need(flags, "query")?;
+    let k: usize = parse_num(flags, "k", 10)?;
+
+    let text = std::fs::read_to_string(query_path).map_err(|e| format!("{query_path}: {e}"))?;
+    let query = mate::table::csv::parse_csv(
+        Path::new(query_path)
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .as_ref(),
+        &text,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let key: Vec<ColId> = need(flags, "key")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map(ColId)
+                .map_err(|_| format!("bad key column '{s}'"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Rebuild the hasher the index was made with.
+    if index.hasher_name() != "Xash" {
+        return Err(format!(
+            "index was built with '{}', expected Xash",
+            index.hasher_name()
+        ));
+    }
+    let hasher = Xash::for_corpus(index.hash_size(), corpus.count_unique_values());
+
+    let mate = MateDiscovery::new(&corpus, &index, &hasher);
+    let result = mate.discover(&query, &key, k);
+    println!(
+        "top-{k} joinable tables for key {:?} (checked {} candidate tables, {:.1}ms):",
+        key.iter().map(|c| c.0).collect::<Vec<_>>(),
+        result.stats.tables_evaluated,
+        result.stats.elapsed.as_secs_f64() * 1000.0
+    );
+    for (i, t) in result.top_k.iter().enumerate() {
+        let table = corpus.table(t.table);
+        println!(
+            "{:>3}. {} (id {}, {} rows x {} cols) joinability {}",
+            i + 1,
+            table.name,
+            t.table,
+            table.num_rows(),
+            table.num_cols(),
+            t.joinability
+        );
+    }
+    if result.top_k.is_empty() {
+        println!("  (no joinable tables found)");
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    println!(
+        "corpus: {} tables, {} columns, {} rows, {} cells, {} unique values",
+        corpus.len(),
+        corpus.total_cols(),
+        corpus.total_rows(),
+        corpus.total_cells(),
+        corpus.count_unique_values()
+    );
+    if let Some(index_path) = flags.get("index") {
+        let index = persist::load_index(index_path).map_err(|e| e.to_string())?;
+        let s = index.stats();
+        println!(
+            "index: hasher {} ({} bits), {} values, {} postings ({:.1} MB), superkeys {:.1} MB/row-layout ({:.1} MB/cell-layout)",
+            index.hasher_name(),
+            s.hash_bits,
+            s.num_values,
+            s.num_postings,
+            s.posting_bytes as f64 / 1048576.0,
+            s.superkey_bytes_per_row as f64 / 1048576.0,
+            s.superkey_bytes_per_cell as f64 / 1048576.0,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dedup(flags: &HashMap<String, String>) -> Result<(), String> {
+    let corpus = load_corpus(flags)?;
+    let index_path = need(flags, "index")?;
+    let index = persist::load_index(index_path).map_err(|e| e.to_string())?;
+    let min_overlap: f64 = parse_num(flags, "min-overlap", 0.8)?;
+    let dups = mate::apps::find_duplicate_tables(&corpus, &index, min_overlap);
+    println!(
+        "{} duplicate table pairs (row overlap >= {min_overlap}):",
+        dups.len()
+    );
+    for d in dups.iter().take(50) {
+        println!(
+            "  {} <-> {} overlap {:.2}",
+            corpus.table(d.a).name,
+            corpus.table(d.b).name,
+            d.row_overlap
+        );
+    }
+    Ok(())
+}

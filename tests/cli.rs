@@ -1,0 +1,195 @@
+//! Integration tests for the `mate` command-line tool: the full
+//! generate → index → query → stats → dedup pipeline through the binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mate"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mate-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = tmpdir("pipeline");
+    let dirs = dir.to_str().unwrap();
+
+    // generate
+    let out = mate()
+        .args(["generate", "--out", dirs, "--tables", "200", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("corpus.seg").exists());
+    assert!(dir.join("query.csv").exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let key_line = stdout.lines().find(|l| l.contains("key columns")).unwrap();
+    // Extract "[a, b]" from the output to build the --key argument.
+    let key: String = key_line
+        .split('[')
+        .nth(1)
+        .unwrap()
+        .split(']')
+        .next()
+        .unwrap()
+        .replace(' ', "");
+
+    // index
+    let corpus = dir.join("corpus.seg");
+    let index = dir.join("index.seg");
+    let out = mate()
+        .args([
+            "index",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(index.exists());
+
+    // query: the generated query table must find its planted joinable tables.
+    let out = mate()
+        .args([
+            "query",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--index",
+            index.to_str().unwrap(),
+            "--query",
+            dir.join("query.csv").to_str().unwrap(),
+            "--key",
+            &key,
+            "--k",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("joinable"), "{stdout}");
+    assert!(stdout.contains("joinability"), "no results: {stdout}");
+
+    // stats
+    let out = mate()
+        .args([
+            "stats",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--index",
+            index.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("corpus:") && stdout.contains("index:"),
+        "{stdout}"
+    );
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn import_and_dedup() {
+    let dir = tmpdir("import");
+    let csvdir = dir.join("csv");
+    std::fs::create_dir_all(&csvdir).unwrap();
+    std::fs::write(csvdir.join("a.csv"), "x,y\nk1,v1\nk2,v2\n").unwrap();
+    // b is a column-swapped duplicate of a.
+    std::fs::write(csvdir.join("b.csv"), "y,x\nv1,k1\nv2,k2\n").unwrap();
+    std::fs::write(csvdir.join("c.csv"), "z\nother\n").unwrap();
+
+    let corpus = dir.join("corpus.seg");
+    let out = mate()
+        .args([
+            "import",
+            "--dir",
+            csvdir.to_str().unwrap(),
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let index = dir.join("index.seg");
+    assert!(mate()
+        .args([
+            "index",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let out = mate()
+        .args([
+            "dedup",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--index",
+            index.to_str().unwrap(),
+            "--min-overlap",
+            "0.9",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("a <-> b"), "{stdout}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bad_arguments_fail_gracefully() {
+    let out = mate().args(["unknown-command"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = mate().args(["index"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --corpus"));
+
+    let out = mate().args(["query", "--corpus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = mate().args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: generate → index (sequential and parallel) →
+//! persist → reload → discover, asserting identical results at every stage.
+
+use mate::baselines::{DiscoverySystem, ScrDiscovery};
+use mate::index::persist;
+use mate::lake::QuerySpec;
+use mate::prelude::*;
+
+fn build_lake(seed: u64) -> (Corpus, mate::lake::GeneratedQuery) {
+    let mut generator = LakeGenerator::new(LakeSpec::new(CorpusProfile::web_tables(0), seed));
+    let mut corpus = Corpus::new();
+    let spec = QuerySpec {
+        rows: 25,
+        column_cardinality: 10,
+        joinable_tables: 4,
+        fp_tables: 12,
+        ..Default::default()
+    };
+    let query = generator.generate_query(&mut corpus, &spec);
+    generator.generate_noise(&mut corpus, 120);
+    (corpus, query)
+}
+
+#[test]
+fn pipeline_discovers_planted_tables() {
+    let (corpus, query) = build_lake(11);
+    let hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(hasher).build(&corpus);
+    let mate = MateDiscovery::new(&corpus, &index, &hasher);
+    let result = mate.discover(&query.table, &query.key, 10);
+
+    assert!(!result.top_k.is_empty());
+    assert!(
+        result.top_k[0].joinability >= query.planted_best,
+        "top-1 {} < planted {}",
+        result.top_k[0].joinability,
+        query.planted_best
+    );
+    // Every planted table must appear among candidates with j >= 1, i.e. the
+    // top-10 (only 4 planted + accidental noise) should include them all.
+    let found: std::collections::HashSet<u32> = result.top_k.iter().map(|t| t.table.0).collect();
+    let planted_found = query
+        .planted_tables
+        .iter()
+        .filter(|t| found.contains(&t.0))
+        .count();
+    assert!(
+        planted_found >= 3,
+        "only {planted_found}/4 planted tables in top-10"
+    );
+}
+
+#[test]
+fn parallel_index_gives_identical_discovery() {
+    let (corpus, query) = build_lake(12);
+    let hasher = Xash::new(HashSize::B128);
+    let seq = IndexBuilder::new(hasher).build(&corpus);
+    let par = IndexBuilder::new(hasher).parallel(4).build(&corpus);
+    let r1 = MateDiscovery::new(&corpus, &seq, &hasher).discover(&query.table, &query.key, 5);
+    let r2 = MateDiscovery::new(&corpus, &par, &hasher).discover(&query.table, &query.key, 5);
+    assert_eq!(r1.top_k, r2.top_k);
+    assert_eq!(r1.stats.rows_passed_filter, r2.stats.rows_passed_filter);
+}
+
+#[test]
+fn persistence_roundtrip_preserves_discovery() {
+    let (corpus, query) = build_lake(13);
+    let hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(hasher).build(&corpus);
+    let before = MateDiscovery::new(&corpus, &index, &hasher).discover(&query.table, &query.key, 5);
+
+    let corpus2 = persist::corpus_from_bytes(persist::corpus_to_bytes(&corpus)).unwrap();
+    let index2 = persist::index_from_bytes(persist::index_to_bytes(&index)).unwrap();
+    let after =
+        MateDiscovery::new(&corpus2, &index2, &hasher).discover(&query.table, &query.key, 5);
+    assert_eq!(before.top_k, after.top_k);
+}
+
+#[test]
+fn rehash_changes_efficiency_not_results() {
+    let (corpus, query) = build_lake(14);
+    let xash = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(xash).build(&corpus);
+
+    let md5 = mate::hash::Md5Hasher::new(HashSize::B128);
+    let index_md5 = index.rehash(&corpus, &md5);
+
+    let r_xash = MateDiscovery::new(&corpus, &index, &xash).discover(&query.table, &query.key, 5);
+    let r_md5 = MateDiscovery::new(&corpus, &index_md5, &md5).discover(&query.table, &query.key, 5);
+
+    assert_eq!(r_xash.top_k, r_md5.top_k, "results are hash-independent");
+    assert!(
+        r_xash.stats.rows_passed_filter <= r_md5.stats.rows_passed_filter,
+        "XASH must filter at least as hard as a digest hash"
+    );
+}
+
+#[test]
+fn scr_fetches_everything_mate_filters() {
+    let (corpus, query) = build_lake(15);
+    let hasher = Xash::new(HashSize::B128);
+    let index = IndexBuilder::new(hasher).build(&corpus);
+
+    let mate = MateDiscovery::new(&corpus, &index, &hasher);
+    let scr = ScrDiscovery::new(&corpus, &index, &hasher);
+    let rm = mate.discover(&query.table, &query.key, 10);
+    let rs = scr.discover(&query.table, &query.key, 10);
+
+    assert_eq!(rm.top_k, rs.top_k);
+    assert!(rm.stats.rows_passed_filter <= rs.stats.rows_passed_filter);
+    assert!(rm.stats.precision() >= rs.stats.precision());
+    // With 12 planted FP tables there must be real FP pressure on SCR.
+    assert!(
+        rs.stats.false_positive_rows > 0,
+        "lake should generate FPs for SCR"
+    );
+}
+
+#[test]
+fn different_hash_sizes_same_answers() {
+    let (corpus, query) = build_lake(16);
+    for size in [HashSize::B128, HashSize::B256, HashSize::B512] {
+        let hasher = Xash::new(size);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let r = MateDiscovery::new(&corpus, &index, &hasher).discover(&query.table, &query.key, 3);
+        assert!(
+            r.top_k[0].joinability >= query.planted_best,
+            "size {size}: {} < planted",
+            r.top_k[0].joinability
+        );
+    }
+}

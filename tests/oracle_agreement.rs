@@ -1,0 +1,131 @@
+//! Property tests: every discovery system agrees with the brute-force
+//! oracle on random lakes, and super keys never drop a joinable row.
+
+use mate::baselines::{oracle_topk, DiscoverySystem, McrDiscovery, ScrDiscovery};
+use mate::lake::QuerySpec;
+use mate::prelude::*;
+use proptest::prelude::*;
+
+/// Builds a small random lake from proptest-chosen parameters.
+fn build(
+    seed: u64,
+    rows: usize,
+    card: usize,
+    key_size: usize,
+) -> (Corpus, mate::lake::GeneratedQuery) {
+    let mut generator = LakeGenerator::new(LakeSpec::new(CorpusProfile::web_tables(0), seed));
+    let mut corpus = Corpus::new();
+    let spec = QuerySpec {
+        rows,
+        key_size,
+        payload_cols: 2,
+        column_cardinality: card,
+        column_cardinalities: None,
+        joinable_tables: 3,
+        fp_tables: 6,
+        share_range: (0.2, 0.9),
+        duplication: (1, 2),
+        fp_rows: (5, 15),
+        hard_fp_fraction: 0.15,
+        noise_rows: (3, 10),
+    };
+    let query = generator.generate_query(&mut corpus, &spec);
+    generator.generate_noise(&mut corpus, 40);
+    (corpus, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MATE's top-k joinability scores equal the exhaustive ground truth.
+    #[test]
+    fn mate_matches_oracle(seed in 0u64..10_000, rows in 5usize..40, key_size in 1usize..4) {
+        let (corpus, query) = build(seed, rows, 8, key_size);
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let mate = MateDiscovery::new(&corpus, &index, &hasher)
+            .discover(&query.table, &query.key, 5);
+        let oracle = oracle_topk(&corpus, &query.table, &query.key, 5);
+
+        let mate_scores: Vec<u64> = mate.top_k.iter().map(|t| t.joinability).collect();
+        let oracle_scores: Vec<u64> = oracle.iter().map(|t| t.joinability).collect();
+        prop_assert_eq!(mate_scores, oracle_scores);
+    }
+
+    /// SCR and MCR agree with MATE on the returned scores.
+    #[test]
+    fn systems_agree(seed in 0u64..10_000, rows in 5usize..30) {
+        let (corpus, query) = build(seed, rows, 6, 2);
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+
+        let mate = MateDiscovery::new(&corpus, &index, &hasher)
+            .discover(&query.table, &query.key, 5);
+        let scr = ScrDiscovery::new(&corpus, &index, &hasher)
+            .discover(&query.table, &query.key, 5);
+        let mcr = McrDiscovery::new(&corpus, &index)
+            .discover(&query.table, &query.key, 5);
+
+        prop_assert_eq!(&mate.top_k, &scr.top_k);
+        let mate_scores: Vec<u64> = mate.top_k.iter().map(|t| t.joinability).collect();
+        let mcr_scores: Vec<u64> = mcr.top_k.iter().map(|t| t.joinability).collect();
+        prop_assert_eq!(mate_scores, mcr_scores);
+    }
+
+    /// The no-false-negatives lemma (§6.3) at the structural level: every
+    /// value subset of a row is covered by the row's super key, for every
+    /// hash function.
+    #[test]
+    fn superkey_never_misses(values in proptest::collection::vec("[a-z0-9 ]{0,20}", 1..8)) {
+        use mate::hash::{superkey_dyn, RowHasher};
+        let normalized: Vec<String> =
+            values.iter().map(|v| mate::table::normalize(v)).collect();
+        let refs: Vec<&str> = normalized.iter().map(String::as_str).collect();
+
+        let hashers: Vec<Box<dyn RowHasher>> = vec![
+            Box::new(Xash::new(HashSize::B128)),
+            Box::new(Xash::new(HashSize::B512)),
+            Box::new(mate::hash::BloomFilterHasher::new(HashSize::B128, 7)),
+            Box::new(mate::hash::LessHashBloomFilter::new(HashSize::B128, 7)),
+            Box::new(mate::hash::HashTableHasher::new(HashSize::B128)),
+            Box::new(mate::hash::Md5Hasher::new(HashSize::B128)),
+            Box::new(mate::hash::SimHashHasher::new(HashSize::B128)),
+        ];
+        for hasher in &hashers {
+            let sk = superkey_dyn(hasher.as_ref(), &refs);
+            // Any combination of the row's values must be covered.
+            for a in &refs {
+                for b in &refs {
+                    let mut key = hasher.hash_value(a);
+                    key.or_assign(&hasher.hash_value(b));
+                    prop_assert!(
+                        key.covered_by(sk.words()),
+                        "{} missed ({a:?}, {b:?})",
+                        hasher.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Discovery-level no-false-negatives: the filtered engine returns the
+    /// same score set as the engine with filtering disabled.
+    #[test]
+    fn filtering_is_lossless(seed in 0u64..10_000) {
+        let (corpus, query) = build(seed, 20, 8, 2);
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+
+        let with = MateDiscovery::new(&corpus, &index, &hasher)
+            .discover(&query.table, &query.key, 5);
+        let without = MateDiscovery::with_config(
+            &corpus,
+            &index,
+            &hasher,
+            MateConfig { row_filtering: false, table_filtering: false, ..Default::default() },
+        )
+        .discover(&query.table, &query.key, 5);
+
+        prop_assert_eq!(with.top_k, without.top_k);
+    }
+}

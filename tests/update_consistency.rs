@@ -1,0 +1,154 @@
+//! Property test: arbitrary edit sequences through `IndexUpdater` leave the
+//! index identical to a fresh rebuild of the edited corpus (§5.4).
+
+use mate::index::{IndexBuilder, IndexUpdater, InvertedIndex};
+use mate::prelude::*;
+use mate::table::Column;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Edit {
+    InsertTable {
+        rows: Vec<(String, String)>,
+    },
+    InsertRow {
+        table: usize,
+        a: String,
+        b: String,
+    },
+    UpdateCell {
+        table: usize,
+        row: usize,
+        col: usize,
+        value: String,
+    },
+    DeleteRow {
+        table: usize,
+        row: usize,
+    },
+    DeleteTable {
+        table: usize,
+    },
+    InsertColumn {
+        table: usize,
+        prefix: String,
+    },
+    DeleteColumn {
+        table: usize,
+        col: usize,
+    },
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    let val = "[a-z]{1,6}";
+    prop_oneof![
+        proptest::collection::vec((val, val), 1..4).prop_map(|rows| Edit::InsertTable { rows }),
+        (0usize..6, val, val).prop_map(|(table, a, b)| Edit::InsertRow { table, a, b }),
+        (0usize..6, 0usize..6, 0usize..4, val).prop_map(|(table, row, col, value)| {
+            Edit::UpdateCell {
+                table,
+                row,
+                col,
+                value,
+            }
+        }),
+        (0usize..6, 0usize..6).prop_map(|(table, row)| Edit::DeleteRow { table, row }),
+        (0usize..6).prop_map(|table| Edit::DeleteTable { table }),
+        (0usize..6, val).prop_map(|(table, prefix)| Edit::InsertColumn { table, prefix }),
+        (0usize..6, 0usize..4).prop_map(|(table, col)| Edit::DeleteColumn { table, col }),
+    ]
+}
+
+fn assert_matches_rebuild(corpus: &Corpus, index: &InvertedIndex, hasher: Xash) {
+    let fresh = IndexBuilder::new(hasher).build(corpus);
+    assert_eq!(index.num_values(), fresh.num_values());
+    for (v, pl) in fresh.iter_values() {
+        assert_eq!(index.posting_list(v), Some(pl), "postings of {v:?}");
+    }
+    for (tid, table) in corpus.iter() {
+        for r in 0..table.num_rows() {
+            assert_eq!(
+                index.superkey(tid, RowId::from(r)),
+                fresh.superkey(tid, RowId::from(r)),
+                "superkey {tid}/{r}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_edit_sequences_stay_consistent(edits in proptest::collection::vec(edit_strategy(), 1..25)) {
+        let hasher = Xash::new(HashSize::B128);
+        let mut corpus = Corpus::new();
+        corpus.add_table(
+            TableBuilder::new("t0", ["a", "b"])
+                .row(["alpha", "beta"])
+                .row(["gamma", "delta"])
+                .build(),
+        );
+        let mut index = IndexBuilder::new(hasher).build(&corpus);
+
+        for edit in edits {
+            // Snapshot corpus shape before borrowing it mutably.
+            let ntables = corpus.len();
+            let shape: Vec<(usize, usize)> = (0..ntables)
+                .map(|t| {
+                    let tb = corpus.table(TableId::from(t));
+                    (tb.num_rows(), tb.num_cols())
+                })
+                .collect();
+            let mut updater = IndexUpdater::new(&mut corpus, &mut index, hasher);
+            match edit {
+                Edit::InsertTable { rows } => {
+                    let mut b = TableBuilder::new("t", ["x", "y"]);
+                    for (a, bb) in &rows {
+                        b = b.row([a.as_str(), bb.as_str()]);
+                    }
+                    updater.insert_table(b.build());
+                }
+                Edit::InsertRow { table, a, b } => {
+                    let t = table % ntables;
+                    if shape[t].1 == 2 {
+                        updater.insert_row(TableId::from(t), &[a.as_str(), b.as_str()]);
+                    }
+                }
+                Edit::UpdateCell { table, row, col, value } => {
+                    let t = table % ntables;
+                    let (nrows, ncols) = shape[t];
+                    if nrows > 0 && ncols > 0 {
+                        let row = RowId::from(row % nrows);
+                        let col = ColId::from(col % ncols);
+                        updater.update_cell(TableId::from(t), row, col, &value);
+                    }
+                }
+                Edit::DeleteRow { table, row } => {
+                    let t = table % ntables;
+                    let nrows = shape[t].0;
+                    if nrows > 0 {
+                        updater.delete_row(TableId::from(t), RowId::from(row % nrows));
+                    }
+                }
+                Edit::DeleteTable { table } => {
+                    updater.delete_table(TableId::from(table % ntables));
+                }
+                Edit::InsertColumn { table, prefix } => {
+                    let t = table % ntables;
+                    let values: Vec<String> =
+                        (0..shape[t].0).map(|i| format!("{prefix}{i}")).collect();
+                    updater.insert_column(TableId::from(t), Column::new("new", values));
+                }
+                Edit::DeleteColumn { table, col } => {
+                    let t = table % ntables;
+                    let ncols = shape[t].1;
+                    if ncols > 1 {
+                        updater.delete_column(TableId::from(t), ColId::from(col % ncols));
+                    }
+                }
+            }
+            assert_matches_rebuild(&corpus, &index, hasher);
+        }
+    }
+}
