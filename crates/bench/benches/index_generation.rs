@@ -24,6 +24,8 @@ fn main() {
             "Build (1 thread)",
             "Build (8 threads)",
             "Postings MB",
+            "Store MB (flat)",
+            "Store MB (per-value)",
             "Superkeys/row MB",
             "Superkeys/cell MB",
             "Segment MB",
@@ -49,10 +51,13 @@ fn main() {
         let mb = |b: usize| format!("{:.1}", b as f64 / 1_048_576.0);
 
         eprintln!(
-            "[index] {name}: seq {} par {} ({} postings)",
+            "[index] {name}: seq {} par {} ({} postings; posting store {} MB \
+             flat vs {} MB per-value map)",
             fmt_duration(seq_time),
             fmt_duration(par_time),
-            stats.num_postings
+            stats.num_postings,
+            mb(stats.posting_store_bytes),
+            mb(stats.posting_map_bytes),
         );
         report.row(vec![
             name.to_string(),
@@ -61,6 +66,8 @@ fn main() {
             fmt_duration(seq_time),
             fmt_duration(par_time),
             mb(stats.posting_bytes),
+            mb(stats.posting_store_bytes),
+            mb(stats.posting_map_bytes),
             mb(stats.superkey_bytes_per_row),
             mb(stats.superkey_bytes_per_cell),
             mb(seg_bytes),

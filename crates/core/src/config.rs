@@ -53,6 +53,12 @@ pub struct MateConfig {
     /// Safety cap on the number of injective column mappings enumerated per
     /// row pair during verification (factorial blow-up guard; Eq. 3).
     pub max_mappings_per_row: usize,
+    /// Worker threads for the per-candidate-table loop of Algorithm 1
+    /// (values < 2 mean sequential). Any thread count returns results
+    /// bit-identical to the sequential engine; see
+    /// [`crate::discovery`] for the pruning protocol that keeps the §6.2
+    /// filtering rules sound across workers.
+    pub query_threads: usize,
 }
 
 impl Default for MateConfig {
@@ -62,6 +68,7 @@ impl Default for MateConfig {
             table_filtering: true,
             row_filtering: true,
             max_mappings_per_row: 10_000,
+            query_threads: 1,
         }
     }
 }

@@ -1,16 +1,45 @@
-//! The MATE discovery engine — Algorithm 1 of the paper.
+//! The MATE discovery engine — Algorithm 1 of the paper, sequential or
+//! multi-threaded.
+//!
+//! # Parallel discovery
+//!
+//! With [`MateConfig::query_threads`] ≥ 2, the per-candidate-table loop
+//! (posting-group scan → super-key row filtering → `calculateJ`
+//! verification) runs on a crossbeam-scoped worker pool. Workers pull
+//! candidates from the PL-count-sorted list through an atomic cursor and
+//! share the current top-k floor `j_k` through an `AtomicU64`, so the two
+//! table-filtering rules of §6.2 keep pruning across workers.
+//!
+//! The result is **bit-identical** to the sequential engine:
+//!
+//! * The shared floor is the k-th best joinability of the *subset* of tables
+//!   finished so far, which never exceeds the final `j_k`. Parallel pruning
+//!   compares bounds with **strict** `<` (the sequential engine uses `≤`):
+//!   a pruned table has `j ≤ bound < floor ≤ final j_k`, so it can never
+//!   belong to the final top-k — not even as a tie, since ties at `j_k`
+//!   never evict. Sequential `≤`-pruning is equally lossless, so both paths
+//!   drop only tables the full scan would discard anyway.
+//! * Workers record `(candidate position, table, j)` for every table they
+//!   fully evaluate; the merge replays those in candidate order into a fresh
+//!   [`TopK`], reproducing the sequential tie-breaking exactly.
+//!
+//! Because the sorted candidate order makes rule 1 a *global* stop ("no
+//! later table can win either"), the first worker that proves it raises a
+//! shared stop flag instead of merely skipping its own candidate.
 
 use crate::config::MateConfig;
 use crate::init_column::select_initial_column;
 use crate::joinability::{verify_table_joinability, RowPair};
 use crate::query_keys::QueryKeyMap;
-use crate::stats::DiscoveryStats;
+use crate::stats::{DiscoveryStats, WorkerStats};
 pub use crate::topk::TableResult;
 use crate::topk::TopK;
 use mate_hash::fx::FxHashMap;
 use mate_hash::{covers, RowHasher};
 use mate_index::{InvertedIndex, PostingEntry};
 use mate_table::{ColId, Corpus, Table, TableId};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Output of a discovery run: the top-k joinable tables plus instrumentation.
@@ -72,7 +101,9 @@ impl<'a> MateDiscovery<'a> {
     }
 
     /// Finds the top-`k` tables joinable with `query` on the composite key
-    /// `q_cols` (Algorithm 1).
+    /// `q_cols` (Algorithm 1). Runs on [`MateConfig::query_threads`] worker
+    /// threads; any thread count returns results bit-identical to the
+    /// sequential engine.
     ///
     /// # Panics
     /// Panics if `q_cols` is empty, contains duplicates, or indexes columns
@@ -120,61 +151,243 @@ impl<'a> MateDiscovery<'a> {
         candidates.sort_unstable_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
         stats.candidate_tables = candidates.len();
 
-        let mut topk = TopK::new(k);
+        let threads = self.config.query_threads.max(1);
+        stats.query_threads = threads;
+        let shared = SharedCtx {
+            corpus: self.corpus,
+            index: self.index,
+            config: &self.config,
+            query,
+            q_cols,
+            key_map: &key_map,
+            values: &values,
+        };
+        let top_k = if threads <= 1 || candidates.len() < 2 {
+            Self::discover_sequential(&shared, &candidates, k, &mut stats)
+        } else {
+            Self::discover_parallel(&shared, &candidates, k, threads, &mut stats)
+        };
 
-        // ---- Per-table loop (line 7) ------------------------------------
-        'tables: for (tid_raw, table_pls) in candidates {
-            let tid = TableId(tid_raw);
+        stats.elapsed = start.elapsed();
+        DiscoveryResult { top_k, stats }
+    }
+
+    /// The sequential per-table loop (line 7), exactly the seed engine.
+    fn discover_sequential(
+        ctx: &SharedCtx<'_>,
+        candidates: &[(u32, Vec<(u32, PostingEntry)>)],
+        k: usize,
+        stats: &mut DiscoveryStats,
+    ) -> Vec<TableResult> {
+        let mut topk = TopK::new(k);
+        let mut worker = WorkerStats::default();
+
+        for (tid_raw, table_pls) in candidates {
             let l_t = table_pls.len();
 
             // Table filtering rule 1 (line 9): tables are sorted, so once the
             // PL count cannot beat j_k nothing later can either.
-            if self.config.table_filtering && topk.is_full() && l_t as u64 <= topk.min_joinability()
+            if ctx.config.table_filtering && topk.is_full() && l_t as u64 <= topk.min_joinability()
             {
                 stats.stopped_early_rule1 = true;
-                break 'tables;
+                break;
             }
 
-            stats.tables_evaluated += 1;
-            let mut r_checked = 0usize;
-            let mut r_match = 0usize;
-            let mut pairs: Vec<RowPair> = Vec::new();
-            let mut seen_pairs: mate_hash::fx::FxHashSet<(u32, u32)> =
-                mate_hash::fx::FxHashSet::default();
+            let floor = if ctx.config.table_filtering && topk.is_full() {
+                // Sequential rule 2 abandons when the bound is ≤ j_k.
+                Some(topk.min_joinability() + 1)
+            } else {
+                None
+            };
+            match evaluate_candidate(ctx, TableId(*tid_raw), table_pls, floor, &mut worker) {
+                Some(joinability) => topk.update(TableId(*tid_raw), joinability),
+                None => continue,
+            }
+        }
 
-            // ---- Row filtering (lines 13-20) ----------------------------
-            for (vid, entry) in table_pls {
-                // Table filtering rule 2 (line 14): even if every remaining
-                // row matched, the table cannot beat j_k.
-                if self.config.table_filtering
-                    && topk.is_full()
-                    && (l_t - r_checked + r_match) as u64 <= topk.min_joinability()
-                {
-                    stats.tables_skipped_rule2 += 1;
-                    continue 'tables;
-                }
-                r_checked += 1;
+        worker.fold_into(stats);
+        stats.per_worker.clear(); // sequential runs report aggregates only
+        topk.into_sorted()
+    }
 
-                let value = values[vid as usize];
-                let superkey = self.index.superkey(entry.table, entry.row);
-                let mut entry_matched = false;
-                for qk in key_map.rows_for(value) {
-                    let pair_key = (entry.row.0, qk.row.0);
-                    if seen_pairs.contains(&pair_key) {
-                        // The same (row, query row) pair can surface through
-                        // multiple PL items when the value occurs in several
-                        // columns of the row.
-                        entry_matched = true;
-                        continue;
+    /// The parallel per-table loop: an atomic cursor over the sorted
+    /// candidates, a shared `j_k` floor, and a deterministic merge.
+    fn discover_parallel(
+        ctx: &SharedCtx<'_>,
+        candidates: &[(u32, Vec<(u32, PostingEntry)>)],
+        k: usize,
+        threads: usize,
+        stats: &mut DiscoveryStats,
+    ) -> Vec<TableResult> {
+        // 0 while the shared top-k is not full; `j_k` once it is (admitted
+        // scores are ≥ 1, so 0 is a safe sentinel).
+        let floor = AtomicU64::new(0);
+        let cursor = AtomicUsize::new(0);
+        let stopped = AtomicBool::new(false);
+        let shared_topk = Mutex::new(TopK::new(k));
+        // One slot per worker: (candidate position, table, j) + counters.
+        type WorkerOut = (Vec<(usize, u32, u64)>, WorkerStats, bool);
+        let mut outputs: Vec<Option<WorkerOut>> = Vec::new();
+        outputs.resize_with(threads, || None);
+
+        crossbeam::thread::scope(|scope| {
+            for slot in outputs.iter_mut() {
+                let floor = &floor;
+                let cursor = &cursor;
+                let stopped = &stopped;
+                let shared_topk = &shared_topk;
+                scope.spawn(move |_| {
+                    let mut results: Vec<(usize, u32, u64)> = Vec::new();
+                    let mut worker = WorkerStats::default();
+                    let mut hit_rule1 = false;
+                    loop {
+                        if stopped.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Snapshot the floor *before* claiming: every score
+                        // in it then comes from candidates claimed earlier,
+                        // i.e. positions before ours — a subset of what the
+                        // sequential engine knows at this position. That
+                        // keeps parallel pruning weaker-or-equal, so the
+                        // evaluated set is a superset of the sequential one
+                        // (the per-worker stats tests rely on this; reading
+                        // the floor after claiming could see scores of
+                        // *later* candidates and over-prune).
+                        let jk = floor.load(Ordering::Relaxed);
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((tid_raw, table_pls)) = candidates.get(at) else {
+                            break;
+                        };
+
+                        // Rule 1, strict form: the shared floor never exceeds
+                        // the final j_k, so `l_t < floor` proves this table —
+                        // and every later (smaller) one — is out.
+                        if ctx.config.table_filtering && jk > 0 && (table_pls.len() as u64) < jk {
+                            stopped.store(true, Ordering::Relaxed);
+                            hit_rule1 = true;
+                            break;
+                        }
+
+                        let floor_arg = if ctx.config.table_filtering && jk > 0 {
+                            Some(jk)
+                        } else {
+                            None
+                        };
+                        let Some(joinability) = evaluate_candidate(
+                            ctx,
+                            TableId(*tid_raw),
+                            table_pls,
+                            floor_arg,
+                            &mut worker,
+                        ) else {
+                            continue;
+                        };
+                        results.push((at, *tid_raw, joinability));
+                        if joinability > 0 {
+                            let mut topk = shared_topk.lock().expect("topk lock");
+                            topk.update(TableId(*tid_raw), joinability);
+                            if topk.is_full() {
+                                // Floors from different workers only ever
+                                // grow; store keeps the freshest k-th best.
+                                floor.store(topk.min_joinability(), Ordering::Relaxed);
+                            }
+                        }
                     }
-                    let passes = if self.config.row_filtering {
-                        stats.rows_filter_checked += 1;
+                    *slot = Some((results, worker, hit_rule1));
+                });
+            }
+        })
+        .expect("discovery worker panicked");
+
+        // Deterministic merge: replay fully-evaluated tables in candidate
+        // order into a fresh top-k — identical tie-breaking to sequential.
+        let mut merged: Vec<(usize, u32, u64)> = Vec::new();
+        for slot in outputs {
+            let (results, worker, hit_rule1) = slot.expect("worker did not report");
+            merged.extend(results);
+            stats.stopped_early_rule1 |= hit_rule1;
+            worker.fold_into(stats);
+            stats.per_worker.push(worker);
+        }
+        merged.sort_unstable_by_key(|&(at, _, _)| at);
+        let mut topk = TopK::new(k);
+        for (_, tid_raw, joinability) in merged {
+            topk.update(TableId(tid_raw), joinability);
+        }
+        topk.into_sorted()
+    }
+}
+
+/// Read-only state shared by every worker of one discovery run.
+struct SharedCtx<'a> {
+    corpus: &'a Corpus,
+    index: &'a InvertedIndex,
+    config: &'a MateConfig,
+    query: &'a Table,
+    q_cols: &'a [ColId],
+    key_map: &'a QueryKeyMap,
+    values: &'a [&'a str],
+}
+
+/// Runs row filtering (lines 13-20) and `calculateJ` (lines 21-22) for one
+/// candidate table.
+///
+/// `floor` is the pruning threshold for table-filtering rule 2 (line 14):
+/// the table is abandoned (returning `None`) once even a perfect remainder
+/// could not reach `floor`. Sequential callers pass `j_k + 1` (the seed's
+/// `≤ j_k` test); parallel callers pass the shared floor itself, whose
+/// strict `<` comparison stays lossless while other workers are still
+/// raising it.
+#[allow(clippy::explicit_counter_loop)] // r_checked is part of the rule-2 bound
+fn evaluate_candidate(
+    ctx: &SharedCtx<'_>,
+    tid: TableId,
+    table_pls: &[(u32, PostingEntry)],
+    floor: Option<u64>,
+    worker: &mut WorkerStats,
+) -> Option<u64> {
+    let l_t = table_pls.len();
+    worker.tables_evaluated += 1;
+    let mut r_checked = 0usize;
+    let mut r_match = 0usize;
+    let mut pairs: Vec<RowPair> = Vec::new();
+    // (candidate row, query row) → did it pass the super-key filter?
+    // Memoizing failures too keeps this a single probe per occurrence (the
+    // same pair resurfaces when a value hits several columns of one row).
+    let mut seen_pairs: FxHashMap<(u32, u32), bool> = FxHashMap::default();
+
+    // ---- Row filtering (lines 13-20) ----------------------------------
+    for (vid, entry) in table_pls {
+        // Table filtering rule 2 (line 14): even if every remaining row
+        // matched, the table cannot reach the floor.
+        if let Some(floor) = floor {
+            if ((l_t - r_checked + r_match) as u64) < floor {
+                // The table stays counted in `tables_evaluated` (its row
+                // scan started) — the seed's accounting.
+                worker.tables_skipped_rule2 += 1;
+                return None;
+            }
+        }
+        r_checked += 1;
+
+        let value = ctx.values[*vid as usize];
+        let superkey = ctx.index.superkey(entry.table, entry.row);
+        let mut entry_matched = false;
+        for qk in ctx.key_map.rows_for(value) {
+            let pair_key = (entry.row.0, qk.row.0);
+            match seen_pairs.entry(pair_key) {
+                std::collections::hash_map::Entry::Occupied(seen) => {
+                    entry_matched |= *seen.get();
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let passes = if ctx.config.row_filtering {
+                        worker.rows_filter_checked += 1;
                         covers(superkey, qk.superkey.words())
                     } else {
                         true
                     };
+                    slot.insert(passes);
                     if passes {
-                        seen_pairs.insert(pair_key);
                         pairs.push(RowPair {
                             candidate_row: entry.row,
                             query_row: qk.row,
@@ -183,33 +396,27 @@ impl<'a> MateDiscovery<'a> {
                         entry_matched = true;
                     }
                 }
-                if entry_matched {
-                    r_match += 1;
-                }
             }
-            stats.rows_passed_filter += pairs.len();
-
-            // ---- calculateJ (lines 21-22) --------------------------------
-            let candidate = self.corpus.table(tid);
-            let outcome = verify_table_joinability(
-                candidate,
-                query,
-                q_cols,
-                &pairs,
-                self.config.max_mappings_per_row,
-            );
-            stats.rows_verified_joinable += outcome.true_positive_pairs;
-            stats.false_positive_rows += outcome.pairs_checked - outcome.true_positive_pairs;
-            stats.mappings_capped |= outcome.mappings_capped;
-            topk.update(tid, outcome.joinability);
         }
-
-        stats.elapsed = start.elapsed();
-        DiscoveryResult {
-            top_k: topk.into_sorted(),
-            stats,
+        if entry_matched {
+            r_match += 1;
         }
     }
+    worker.rows_passed_filter += pairs.len();
+
+    // ---- calculateJ (lines 21-22) --------------------------------------
+    let candidate = ctx.corpus.table(tid);
+    let outcome = verify_table_joinability(
+        candidate,
+        ctx.query,
+        ctx.q_cols,
+        &pairs,
+        ctx.config.max_mappings_per_row,
+    );
+    worker.rows_verified_joinable += outcome.true_positive_pairs;
+    worker.false_positive_rows += outcome.pairs_checked - outcome.true_positive_pairs;
+    worker.mappings_capped |= outcome.mappings_capped;
+    Some(outcome.joinability)
 }
 
 fn validate_key(query: &Table, q_cols: &[ColId]) {
@@ -345,6 +552,8 @@ mod tests {
         assert!(s.rows_filter_checked > 0);
         assert!(s.rows_verified_joinable >= 5);
         assert!(s.precision() > 0.0);
+        assert_eq!(s.query_threads, 1);
+        assert!(s.per_worker.is_empty());
     }
 
     #[test]
@@ -446,5 +655,127 @@ mod tests {
         let (corpus, index, _, _) = setup();
         let wrong = mate_hash::BloomFilterHasher::new(HashSize::B128, 3);
         MateDiscovery::new(&corpus, &index, &wrong);
+    }
+
+    // ------------------------------------------------------- parallelism --
+
+    /// A corpus large enough that several workers stay busy, with planted
+    /// joins of different strengths so the top-k ordering is non-trivial.
+    fn wide_setup() -> (Corpus, Table) {
+        let mut corpus = Corpus::new();
+        for t in 0..60u32 {
+            let mut tb = TableBuilder::new(format!("t{t}"), ["a", "b", "c"]);
+            // Table t contains the first (t % 13) query key combos, plus
+            // noise rows sharing individual values in wrong combinations.
+            for i in 0..(t % 13) {
+                tb = tb.row([format!("k{i}"), format!("v{i}"), format!("w{i}")]);
+            }
+            for i in 0..8u32 {
+                tb = tb.row([
+                    format!("k{}", (i + t) % 12),
+                    format!("v{}", (i + t + 1) % 12),
+                    format!("noise{t}-{i}"),
+                ]);
+            }
+            corpus.add_table(tb.build());
+        }
+        let mut query = TableBuilder::new("q", ["x", "y", "z"]);
+        for i in 0..12 {
+            query = query.row([format!("k{i}"), format!("v{i}"), format!("w{i}")]);
+        }
+        (corpus, query.build())
+    }
+
+    #[test]
+    fn parallel_discover_matches_sequential_exactly() {
+        let (corpus, query) = wide_setup();
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let key = [ColId(0), ColId(1), ColId(2)];
+        for k in [1, 3, 7, 100] {
+            let seq = MateDiscovery::new(&corpus, &index, &hasher).discover(&query, &key, k);
+            for threads in [2, 4, 8] {
+                let cfg = MateConfig {
+                    query_threads: threads,
+                    ..Default::default()
+                };
+                let par = MateDiscovery::with_config(&corpus, &index, &hasher, cfg)
+                    .discover(&query, &key, k);
+                assert_eq!(seq.top_k, par.top_k, "k={k} threads={threads}");
+                assert_eq!(par.stats.query_threads, threads);
+                assert_eq!(par.stats.per_worker.len(), threads);
+                // Worker counters sum to the aggregates.
+                let evaluated: usize = par
+                    .stats
+                    .per_worker
+                    .iter()
+                    .map(|w| w.tables_evaluated)
+                    .sum();
+                assert_eq!(evaluated, par.stats.tables_evaluated);
+                // Nothing is double-counted or lost entirely.
+                assert!(par.stats.tables_evaluated <= par.stats.candidate_tables);
+                assert!(par.stats.rows_verified_joinable >= seq.stats.rows_verified_joinable);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_filter_toggles() {
+        let (corpus, query) = wide_setup();
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let key = [ColId(0), ColId(1), ColId(2)];
+        for (table_filtering, row_filtering) in [(false, true), (true, false), (false, false)] {
+            let seq_cfg = MateConfig {
+                table_filtering,
+                row_filtering,
+                ..Default::default()
+            };
+            let par_cfg = MateConfig {
+                query_threads: 4,
+                ..seq_cfg.clone()
+            };
+            let seq = MateDiscovery::with_config(&corpus, &index, &hasher, seq_cfg)
+                .discover(&query, &key, 5);
+            let par = MateDiscovery::with_config(&corpus, &index, &hasher, par_cfg)
+                .discover(&query, &key, 5);
+            assert_eq!(seq.top_k, par.top_k);
+            if !table_filtering {
+                // With pruning off every candidate is fully evaluated, so
+                // even the aggregate counters agree exactly.
+                assert_eq!(par.stats.tables_evaluated, par.stats.candidate_tables);
+                assert_eq!(seq.stats.rows_passed_filter, par.stats.rows_passed_filter);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_edge_shapes() {
+        let (corpus, index, hasher, query) = setup();
+        let cfg = MateConfig {
+            query_threads: 8, // more workers than candidates
+            ..Default::default()
+        };
+        let r = MateDiscovery::with_config(&corpus, &index, &hasher, cfg).discover(
+            &query,
+            &[ColId(0), ColId(1), ColId(2)],
+            1,
+        );
+        assert_eq!(r.top_k[0].joinability, 5);
+
+        // No hits at all.
+        let nohit = TableBuilder::new("d", ["a", "b"])
+            .row(["zzzznope", "yyyynope"])
+            .build();
+        let cfg = MateConfig {
+            query_threads: 4,
+            ..Default::default()
+        };
+        let r = MateDiscovery::with_config(&corpus, &index, &hasher, cfg).discover(
+            &nohit,
+            &[ColId(0), ColId(1)],
+            5,
+        );
+        assert!(r.top_k.is_empty());
     }
 }

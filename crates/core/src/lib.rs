@@ -20,6 +20,11 @@
 //! [`DiscoveryStats`] instruments every phase (PL items fetched, rows
 //! filtered, false positives, precision) — the quantities Tables 2–3 and
 //! Figures 4–6 of the paper report.
+//!
+//! Phases 2–4 run on a worker pool when [`MateConfig::query_threads`] ≥ 2,
+//! with a shared atomic `j_k` floor keeping both pruning rules sound across
+//! workers and a deterministic merge keeping results bit-identical to the
+//! sequential engine (see [`discovery`]).
 
 #![warn(missing_docs)]
 
@@ -36,5 +41,5 @@ pub use config::{InitColumnHeuristic, MateConfig};
 pub use discovery::{DiscoveryResult, MateDiscovery, TableResult};
 pub use durable::DurableLake;
 pub use joinability::verify_table_joinability;
-pub use stats::DiscoveryStats;
+pub use stats::{DiscoveryStats, WorkerStats};
 pub use topk::TopK;

@@ -8,6 +8,40 @@
 use mate_table::ColId;
 use std::time::Duration;
 
+/// Counters collected by one discovery worker thread (or the single
+/// sequential pass). The aggregate fields of [`DiscoveryStats`] are the
+/// element-wise sums of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tables whose row scan this worker started.
+    pub tables_evaluated: usize,
+    /// Tables this worker abandoned mid-scan via filtering rule 2.
+    pub tables_skipped_rule2: usize,
+    /// Super-key containment checks this worker performed.
+    pub rows_filter_checked: usize,
+    /// Row pairs that passed the filter on this worker.
+    pub rows_passed_filter: usize,
+    /// Verified joinable row pairs on this worker.
+    pub rows_verified_joinable: usize,
+    /// Filter false positives on this worker.
+    pub false_positive_rows: usize,
+    /// True if a verification on this worker hit the mapping cap.
+    pub mappings_capped: bool,
+}
+
+impl WorkerStats {
+    /// Adds this worker's counters into the run-level aggregates.
+    pub fn fold_into(&self, stats: &mut DiscoveryStats) {
+        stats.tables_evaluated += self.tables_evaluated;
+        stats.tables_skipped_rule2 += self.tables_skipped_rule2;
+        stats.rows_filter_checked += self.rows_filter_checked;
+        stats.rows_passed_filter += self.rows_passed_filter;
+        stats.rows_verified_joinable += self.rows_verified_joinable;
+        stats.false_positive_rows += self.false_positive_rows;
+        stats.mappings_capped |= self.mappings_capped;
+    }
+}
+
 /// Counters collected during one discovery run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiscoveryStats {
@@ -36,6 +70,11 @@ pub struct DiscoveryStats {
     pub false_positive_rows: usize,
     /// True if any verification hit the mapping-enumeration cap.
     pub mappings_capped: bool,
+    /// Worker threads used by the per-table loop (1 = sequential).
+    pub query_threads: usize,
+    /// Per-worker counter breakdown for parallel runs (empty when
+    /// sequential; the aggregate fields above are their sums).
+    pub per_worker: Vec<WorkerStats>,
     /// Wall-clock time of the discovery run.
     pub elapsed: Duration,
 }

@@ -1,17 +1,25 @@
 //! Offline index construction (the paper's indexing phase, Fig. 2 left).
 //!
-//! For every non-empty cell the builder adds a posting entry, and for every
-//! row it OR-aggregates the hash of each cell into the row's super key.
+//! For every non-empty cell the builder interns the value into the posting
+//! store's arena, appends a posting entry, and OR-aggregates the hash of the
+//! cell into the row's super key. Because [`PostingStore`] hands out dense
+//! value ids in first-intern order, the per-value hash cache is a plain
+//! `Vec<HashBits>` indexed by value id — no second hash map on the build hot
+//! path, and probing an existing value allocates nothing.
+//!
 //! [`IndexBuilder::parallel`] splits the corpus into contiguous table ranges
-//! processed by worker threads (crossbeam scoped threads) and merges the
-//! partial maps in range order, so the result is bit-identical to the
-//! sequential build.
+//! processed by worker threads (crossbeam scoped threads), each building a
+//! local [`PostingStore`]. The merge interns all worker values in worker
+//! order (which reproduces the sequential first-intern order, since worker
+//! ranges are contiguous and ascending), sizes every posting run exactly via
+//! prefix sums, and fills the runs in parallel over disjoint splits of the
+//! entry buffer — so the result is bit-identical to the sequential build.
 
 use crate::index::InvertedIndex;
 use crate::posting::PostingEntry;
+use crate::store::PostingStore;
 use crate::superkeys::SuperKeyStore;
-use mate_hash::fx::FxHashMap;
-use mate_hash::RowHasher;
+use mate_hash::{HashBits, RowHasher};
 use mate_table::{Corpus, Table, TableId};
 
 /// Builds an [`InvertedIndex`] from a [`Corpus`] with a chosen hash function.
@@ -49,7 +57,7 @@ impl<H: RowHasher> IndexBuilder<H> {
 
     fn build_sequential(&self, corpus: &Corpus) -> InvertedIndex {
         let mut index = InvertedIndex::empty(self.hasher.hash_size(), self.hasher.name());
-        let mut cache = FxHashMap::default();
+        let mut hash_cache = Vec::new();
         for (tid, table) in corpus.iter() {
             index.superkeys.push_table(table.num_rows());
             index_table(
@@ -57,11 +65,13 @@ impl<H: RowHasher> IndexBuilder<H> {
                 tid,
                 tid,
                 table,
-                &mut index.map,
+                &mut index.store,
                 &mut index.superkeys,
-                &mut cache,
+                &mut hash_cache,
             );
         }
+        // Pack runs back-to-back: drops growth slack and relocation holes.
+        index.store.compact();
         index
     }
 
@@ -69,7 +79,7 @@ impl<H: RowHasher> IndexBuilder<H> {
         let n = corpus.len();
         let chunk = n.div_ceil(self.threads);
         // Each worker builds postings + superkeys for a contiguous table range.
-        type Partial = (FxHashMap<Box<str>, Vec<PostingEntry>>, Vec<Vec<u64>>);
+        type Partial = (PostingStore, Vec<Vec<u64>>);
         let mut partials: Vec<Option<Partial>> = Vec::new();
         partials.resize_with(self.threads, || None);
 
@@ -79,9 +89,9 @@ impl<H: RowHasher> IndexBuilder<H> {
                 let lo = wi * chunk;
                 let hi = ((wi + 1) * chunk).min(n);
                 scope.spawn(move |_| {
-                    let mut map: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
+                    let mut store = PostingStore::new();
                     let mut keys: Vec<Vec<u64>> = Vec::with_capacity(hi.saturating_sub(lo));
-                    let mut cache = FxHashMap::default();
+                    let mut hash_cache = Vec::new();
                     for t in lo..hi {
                         let tid = TableId::from(t);
                         let table = corpus.table(tid);
@@ -93,134 +103,177 @@ impl<H: RowHasher> IndexBuilder<H> {
                             tid,
                             TableId(0),
                             table,
-                            &mut map,
+                            &mut store,
                             &mut local_store,
-                            &mut cache,
+                            &mut hash_cache,
                         );
                         keys.push(local_store.table_words(TableId(0)).to_vec());
                     }
-                    *slot = Some((map, keys));
+                    *slot = Some((store, keys));
                 });
             }
         })
         .expect("index build worker panicked");
 
-        // Merge. Super keys go in range order; posting maps are merged with a
-        // *sharded* parallel merge (values hashed to shards, one merge thread
-        // per shard) — a single-threaded merge dominates build time on
-        // corpora with large tables.
+        // Merge. Super keys go in range order; posting stores are merged
+        // with exact pre-sizing and a parallel fill (one thread per
+        // contiguous value-id chunk) — a single-threaded merge dominates
+        // build time on corpora with large tables.
         let mut index = InvertedIndex::empty(self.hasher.hash_size(), self.hasher.name());
         for (_, table) in corpus.iter() {
             index.superkeys.push_table(table.num_rows());
         }
-        let mut worker_maps: Vec<FxHashMap<Box<str>, Vec<PostingEntry>>> =
-            Vec::with_capacity(self.threads);
+        let mut worker_stores: Vec<PostingStore> = Vec::with_capacity(self.threads);
         let mut next_table = 0usize;
         for slot in partials {
-            let (map, keys) = slot.expect("worker did not report");
+            let (store, keys) = slot.expect("worker did not report");
             for words in keys {
                 index
                     .superkeys
                     .set_table_words(TableId::from(next_table), words);
                 next_table += 1;
             }
-            worker_maps.push(map);
+            worker_stores.push(store);
         }
-        index.map = merge_posting_maps(worker_maps, self.threads);
+        index.store = merge_posting_stores(worker_stores, self.threads);
         index
     }
 }
 
-/// Merges worker posting maps by sharding values across `threads` merge
-/// workers. Posting lists are sorted per value (worker ranges may interleave
-/// per value), so the result is identical to a sequential build.
-fn merge_posting_maps(
-    worker_maps: Vec<FxHashMap<Box<str>, Vec<PostingEntry>>>,
-    threads: usize,
-) -> FxHashMap<Box<str>, Vec<PostingEntry>> {
-    use std::hash::{BuildHasher, Hasher};
+/// Merges worker posting stores into one flat store, bit-identical to a
+/// sequential build: values interned in worker order (= global first-seen
+/// order), runs exactly sized via prefix sums, filled in parallel over
+/// disjoint splits of the entry buffer, and sorted per value (worker ranges
+/// may interleave per value).
+fn merge_posting_stores(worker_stores: Vec<PostingStore>, threads: usize) -> PostingStore {
+    let mut merged = PostingStore::new();
 
-    /// One worker's entries for one shard.
-    type Bucket = Vec<(Box<str>, Vec<PostingEntry>)>;
-
-    let shards = threads.max(1);
-    // Distribute each worker's entries into per-(worker, shard) buckets.
-    let hasher_factory = mate_hash::fx::FxBuildHasher::default();
-    let shard_of = |value: &str| {
-        let mut h = hasher_factory.build_hasher();
-        h.write(value.as_bytes());
-        (h.finish() as usize) % shards
-    };
-    let mut bucketed: Vec<Vec<Bucket>> = Vec::new();
-    for map in worker_maps {
-        let mut buckets: Vec<Bucket> = (0..shards).map(|_| Vec::new()).collect();
-        for (value, pl) in map {
-            buckets[shard_of(&value)].push((value, pl));
+    // 1. Deterministic interning + per-value entry counts, recording each
+    //    worker's local-id → merged-id map so the fill never has to resolve
+    //    values by text again.
+    let mut counts: Vec<usize> = Vec::new();
+    let mut id_maps: Vec<Vec<u32>> = Vec::with_capacity(worker_stores.len());
+    for store in &worker_stores {
+        let mut map = Vec::with_capacity(store.num_interned());
+        for local in 0..store.num_interned() as u32 {
+            let vid = merged.intern(store.value(local)) as usize;
+            if vid == counts.len() {
+                counts.push(0);
+            }
+            counts[vid] += store.postings(local).len();
+            map.push(vid as u32);
         }
-        bucketed.push(buckets);
+        id_maps.push(map);
     }
 
-    // Merge each shard independently.
-    let mut shard_results: Vec<Option<FxHashMap<Box<str>, Vec<PostingEntry>>>> = Vec::new();
-    shard_results.resize_with(shards, || None);
-    crossbeam::thread::scope(|scope| {
-        // Re-slice ownership: shard s takes bucket s of every worker.
-        let mut per_shard: Vec<Vec<Bucket>> = (0..shards).map(|_| Vec::new()).collect();
-        for worker in bucketed {
-            for (s, bucket) in worker.into_iter().enumerate() {
-                per_shard[s].push(bucket);
+    // 2. Exact allocation: run offsets are prefix sums in value-id order, so
+    //    a contiguous chunk of value ids owns a contiguous slice of entries.
+    merged.allocate_exact(&counts);
+    let num_values = counts.len();
+    let (offsets, mut buf) = merged.fill_parts();
+
+    // 3. Parallel fill: split value ids into `threads` chunks balanced by
+    //    entry count, hand each worker its disjoint entry slice.
+    let total: usize = counts.iter().sum();
+    let per_chunk = total.div_ceil(threads.max(1)).max(1);
+    let mut chunks: Vec<(usize, usize)> = Vec::new(); // value-id ranges
+    {
+        let mut start = 0usize;
+        while start < num_values {
+            let budget = offsets[start] + per_chunk;
+            let mut end = start + 1;
+            while end < num_values && offsets[end] < budget {
+                end += 1;
             }
+            chunks.push((start, end));
+            start = end;
         }
-        for (slot, shard_buckets) in shard_results.iter_mut().zip(per_shard) {
+    }
+
+    crossbeam::thread::scope(|scope| {
+        let stores = &worker_stores;
+        let offsets = &offsets;
+        let id_maps = &id_maps;
+        for &(lo, hi) in &chunks {
+            let base = offsets[lo];
+            let width = if hi < num_values {
+                offsets[hi] - base
+            } else {
+                total - base
+            };
+            let (head, tail) = buf.split_at_mut(width);
+            buf = tail;
             scope.spawn(move |_| {
-                let mut map: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
-                for bucket in shard_buckets {
-                    for (value, mut pl) in bucket {
-                        map.entry(value).or_default().append(&mut pl);
-                    }
-                }
-                for pl in map.values_mut() {
-                    pl.sort_unstable();
-                }
-                *slot = Some(map);
+                fill_chunk(stores, id_maps, offsets, lo, hi, base, head);
             });
         }
     })
-    .expect("merge worker panicked");
+    .expect("posting merge worker panicked");
 
-    // Combine shards (disjoint key sets — plain extend).
-    let mut out: FxHashMap<Box<str>, Vec<PostingEntry>> = FxHashMap::default();
-    for shard in shard_results.into_iter().flatten() {
-        out.extend(shard);
+    merged
+}
+
+/// Copies every worker's run for merged value ids `[lo, hi)` into `out`
+/// (the slice of the merged entry buffer starting at global offset `base`),
+/// then sorts each merged run. Worker-local ids resolve through the
+/// precomputed `id_maps` — no text lookups.
+fn fill_chunk(
+    stores: &[PostingStore],
+    id_maps: &[Vec<u32>],
+    offsets: &[usize],
+    lo: usize,
+    hi: usize,
+    base: usize,
+    out: &mut [PostingEntry],
+) {
+    let mut cursor = vec![0usize; hi - lo];
+    for (store, map) in stores.iter().zip(id_maps) {
+        for (local, &vid) in map.iter().enumerate() {
+            let vid = vid as usize;
+            if vid < lo || vid >= hi {
+                continue;
+            }
+            let pl = store.postings(local as u32);
+            let at = offsets[vid] - base + cursor[vid - lo];
+            out[at..at + pl.len()].copy_from_slice(pl);
+            cursor[vid - lo] += pl.len();
+        }
     }
-    out
+    for (i, &cur) in cursor.iter().enumerate() {
+        let at = offsets[lo + i] - base;
+        out[at..at + cur].sort_unstable();
+    }
 }
 
 /// Indexes one table: postings carry the global `tid`; super keys are written
 /// to `store_tid` (global id for sequential builds, local id 0 for parallel
-/// workers).
-fn index_table<'c, H: RowHasher>(
+/// workers). `hash_cache` is indexed by the store's dense value ids.
+fn index_table<H: RowHasher>(
     hasher: &H,
     tid: TableId,
     store_tid: TableId,
-    table: &'c Table,
-    map: &mut FxHashMap<Box<str>, Vec<PostingEntry>>,
-    store: &mut SuperKeyStore,
-    hash_cache: &mut FxHashMap<&'c str, mate_hash::HashBits>,
+    table: &Table,
+    store: &mut PostingStore,
+    sk_store: &mut SuperKeyStore,
+    hash_cache: &mut Vec<HashBits>,
 ) {
     for (ci, col) in table.columns().iter().enumerate() {
         for (ri, value) in col.values.iter().enumerate() {
             if value.is_empty() {
                 continue;
             }
-            map.entry(value.as_str().into())
-                .or_default()
-                .push(PostingEntry::new(tid, ci as u32, ri as u32));
-            // Values repeat heavily (Zipf lakes); hash each distinct once.
-            let h = hash_cache
-                .entry(value)
-                .or_insert_with(|| hasher.hash_value(value));
-            store.or_into(store_tid, mate_table::RowId::from(ri), h.words());
+            let vid = store.intern(value);
+            store.append(vid, PostingEntry::new(tid, ci as u32, ri as u32));
+            // Values repeat heavily (Zipf lakes); hash each distinct value
+            // once. New ids are dense, so the cache is a Vec, not a map.
+            if vid as usize == hash_cache.len() {
+                hash_cache.push(hasher.hash_value(value));
+            }
+            sk_store.or_into(
+                store_tid,
+                mate_table::RowId::from(ri),
+                hash_cache[vid as usize].words(),
+            );
         }
     }
 }
@@ -315,6 +368,11 @@ mod tests {
         for (v, pl) in seq.iter_values() {
             assert_eq!(par.posting_list(v).unwrap(), pl, "value {v}");
         }
+        // The merged layout is bit-identical, not just equivalent: values
+        // intern in the same order with the same runs.
+        let seq_vals: Vec<&str> = seq.iter_values().map(|(v, _)| v).collect();
+        let par_vals: Vec<&str> = par.iter_values().map(|(v, _)| v).collect();
+        assert_eq!(seq_vals, par_vals);
         for (tid, table) in c.iter() {
             for r in 0..table.num_rows() {
                 assert_eq!(

@@ -1,16 +1,21 @@
 //! The [`InvertedIndex`]: value → posting list, plus the super-key store.
 
 use crate::posting::PostingEntry;
+use crate::store::PostingStore;
 use crate::superkeys::SuperKeyStore;
-use mate_hash::fx::FxHashMap;
 use mate_hash::HashSize;
 use mate_table::{RowId, TableId};
 
 /// The MATE index: a single-attribute inverted index over all cell values of
 /// a corpus, extended with one super key per row (§5 of the paper).
+///
+/// Postings live in a flattened, arena-backed [`PostingStore`] — one string
+/// arena for all distinct values and one contiguous entry buffer with
+/// per-value ranges — instead of a hash map of per-value `Vec`s; see the
+/// [`crate::store`] module docs for the layout and why it is faster.
 #[derive(Debug)]
 pub struct InvertedIndex {
-    pub(crate) map: FxHashMap<Box<str>, Vec<PostingEntry>>,
+    pub(crate) store: PostingStore,
     pub(crate) superkeys: SuperKeyStore,
     pub(crate) hasher_name: String,
 }
@@ -19,7 +24,7 @@ impl InvertedIndex {
     /// Creates an empty index for the given hash size.
     pub fn empty(size: HashSize, hasher_name: impl Into<String>) -> Self {
         InvertedIndex {
-            map: FxHashMap::default(),
+            store: PostingStore::new(),
             superkeys: SuperKeyStore::new(size),
             hasher_name: hasher_name.into(),
         }
@@ -29,7 +34,12 @@ impl InvertedIndex {
     /// occur in the corpus.
     #[inline]
     pub fn posting_list(&self, value: &str) -> Option<&[PostingEntry]> {
-        self.map.get(value).map(Vec::as_slice)
+        self.store.posting_list(value)
+    }
+
+    /// The flattened posting storage.
+    pub fn store(&self) -> &PostingStore {
+        &self.store
     }
 
     /// Super key of `(table, row)` as a word slice, ready for
@@ -56,17 +66,17 @@ impl InvertedIndex {
 
     /// Number of distinct indexed values.
     pub fn num_values(&self) -> usize {
-        self.map.len()
+        self.store.num_values()
     }
 
     /// Total number of posting entries.
     pub fn num_postings(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.store.num_postings()
     }
 
-    /// Iterates `(value, posting list)` pairs in unspecified order.
+    /// Iterates `(value, posting list)` pairs in first-indexed order.
     pub fn iter_values(&self) -> impl Iterator<Item = (&str, &[PostingEntry])> {
-        self.map.iter().map(|(v, pl)| (v.as_ref(), pl.as_slice()))
+        self.store.iter()
     }
 
     /// Produces a copy of this index whose super keys are recomputed with a
@@ -74,13 +84,13 @@ impl InvertedIndex {
     ///
     /// Posting lists are independent of the hash function, so evaluation
     /// sweeps over hashers (Tables 2–3 of the paper) only pay for super-key
-    /// regeneration. `corpus` must be the corpus this index was built from.
+    /// regeneration (the posting clone is one contiguous memcpy per buffer).
+    /// `corpus` must be the corpus this index was built from.
     pub fn rehash(&self, corpus: &mate_table::Corpus, hasher: &dyn mate_hash::RowHasher) -> Self {
         let mut superkeys = SuperKeyStore::new(hasher.hash_size());
         // Values repeat heavily across a lake (Zipf); hash each distinct
-        // value once.
-        let mut cache: mate_hash::fx::FxHashMap<&str, mate_hash::HashBits> =
-            mate_hash::fx::FxHashMap::default();
+        // value once, keyed by its interned id.
+        let mut cache: Vec<Option<mate_hash::HashBits>> = vec![None; self.store.num_interned()];
         for (tid, table) in corpus.iter() {
             superkeys.push_table(table.num_rows());
             for r in 0..table.num_rows() {
@@ -88,15 +98,22 @@ impl InvertedIndex {
                 let mut sk = mate_hash::HashBits::zero(hasher.hash_size());
                 for v in table.row_iter(row) {
                     if !v.is_empty() {
-                        let h = cache.entry(v).or_insert_with(|| hasher.hash_value(v));
-                        sk.or_assign(h);
+                        let h = match self.store.lookup(v) {
+                            Some(vid) => {
+                                *cache[vid as usize].get_or_insert_with(|| hasher.hash_value(v))
+                            }
+                            // Not in the index (cannot happen for a matching
+                            // corpus, but stay total): hash directly.
+                            None => hasher.hash_value(v),
+                        };
+                        sk.or_assign(&h);
                     }
                 }
                 superkeys.set(tid, row, sk.words());
             }
         }
         InvertedIndex {
-            map: self.map.clone(),
+            store: self.store.clone(),
             superkeys,
             hasher_name: hasher.name().to_string(),
         }
@@ -111,6 +128,9 @@ impl InvertedIndex {
             num_postings: postings,
             num_superkeys: self.superkeys.total_keys(),
             posting_bytes: postings * std::mem::size_of::<PostingEntry>(),
+            posting_store_bytes: self.store.flat_bytes(),
+            posting_map_bytes: self.store.per_value_layout_bytes(),
+            value_arena_bytes: self.store.arena_bytes(),
             superkey_bytes_per_row: self.superkeys.payload_bytes(),
             superkey_bytes_per_cell: postings * key_bytes,
             hash_bits: self.hash_size().bits(),
@@ -129,6 +149,15 @@ pub struct IndexStats {
     pub num_superkeys: usize,
     /// Bytes of posting-entry payload.
     pub posting_bytes: usize,
+    /// Total bytes of the flattened posting store (arena + spans + ranges +
+    /// lookup table + entry buffer) — what this index holds in memory.
+    pub posting_store_bytes: usize,
+    /// Estimated bytes of the seed's per-value layout
+    /// (`FxHashMap<Box<str>, Vec<PostingEntry>>`) for the same content, for
+    /// the index-generation report's memory-footprint comparison.
+    pub posting_map_bytes: usize,
+    /// Bytes of distinct value text in the string arena.
+    pub value_arena_bytes: usize,
     /// Super-key bytes in the per-row layout (what this index stores).
     pub superkey_bytes_per_row: usize,
     /// Super-key bytes a per-cell layout would need (the naive layout of
@@ -196,5 +225,30 @@ mod tests {
         assert_eq!(s.num_values, 0);
         assert_eq!(s.hash_bits, 256);
         assert_eq!(s.superkey_bytes_per_row, 0);
+        assert_eq!(s.value_arena_bytes, 0);
+    }
+
+    #[test]
+    fn stats_memory_comparison() {
+        use crate::builder::IndexBuilder;
+        use mate_hash::Xash;
+        use mate_table::TableBuilder;
+
+        let mut corpus = mate_table::Corpus::new();
+        let mut tb = TableBuilder::new("t", ["a", "b"]);
+        for i in 0..200 {
+            tb = tb.row([format!("left-{}", i % 37), format!("right-{i}")]);
+        }
+        corpus.add_table(tb.build());
+        let idx = IndexBuilder::new(Xash::new(HashSize::B128)).build(&corpus);
+        let s = idx.stats();
+        assert!(s.posting_store_bytes > 0);
+        assert!(s.value_arena_bytes > 0);
+        assert!(
+            s.posting_store_bytes < s.posting_map_bytes,
+            "flat layout should be smaller: {} vs {}",
+            s.posting_store_bytes,
+            s.posting_map_bytes
+        );
     }
 }

@@ -8,6 +8,8 @@
 //! containment check instead of fetching and comparing cell values.
 //!
 //! * [`posting`] — posting-list entry types.
+//! * [`store`] — the flattened, arena-backed posting storage (one string
+//!   arena + one contiguous entry buffer with per-value ranges).
 //! * [`superkeys`] — the per-row super-key store (the paper's space-efficient
 //!   layout; §7.1 also discusses a per-cell layout, reported by
 //!   [`IndexStats`]).
@@ -25,6 +27,7 @@ pub mod builder;
 pub mod index;
 pub mod persist;
 pub mod posting;
+pub mod store;
 pub mod superkeys;
 pub mod updates;
 pub mod wal;
@@ -32,6 +35,7 @@ pub mod wal;
 pub use builder::IndexBuilder;
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;
+pub use store::PostingStore;
 pub use superkeys::SuperKeyStore;
 pub use updates::IndexUpdater;
 pub use wal::WalRecord;

@@ -153,10 +153,12 @@ pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
 
     let mut r = Reader::new(seg.block("index.postings")?);
     let nvalues = r.get_varint()? as usize;
+    let mut pl = Vec::new();
     for _ in 0..nvalues {
         let value = r.get_str()?;
         let n = r.get_varint()? as usize;
-        let mut pl = Vec::with_capacity(n);
+        pl.clear();
+        pl.reserve(n);
         let mut prev_table = 0u64;
         for _ in 0..n {
             let table = prev_table + r.get_varint()?;
@@ -171,7 +173,8 @@ pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
             }
             pl.push(PostingEntry::new(table as u32, col as u32, row as u32));
         }
-        index.map.insert(value.into(), pl);
+        let vid = index.store.intern(&value);
+        index.store.load_list(vid, &pl);
     }
 
     let mut kr = Reader::new(seg.block("index.superkeys")?);

@@ -230,20 +230,18 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
 }
 
 fn insert_posting(index: &mut InvertedIndex, value: &str, entry: PostingEntry) {
-    let pl = index.map.entry(value.into()).or_default();
-    let pos = pl.binary_search(&entry).unwrap_err();
-    pl.insert(pos, entry);
+    let vid = index.store.intern(value);
+    index.store.insert_sorted(vid, entry);
 }
 
 fn remove_posting(index: &mut InvertedIndex, value: &str, entry: PostingEntry) {
-    let Some(pl) = index.map.get_mut(value) else {
+    let Some(vid) = index.store.lookup(value) else {
         panic!("removing posting for unindexed value {value:?}");
     };
-    let pos = pl.binary_search(&entry).expect("posting entry not found");
-    pl.remove(pos);
-    if pl.is_empty() {
-        index.map.remove(value);
-    }
+    // An emptied run stays interned (the arena is append-only) but reads as
+    // absent through `posting_list`, matching the seed's map-removal
+    // semantics.
+    index.store.remove_sorted(vid, entry);
 }
 
 fn remove_posting_owned(index: &mut InvertedIndex, value: String, entry: PostingEntry) {

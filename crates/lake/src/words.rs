@@ -63,7 +63,7 @@ impl WordGenerator {
 
     /// Samples a word with a natural length (3–12, mode ~6).
     pub fn natural_word<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
-        let len = 3 + rng.random_range(0..5) + rng.random_range(0..5);
+        let len = 3 + rng.random_range(0..5usize) + rng.random_range(0..5usize);
         self.word(rng, len)
     }
 

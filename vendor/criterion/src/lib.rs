@@ -1,0 +1,245 @@
+//! Minimal vendored substitute for the `criterion` crate (offline build; see
+//! `vendor/README.md`). Implements real wall-clock measurement — warmup,
+//! fixed sample count, mean/min/max over samples — with plain-text reporting,
+//! and the macro surface the workspace's benches use
+//! ([`criterion_group!`]/[`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups, [`BenchmarkId`]). No statistical regression analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: measurement settings plus the reporter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Target total measurement time per benchmark (a budget: sampling stops
+    /// early once it is exhausted).
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks reported under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &name, &mut f);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Finishes the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(c: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warmup: find an iteration count whose sample takes ≳1/10 of the
+    // per-sample budget, so short benches get amortized timer overhead.
+    let per_sample = (c.measurement_time / c.sample_size as u32).max(Duration::from_micros(200));
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * 10 >= per_sample || iters >= 1 << 30 {
+            break;
+        }
+        // Grow toward the budget using the observed rate.
+        let per_iter = b.elapsed.as_nanos().max(1) / iters as u128;
+        let target = (per_sample.as_nanos() / per_iter).max(iters as u128 * 2);
+        iters = target.min(1 << 30) as u64;
+    }
+
+    let budget = Instant::now();
+    let mut samples: Vec<f64> = Vec::with_capacity(c.sample_size);
+    for i in 0..c.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        // Respect the time budget once at least two samples exist.
+        if i >= 1 && budget.elapsed() > c.measurement_time * 4 {
+            break;
+        }
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<44} time: [{} {} {}]  ({} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            calls += 1;
+            b.iter(|| black_box(1u64 + 1))
+        });
+        assert!(calls >= 3, "expected warmup + samples, got {calls} calls");
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(BenchmarkId::from_parameter(128), |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("us"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal vendored substitute for the `crossbeam` crate, exposing only
+//! [`thread::scope`] on top of `std::thread::scope` (stable since 1.63).
+//! Built because the build environment has no network access; see
+//! `vendor/README.md`.
+
+/// Scoped threads, API-compatible with `crossbeam::thread` for the patterns
+/// this workspace uses.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to the `scope` closure; spawns borrowing workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope again so
+        /// workers can spawn sub-workers (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// are joined before this returns.
+    ///
+    /// Unlike upstream crossbeam, a panicking worker propagates the panic
+    /// directly (std scope semantics) instead of surfacing it through the
+    /// `Err` variant — every call site unwraps the result anyway.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 2];
+        super::thread::scope(|scope| {
+            let (lo, hi) = results.split_at_mut(1);
+            let d = &data;
+            scope.spawn(move |_| lo[0] = d[..2].iter().sum());
+            scope.spawn(move |_| hi[0] = d[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(results, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

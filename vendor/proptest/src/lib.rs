@@ -1,0 +1,726 @@
+//! Minimal vendored substitute for the `proptest` crate (offline build; see
+//! `vendor/README.md`): deterministic random-input property testing with the
+//! same macro surface the workspace uses — [`proptest!`], [`prop_assert!`]
+//! and friends, [`prop_assume!`], [`prop_oneof!`], [`Strategy`] with
+//! `prop_map`/`prop_flat_map`, range and char-class-regex strategies,
+//! [`collection::vec`], and [`arbitrary::any`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports the
+//! generated input as-is), and generation is seeded deterministically per
+//! test name so failures reproduce across runs.
+
+use rand::prelude::*;
+
+pub mod test_runner {
+    //! Case-count configuration and the pass/reject/fail verdict type.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: discard the case and draw a new one.
+        Reject(String),
+        /// `prop_assert!` failed: the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Per-case outcome used by the generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+use test_runner::{Config, TestCaseError};
+
+// ---------------------------------------------------------------- strategy --
+
+/// A generator of random values of one type.
+///
+/// Object-safe core (`generate`); combinators live behind `Sized` bounds.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and draws from
+    /// the produced strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// --------------------------------------------------- char-class "regexes" --
+
+/// `&str` strategies: a regex subset — a sequence of literal characters,
+/// escapes, and char classes `[...]`, each optionally quantified with
+/// `{n}` / `{m,n}`. Covers every pattern in this workspace (`"[abc]"`,
+/// `"[a-z0-9 ]{0,30}"`, ...).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.random_range(atom.min..=atom.max);
+            for _ in 0..n {
+                let i = rng.random_range(0..atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the supported regex subset; panics on anything else so an
+/// unsupported pattern fails loudly instead of silently generating garbage.
+fn parse_pattern(pat: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it.next().unwrap_or_else(|| panic!("unclosed [ in {pat:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let e = it.next().expect("dangling escape");
+                            let e = unescape(e);
+                            set.push(e);
+                            prev = Some(e);
+                        }
+                        '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let hi = it.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in {pat:?}");
+                            // `lo` is already in the set; add (lo, hi].
+                            set.extend(((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32));
+                        }
+                        c => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pat:?}");
+                set
+            }
+            '\\' => vec![unescape(it.next().expect("dangling escape"))],
+            '.' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex feature {c:?} in {pat:?}")
+            }
+            c => vec![c],
+        };
+        // Optional quantifier.
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let spec: String = it.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { chars, min, max });
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        c => c,
+    }
+}
+
+// -------------------------------------------------------------- arbitrary --
+
+pub mod arbitrary {
+    //! `any::<T>()`: full-domain strategies per type.
+
+    use super::*;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Mostly ASCII with occasional multi-byte chars, like upstream's
+            // default `char` distribution exercises both paths.
+            if rng.random_range(0u8..8) == 0 {
+                let c = rng.random_range(0x80u32..0x2FFF);
+                char::from_u32(c).unwrap_or('\u{FFFD}')
+            } else {
+                rng.random_range(0x20u8..0x7F) as char
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let len = rng.random_range(0usize..32);
+            (0..len).map(|_| char::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            let len = rng.random_range(0usize..32);
+            (0..len).map(|_| T::arbitrary(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            if bool::arbitrary(rng) {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- collection --
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::*;
+
+    /// Admissible size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.random_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `element`-generated values with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- runner --
+
+#[doc(hidden)]
+pub mod runner {
+    //! The engine behind the [`proptest!`] macro (not public API upstream;
+    //! hidden here too).
+
+    use super::*;
+
+    /// FNV-1a over the test name: a stable per-test base seed.
+    fn name_seed(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `cfg.cases` generated cases of `body` over `strategy`,
+    /// panicking with the offending input on the first failure.
+    ///
+    /// `PROPTEST_CASES` overrides the configured case count (handy in CI).
+    pub fn run<S: Strategy>(
+        test_name: &str,
+        cfg: &Config,
+        strategy: S,
+        body: impl Fn(S::Value) -> test_runner::TestCaseResult,
+    ) {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cfg.cases);
+        let base = name_seed(test_name);
+        let mut rejected = 0u32;
+        let mut case = 0u32;
+        let mut draw = 0u64;
+        while case < cases {
+            let mut rng = StdRng::seed_from_u64(base ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            draw += 1;
+            let input = strategy.generate(&mut rng);
+            let desc = format!("{input:?}");
+            match body(input) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < cases * 64 + 256,
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected} while trying to reach {cases} cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_name}: property falsified at case {case} \
+                         (seed draw {draw}).\n  input: {desc}\n  {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- macros --
+
+/// Defines property tests: each `fn name(arg in strategy, typed: Type) {...}`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            $crate::__proptest_run! { cfg, stringify!($name), ($($args)*,) () () $body }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Munches the argument list into (patterns) (strategies), then runs.
+/// Arguments are either `pat in strategy` or `name: Type` (= `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    // Done (allow a trailing double-comma from the seed comma we appended).
+    ($cfg:expr, $name:expr, ($(,)?) ($($pat:pat),*) ($($strat:expr),*) $body:block) => {
+        $crate::runner::run(
+            $name,
+            &$cfg,
+            ($($strat,)*),
+            |($($pat,)*)| { $body; Ok(()) },
+        )
+    };
+    // `pat in strategy`
+    ($cfg:expr, $name:expr, ($p:pat in $s:expr, $($rest:tt)*) ($($pat:pat),*) ($($strat:expr),*) $body:block) => {
+        $crate::__proptest_run! { $cfg, $name, ($($rest)*) ($($pat,)* $p) ($($strat,)* $s) $body }
+    };
+    // `name: Type`
+    ($cfg:expr, $name:expr, ($p:ident : $t:ty, $($rest:tt)*) ($($pat:pat),*) ($($strat:expr),*) $body:block) => {
+        $crate::__proptest_run! { $cfg, $name, ($($rest)*) ($($pat,)* $p) ($($strat,)* $crate::arbitrary::any::<$t>()) $body }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (a fresh input is drawn) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Chooses uniformly among the given strategies (all must share a value
+/// type). Upstream supports weights; this workspace does not use them.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The strategy behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Builds a union over type-erased options.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_parser_shapes() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = crate::Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = crate::Strategy::generate(&"[a-z0-9 ]{0,30}", &mut rng);
+            assert!(t.len() <= 30);
+            let u = crate::Strategy::generate(&"[abc]", &mut rng);
+            assert_eq!(u.len(), 1);
+            let v = crate::Strategy::generate(&"[a-zA-Z0-9 ,\"\n]{0,12}", &mut rng);
+            assert!(v.len() <= 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn mixed_args_work(v in "[a-z]{1,5}", n in 1usize..10, b: bool, data: Vec<u8>) {
+            prop_assert!((1..=5).contains(&v.chars().count()));
+            prop_assert!((1..10).contains(&n));
+            let _ = (b, data);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn combinators(v in collection::vec((0usize..5, "[xy]"), 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            for (n, s) in v {
+                prop_assert!(n < 5);
+                prop_assert!(s == "x" || s == "y");
+            }
+        }
+
+        #[test]
+        fn oneof_and_flat_map(
+            e in prop_oneof![
+                (0usize..3).prop_map(|n| vec![n]),
+                (1usize..4).prop_flat_map(|n| collection::vec(0usize..10, n..=n)),
+            ],
+        ) {
+            prop_assert!(!e.is_empty() || e.is_empty()); // generated fine
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failure_panics_with_input() {
+        crate::runner::run(
+            "failure_panics_with_input",
+            &ProptestConfig::with_cases(64),
+            (0usize..2,),
+            |(n,)| {
+                crate::prop_assert!(n == 0);
+                Ok(())
+            },
+        );
+    }
+}
