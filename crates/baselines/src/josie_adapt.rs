@@ -67,7 +67,7 @@ impl DiscoverySystem for ScrJosieDiscovery<'_> {
             query,
             q_cols,
             InitColumnHeuristic::MinCardinality,
-            self.index,
+            self.index.store(),
         );
         stats.initial_column = Some(initial);
 

@@ -64,9 +64,9 @@ fn main() {
         let mut lists = 0usize;
         let mut items = 0usize;
         for q in &queries {
-            let col = select_initial_column(&q.table, &q.key, h, &index);
-            lists += pl_lists_for_column(&q.table, col, &index);
-            items += pl_items_for_column(&q.table, col, &index);
+            let col = select_initial_column(&q.table, &q.key, h, index.store());
+            lists += pl_lists_for_column(&q.table, col, index.store());
+            items += pl_items_for_column(&q.table, col, index.store());
         }
         let n = queries.len() as f64;
         eprintln!(

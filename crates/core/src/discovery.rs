@@ -1,5 +1,22 @@
 //! The MATE discovery engine — Algorithm 1 of the paper, sequential or
-//! multi-threaded.
+//! multi-threaded, over either serving mode.
+//!
+//! # Serving modes
+//!
+//! The engine reads posting lists through the [`PostingSource`] trait, so
+//! one implementation of Algorithm 1 serves both the hot arena-backed
+//! [`InvertedIndex`] and the cold, block-compressed [`ColdIndex`] — and is
+//! property-tested to return identical results on both.
+//!
+//! Probes are **positional**: the initialization phase groups candidates by
+//! table using only `table_runs` (cold mode decodes just the table-id
+//! streams — column/row payloads stay untouched), recording `(list, start,
+//! len)` runs instead of materialized entries. A candidate's entries are
+//! decoded by `collect_run` only when the per-table loop actually evaluates
+//! it, so everything the §6.2 pruning rules skip is never decoded at all.
+//! In cold mode the per-block skip headers bound each `collect_run` to the
+//! blocks overlapping the run; [`DiscoveryStats::blocks_decoded`] /
+//! [`DiscoveryStats::blocks_skipped`] count the effect.
 //!
 //! # Parallel discovery
 //!
@@ -36,7 +53,9 @@ pub use crate::topk::TableResult;
 use crate::topk::TopK;
 use mate_hash::fx::FxHashMap;
 use mate_hash::{covers, RowHasher};
-use mate_index::{InvertedIndex, PostingEntry};
+use mate_index::{
+    ColdIndex, InvertedIndex, ListHandle, PostingEntry, PostingSource, ProbeScratch, SuperKeyStore,
+};
 use mate_table::{ColId, Corpus, Table, TableId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -51,12 +70,29 @@ pub struct DiscoveryResult {
     pub stats: DiscoveryStats,
 }
 
-/// The discovery engine. Borrows the corpus (for verification), the index
-/// (for posting lists and super keys), and the hash function that built the
-/// index (for query-side super keys).
+/// One value's contiguous slice of posting entries inside one candidate
+/// table: resolved positionally during initialization, decoded only if the
+/// candidate is evaluated.
+#[derive(Debug, Clone, Copy)]
+struct ValueRun {
+    /// Dense id of the query value (index into the run's `values`).
+    vid: u32,
+    /// The posting list in the source.
+    list: ListHandle,
+    /// First entry of the run within the list.
+    start: u32,
+    /// Entries in the run.
+    len: u32,
+}
+
+/// The discovery engine. Borrows the corpus (for verification), a posting
+/// source plus super-key store (hot [`InvertedIndex`] or cold
+/// [`ColdIndex`]), and the hash function that built the index (for
+/// query-side super keys).
 pub struct MateDiscovery<'a> {
     corpus: &'a Corpus,
-    index: &'a InvertedIndex,
+    source: &'a dyn PostingSource,
+    superkeys: &'a SuperKeyStore,
     hasher: &'a dyn RowHasher,
     config: MateConfig,
 }
@@ -78,18 +114,58 @@ impl<'a> MateDiscovery<'a> {
         config: MateConfig,
     ) -> Self {
         assert_eq!(
-            hasher.hash_size(),
-            index.hash_size(),
-            "hasher size does not match index"
+            hasher.name(),
+            index.hasher_name(),
+            "hasher kind does not match index"
         );
+        Self::from_parts(corpus, index.store(), index.superkeys(), hasher, config)
+    }
+
+    /// Creates an engine over a cold (segment-serving) index with the
+    /// default configuration.
+    ///
+    /// # Panics
+    /// Panics if `hasher` does not match the index (size or kind).
+    pub fn cold(corpus: &'a Corpus, index: &'a ColdIndex, hasher: &'a dyn RowHasher) -> Self {
+        Self::cold_with_config(corpus, index, hasher, MateConfig::default())
+    }
+
+    /// Cold-mode engine with an explicit configuration.
+    pub fn cold_with_config(
+        corpus: &'a Corpus,
+        index: &'a ColdIndex,
+        hasher: &'a dyn RowHasher,
+        config: MateConfig,
+    ) -> Self {
         assert_eq!(
             hasher.name(),
             index.hasher_name(),
             "hasher kind does not match index"
         );
+        Self::from_parts(corpus, index.store(), index.superkeys(), hasher, config)
+    }
+
+    /// Creates an engine from a bare posting source + super-key store (the
+    /// named constructors above are sugar over this).
+    ///
+    /// # Panics
+    /// Panics if the hasher size does not match the super keys.
+    pub fn from_parts(
+        corpus: &'a Corpus,
+        source: &'a dyn PostingSource,
+        superkeys: &'a SuperKeyStore,
+        hasher: &'a dyn RowHasher,
+        config: MateConfig,
+    ) -> Self {
+        assert_eq!(
+            hasher.hash_size(),
+            superkeys.hash_size(),
+            "hasher size does not match index"
+        );
         MateDiscovery {
             corpus,
-            index,
+            source,
+            superkeys,
             hasher,
             config,
         }
@@ -114,15 +190,17 @@ impl<'a> MateDiscovery<'a> {
         let mut stats = DiscoveryStats::default();
 
         // ---- Initialization (lines 3-6) --------------------------------
-        let initial = select_initial_column(query, q_cols, self.config.heuristic, self.index);
+        let initial = select_initial_column(query, q_cols, self.config.heuristic, self.source);
         stats.initial_column = Some(initial);
 
         let key_map = QueryKeyMap::build(query, q_cols, initial, self.hasher);
 
-        // Fetch PLs for all distinct initial-column values and group by table.
-        let mut by_table: FxHashMap<u32, Vec<(u32, PostingEntry)>> = FxHashMap::default();
+        // Resolve the PL of every distinct initial-column value and group it
+        // by table — positionally (table runs), without decoding entries.
+        let mut by_table: FxHashMap<u32, Vec<ValueRun>> = FxHashMap::default();
         let mut values: Vec<&str> = Vec::new();
         {
+            let mut scratch = ProbeScratch::new();
             let mut seen: FxHashMap<&str, u32> = FxHashMap::default();
             for v in &query.column(initial).values {
                 if v.is_empty() || seen.contains_key(v.as_str()) {
@@ -135,27 +213,42 @@ impl<'a> MateDiscovery<'a> {
                 let vid = values.len() as u32;
                 seen.insert(v, vid);
                 values.push(v);
-                if let Some(pl) = self.index.posting_list(v) {
+                if let Some(list) = self.source.find_list(v, &mut scratch) {
                     stats.pl_lists_fetched += 1;
-                    stats.pl_items_fetched += pl.len();
-                    for e in pl {
-                        by_table.entry(e.table.0).or_default().push((vid, *e));
-                    }
+                    stats.pl_items_fetched += list.len as usize;
+                    let mut at = 0u32;
+                    self.source
+                        .table_runs(list, &mut scratch, &mut |table, len| {
+                            by_table.entry(table).or_default().push(ValueRun {
+                                vid,
+                                list,
+                                start: at,
+                                len,
+                            });
+                            at += len;
+                        });
                 }
             }
         }
 
         // Sort candidate tables by PL-item count descending (line 5); ties by
         // table id for determinism.
-        let mut candidates: Vec<(u32, Vec<(u32, PostingEntry)>)> = by_table.into_iter().collect();
-        candidates.sort_unstable_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        let mut candidates: Vec<(u32, Vec<ValueRun>, usize)> = by_table
+            .into_iter()
+            .map(|(tid, runs)| {
+                let l_t = runs.iter().map(|r| r.len as usize).sum();
+                (tid, runs, l_t)
+            })
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         stats.candidate_tables = candidates.len();
 
         let threads = self.config.query_threads.max(1);
         stats.query_threads = threads;
         let shared = SharedCtx {
             corpus: self.corpus,
-            index: self.index,
+            source: self.source,
+            superkeys: self.superkeys,
             config: &self.config,
             query,
             q_cols,
@@ -175,19 +268,18 @@ impl<'a> MateDiscovery<'a> {
     /// The sequential per-table loop (line 7), exactly the seed engine.
     fn discover_sequential(
         ctx: &SharedCtx<'_>,
-        candidates: &[(u32, Vec<(u32, PostingEntry)>)],
+        candidates: &[(u32, Vec<ValueRun>, usize)],
         k: usize,
         stats: &mut DiscoveryStats,
     ) -> Vec<TableResult> {
         let mut topk = TopK::new(k);
         let mut worker = WorkerStats::default();
+        let mut probe = ProbeState::default();
 
-        for (tid_raw, table_pls) in candidates {
-            let l_t = table_pls.len();
-
+        for (tid_raw, runs, l_t) in candidates {
             // Table filtering rule 1 (line 9): tables are sorted, so once the
             // PL count cannot beat j_k nothing later can either.
-            if ctx.config.table_filtering && topk.is_full() && l_t as u64 <= topk.min_joinability()
+            if ctx.config.table_filtering && topk.is_full() && *l_t as u64 <= topk.min_joinability()
             {
                 stats.stopped_early_rule1 = true;
                 break;
@@ -199,7 +291,15 @@ impl<'a> MateDiscovery<'a> {
             } else {
                 None
             };
-            match evaluate_candidate(ctx, TableId(*tid_raw), table_pls, floor, &mut worker) {
+            match evaluate_candidate(
+                ctx,
+                TableId(*tid_raw),
+                runs,
+                *l_t,
+                floor,
+                &mut worker,
+                &mut probe,
+            ) {
                 Some(joinability) => topk.update(TableId(*tid_raw), joinability),
                 None => continue,
             }
@@ -214,7 +314,7 @@ impl<'a> MateDiscovery<'a> {
     /// candidates, a shared `j_k` floor, and a deterministic merge.
     fn discover_parallel(
         ctx: &SharedCtx<'_>,
-        candidates: &[(u32, Vec<(u32, PostingEntry)>)],
+        candidates: &[(u32, Vec<ValueRun>, usize)],
         k: usize,
         threads: usize,
         stats: &mut DiscoveryStats,
@@ -239,6 +339,7 @@ impl<'a> MateDiscovery<'a> {
                 scope.spawn(move |_| {
                     let mut results: Vec<(usize, u32, u64)> = Vec::new();
                     let mut worker = WorkerStats::default();
+                    let mut probe = ProbeState::default();
                     let mut hit_rule1 = false;
                     loop {
                         if stopped.load(Ordering::Relaxed) {
@@ -255,14 +356,14 @@ impl<'a> MateDiscovery<'a> {
                         // *later* candidates and over-prune).
                         let jk = floor.load(Ordering::Relaxed);
                         let at = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some((tid_raw, table_pls)) = candidates.get(at) else {
+                        let Some((tid_raw, runs, l_t)) = candidates.get(at) else {
                             break;
                         };
 
                         // Rule 1, strict form: the shared floor never exceeds
                         // the final j_k, so `l_t < floor` proves this table —
                         // and every later (smaller) one — is out.
-                        if ctx.config.table_filtering && jk > 0 && (table_pls.len() as u64) < jk {
+                        if ctx.config.table_filtering && jk > 0 && (*l_t as u64) < jk {
                             stopped.store(true, Ordering::Relaxed);
                             hit_rule1 = true;
                             break;
@@ -276,9 +377,11 @@ impl<'a> MateDiscovery<'a> {
                         let Some(joinability) = evaluate_candidate(
                             ctx,
                             TableId(*tid_raw),
-                            table_pls,
+                            runs,
+                            *l_t,
                             floor_arg,
                             &mut worker,
+                            &mut probe,
                         ) else {
                             continue;
                         };
@@ -321,7 +424,8 @@ impl<'a> MateDiscovery<'a> {
 /// Read-only state shared by every worker of one discovery run.
 struct SharedCtx<'a> {
     corpus: &'a Corpus,
-    index: &'a InvertedIndex,
+    source: &'a dyn PostingSource,
+    superkeys: &'a SuperKeyStore,
     config: &'a MateConfig,
     query: &'a Table,
     q_cols: &'a [ColId],
@@ -329,8 +433,18 @@ struct SharedCtx<'a> {
     values: &'a [&'a str],
 }
 
+/// Per-worker probe state: the source scratch plus the run decode buffer.
+/// Reused across every candidate a worker evaluates, so cold-mode decoding
+/// allocates nothing in the steady state.
+#[derive(Default)]
+struct ProbeState {
+    scratch: ProbeScratch,
+    entries: Vec<PostingEntry>,
+}
+
 /// Runs row filtering (lines 13-20) and `calculateJ` (lines 21-22) for one
-/// candidate table.
+/// candidate table, decoding each value run on demand through the posting
+/// source.
 ///
 /// `floor` is the pruning threshold for table-filtering rule 2 (line 14):
 /// the table is abandoned (returning `None`) once even a perfect remainder
@@ -338,15 +452,15 @@ struct SharedCtx<'a> {
 /// `≤ j_k` test); parallel callers pass the shared floor itself, whose
 /// strict `<` comparison stays lossless while other workers are still
 /// raising it.
-#[allow(clippy::explicit_counter_loop)] // r_checked is part of the rule-2 bound
 fn evaluate_candidate(
     ctx: &SharedCtx<'_>,
     tid: TableId,
-    table_pls: &[(u32, PostingEntry)],
+    runs: &[ValueRun],
+    l_t: usize,
     floor: Option<u64>,
     worker: &mut WorkerStats,
+    probe: &mut ProbeState,
 ) -> Option<u64> {
-    let l_t = table_pls.len();
     worker.tables_evaluated += 1;
     let mut r_checked = 0usize;
     let mut r_match = 0usize;
@@ -357,49 +471,67 @@ fn evaluate_candidate(
     let mut seen_pairs: FxHashMap<(u32, u32), bool> = FxHashMap::default();
 
     // ---- Row filtering (lines 13-20) ----------------------------------
-    for (vid, entry) in table_pls {
-        // Table filtering rule 2 (line 14): even if every remaining row
-        // matched, the table cannot reach the floor.
-        if let Some(floor) = floor {
-            if ((l_t - r_checked + r_match) as u64) < floor {
-                // The table stays counted in `tables_evaluated` (its row
-                // scan started) — the seed's accounting.
-                worker.tables_skipped_rule2 += 1;
-                return None;
-            }
-        }
-        r_checked += 1;
+    for run in runs {
+        // Decode this value's entries for the candidate (hot: a slice copy;
+        // cold: only the blocks the run overlaps — the skip headers bound
+        // the decode before any payload is touched).
+        let mut counters = mate_index::ProbeCounters::default();
+        probe.entries.clear();
+        ctx.source.collect_run(
+            run.list,
+            run.start,
+            run.len,
+            &mut probe.scratch,
+            &mut probe.entries,
+            &mut counters,
+        );
+        worker.blocks_decoded += counters.decoded;
+        worker.blocks_skipped += counters.skipped;
+        let value = ctx.values[run.vid as usize];
 
-        let value = ctx.values[*vid as usize];
-        let superkey = ctx.index.superkey(entry.table, entry.row);
-        let mut entry_matched = false;
-        for qk in ctx.key_map.rows_for(value) {
-            let pair_key = (entry.row.0, qk.row.0);
-            match seen_pairs.entry(pair_key) {
-                std::collections::hash_map::Entry::Occupied(seen) => {
-                    entry_matched |= *seen.get();
+        for entry in &probe.entries {
+            // Table filtering rule 2 (line 14): even if every remaining row
+            // matched, the table cannot reach the floor.
+            if let Some(floor) = floor {
+                if ((l_t - r_checked + r_match) as u64) < floor {
+                    // The table stays counted in `tables_evaluated` (its row
+                    // scan started) — the seed's accounting.
+                    worker.tables_skipped_rule2 += 1;
+                    return None;
                 }
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    let passes = if ctx.config.row_filtering {
-                        worker.rows_filter_checked += 1;
-                        covers(superkey, qk.superkey.words())
-                    } else {
-                        true
-                    };
-                    slot.insert(passes);
-                    if passes {
-                        pairs.push(RowPair {
-                            candidate_row: entry.row,
-                            query_row: qk.row,
-                            tuple_id: qk.tuple_id,
-                        });
-                        entry_matched = true;
+            }
+            r_checked += 1;
+
+            let superkey = ctx.superkeys.key(entry.table, entry.row);
+            let mut entry_matched = false;
+            for qk in ctx.key_map.rows_for(value) {
+                let pair_key = (entry.row.0, qk.row.0);
+                match seen_pairs.entry(pair_key) {
+                    std::collections::hash_map::Entry::Occupied(seen) => {
+                        entry_matched |= *seen.get();
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let passes = if ctx.config.row_filtering {
+                            worker.rows_filter_checked += 1;
+                            covers(superkey, qk.superkey.words())
+                        } else {
+                            true
+                        };
+                        slot.insert(passes);
+                        if passes {
+                            pairs.push(RowPair {
+                                candidate_row: entry.row,
+                                query_row: qk.row,
+                                tuple_id: qk.tuple_id,
+                            });
+                            entry_matched = true;
+                        }
                     }
                 }
             }
-        }
-        if entry_matched {
-            r_match += 1;
+            if entry_matched {
+                r_match += 1;
+            }
         }
     }
     worker.rows_passed_filter += pairs.len();

@@ -6,13 +6,14 @@
 //! heuristic needs only the query table: minimum cardinality.
 
 use crate::config::InitColumnHeuristic;
-use mate_index::InvertedIndex;
+use mate_index::PostingSource;
 use mate_table::{ColId, ColumnStats, Table};
 
 /// Chooses the initial column among the key columns `q_cols` of `query`.
 ///
-/// The oracle strategies consult the `index` for actual posting-list item
-/// counts; the heuristics use only query-table statistics.
+/// The oracle strategies consult the posting source for actual posting-list
+/// item counts (list lengths come from the header alone — in cold mode no
+/// payload is decoded); the heuristics use only query-table statistics.
 ///
 /// # Panics
 /// Panics if `q_cols` is empty or `Fixed(i)` is out of bounds.
@@ -20,7 +21,7 @@ pub fn select_initial_column(
     query: &Table,
     q_cols: &[ColId],
     heuristic: InitColumnHeuristic,
-    index: &InvertedIndex,
+    index: &dyn PostingSource,
 ) -> ColId {
     assert!(
         !q_cols.is_empty(),
@@ -62,15 +63,16 @@ pub fn select_initial_column(
 }
 
 /// Total posting-list items the distinct values of `col` would fetch.
-pub fn pl_items_for_column(query: &Table, col: ColId, index: &InvertedIndex) -> usize {
+pub fn pl_items_for_column(query: &Table, col: ColId, index: &dyn PostingSource) -> usize {
     let mut seen = std::collections::HashSet::new();
+    let mut scratch = mate_index::ProbeScratch::new();
     let mut total = 0usize;
     for v in &query.column(col).values {
         if v.is_empty() || !seen.insert(v.as_str()) {
             continue;
         }
-        if let Some(pl) = index.posting_list(v) {
-            total += pl.len();
+        if let Some(list) = index.find_list(v, &mut scratch) {
+            total += list.len as usize;
         }
     }
     total
@@ -78,14 +80,15 @@ pub fn pl_items_for_column(query: &Table, col: ColId, index: &InvertedIndex) -> 
 
 /// Number of distinct posting lists (values with hits) `col` would fetch —
 /// the metric reported in §7.5.4.
-pub fn pl_lists_for_column(query: &Table, col: ColId, index: &InvertedIndex) -> usize {
+pub fn pl_lists_for_column(query: &Table, col: ColId, index: &dyn PostingSource) -> usize {
     let mut seen = std::collections::HashSet::new();
+    let mut scratch = mate_index::ProbeScratch::new();
     let mut total = 0usize;
     for v in &query.column(col).values {
         if v.is_empty() || !seen.insert(v.as_str()) {
             continue;
         }
-        if index.posting_list(v).is_some() {
+        if index.find_list(v, &mut scratch).is_some() {
             total += 1;
         }
     }
@@ -96,7 +99,7 @@ pub fn pl_lists_for_column(query: &Table, col: ColId, index: &InvertedIndex) -> 
 mod tests {
     use super::*;
     use mate_hash::{HashSize, Xash};
-    use mate_index::IndexBuilder;
+    use mate_index::{IndexBuilder, InvertedIndex};
     use mate_table::{Corpus, TableBuilder};
 
     /// Corpus where "common" appears everywhere and "rare" once.
@@ -124,7 +127,7 @@ mod tests {
     fn min_cardinality_picks_fewest_distinct() {
         let (_, idx, q) = setup();
         let cols = [ColId(0), ColId(1)];
-        let c = select_initial_column(&q, &cols, InitColumnHeuristic::MinCardinality, &idx);
+        let c = select_initial_column(&q, &cols, InitColumnHeuristic::MinCardinality, idx.store());
         assert_eq!(c, ColId(0)); // 1 distinct < 2 distinct
     }
 
@@ -135,7 +138,7 @@ mod tests {
             &q,
             &[ColId(2), ColId(1)],
             InitColumnHeuristic::ColumnOrder,
-            &idx,
+            idx.store(),
         );
         assert_eq!(c, ColId(1));
     }
@@ -147,7 +150,7 @@ mod tests {
             &q,
             &[ColId(0), ColId(1), ColId(2)],
             InitColumnHeuristic::LongestString,
-            &idx,
+            idx.store(),
         );
         assert_eq!(c, ColId(2));
     }
@@ -156,12 +159,12 @@ mod tests {
     fn oracles_bracket_the_heuristic() {
         let (_, idx, q) = setup();
         let cols = [ColId(0), ColId(1)];
-        let best = select_initial_column(&q, &cols, InitColumnHeuristic::BestOracle, &idx);
-        let worst = select_initial_column(&q, &cols, InitColumnHeuristic::WorstOracle, &idx);
+        let best = select_initial_column(&q, &cols, InitColumnHeuristic::BestOracle, idx.store());
+        let worst = select_initial_column(&q, &cols, InitColumnHeuristic::WorstOracle, idx.store());
         // col0 fetches 10 items ("common" in 5 tables × 2 rows); col1 fetches
         // 1 ("u1") + 5 ("shared") = 6.
-        assert_eq!(pl_items_for_column(&q, ColId(0), &idx), 10);
-        assert_eq!(pl_items_for_column(&q, ColId(1), &idx), 6);
+        assert_eq!(pl_items_for_column(&q, ColId(0), idx.store()), 10);
+        assert_eq!(pl_items_for_column(&q, ColId(1), idx.store()), 6);
         assert_eq!(best, ColId(1));
         assert_eq!(worst, ColId(0));
     }
@@ -169,9 +172,9 @@ mod tests {
     #[test]
     fn pl_lists_counts_distinct_hit_values() {
         let (_, idx, q) = setup();
-        assert_eq!(pl_lists_for_column(&q, ColId(0), &idx), 1);
-        assert_eq!(pl_lists_for_column(&q, ColId(1), &idx), 2);
-        assert_eq!(pl_lists_for_column(&q, ColId(2), &idx), 0);
+        assert_eq!(pl_lists_for_column(&q, ColId(0), idx.store()), 1);
+        assert_eq!(pl_lists_for_column(&q, ColId(1), idx.store()), 2);
+        assert_eq!(pl_lists_for_column(&q, ColId(2), idx.store()), 0);
     }
 
     #[test]
@@ -181,7 +184,7 @@ mod tests {
             &q,
             &[ColId(2), ColId(0)],
             InitColumnHeuristic::Fixed(1),
-            &idx,
+            idx.store(),
         );
         assert_eq!(c, ColId(0));
     }
@@ -190,6 +193,6 @@ mod tests {
     #[should_panic(expected = "at least one column")]
     fn empty_key_rejected() {
         let (_, idx, q) = setup();
-        select_initial_column(&q, &[], InitColumnHeuristic::MinCardinality, &idx);
+        select_initial_column(&q, &[], InitColumnHeuristic::MinCardinality, idx.store());
     }
 }

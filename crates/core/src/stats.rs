@@ -27,6 +27,12 @@ pub struct WorkerStats {
     pub false_positive_rows: usize,
     /// True if a verification on this worker hit the mapping cap.
     pub mappings_capped: bool,
+    /// Posting blocks this worker decoded (cold serving mode; always 0 on a
+    /// hot arena store, which has no blocks).
+    pub blocks_decoded: u64,
+    /// Posting blocks this worker bypassed via their skip headers without
+    /// touching the payload (cold serving mode).
+    pub blocks_skipped: u64,
 }
 
 impl WorkerStats {
@@ -39,6 +45,8 @@ impl WorkerStats {
         stats.rows_verified_joinable += self.rows_verified_joinable;
         stats.false_positive_rows += self.false_positive_rows;
         stats.mappings_capped |= self.mappings_capped;
+        stats.blocks_decoded += self.blocks_decoded;
+        stats.blocks_skipped += self.blocks_skipped;
     }
 }
 
@@ -70,6 +78,11 @@ pub struct DiscoveryStats {
     pub false_positive_rows: usize,
     /// True if any verification hit the mapping-enumeration cap.
     pub mappings_capped: bool,
+    /// Posting blocks decoded while evaluating candidates (cold serving
+    /// mode; 0 on a hot index — see [`WorkerStats::blocks_decoded`]).
+    pub blocks_decoded: u64,
+    /// Posting blocks skipped via skip headers (cold serving mode).
+    pub blocks_skipped: u64,
     /// Worker threads used by the per-table loop (1 = sequential).
     pub query_threads: usize,
     /// Per-worker counter breakdown for parallel runs (empty when

@@ -1,0 +1,457 @@
+//! Cold serving mode: posting lookups straight out of segment bytes.
+//!
+//! [`crate::persist::load_index`] materializes a full [`PostingStore`] —
+//! every list decoded, every value re-interned — before the first query can
+//! run. For a read-mostly replica that is wasted work and wasted RSS: the
+//! query phase of Algorithm 1 touches only the lists of the query's initial
+//! column, and (with the §6.2 pruning rules) decodes only a fraction of
+//! those.
+//!
+//! [`ColdPostingStore`] keeps the v2 `index.values2` / `index.postings2`
+//! payloads as shared [`Bytes`] slices — zero-copy out of the loaded
+//! segment — and serves [`PostingSource`] probes by decoding only the
+//! blocks a probe touches into a small reusable scratch buffer:
+//!
+//! * `find_list` binary-searches the front-coded value dictionary through
+//!   its restart index (no value strings are ever materialized);
+//! * `table_runs` decodes only the table-id streams of a list (column/row
+//!   payloads are jumped over via their width bytes);
+//! * `collect_run` decodes only the blocks overlapping the requested range,
+//!   counting everything else as skipped.
+//!
+//! The only materialized state of a [`ColdIndex`] is the super-key store
+//! (raw `u64` words, needed for random access during row filtering) and the
+//! tiny directory offsets. [`ColdIndex::thaw`] upgrades to a hot
+//! [`InvertedIndex`] when mutation is needed.
+//!
+//! [`PostingStore`]: crate::store::PostingStore
+
+use crate::index::{IndexStats, InvertedIndex};
+use crate::posting::PostingEntry;
+use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
+use crate::superkeys::SuperKeyStore;
+use bytes::Bytes;
+use mate_hash::HashSize;
+use mate_storage::{postings, varint, StorageError};
+
+/// Reads the `i`-th u32 of a little-endian u32 array stored in `data`.
+#[inline]
+fn u32_at(data: &[u8], i: usize) -> u32 {
+    let at = i * 4;
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("validated at open"))
+}
+
+/// Posting lists served directly from v2 segment payloads.
+#[derive(Debug, Clone)]
+pub struct ColdPostingStore {
+    /// Distinct values (every one has a non-empty list).
+    n: usize,
+    /// Total posting entries across all lists.
+    total_postings: usize,
+    /// Front-coding restart interval.
+    restart_interval: usize,
+    /// Front-coded sorted value stream.
+    values: Bytes,
+    /// Byte offset of each restart point within `values` (u32 LE array).
+    restarts: Bytes,
+    /// Byte offset of each list within `lists` (u32 LE array, `n + 1`).
+    offsets: Bytes,
+    /// Concatenated block-compressed lists ([`mate_storage::postings`]).
+    lists: Bytes,
+}
+
+impl ColdPostingStore {
+    /// Assembles a store from the parsed v2 block parts, validating every
+    /// directory offset against its payload before anything is sliced.
+    pub(crate) fn new(
+        n: usize,
+        total_postings: usize,
+        restart_interval: usize,
+        values: Bytes,
+        restarts: Bytes,
+        offsets: Bytes,
+        lists: Bytes,
+    ) -> Result<Self, StorageError> {
+        if restart_interval == 0 {
+            return Err(StorageError::InvalidLength {
+                context: "value restart interval",
+                value: 0,
+            });
+        }
+        let nrestarts = n.div_ceil(restart_interval);
+        if restarts.len() != nrestarts * 4 || offsets.len() != (n + 1) * 4 {
+            return Err(StorageError::InvalidLength {
+                context: "cold directory shape",
+                value: restarts.len() as u64,
+            });
+        }
+        // Every directory offset must land inside its payload, monotonically:
+        // a corrupt directory fails here instead of panicking at probe time.
+        let mut prev = 0u32;
+        for i in 0..=n {
+            let off = u32_at(&offsets, i);
+            if off < prev || off as usize > lists.len() {
+                return Err(StorageError::InvalidLength {
+                    context: "cold list offset",
+                    value: u64::from(off),
+                });
+            }
+            prev = off;
+        }
+        if u32_at(&offsets, n) as usize != lists.len() {
+            return Err(StorageError::InvalidLength {
+                context: "cold list offset",
+                value: u64::from(prev),
+            });
+        }
+        let mut prev = 0u32;
+        for i in 0..nrestarts {
+            let off = u32_at(&restarts, i);
+            if (i > 0 && off <= prev) || off as usize >= values.len().max(1) {
+                return Err(StorageError::InvalidLength {
+                    context: "cold restart offset",
+                    value: u64::from(off),
+                });
+            }
+            prev = off;
+        }
+        let store = ColdPostingStore {
+            n,
+            total_postings,
+            restart_interval,
+            values,
+            restarts,
+            offsets,
+            lists,
+        };
+        store.validate_streams()?;
+        Ok(store)
+    }
+
+    /// Walks the value stream and every list header once, so that probe-time
+    /// decoding is infallible for any segment that passes `open` — a crafted
+    /// CRC-valid segment with malformed varints, out-of-bounds front-coding
+    /// lengths, invalid UTF-8, unsorted values, or lying block widths fails
+    /// *here* with a structured error instead of panicking mid-probe.
+    /// Payload bit-streams are never decoded (widths and byte accounting are
+    /// checked instead), so this is O(values + list headers), not O(postings).
+    fn validate_streams(&self) -> Result<(), StorageError> {
+        let mut cur: Vec<u8> = Vec::new();
+        let mut prev: Vec<u8> = Vec::new();
+        let mut rest: &[u8] = &self.values;
+        for i in 0..self.n {
+            if i % self.restart_interval == 0 {
+                // The restart index must point exactly at this record.
+                let at = (self.values.len() - rest.len()) as u32;
+                if u32_at(&self.restarts, i / self.restart_interval) != at {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold restart offset",
+                        value: u64::from(at),
+                    });
+                }
+                let len = varint::read_u64(&mut rest)? as usize;
+                if len > rest.len() {
+                    return Err(StorageError::UnexpectedEof {
+                        context: "cold value stream",
+                    });
+                }
+                cur.clear();
+                cur.extend_from_slice(&rest[..len]);
+                rest = &rest[len..];
+            } else {
+                let shared = varint::read_u64(&mut rest)? as usize;
+                let suffix = varint::read_u64(&mut rest)? as usize;
+                if shared > cur.len() || suffix > rest.len() {
+                    return Err(StorageError::UnexpectedEof {
+                        context: "cold value stream",
+                    });
+                }
+                cur.truncate(shared);
+                cur.extend_from_slice(&rest[..suffix]);
+                rest = &rest[suffix..];
+            }
+            if std::str::from_utf8(&cur).is_err() {
+                return Err(StorageError::InvalidUtf8);
+            }
+            // Strictly ascending — find_ordinal's binary search relies on it.
+            if i > 0 && cur <= prev {
+                return Err(StorageError::InvalidLength {
+                    context: "cold value order",
+                    value: i as u64,
+                });
+            }
+            // `cur` must survive as the front-coding base for the next
+            // record, so the order check keeps a copy instead of swapping.
+            prev.clone_from(&cur);
+        }
+        if !rest.is_empty() {
+            return Err(StorageError::InvalidLength {
+                context: "cold value stream slack",
+                value: rest.len() as u64,
+            });
+        }
+
+        let mut scratch = mate_storage::postings::ListScratch::new();
+        let mut total = 0usize;
+        for i in 0..self.n as u32 {
+            total += mate_storage::postings::validate_list(self.list_bytes(i), &mut scratch)?;
+        }
+        if total != self.total_postings {
+            return Err(StorageError::InvalidLength {
+                context: "cold posting total",
+                value: total as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Raw bytes of the `i`-th list.
+    #[inline]
+    fn list_bytes(&self, i: u32) -> &[u8] {
+        let lo = u32_at(&self.offsets, i as usize) as usize;
+        let hi = u32_at(&self.offsets, i as usize + 1) as usize;
+        &self.lists[lo..hi]
+    }
+
+    /// Decodes the full string at a restart point, returning `(bytes, rest)`.
+    fn restart_value(&self, restart: usize) -> (&[u8], &[u8]) {
+        let mut at = &self.values[u32_at(&self.restarts, restart) as usize..];
+        let len = varint::read_u64(&mut at).expect("validated at open") as usize;
+        (&at[..len], &at[len..])
+    }
+
+    /// Finds the ordinal of `value` via restart binary search plus a bounded
+    /// forward scan, reconstructing at most `restart_interval` values into
+    /// `buf`.
+    fn find_ordinal(&self, value: &str, buf: &mut Vec<u8>) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        let target = value.as_bytes();
+        let nrestarts = self.restarts.len() / 4;
+        // Greatest restart whose first value is <= target.
+        let (mut lo, mut hi) = (0usize, nrestarts);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.restart_value(mid).0 <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (first, mut rest) = self.restart_value(lo);
+        if first > target {
+            return None; // smaller than the smallest value
+        }
+        if first == target {
+            return Some((lo * self.restart_interval) as u32);
+        }
+        buf.clear();
+        buf.extend_from_slice(first);
+        let group = self
+            .restart_interval
+            .min(self.n - lo * self.restart_interval);
+        for i in 1..group {
+            let shared = varint::read_u64(&mut rest).expect("validated at open") as usize;
+            let suffix = varint::read_u64(&mut rest).expect("validated at open") as usize;
+            buf.truncate(shared);
+            buf.extend_from_slice(&rest[..suffix]);
+            rest = &rest[suffix..];
+            if buf.as_slice() == target {
+                return Some((lo * self.restart_interval + i) as u32);
+            }
+            if buf.as_slice() > target {
+                return None; // sorted: passed the insertion point
+            }
+        }
+        None
+    }
+
+    /// Iterates `(value, decoded posting list)` pairs in sorted-value order,
+    /// decoding everything — the migration/testing path, not the probe path.
+    pub fn iter_decoded(&self) -> impl Iterator<Item = (String, Vec<PostingEntry>)> + '_ {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut rest: &[u8] = &self.values;
+        (0..self.n as u32).map(move |i| {
+            if (i as usize).is_multiple_of(self.restart_interval) {
+                let len = varint::read_u64(&mut rest).expect("validated at open") as usize;
+                buf.clear();
+                buf.extend_from_slice(&rest[..len]);
+                rest = &rest[len..];
+            } else {
+                let shared = varint::read_u64(&mut rest).expect("validated at open") as usize;
+                let suffix = varint::read_u64(&mut rest).expect("validated at open") as usize;
+                buf.truncate(shared);
+                buf.extend_from_slice(&rest[..suffix]);
+                rest = &rest[suffix..];
+            }
+            let mut raw = Vec::new();
+            postings::decode_list(self.list_bytes(i), &mut raw).expect("validated at open");
+            let list = raw
+                .into_iter()
+                .map(|(t, c, r)| PostingEntry::new(t, c, r))
+                .collect();
+            (
+                String::from_utf8(buf.clone()).expect("validated at open"),
+                list,
+            )
+        })
+    }
+
+    /// Bytes of segment payload this store keeps mapped (shared `Bytes`
+    /// slices of the loaded segment — not heap copies).
+    pub fn mapped_bytes(&self) -> usize {
+        self.values.len() + self.restarts.len() + self.offsets.len() + self.lists.len()
+    }
+}
+
+impl PostingSource for ColdPostingStore {
+    fn find_list(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle> {
+        let id = self.find_ordinal(value, &mut scratch.buf)?;
+        let len = postings::list_count(self.list_bytes(id)).expect("validated at open");
+        Some(ListHandle {
+            id,
+            len: len as u32,
+        })
+    }
+
+    fn table_runs(
+        &self,
+        list: ListHandle,
+        scratch: &mut ProbeScratch,
+        f: &mut dyn FnMut(u32, u32),
+    ) {
+        postings::table_runs(self.list_bytes(list.id), &mut scratch.list, f)
+            .expect("validated at open");
+    }
+
+    fn collect_run(
+        &self,
+        list: ListHandle,
+        start: u32,
+        len: u32,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<PostingEntry>,
+        counters: &mut ProbeCounters,
+    ) {
+        let before = out.len();
+        scratch.raw.clear();
+        postings::collect_range(
+            self.list_bytes(list.id),
+            start as usize,
+            len as usize,
+            &mut scratch.list,
+            &mut scratch.raw,
+            counters,
+        )
+        .expect("validated at open");
+        out.extend(
+            scratch
+                .raw
+                .iter()
+                .map(|&(t, c, r)| PostingEntry::new(t, c, r)),
+        );
+        debug_assert_eq!(out.len() - before, len as usize);
+    }
+
+    fn num_values(&self) -> usize {
+        self.n
+    }
+
+    fn num_postings(&self) -> usize {
+        self.total_postings
+    }
+}
+
+/// A read-only index serving discovery from segment bytes: compressed
+/// posting lists stay encoded; only super keys are materialized.
+#[derive(Debug)]
+pub struct ColdIndex {
+    pub(crate) store: ColdPostingStore,
+    pub(crate) superkeys: SuperKeyStore,
+    pub(crate) hasher_name: String,
+}
+
+impl ColdIndex {
+    pub(crate) fn new(
+        store: ColdPostingStore,
+        superkeys: SuperKeyStore,
+        hasher_name: String,
+    ) -> Self {
+        ColdIndex {
+            store,
+            superkeys,
+            hasher_name,
+        }
+    }
+
+    /// The compressed posting store.
+    pub fn store(&self) -> &ColdPostingStore {
+        &self.store
+    }
+
+    /// Super key of `(table, row)`, same layout as the hot index.
+    #[inline]
+    pub fn superkey(&self, table: mate_table::TableId, row: mate_table::RowId) -> &[u64] {
+        self.superkeys.key(table, row)
+    }
+
+    /// The super-key store.
+    pub fn superkeys(&self) -> &SuperKeyStore {
+        &self.superkeys
+    }
+
+    /// Hash size of the super keys.
+    pub fn hash_size(&self) -> HashSize {
+        self.superkeys.hash_size()
+    }
+
+    /// Name of the hash function that produced the super keys.
+    pub fn hasher_name(&self) -> &str {
+        &self.hasher_name
+    }
+
+    /// Distinct indexed values.
+    pub fn num_values(&self) -> usize {
+        self.store.n
+    }
+
+    /// Total posting entries.
+    pub fn num_postings(&self) -> usize {
+        self.store.total_postings
+    }
+
+    /// Upgrades to a fully materialized [`InvertedIndex`] (for workloads
+    /// that need §5.4 incremental updates — the cold store is read-only).
+    pub fn thaw(&self) -> InvertedIndex {
+        let mut index = InvertedIndex::empty(self.hash_size(), self.hasher_name.clone());
+        for (value, list) in self.store.iter_decoded() {
+            let vid = index.store.intern(&value);
+            index.store.load_list(vid, &list);
+        }
+        index.superkeys = self.superkeys.clone();
+        index
+    }
+
+    /// Size/shape statistics. `on_disk_postings_bytes` is the mapped
+    /// segment payload; `heap_postings_bytes` is what this mode actually
+    /// holds on the heap beyond the shared segment buffer (nothing — the
+    /// directory slices are zero-copy views).
+    pub fn stats(&self) -> IndexStats {
+        let key_bytes = self.hash_size().bits() / 8;
+        IndexStats {
+            num_values: self.num_values(),
+            num_postings: self.num_postings(),
+            num_superkeys: self.superkeys.total_keys(),
+            posting_bytes: self.num_postings() * std::mem::size_of::<PostingEntry>(),
+            posting_store_bytes: 0,
+            posting_map_bytes: 0,
+            value_arena_bytes: 0,
+            on_disk_postings_bytes: self.store.mapped_bytes(),
+            heap_postings_bytes: 0,
+            superkey_bytes_per_row: self.superkeys.payload_bytes(),
+            superkey_bytes_per_cell: self.num_postings() * key_bytes,
+            hash_bits: self.hash_size().bits(),
+        }
+    }
+}

@@ -131,6 +131,8 @@ impl InvertedIndex {
             posting_store_bytes: self.store.flat_bytes(),
             posting_map_bytes: self.store.per_value_layout_bytes(),
             value_arena_bytes: self.store.arena_bytes(),
+            on_disk_postings_bytes: 0,
+            heap_postings_bytes: self.store.flat_bytes(),
             superkey_bytes_per_row: self.superkeys.payload_bytes(),
             superkey_bytes_per_cell: postings * key_bytes,
             hash_bits: self.hash_size().bits(),
@@ -158,6 +160,13 @@ pub struct IndexStats {
     pub posting_map_bytes: usize,
     /// Bytes of distinct value text in the string arena.
     pub value_arena_bytes: usize,
+    /// Bytes of encoded posting payload served from segment `Bytes`
+    /// (cold serving mode; 0 for a hot index, whose postings live decoded
+    /// on the heap).
+    pub on_disk_postings_bytes: usize,
+    /// Bytes of decoded posting state resident on the heap (the flattened
+    /// store for a hot index; 0 in cold mode, where lists stay encoded).
+    pub heap_postings_bytes: usize,
     /// Super-key bytes in the per-row layout (what this index stores).
     pub superkey_bytes_per_row: usize,
     /// Super-key bytes a per-cell layout would need (the naive layout of

@@ -9,7 +9,12 @@
 //!
 //! * [`posting`] — posting-list entry types.
 //! * [`store`] — the flattened, arena-backed posting storage (one string
-//!   arena + one contiguous entry buffer with per-value ranges).
+//!   arena + one contiguous entry buffer with per-value ranges) — the
+//!   **hot** serving mode.
+//! * [`cold`] — the **cold** serving mode: block-compressed posting lists
+//!   probed directly out of loaded segment bytes, nothing re-materialized.
+//! * [`source`] — the [`PostingSource`] probe trait unifying both modes for
+//!   the discovery engine.
 //! * [`superkeys`] — the per-row super-key store (the paper's space-efficient
 //!   layout; §7.1 also discusses a per-cell layout, reported by
 //!   [`IndexStats`]).
@@ -24,17 +29,21 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cold;
 pub mod index;
 pub mod persist;
 pub mod posting;
+pub mod source;
 pub mod store;
 pub mod superkeys;
 pub mod updates;
 pub mod wal;
 
 pub use builder::IndexBuilder;
+pub use cold::{ColdIndex, ColdPostingStore};
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;
+pub use source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 pub use store::PostingStore;
 pub use superkeys::SuperKeyStore;
 pub use updates::IndexUpdater;

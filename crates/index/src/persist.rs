@@ -1,19 +1,40 @@
 //! Segment-file persistence for corpora and indexes.
 //!
 //! Corpus segment blocks: `corpus.meta`, `corpus.tables` (dictionary-encoded
-//! cells). Index segment blocks: `index.meta`, `index.values` (value dict),
-//! `index.postings` (delta-encoded posting lists), `index.superkeys`
-//! (raw words per table). Everything varint + CRC via `mate-storage`.
+//! cells). Index segments come in two posting encodings, distinguished by
+//! block name (both container versions parse with [`SegmentReader`]):
+//!
+//! * **v1** — `index.postings`: per value, the value string followed by
+//!   varint triples (table delta, col, row). Readable forever; written by
+//!   [`index_to_bytes_v1`] for compatibility and size comparisons.
+//! * **v2** (default) — `index.values2`: the sorted distinct values,
+//!   front-coded with restart points every [`VALUE_RESTART_INTERVAL`]
+//!   entries plus a fixed-width restart index; `index.postings2`: a
+//!   fixed-width list-offset directory over block-compressed posting lists
+//!   ([`mate_storage::postings`]). The fixed-width directories are what
+//!   make the cold serving mode possible: [`crate::cold::ColdPostingStore`]
+//!   keeps these payloads as zero-copy `Bytes` and random-accesses them
+//!   without decoding.
+//!
+//! `index.meta` is shared. Super keys are raw words in v1
+//! (`index.superkeys`) and Rice-coded sparse bitmaps in v2
+//! (`index.superkeys2`, [`mate_storage::bitset`]); readers accept either.
 
+use crate::cold::{ColdIndex, ColdPostingStore};
 use crate::index::InvertedIndex;
 use crate::posting::PostingEntry;
+use crate::superkeys::SuperKeyStore;
 use bytes::Bytes;
 use mate_hash::HashSize;
+use mate_storage::postings::{self, RawPosting};
 use mate_storage::{
-    DictBuilder, Dictionary, Reader, SegmentReader, SegmentWriter, StorageError, Writer,
+    varint, DictBuilder, Dictionary, Reader, SegmentReader, SegmentWriter, StorageError, Writer,
 };
 use mate_table::{Column, Corpus, Table, TableId};
 use std::path::Path;
+
+/// Front-coding restart interval of the v2 value dictionary.
+pub const VALUE_RESTART_INTERVAL: usize = 16;
 
 // ---------------------------------------------------------------- corpus --
 
@@ -95,52 +116,164 @@ pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, StorageError> {
 
 // ----------------------------------------------------------------- index --
 
-/// Serializes an index into segment bytes.
-///
-/// Posting lists are sorted by `(table, col, row)`; table ids are
-/// delta-encoded across entries, and values are written in sorted order so
-/// the output is deterministic.
-pub fn index_to_bytes(index: &InvertedIndex) -> Bytes {
+/// Shared meta block: hash size, hasher name, table count.
+fn index_meta_block(index: &InvertedIndex) -> Bytes {
     let mut meta = Writer::new();
     meta.put_varint(index.hash_size().bits() as u64);
     meta.put_str(index.hasher_name());
     meta.put_varint(index.superkeys().num_tables() as u64);
+    meta.finish()
+}
 
-    let mut values: Vec<(&str, &[PostingEntry])> = index.iter_values().collect();
-    values.sort_unstable_by_key(|(v, _)| *v);
-
-    let mut postings = Writer::new();
-    postings.put_varint(values.len() as u64);
-    for (value, pl) in values {
-        postings.put_str(value);
-        postings.put_varint(pl.len() as u64);
-        let mut prev_table = 0u64;
-        for e in pl {
-            postings.put_varint(e.table.0 as u64 - prev_table);
-            prev_table = e.table.0 as u64;
-            postings.put_varint(e.col.0 as u64);
-            postings.put_varint(e.row.0 as u64);
-        }
-    }
-
+/// v1 super-key block: raw words per table.
+fn superkeys_block(superkeys: &SuperKeyStore) -> Bytes {
     let mut keys = Writer::new();
-    let ntables = index.superkeys().num_tables();
+    let ntables = superkeys.num_tables();
     keys.put_varint(ntables as u64);
     for t in 0..ntables {
-        keys.put_u64_slice(index.superkeys().table_words(TableId::from(t)));
+        keys.put_u64_slice(superkeys.table_words(TableId::from(t)));
+    }
+    keys.finish()
+}
+
+/// v2 super-key block: per row, the key's set-bit positions Rice-coded
+/// ([`mate_storage::bitset`]) — super keys are sparse (a handful of bits per
+/// cell, OR-ed per row), so this is the segment's biggest single win.
+fn superkeys_block_v2(superkeys: &SuperKeyStore) -> Bytes {
+    let mut keys = Writer::new();
+    let ntables = superkeys.num_tables();
+    let wpk = superkeys.words_per_key();
+    keys.put_varint(ntables as u64);
+    for t in 0..ntables {
+        let tid = TableId::from(t);
+        let words = superkeys.table_words(tid);
+        let nrows = words.len() / wpk.max(1);
+        keys.put_varint(nrows as u64);
+        for row in words.chunks_exact(wpk) {
+            mate_storage::bitset::encode_bitmap(row, &mut keys);
+        }
+    }
+    keys.finish()
+}
+
+/// Serializes an index into segment bytes (format v2: front-coded values,
+/// block-compressed posting lists). Values are written in sorted order so
+/// the output is deterministic.
+pub fn index_to_bytes(index: &InvertedIndex) -> Bytes {
+    index_to_bytes_v2(index, postings::DEFAULT_BLOCK_LEN)
+}
+
+/// v2 serialization with an explicit posting block length (the bench sweeps
+/// this; [`index_to_bytes`] uses [`postings::DEFAULT_BLOCK_LEN`]).
+pub fn index_to_bytes_v2(index: &InvertedIndex, block_len: usize) -> Bytes {
+    let mut values: Vec<(&str, &[PostingEntry])> = index.iter_values().collect();
+    values.sort_unstable_by_key(|(v, _)| *v);
+    let n = values.len();
+
+    // ---- index.values2: front-coded sorted values + restart index -------
+    let mut stream = Writer::with_capacity(values.iter().map(|(v, _)| v.len() + 2).sum());
+    let mut restarts: Vec<u32> = Vec::with_capacity(n.div_ceil(VALUE_RESTART_INTERVAL));
+    let mut prev = "";
+    for (i, (v, _)) in values.iter().enumerate() {
+        if i % VALUE_RESTART_INTERVAL == 0 {
+            restarts.push(stream.len() as u32);
+            stream.put_str(v);
+        } else {
+            let shared = prev
+                .as_bytes()
+                .iter()
+                .zip(v.as_bytes())
+                .take_while(|(a, b)| a == b)
+                .count();
+            stream.put_varint(shared as u64);
+            stream.put_varint((v.len() - shared) as u64);
+            stream.put_raw(&v.as_bytes()[shared..]);
+        }
+        prev = v;
+    }
+    let stream = stream.finish();
+    assert!(
+        stream.len() <= u32::MAX as usize,
+        "value stream exceeds 4 GiB"
+    );
+    let mut vals = Writer::with_capacity(stream.len() + restarts.len() * 4 + 16);
+    vals.put_varint(n as u64);
+    vals.put_varint(VALUE_RESTART_INTERVAL as u64);
+    vals.put_varint(stream.len() as u64);
+    vals.put_raw(&stream);
+    for r in &restarts {
+        vals.put_u32_le(*r);
     }
 
+    // ---- index.postings2: offset directory + compressed lists -----------
+    let mut lists = Writer::new();
+    let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+    let mut raw: Vec<RawPosting> = Vec::new();
+    let mut total_postings = 0u64;
+    for (_, pl) in &values {
+        offsets.push(lists.len() as u32);
+        raw.clear();
+        raw.extend(pl.iter().map(|e| (e.table.0, e.col.0, e.row.0)));
+        total_postings += raw.len() as u64;
+        postings::encode_list(&raw, block_len, &mut lists);
+        assert!(
+            lists.len() <= u32::MAX as usize,
+            "posting payload exceeds 4 GiB"
+        );
+    }
+    offsets.push(lists.len() as u32);
+    let lists = lists.finish();
+    let mut pb = Writer::with_capacity(
+        lists.len()
+            + offsets.len() * 4
+            + varint::encoded_len(n as u64)
+            + varint::encoded_len(total_postings),
+    );
+    pb.put_varint(n as u64);
+    pb.put_varint(total_postings);
+    for off in &offsets {
+        pb.put_u32_le(*off);
+    }
+    pb.put_raw(&lists);
+
     let mut seg = SegmentWriter::new();
-    seg.add_block("index.meta", meta.finish());
-    seg.add_block("index.postings", postings.finish());
-    seg.add_block("index.superkeys", keys.finish());
+    seg.add_block("index.meta", index_meta_block(index));
+    seg.add_block("index.values2", vals.finish());
+    seg.add_block("index.postings2", pb.finish());
+    seg.add_block("index.superkeys2", superkeys_block_v2(index.superkeys()));
     seg.finish()
 }
 
-/// Deserializes an index from segment bytes.
-pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
-    let seg = SegmentReader::open(data)?;
+/// Serializes an index in the legacy v1 posting encoding (varint triples,
+/// value strings inline) — kept for migration tests and the codec bench's
+/// size comparison.
+pub fn index_to_bytes_v1(index: &InvertedIndex) -> Bytes {
+    let mut values: Vec<(&str, &[PostingEntry])> = index.iter_values().collect();
+    values.sort_unstable_by_key(|(v, _)| *v);
 
+    let mut posting_block = Writer::new();
+    posting_block.put_varint(values.len() as u64);
+    for (value, pl) in values {
+        posting_block.put_str(value);
+        posting_block.put_varint(pl.len() as u64);
+        let mut prev_table = 0u32;
+        for e in pl {
+            posting_block.put_varint_u32(e.table.0 - prev_table);
+            prev_table = e.table.0;
+            posting_block.put_varint_u32(e.col.0);
+            posting_block.put_varint_u32(e.row.0);
+        }
+    }
+
+    let mut seg = SegmentWriter::new();
+    seg.add_block("index.meta", index_meta_block(index));
+    seg.add_block("index.postings", posting_block.finish());
+    seg.add_block("index.superkeys", superkeys_block(index.superkeys()));
+    seg.finish()
+}
+
+/// Parses the shared meta block.
+fn read_meta(seg: &SegmentReader) -> Result<(HashSize, String), StorageError> {
     let mut meta = Reader::new(seg.block("index.meta")?);
     let bits = meta.get_varint()? as usize;
     let size = HashSize::from_bits(bits).ok_or(StorageError::InvalidLength {
@@ -148,35 +281,40 @@ pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
         value: bits as u64,
     })?;
     let hasher_name = meta.get_str()?;
+    Ok((size, hasher_name))
+}
 
-    let mut index = InvertedIndex::empty(size, hasher_name);
-
-    let mut r = Reader::new(seg.block("index.postings")?);
-    let nvalues = r.get_varint()? as usize;
-    let mut pl = Vec::new();
-    for _ in 0..nvalues {
-        let value = r.get_str()?;
-        let n = r.get_varint()? as usize;
-        pl.clear();
-        pl.reserve(n);
-        let mut prev_table = 0u64;
-        for _ in 0..n {
-            let table = prev_table + r.get_varint()?;
-            prev_table = table;
-            let col = r.get_varint()?;
-            let row = r.get_varint()?;
-            if table > u32::MAX as u64 || col > u32::MAX as u64 || row > u32::MAX as u64 {
+/// Loads the super-key block (either encoding) into `superkeys`.
+fn read_superkeys(
+    seg: &SegmentReader,
+    size: HashSize,
+    superkeys: &mut SuperKeyStore,
+) -> Result<(), StorageError> {
+    if seg.block_names().contains(&"index.superkeys2") {
+        let mut kr = Reader::new(seg.block("index.superkeys2")?);
+        let ntables = kr.get_varint()? as usize;
+        let wpk = size.words();
+        let mut key = vec![0u64; wpk];
+        for _ in 0..ntables {
+            let nrows = kr.get_varint()? as usize;
+            // Each key costs ≥ 1 byte, so a count beyond the remaining
+            // bytes is corrupt — reject before allocating for it.
+            if nrows > kr.remaining() {
                 return Err(StorageError::InvalidLength {
-                    context: "posting id",
-                    value: table,
+                    context: "superkey row count",
+                    value: nrows as u64,
                 });
             }
-            pl.push(PostingEntry::new(table as u32, col as u32, row as u32));
+            let mut words = Vec::with_capacity(nrows * wpk);
+            for _ in 0..nrows {
+                mate_storage::bitset::decode_bitmap(&mut kr, &mut key)?;
+                words.extend_from_slice(&key);
+            }
+            let tid = superkeys.push_table(0);
+            superkeys.set_table_words(tid, words);
         }
-        let vid = index.store.intern(&value);
-        index.store.load_list(vid, &pl);
+        return Ok(());
     }
-
     let mut kr = Reader::new(seg.block("index.superkeys")?);
     let ntables = kr.get_varint()? as usize;
     for t in 0..ntables {
@@ -187,11 +325,140 @@ pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
                 value: words.len() as u64,
             });
         }
-        let tid = index.superkeys.push_table(0);
+        let tid = superkeys.push_table(0);
         debug_assert_eq!(tid.index(), t);
-        index.superkeys.set_table_words(tid, words);
+        superkeys.set_table_words(tid, words);
     }
+    Ok(())
+}
+
+/// Parses the v2 value/posting blocks into a [`ColdPostingStore`],
+/// validating the directories (zero-copy: the returned store shares the
+/// segment's `Bytes`).
+fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, StorageError> {
+    let mut vr = Reader::new(seg.block("index.values2")?);
+    let n = vr.get_varint()? as usize;
+    let restart_interval = vr.get_varint()? as usize;
+    if restart_interval == 0 {
+        return Err(StorageError::InvalidLength {
+            context: "value restart interval",
+            value: 0,
+        });
+    }
+    // Directory sizes are derived from the attacker-controlled count, so
+    // bound it by what the block could physically hold before any
+    // arithmetic: each value costs ≥ 1 byte in the stream and 4 bytes of
+    // offset, so a huge `n` can never overflow the checked math below.
+    if n > vr.remaining() {
+        return Err(StorageError::InvalidLength {
+            context: "value count",
+            value: n as u64,
+        });
+    }
+    let stream_len = vr.get_varint()? as usize;
+    if stream_len > vr.remaining() {
+        return Err(StorageError::InvalidLength {
+            context: "value stream length",
+            value: stream_len as u64,
+        });
+    }
+    let values = vr.get_raw(stream_len)?;
+    let restarts = vr.get_raw(n.div_ceil(restart_interval) * 4)?;
+    if !vr.is_exhausted() {
+        // Strict like every other v2 payload: no smuggled trailing bytes.
+        return Err(StorageError::InvalidLength {
+            context: "value block slack",
+            value: vr.remaining() as u64,
+        });
+    }
+
+    let mut pr = Reader::new(seg.block("index.postings2")?);
+    let pn = pr.get_varint()? as usize;
+    if pn != n {
+        return Err(StorageError::InvalidLength {
+            context: "posting directory count",
+            value: pn as u64,
+        });
+    }
+    let total_postings = pr.get_varint()? as usize;
+    if n >= pr.remaining() / 4 {
+        return Err(StorageError::InvalidLength {
+            context: "posting directory count",
+            value: n as u64,
+        });
+    }
+    let offsets = pr.get_raw((n + 1) * 4)?;
+    let lists = pr.get_raw(pr.remaining())?;
+    ColdPostingStore::new(
+        n,
+        total_postings,
+        restart_interval,
+        values,
+        restarts,
+        offsets,
+        lists,
+    )
+}
+
+/// Deserializes an index from segment bytes into the hot in-memory form.
+/// Both posting encodings load transparently (the v2 path decodes every
+/// list — use [`cold_index_from_bytes`] to skip that).
+pub fn index_from_bytes(data: Bytes) -> Result<InvertedIndex, StorageError> {
+    let seg = SegmentReader::open(data)?;
+    let (size, hasher_name) = read_meta(&seg)?;
+    let mut index = InvertedIndex::empty(size, hasher_name);
+
+    if seg.block_names().contains(&"index.postings2") {
+        let cold = read_cold_store(&seg)?;
+        for (value, pl) in cold.iter_decoded() {
+            let vid = index.store.intern(&value);
+            index.store.load_list(vid, &pl);
+        }
+    } else {
+        let mut r = Reader::new(seg.block("index.postings")?);
+        let nvalues = r.get_varint()? as usize;
+        let mut pl = Vec::new();
+        for _ in 0..nvalues {
+            let value = r.get_str()?;
+            let n = r.get_varint()? as usize;
+            pl.clear();
+            pl.reserve(n);
+            let mut prev_table = 0u32;
+            for _ in 0..n {
+                let table = prev_table.checked_add(r.get_varint_u32()?).ok_or(
+                    StorageError::InvalidLength {
+                        context: "posting id",
+                        value: u64::from(prev_table),
+                    },
+                )?;
+                prev_table = table;
+                let col = r.get_varint_u32()?;
+                let row = r.get_varint_u32()?;
+                pl.push(PostingEntry::new(table, col, row));
+            }
+            let vid = index.store.intern(&value);
+            index.store.load_list(vid, &pl);
+        }
+    }
+
+    read_superkeys(&seg, size, &mut index.superkeys)?;
     Ok(index)
+}
+
+/// Opens a v2 segment in cold serving mode: posting lists stay compressed
+/// and are decoded per probe; only super keys are materialized. v1 segments
+/// do not carry the required directories — migrate by loading hot and
+/// re-saving (which writes v2).
+pub fn cold_index_from_bytes(data: Bytes) -> Result<ColdIndex, StorageError> {
+    let seg = SegmentReader::open(data)?;
+    if !seg.block_names().contains(&"index.postings2") {
+        return Err(StorageError::MissingBlock("index.postings2".to_string()));
+    }
+    let (size, hasher_name) = read_meta(&seg)?;
+    let store = read_cold_store(&seg)?;
+    let mut superkeys = SuperKeyStore::new(size);
+    read_superkeys(&seg, size, &mut superkeys)?;
+    Ok(ColdIndex::new(store, superkeys, hasher_name))
 }
 
 /// Writes an index to a segment file.
@@ -203,6 +470,12 @@ pub fn save_index(index: &InvertedIndex, path: impl AsRef<Path>) -> Result<(), S
 /// Loads an index from a segment file.
 pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, StorageError> {
     index_from_bytes(Bytes::from(std::fs::read(path)?))
+}
+
+/// Loads a v2 index segment in cold serving mode (see
+/// [`cold_index_from_bytes`]).
+pub fn load_index_cold(path: impl AsRef<Path>) -> Result<ColdIndex, StorageError> {
+    cold_index_from_bytes(Bytes::from(std::fs::read(path)?))
 }
 
 #[cfg(test)]
@@ -295,6 +568,89 @@ mod tests {
         // Either the segment parse or a block CRC must fail.
         let result = index_from_bytes(Bytes::from(raw));
         assert!(result.is_err(), "corruption must not load silently");
+    }
+
+    #[test]
+    fn crafted_crc_valid_v2_blocks_error_instead_of_panicking() {
+        // CRC protects against corruption, not against adversarial writers:
+        // a segment whose blocks checksum correctly but whose *content* lies
+        // (bad front-coding lengths, non-UTF-8, bogus counts) must come back
+        // as a structured error from the open-time validation walk.
+        let make_seg = |values2: Vec<u8>, postings2: Vec<u8>| {
+            let mut meta = Writer::new();
+            meta.put_varint(128);
+            meta.put_str("Xash");
+            meta.put_varint(0);
+            let mut keys = Writer::new();
+            keys.put_varint(0);
+            let mut seg = SegmentWriter::new();
+            seg.add_block("index.meta", meta.finish());
+            seg.add_block("index.values2", Bytes::from(values2));
+            seg.add_block("index.postings2", Bytes::from(postings2));
+            seg.add_block("index.superkeys2", keys.finish());
+            seg.finish()
+        };
+        let postings_for = |n: u64| {
+            // n lists, each a valid single-entry inline list.
+            let mut lists = Writer::new();
+            let mut offs = Vec::new();
+            for _ in 0..n {
+                offs.push(lists.len() as u32);
+                lists.put_varint(1);
+                lists.put_varint(0);
+                lists.put_varint(0);
+                lists.put_varint(0);
+            }
+            offs.push(lists.len() as u32);
+            let lists = lists.finish();
+            let mut pb = Writer::new();
+            pb.put_varint(n);
+            pb.put_varint(n); // total postings
+            for o in offs {
+                pb.put_u32_le(o);
+            }
+            pb.put_raw(&lists);
+            pb.finish().to_vec()
+        };
+        // (a) value-length varint runs past the stream.
+        let mut v = Writer::new();
+        v.put_varint(1); // n = 1
+        v.put_varint(16); // restart interval
+        v.put_varint(1); // stream length 1
+        v.put_u8(0x05); // claims a 5-byte string in a 1-byte stream
+        v.put_u32_le(0); // restart offset
+        assert!(cold_index_from_bytes(make_seg(v.finish().to_vec(), postings_for(1))).is_err());
+        // (b) non-UTF-8 value bytes.
+        let mut v = Writer::new();
+        v.put_varint(1);
+        v.put_varint(16);
+        v.put_varint(3);
+        v.put_u8(2); // 2-byte string...
+        v.put_raw(&[0xFF, 0xFE]); // ...that is not UTF-8
+        v.put_u32_le(0);
+        assert!(cold_index_from_bytes(make_seg(v.finish().to_vec(), postings_for(1))).is_err());
+        // (c) values out of sorted order (breaks the binary search contract).
+        let mut v = Writer::new();
+        v.put_varint(2);
+        v.put_varint(1); // restart every value → both full strings
+        let mut stream = Writer::new();
+        stream.put_str("b");
+        let second = stream.len() as u32;
+        stream.put_str("a");
+        let stream = stream.finish();
+        v.put_varint(stream.len() as u64);
+        v.put_raw(&stream);
+        v.put_u32_le(0);
+        v.put_u32_le(second);
+        assert!(cold_index_from_bytes(make_seg(v.finish().to_vec(), postings_for(2))).is_err());
+        // And the hot loader rejects the same bytes rather than panicking.
+        let mut v = Writer::new();
+        v.put_varint(1);
+        v.put_varint(16);
+        v.put_varint(1);
+        v.put_u8(0x05);
+        v.put_u32_le(0);
+        assert!(index_from_bytes(make_seg(v.finish().to_vec(), postings_for(1))).is_err());
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The [`PostingSource`] trait: one probe interface over both serving modes.
+//!
+//! Discovery needs three operations on a posting list, and the two stores
+//! implement them very differently:
+//!
+//! | operation          | hot [`PostingStore`]          | cold [`ColdPostingStore`]             |
+//! |--------------------|-------------------------------|---------------------------------------|
+//! | `find_list`        | open-addressing probe         | binary search over front-coded values |
+//! | `table_runs`       | scan the entry slice          | decode **table streams only**         |
+//! | `collect_run`      | `extend_from_slice` (memcpy)  | decode only the blocks in range       |
+//!
+//! The probe contract is positional: `table_runs` reports each maximal run
+//! of equal table ids as `(table, len)` in list order, and `collect_run`
+//! addresses entries by `[start, start + len)` index into the same order.
+//! That lets the discovery engine group candidates by table *without
+//! materializing entries*, then decode only the runs of candidates it
+//! actually evaluates — with the §6.2 pruning rules, most lists of a cold
+//! index are never fully decoded.
+//!
+//! [`ColdPostingStore`]: crate::cold::ColdPostingStore
+
+use crate::posting::PostingEntry;
+use crate::store::PostingStore;
+pub use mate_storage::postings::ListScratch;
+
+/// A resolved posting list inside a [`PostingSource`]: an opaque id plus the
+/// entry count (the paper's `|PL|`, known without decoding any payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListHandle {
+    /// Source-specific list id (hot: value id; cold: sorted-value ordinal).
+    pub id: u32,
+    /// Number of entries in the list.
+    pub len: u32,
+}
+
+/// Block decode counters accumulated across probes (always zero for the hot
+/// store, which has no blocks): the codec's [`mate_storage::postings::BlockCounters`], re-exported
+/// so sources hand the same struct straight through to the codec with no
+/// field-by-field copying at the crate boundary.
+pub use mate_storage::postings::BlockCounters as ProbeCounters;
+
+/// Reusable per-worker probe state: skip-directory, stream, and decoded-
+/// tuple buffers for cold decodes. Hot probes ignore it.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    pub(crate) list: ListScratch,
+    pub(crate) raw: Vec<mate_storage::postings::RawPosting>,
+    pub(crate) buf: Vec<u8>,
+}
+
+impl ProbeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        ProbeScratch::default()
+    }
+}
+
+/// Read access to posting lists, independent of the serving mode.
+pub trait PostingSource: Sync {
+    /// Resolves `value` to its posting list, or `None` if the value is
+    /// unknown (or all its entries were removed).
+    fn find_list(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle>;
+
+    /// Calls `f(table, run_len)` for every maximal run of equal table ids in
+    /// the list, in list order. Runs over all calls cover the whole list.
+    fn table_runs(&self, list: ListHandle, scratch: &mut ProbeScratch, f: &mut dyn FnMut(u32, u32));
+
+    /// Appends entries `[start, start + len)` of the list to `out`.
+    fn collect_run(
+        &self,
+        list: ListHandle,
+        start: u32,
+        len: u32,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<PostingEntry>,
+        counters: &mut ProbeCounters,
+    );
+
+    /// Distinct values with at least one live posting entry.
+    fn num_values(&self) -> usize;
+
+    /// Total live posting entries.
+    fn num_postings(&self) -> usize;
+}
+
+impl PostingSource for PostingStore {
+    fn find_list(&self, value: &str, _scratch: &mut ProbeScratch) -> Option<ListHandle> {
+        let vid = self.lookup(value)?;
+        let len = self.postings(vid).len();
+        if len == 0 {
+            None
+        } else {
+            Some(ListHandle {
+                id: vid,
+                len: len as u32,
+            })
+        }
+    }
+
+    fn table_runs(
+        &self,
+        list: ListHandle,
+        _scratch: &mut ProbeScratch,
+        f: &mut dyn FnMut(u32, u32),
+    ) {
+        let pl = self.postings(list.id);
+        let mut i = 0usize;
+        while i < pl.len() {
+            let table = pl[i].table.0;
+            let mut j = i + 1;
+            while j < pl.len() && pl[j].table.0 == table {
+                j += 1;
+            }
+            f(table, (j - i) as u32);
+            i = j;
+        }
+    }
+
+    fn collect_run(
+        &self,
+        list: ListHandle,
+        start: u32,
+        len: u32,
+        _scratch: &mut ProbeScratch,
+        out: &mut Vec<PostingEntry>,
+        _counters: &mut ProbeCounters,
+    ) {
+        let pl = self.postings(list.id);
+        out.extend_from_slice(&pl[start as usize..(start + len) as usize]);
+    }
+
+    fn num_values(&self) -> usize {
+        PostingStore::num_values(self)
+    }
+
+    fn num_postings(&self) -> usize {
+        PostingStore::num_postings(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> PostingStore {
+        let mut s = PostingStore::new();
+        let a = s.intern("a");
+        let b = s.intern("b");
+        for t in 0..5u32 {
+            for r in 0..3u32 {
+                s.append(a, PostingEntry::new(t, 0u32, r));
+            }
+        }
+        s.append(b, PostingEntry::new(2u32, 1u32, 9u32));
+        s
+    }
+
+    #[test]
+    fn hot_find_and_runs() {
+        let s = store();
+        let mut scratch = ProbeScratch::new();
+        let h = s.find_list("a", &mut scratch).unwrap();
+        assert_eq!(h.len, 15);
+        let mut runs = Vec::new();
+        s.table_runs(h, &mut scratch, &mut |t, n| runs.push((t, n)));
+        assert_eq!(runs, vec![(0, 3), (1, 3), (2, 3), (3, 3), (4, 3)]);
+        assert!(s.find_list("missing", &mut scratch).is_none());
+    }
+
+    #[test]
+    fn hot_collect_run_is_a_slice_copy() {
+        let s = store();
+        let mut scratch = ProbeScratch::new();
+        let h = s.find_list("a", &mut scratch).unwrap();
+        let mut out = Vec::new();
+        let mut counters = ProbeCounters::default();
+        s.collect_run(h, 6, 3, &mut scratch, &mut out, &mut counters);
+        assert_eq!(out, s.postings(h.id)[6..9].to_vec());
+        assert_eq!(counters, ProbeCounters::default());
+    }
+}

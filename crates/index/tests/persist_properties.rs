@@ -69,11 +69,77 @@ proptest! {
         prop_assert_eq!(persist::corpus_to_bytes(&corpus), persist::corpus_to_bytes(&corpus));
     }
 
-    /// Arbitrary bytes never panic the index loader.
+    /// Arbitrary bytes never panic the index loader (hot or cold).
     #[test]
     fn arbitrary_bytes_never_panic(data: Vec<u8>) {
         let _ = persist::index_from_bytes(bytes::Bytes::from(data.clone()));
+        let _ = persist::cold_index_from_bytes(bytes::Bytes::from(data.clone()));
         let _ = persist::corpus_from_bytes(bytes::Bytes::from(data));
+    }
+
+    /// v1 → v2 migration round-trip: loading a legacy v1 segment and
+    /// re-saving (which writes v2) preserves every list and super key.
+    #[test]
+    fn v1_to_v2_migration_roundtrip(corpus in corpus_strategy()) {
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let v1 = persist::index_to_bytes_v1(&index);
+        let from_v1 = persist::index_from_bytes(v1).unwrap();
+        let v2 = persist::index_to_bytes(&from_v1);
+        let from_v2 = persist::index_from_bytes(v2).unwrap();
+        prop_assert_eq!(index.num_values(), from_v2.num_values());
+        prop_assert_eq!(index.num_postings(), from_v2.num_postings());
+        for (v, pl) in index.iter_values() {
+            prop_assert_eq!(from_v2.posting_list(v), Some(pl));
+        }
+        for (tid, t) in corpus.iter() {
+            for r in 0..t.num_rows() {
+                prop_assert_eq!(
+                    index.superkey(tid, RowId::from(r)),
+                    from_v2.superkey(tid, RowId::from(r))
+                );
+            }
+        }
+    }
+
+    /// The cold store serves exactly the flat store's content: every value
+    /// resolves to an identical list (via full decode and via ranged
+    /// probes), and unknown values miss.
+    #[test]
+    fn cold_store_equals_flat_store(corpus in corpus_strategy()) {
+        use mate_index::{PostingSource, ProbeCounters, ProbeScratch};
+        let hasher = Xash::new(HashSize::B128);
+        let index = IndexBuilder::new(hasher).build(&corpus);
+        let cold = persist::cold_index_from_bytes(persist::index_to_bytes(&index)).unwrap();
+        prop_assert_eq!(index.num_values(), cold.num_values());
+        prop_assert_eq!(index.num_postings(), cold.num_postings());
+        let mut scratch = ProbeScratch::new();
+        let mut counters = ProbeCounters::default();
+        for (v, pl) in index.iter_values() {
+            let list = cold.store().find_list(v, &mut scratch).expect("value must resolve");
+            prop_assert_eq!(list.len as usize, pl.len());
+            let mut got = Vec::new();
+            cold.store().collect_run(list, 0, list.len, &mut scratch, &mut got, &mut counters);
+            prop_assert_eq!(got.as_slice(), pl);
+            // Table runs tile the list.
+            let mut total = 0u32;
+            cold.store().table_runs(list, &mut scratch, &mut |_, n| total += n);
+            prop_assert_eq!(total, list.len);
+        }
+        prop_assert!(cold.store().find_list("\u{1}never-a-cell-value", &mut scratch).is_none());
+        // Thawing the cold index reproduces the hot index.
+        let thawed = cold.thaw();
+        for (v, pl) in index.iter_values() {
+            prop_assert_eq!(thawed.posting_list(v), Some(pl));
+        }
+        for (tid, t) in corpus.iter() {
+            for r in 0..t.num_rows() {
+                prop_assert_eq!(
+                    index.superkey(tid, RowId::from(r)),
+                    thawed.superkey(tid, RowId::from(r))
+                );
+            }
+        }
     }
 
     /// Parallel and sequential builds agree for random corpora (not just the

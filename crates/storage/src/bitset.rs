@@ -1,0 +1,338 @@
+//! Rice-coded sparse bitmaps (super-key compression, segment format v2).
+//!
+//! A MATE super key is the OR of one XASH hash per cell of a row; each hash
+//! sets a handful of bits, so a row key is a **sparse** bitmap (typically
+//! 10–30 of 128 bits). Stored raw that is `bits/8` bytes per row and the
+//! single biggest block of an index segment. This module encodes each key
+//! as its sorted set-bit positions, gap-encoded with a Rice code whose
+//! parameter is derived from the key's own density — no table to store,
+//! near the binomial entropy for the sparse keys the lakes produce.
+//!
+//! ```text
+//! key := popcount:u8 payload
+//! payload := ε                          (popcount == 0)
+//!          | raw words, u64 LE each     (popcount == RAW_MARKER: dense keys)
+//!          | rice(gap_0) rice(gap_i)*   (byte-padded to the next boundary)
+//! gap_0 := first set-bit position;  gap_i := pos_i - pos_{i-1} - 1
+//! rice(g) at parameter k := unary(g >> k) ++ k low bits of g
+//! ```
+//!
+//! The Rice parameter is `k = floor(log2(bits / popcount))`, recomputed
+//! identically by the decoder. Keys too dense to win (or with popcount ≥
+//! [`RAW_MARKER`]) are stored raw behind a marker byte, so the encoding
+//! never loses more than one byte per key.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+
+/// Popcount marker for keys stored as raw words.
+pub const RAW_MARKER: u8 = 0xFF;
+
+/// Bit-granular appender over a [`Writer`] (LSB-first within bytes).
+struct BitWriter<'a> {
+    w: &'a mut Writer,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitWriter<'a> {
+    fn new(w: &'a mut Writer) -> Self {
+        BitWriter { w, acc: 0, bits: 0 }
+    }
+
+    fn push(&mut self, value: u64, nbits: u32) {
+        debug_assert!(nbits <= 57, "push wider than the accumulator");
+        self.acc |= value << self.bits;
+        self.bits += nbits;
+        while self.bits >= 8 {
+            self.w.put_u8((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.bits -= 8;
+        }
+    }
+
+    fn unary(&mut self, q: u64) {
+        // `q` ones then a zero. Emitted in ≤ 32-bit chunks.
+        let mut q = q;
+        while q >= 32 {
+            self.push(u32::MAX as u64, 32);
+            q -= 32;
+        }
+        self.push((1u64 << q) - 1, q as u32 + 1);
+    }
+
+    fn finish(mut self) {
+        if self.bits > 0 {
+            self.w.put_u8((self.acc & 0xff) as u8);
+        }
+        self.bits = 0;
+    }
+}
+
+/// Bit-granular reader over a byte slice (LSB-first within bytes).
+struct BitReader<'a> {
+    data: &'a [u8],
+    at: usize,
+    acc: u64,
+    bits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            at: 0,
+            acc: 0,
+            bits: 0,
+        }
+    }
+
+    fn fill(&mut self) -> Result<(), StorageError> {
+        if self.at >= self.data.len() {
+            return Err(StorageError::UnexpectedEof {
+                context: "rice bitmap",
+            });
+        }
+        self.acc |= u64::from(self.data[self.at]) << self.bits;
+        self.at += 1;
+        self.bits += 8;
+        Ok(())
+    }
+
+    fn take(&mut self, nbits: u32) -> Result<u64, StorageError> {
+        while self.bits < nbits {
+            self.fill()?;
+        }
+        let mask = if nbits == 64 {
+            u64::MAX
+        } else {
+            (1 << nbits) - 1
+        };
+        let v = self.acc & mask;
+        self.acc >>= nbits;
+        self.bits -= nbits;
+        Ok(v)
+    }
+
+    fn unary(&mut self) -> Result<u64, StorageError> {
+        let mut q = 0u64;
+        loop {
+            if self.bits == 0 {
+                self.fill()?;
+            }
+            let tz = self.acc.trailing_ones().min(self.bits);
+            q += u64::from(tz);
+            self.acc >>= tz;
+            self.bits -= tz;
+            if self.bits > 0 {
+                // Consume the terminating zero.
+                self.acc >>= 1;
+                self.bits -= 1;
+                return Ok(q);
+            }
+        }
+    }
+
+    /// Bytes consumed (the current partial byte counts as consumed).
+    fn consumed(&self) -> usize {
+        self.at
+    }
+}
+
+/// Rice parameter for a bitmap of `bits` bits with `pop` set bits.
+#[inline]
+fn rice_k(bits: usize, pop: usize) -> u32 {
+    let avg_gap = (bits / pop.max(1)).max(1);
+    (usize::BITS - 1).saturating_sub(avg_gap.leading_zeros())
+}
+
+/// Appends one bitmap (`words`, fixed width known to the caller) Rice-coded.
+pub fn encode_bitmap(words: &[u64], w: &mut Writer) {
+    let bits = words.len() * 64;
+    let pop: usize = words.iter().map(|x| x.count_ones() as usize).sum();
+    debug_assert!(
+        bits < RAW_MARKER as usize * 64,
+        "bitmap too wide for u8 popcount"
+    );
+    if pop == 0 {
+        w.put_u8(0);
+        return;
+    }
+    let k = rice_k(bits, pop);
+    // Estimated Rice size vs raw: fall back when the key is dense. The
+    // estimate uses the true encoded size, computed cheaply first.
+    let mut est_bits = 0u64;
+    {
+        let mut prev: i64 = -1;
+        for pos in iter_ones(words) {
+            let gap = (i64::from(pos) - prev - 1) as u64;
+            est_bits += (gap >> k) + 1 + u64::from(k);
+            prev = i64::from(pos);
+        }
+    }
+    if pop >= RAW_MARKER as usize || est_bits.div_ceil(8) >= bits as u64 / 8 {
+        w.put_u8(RAW_MARKER);
+        for &word in words {
+            w.put_u64_le(word);
+        }
+        return;
+    }
+    w.put_u8(pop as u8);
+    let mut bw = BitWriter::new(w);
+    let mut prev: i64 = -1;
+    for pos in iter_ones(words) {
+        let gap = (i64::from(pos) - prev - 1) as u64;
+        bw.unary(gap >> k);
+        bw.push(gap & ((1 << k) - 1), k);
+        prev = i64::from(pos);
+    }
+    bw.finish();
+}
+
+/// Set-bit positions of a word slice, ascending.
+fn iter_ones(words: &[u64]) -> impl Iterator<Item = u32> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        let mut rest = word;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                return None;
+            }
+            let bit = rest.trailing_zeros();
+            rest &= rest - 1;
+            Some(wi as u32 * 64 + bit)
+        })
+    })
+}
+
+/// Decodes one bitmap of exactly `words.len() * 64` bits into `words`
+/// (overwritten) from the reader.
+pub fn decode_bitmap(r: &mut Reader, words: &mut [u64]) -> Result<(), StorageError> {
+    let bits = words.len() * 64;
+    words.fill(0);
+    let pop = r.get_u8()?;
+    if pop == 0 {
+        return Ok(());
+    }
+    if pop == RAW_MARKER {
+        for word in words.iter_mut() {
+            *word = r.get_u64_le()?;
+        }
+        return Ok(());
+    }
+    let k = rice_k(bits, pop as usize);
+    // Borrow the remaining bytes for bit-level reading, then advance the
+    // reader past the consumed whole bytes.
+    let tail = r.get_raw(r.remaining())?;
+    let mut br = BitReader::new(&tail);
+    let mut pos: i64 = -1;
+    for _ in 0..pop {
+        let q = br.unary()?;
+        let rem = br.take(k)?;
+        let gap = (q << k) | rem;
+        pos += gap as i64 + 1;
+        let at = usize::try_from(pos).expect("positive position");
+        if at >= bits {
+            return Err(StorageError::InvalidLength {
+                context: "rice bit position",
+                value: at as u64,
+            });
+        }
+        words[at / 64] |= 1u64 << (at % 64);
+    }
+    let consumed = br.consumed();
+    *r = Reader::new(tail.slice(consumed..));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(words: &[u64]) -> usize {
+        let mut w = Writer::new();
+        encode_bitmap(words, &mut w);
+        let data = w.finish();
+        let len = data.len();
+        let mut r = Reader::new(data);
+        let mut out = vec![0u64; words.len()];
+        decode_bitmap(&mut r, &mut out).unwrap();
+        assert_eq!(out, words, "roundtrip mismatch");
+        assert!(r.is_exhausted(), "trailing bytes");
+        len
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(roundtrip(&[0, 0]), 1);
+        roundtrip(&[1, 0]);
+        roundtrip(&[0, 1 << 63]);
+    }
+
+    #[test]
+    fn sparse_keys_compress() {
+        // 18 of 128 bits — the density the Zipf lakes produce.
+        let mut words = [0u64; 2];
+        for i in 0..18u32 {
+            let pos = (i * 7) % 128;
+            words[(pos / 64) as usize] |= 1 << (pos % 64);
+        }
+        let pop: u32 = words.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(pop, 18);
+        let len = roundtrip(&words);
+        assert!(len < 13, "sparse key should beat raw 16 bytes, got {len}");
+    }
+
+    #[test]
+    fn dense_keys_fall_back_to_raw() {
+        let words = [u64::MAX, u64::MAX ^ 0b1010];
+        let len = roundtrip(&words);
+        assert_eq!(len, 1 + 16, "dense key stored raw behind the marker");
+    }
+
+    #[test]
+    fn sequential_keys_share_a_stream() {
+        let keys: Vec<[u64; 2]> = (0..50)
+            .map(|i| [1u64 << (i % 64) | 0x10, 1u64 << ((i * 7) % 64)])
+            .collect();
+        let mut w = Writer::new();
+        for k in &keys {
+            encode_bitmap(k, &mut w);
+        }
+        let mut r = Reader::new(w.finish());
+        let mut out = [0u64; 2];
+        for k in &keys {
+            decode_bitmap(&mut r, &mut out).unwrap();
+            assert_eq!(&out, k);
+        }
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = Writer::new();
+        encode_bitmap(&[0xdeadbeefu64, 0x1234], &mut w);
+        let data = w.finish();
+        for cut in 0..data.len() {
+            let mut r = Reader::new(data.slice(..cut));
+            let mut out = [0u64; 2];
+            let _ = decode_bitmap(&mut r, &mut out); // must not panic
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(words in proptest::collection::vec(any::<u64>(), 1..9)) {
+            roundtrip(&words);
+        }
+
+        #[test]
+        fn prop_sparse_roundtrip(positions in proptest::collection::vec(0usize..512, 0..40)) {
+            let mut words = [0u64; 8];
+            for p in positions {
+                words[p / 64] |= 1 << (p % 64);
+            }
+            roundtrip(&words);
+        }
+    }
+}

@@ -51,9 +51,20 @@ impl Writer {
         self.buf.put_u64_le(v);
     }
 
+    /// Pre-allocates room for at least `additional` more bytes (used with
+    /// [`crate::varint::encoded_len`] to presize codec output exactly).
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Appends a varint u64.
     pub fn put_varint(&mut self, v: u64) {
         varint::write_u64(&mut self.buf, v);
+    }
+
+    /// Appends a varint u32 (no u64 widening at the call site).
+    pub fn put_varint_u32(&mut self, v: u32) {
+        varint::write_u32(&mut self.buf, v);
     }
 
     /// Appends a zigzag varint i64.
@@ -144,6 +155,12 @@ impl Reader {
     /// Reads a varint u64.
     pub fn get_varint(&mut self) -> Result<u64, StorageError> {
         varint::read_u64(&mut self.buf)
+    }
+
+    /// Reads a varint u32, rejecting out-of-range values (replaces the
+    /// `get_varint()? as u32` + manual bounds check pattern).
+    pub fn get_varint_u32(&mut self) -> Result<u32, StorageError> {
+        varint::read_u32(&mut self.buf)
     }
 
     /// Reads a zigzag varint i64.

@@ -10,6 +10,11 @@
 //!   `bytes` buffers with length-prefixed strings and slices.
 //! * [`dict`] — order-preserving string dictionary encoding: the same value
 //!   string appears in many posting lists, so values are stored once.
+//! * [`bitset`] — Rice-coded sparse bitmaps (super keys are sparse: a few
+//!   set bits per cell, OR-ed per row).
+//! * [`postings`] — block-compressed posting lists with per-block skip
+//!   headers (segment format v2): bit-packed delta streams, decodable one
+//!   block at a time so probes can skip blocks they cannot intersect.
 //! * [`segment`] — the on-disk container: a magic header, named blocks, each
 //!   length-prefixed and CRC-checked, so partial writes and corruption are
 //!   detected at load time.
@@ -18,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod codec;
 pub mod crc32;
 pub mod dict;
 pub mod error;
+pub mod postings;
 pub mod segment;
 pub mod varint;
 

@@ -37,8 +37,15 @@ fn block_crc(name: &str, payload: &[u8]) -> u32 {
     c.write(payload);
     c.finish()
 }
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (written by [`SegmentWriter`]).
+///
+/// Version 2 introduced the block-compressed posting-list payloads (see
+/// [`crate::postings`]); the container layout itself is unchanged, and
+/// readers accept both versions — v1 segments stay readable behind this tag.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version [`SegmentReader`] still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Accumulates named blocks and serializes them into a segment.
 #[derive(Debug, Default)]
@@ -88,6 +95,7 @@ impl SegmentWriter {
 /// Parses a segment and provides checked access to its blocks.
 #[derive(Debug)]
 pub struct SegmentReader {
+    version: u32,
     blocks: Vec<(String, u32, Bytes)>,
 }
 
@@ -103,7 +111,7 @@ impl SegmentReader {
             return Err(StorageError::BadMagic);
         }
         let version = r.get_u32_le()?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StorageError::UnsupportedVersion(version));
         }
         let n = r.get_varint()? as usize;
@@ -112,10 +120,25 @@ impl SegmentReader {
             let name = r.get_str()?;
             let len = r.get_varint()? as usize;
             let crc = r.get_u32_le()?;
+            // Validate the directory entry against the buffer *before*
+            // slicing: a declared length beyond the remaining bytes means a
+            // truncated or corrupt file, reported as a structured error (the
+            // reader must never panic on untrusted input).
+            if len > r.remaining() {
+                return Err(StorageError::InvalidLength {
+                    context: "segment block length",
+                    value: len as u64,
+                });
+            }
             let payload = r.get_raw(len)?;
             blocks.push((name, crc, payload));
         }
-        Ok(SegmentReader { blocks })
+        Ok(SegmentReader { version, blocks })
+    }
+
+    /// Format version the segment was written with.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Reads and parses a segment from a file.
@@ -205,6 +228,31 @@ mod tests {
         let raw = sample_segment();
         let truncated = raw.slice(..raw.len() - 3);
         assert!(SegmentReader::open(truncated).is_err());
+    }
+
+    #[test]
+    fn v1_container_still_readable() {
+        let mut raw = sample_segment().to_vec();
+        raw[8] = 1; // version LE byte 0 → a v1-era file
+        let seg = SegmentReader::open(Bytes::from(raw)).unwrap();
+        assert_eq!(seg.version(), 1);
+        assert_eq!(seg.block("meta").unwrap().as_ref(), b"hello");
+    }
+
+    #[test]
+    fn oversized_block_length_rejected_cleanly() {
+        // Directory claims a payload far past the end of the buffer.
+        let mut w = crate::codec::Writer::new();
+        w.put_raw(MAGIC);
+        w.put_u32_le(FORMAT_VERSION);
+        w.put_varint(1); // one block
+        w.put_str("big");
+        w.put_varint(1 << 40); // absurd length
+        w.put_u32_le(0);
+        assert!(matches!(
+            SegmentReader::open(w.finish()),
+            Err(StorageError::InvalidLength { .. })
+        ));
     }
 
     #[test]

@@ -47,6 +47,24 @@ pub fn read_u64(buf: &mut impl Buf) -> Result<u64, StorageError> {
     }
 }
 
+/// Appends `value` as LEB128 to `buf` without widening to u64 first —
+/// table/column/row ids are u32 throughout the index layer.
+#[inline]
+pub fn write_u32(buf: &mut impl BufMut, value: u32) {
+    write_u64(buf, u64::from(value));
+}
+
+/// Reads a LEB128 u32 from `buf`, rejecting values that overflow u32 —
+/// callers no longer round-trip through u64 casts plus manual range checks.
+#[inline]
+pub fn read_u32(buf: &mut impl Buf) -> Result<u32, StorageError> {
+    let v = read_u64(buf)?;
+    u32::try_from(v).map_err(|_| StorageError::InvalidLength {
+        context: "u32 varint",
+        value: v,
+    })
+}
+
 /// Zigzag-maps a signed integer to unsigned so small magnitudes stay small.
 #[inline]
 pub fn zigzag(v: i64) -> u64 {
@@ -124,6 +142,26 @@ mod tests {
         assert!(matches!(
             read_u64(&mut b),
             Err(StorageError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn u32_pair_roundtrip_and_range_check() {
+        let mut buf = BytesMut::new();
+        for v in [0u32, 1, 127, 128, u32::MAX] {
+            write_u32(&mut buf, v);
+        }
+        let mut b = buf.freeze();
+        for v in [0u32, 1, 127, 128, u32::MAX] {
+            assert_eq!(read_u32(&mut b).unwrap(), v);
+        }
+        // A u64-range value must be rejected, not truncated.
+        let mut buf = BytesMut::new();
+        write_u64(&mut buf, u64::from(u32::MAX) + 1);
+        let mut b = buf.freeze();
+        assert!(matches!(
+            read_u32(&mut b),
+            Err(StorageError::InvalidLength { .. })
         ));
     }
 

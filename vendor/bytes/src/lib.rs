@@ -179,6 +179,11 @@ impl BytesMut {
         self.buf.extend_from_slice(data);
     }
 
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -283,6 +288,23 @@ impl BufMut for BytesMut {
 impl BufMut for Vec<u8> {
     fn put_slice(&mut self, data: &[u8]) {
         self.extend_from_slice(data);
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
     }
 }
 

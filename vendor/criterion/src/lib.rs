@@ -144,7 +144,7 @@ fn run_one(c: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
             break;
         }
         // Grow toward the budget using the observed rate.
-        let per_iter = b.elapsed.as_nanos().max(1) / iters as u128;
+        let per_iter = (b.elapsed.as_nanos() / iters as u128).max(1);
         let target = (per_sample.as_nanos() / per_iter).max(iters as u128 * 2);
         iters = target.min(1 << 30) as u64;
     }

@@ -379,7 +379,7 @@ pub mod collection {
 
     use super::*;
 
-    /// Admissible size specifications for [`vec`].
+    /// Admissible size specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -409,7 +409,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
