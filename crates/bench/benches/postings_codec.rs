@@ -109,7 +109,9 @@ fn main() {
             v2_bytes: v2.len(),
             fixed_bytes,
             v1_posting_bytes: block_len(&v1, "index.postings"),
-            v2_posting_bytes: block_len(&v2, "index.values2") + block_len(&v2, "index.postings2"),
+            v2_posting_bytes: block_len(&v2, "index.values2")
+                + block_len(&v2, "index.postings2")
+                + block_len(&v2, "index.postings3"),
             superkey_bytes: block_len(&v2, "index.superkeys2"),
             hot_load_us,
             cold_load_us,

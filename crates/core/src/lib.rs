@@ -31,6 +31,7 @@
 pub mod config;
 pub mod discovery;
 pub mod durable;
+pub mod engine_query;
 pub mod init_column;
 pub mod joinability;
 pub mod query_keys;
@@ -40,6 +41,7 @@ pub mod topk;
 pub use config::{InitColumnHeuristic, MateConfig};
 pub use discovery::{DiscoveryResult, MateDiscovery, TableResult};
 pub use durable::DurableLake;
+pub use engine_query::discover_engine;
 pub use joinability::verify_table_joinability;
 pub use stats::{DiscoveryStats, WorkerStats};
 pub use topk::TopK;

@@ -85,6 +85,11 @@ pub struct DiscoveryStats {
     pub blocks_skipped: u64,
     /// Worker threads used by the per-table loop (1 = sequential).
     pub query_threads: usize,
+    /// Posting layers that served the query: 0 when probing a plain
+    /// hot/cold index directly, `cold segments + 1` when running over the
+    /// multi-segment engine (set by
+    /// [`crate::engine_query::discover_engine`]).
+    pub source_layers: usize,
     /// Per-worker counter breakdown for parallel runs (empty when
     /// sequential; the aggregate fields above are their sums).
     pub per_worker: Vec<WorkerStats>,

@@ -1,0 +1,210 @@
+//! Kill-at-any-point recovery acceptance for the multi-segment engine.
+//!
+//! The engine acknowledges a mutation once its WAL record is fsynced. These
+//! tests kill the engine (drop without flush — the engine has no `Drop`
+//! hook, so this is crash-equivalent for everything except OS-level page
+//! cache loss, which the fsync discipline covers) at *every* record
+//! boundary and mid-record, reopen, and require the recovered engine to be
+//! discovery-bit-identical to an engine that was never killed.
+
+use mate_core::{discover_engine, MateConfig};
+use mate_index::engine::{Engine, EngineConfig};
+use mate_index::WalRecord;
+use mate_lake::{CorpusProfile, GeneratedQuery, LakeGenerator, LakeSpec, QuerySpec};
+use mate_table::{ColId, Corpus, RowId, TableId};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mate-engine-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(budget: usize) -> EngineConfig {
+    EngineConfig {
+        memtable_budget_bytes: budget,
+        max_cold_segments: 0,
+        ..EngineConfig::default()
+    }
+}
+
+/// A small lake plus an edit tail (insert/update/delete mix).
+fn lake_workload(seed: u64) -> (Vec<WalRecord>, GeneratedQuery) {
+    let mut generator = LakeGenerator::new(LakeSpec::new(CorpusProfile::web_tables(0), seed));
+    let mut corpus = Corpus::new();
+    let spec = QuerySpec {
+        rows: 8,
+        key_size: 2,
+        payload_cols: 1,
+        column_cardinality: 6,
+        column_cardinalities: None,
+        joinable_tables: 3,
+        fp_tables: 3,
+        share_range: (0.3, 0.9),
+        duplication: (1, 2),
+        fp_rows: (4, 8),
+        hard_fp_fraction: 0.2,
+        noise_rows: (2, 5),
+    };
+    let query = generator.generate_query(&mut corpus, &spec);
+    generator.generate_noise(&mut corpus, 8);
+    let mut records: Vec<WalRecord> = corpus
+        .iter()
+        .map(|(_, t)| WalRecord::InsertTable { table: t.clone() })
+        .collect();
+    records.push(WalRecord::UpdateCell {
+        table: TableId(0),
+        row: RowId(0),
+        col: ColId(0),
+        value: "edited".into(),
+    });
+    records.push(WalRecord::DeleteRow {
+        table: TableId(1),
+        row: RowId(0),
+    });
+    records.push(WalRecord::DeleteTable { table: TableId(2) });
+    let ncols = corpus.table(TableId(0)).num_cols();
+    records.push(WalRecord::InsertRow {
+        table: TableId(0),
+        cells: (0..ncols).map(|c| format!("late-{c}")).collect(),
+    });
+    (records, query)
+}
+
+/// Both engines must be indistinguishable: same discovery output (scores,
+/// order, counters), same corpus, same posting totals.
+fn assert_engines_identical(a: &Engine, b: &Engine, query: &GeneratedQuery) {
+    assert_eq!(a.corpus().len(), b.corpus().len());
+    for (tid, ta) in a.corpus().iter() {
+        assert_eq!(ta, b.corpus().table(tid), "corpus table {tid}");
+    }
+    assert_eq!(a.live_postings(), b.live_postings());
+    let ra = discover_engine(a, MateConfig::default(), &query.table, &query.key, 5);
+    let rb = discover_engine(b, MateConfig::default(), &query.table, &query.key, 5);
+    assert_eq!(ra.top_k, rb.top_k);
+    assert_eq!(ra.stats.pl_items_fetched, rb.stats.pl_items_fetched);
+    assert_eq!(ra.stats.candidate_tables, rb.stats.candidate_tables);
+    assert_eq!(
+        ra.stats.rows_verified_joinable,
+        rb.stats.rows_verified_joinable
+    );
+}
+
+/// Kill with WAL synced and *no flush* at every record boundary: reopening
+/// must recover every acknowledged mutation, and finishing the workload
+/// must land in exactly the never-killed state.
+#[test]
+fn kill_at_every_record_boundary_without_flush() {
+    let (records, query) = lake_workload(11);
+    let base = tmpdir("boundary");
+
+    // Control: never killed.
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    for r in &records {
+        control.apply(r.clone()).unwrap();
+    }
+
+    // Check a spread of cut points including none and all.
+    let cuts = [
+        0,
+        1,
+        records.len() / 3,
+        records.len() / 2,
+        records.len() - 1,
+        records.len(),
+    ];
+    for (i, &cut) in cuts.iter().enumerate() {
+        let dir = base.join(format!("cut{i}"));
+        {
+            let mut e = Engine::create(&dir, config(1 << 30)).unwrap();
+            for r in &records[..cut] {
+                e.apply(r.clone()).unwrap();
+            }
+            assert_eq!(e.num_cold_segments(), 0, "budget must prevent flushes");
+            // Killed here: dropped with all state in manifest + WAL only.
+        }
+        let mut recovered = Engine::open(&dir, config(1 << 30)).unwrap();
+        assert_eq!(recovered.stats().replayed_records as usize, cut);
+        for r in &records[cut..] {
+            recovered.apply(r.clone()).unwrap();
+        }
+        assert_engines_identical(&recovered, &control, &query);
+    }
+    std::fs::remove_dir_all(base).ok();
+}
+
+/// A kill *mid-append* (torn last record, not yet acknowledged) loses at
+/// most that record: recovery lands exactly on the previous boundary.
+#[test]
+fn kill_mid_append_loses_only_the_torn_record() {
+    let (records, query) = lake_workload(23);
+    let base = tmpdir("torn");
+    let cut = records.len() - 2;
+
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    for r in &records[..cut] {
+        control.apply(r.clone()).unwrap();
+    }
+
+    let dir = base.join("victim");
+    {
+        let mut e = Engine::create(&dir, config(1 << 30)).unwrap();
+        for r in &records[..cut + 1] {
+            e.apply(r.clone()).unwrap();
+        }
+    }
+    // Tear the last appended record.
+    let wal = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .find(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .unwrap()
+        .path();
+    let log = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &log[..log.len() - 5]).unwrap();
+
+    let recovered = Engine::open(&dir, config(1 << 30)).unwrap();
+    assert_eq!(recovered.stats().replayed_records as usize, cut);
+    assert_engines_identical(&recovered, &control, &query);
+    std::fs::remove_dir_all(base).ok();
+}
+
+/// Kill after several flushes: recovery = manifest segments + WAL tail.
+/// Compaction then reduces the live segment count while preserving top-k
+/// identity, and survives its own kill+reopen.
+#[test]
+fn recovery_with_flushes_and_compaction_preserves_topk() {
+    let (records, query) = lake_workload(37);
+    let base = tmpdir("flushes");
+
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    for r in &records {
+        control.apply(r.clone()).unwrap();
+    }
+
+    let dir = base.join("victim");
+    {
+        let mut e = Engine::create(&dir, config(1500)).unwrap();
+        for r in &records {
+            e.apply(r.clone()).unwrap();
+        }
+        assert!(e.stats().flushes >= 2, "tiny budget must force flushes");
+        // Killed with segments + WAL tail on disk.
+    }
+    let mut recovered = Engine::open(&dir, config(1500)).unwrap();
+    assert_engines_identical(&recovered, &control, &query);
+
+    let before = recovered.num_cold_segments();
+    assert!(before >= 2);
+    let merged = recovered.compact().unwrap();
+    assert_eq!(merged, before);
+    assert_eq!(recovered.num_cold_segments(), 1, "stack folded to one");
+    assert_engines_identical(&recovered, &control, &query);
+
+    // Kill again right after compaction; the WAL tail replays over the
+    // compacted stack.
+    drop(recovered);
+    let recovered = Engine::open(&dir, config(1500)).unwrap();
+    assert_engines_identical(&recovered, &control, &query);
+    std::fs::remove_dir_all(base).ok();
+}

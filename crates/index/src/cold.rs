@@ -41,7 +41,167 @@ fn u32_at(data: &[u8], i: usize) -> u32 {
     u32::from_le_bytes(data[at..at + 4].try_into().expect("validated at open"))
 }
 
-/// Posting lists served directly from v2 segment payloads.
+/// The list-offset directory of a cold store, in either on-disk shape.
+///
+/// * [`ListDirectory::Flat`] — the `index.postings2` layout: one u32 offset
+///   per list plus a terminator (`(n + 1) × 4` bytes).
+/// * [`ListDirectory::Anchored`] — the `index.postings3` layout: a varint
+///   byte-*length* per list plus one `(payload offset, length-stream
+///   offset)` u32 anchor pair every `interval` lists. Random access lands on
+///   the preceding anchor and walks at most `interval - 1` varints; the
+///   directory shrinks from 4 B/list to ~1.5 B/list on real lakes.
+///
+/// Both variants are served zero-copy out of the loaded segment `Bytes`.
+#[derive(Debug, Clone)]
+pub enum ListDirectory {
+    /// Fixed-width u32 offsets (`index.postings2`).
+    Flat {
+        /// `(n + 1)` u32 LE offsets into the list payload.
+        offsets: Bytes,
+    },
+    /// Sampled anchors + varint lengths (`index.postings3`).
+    Anchored {
+        /// Varint byte-length of each list, concatenated.
+        lengths: Bytes,
+        /// Per group of `interval` lists: payload offset u32 LE, length-
+        /// stream offset u32 LE.
+        anchors: Bytes,
+        /// Lists per anchor group.
+        interval: usize,
+    },
+}
+
+impl ListDirectory {
+    /// Byte range `[lo, hi)` of list `i` within the list payload.
+    ///
+    /// Relies on the open-time validation walk: every anchor and varint has
+    /// been checked, so decoding here is infallible.
+    #[inline]
+    fn bounds(&self, i: usize) -> (usize, usize) {
+        match self {
+            ListDirectory::Flat { offsets } => {
+                (u32_at(offsets, i) as usize, u32_at(offsets, i + 1) as usize)
+            }
+            ListDirectory::Anchored {
+                lengths,
+                anchors,
+                interval,
+            } => {
+                let group = i / interval;
+                let mut lo = u32_at(anchors, group * 2) as usize;
+                let mut rest = &lengths[u32_at(anchors, group * 2 + 1) as usize..];
+                for _ in group * interval..i {
+                    lo += varint::read_u64(&mut rest).expect("validated at open") as usize;
+                }
+                let len = varint::read_u64(&mut rest).expect("validated at open") as usize;
+                (lo, lo + len)
+            }
+        }
+    }
+
+    /// Bytes of segment payload the directory keeps mapped.
+    fn mapped_bytes(&self) -> usize {
+        match self {
+            ListDirectory::Flat { offsets } => offsets.len(),
+            ListDirectory::Anchored {
+                lengths, anchors, ..
+            } => lengths.len() + anchors.len(),
+        }
+    }
+
+    /// Validates shape and internal consistency against `n` lists over a
+    /// payload of `payload_len` bytes: monotone in-bounds offsets for the
+    /// flat form; anchor/varint agreement and an exact total for the
+    /// anchored form.
+    fn validate(&self, n: usize, payload_len: usize) -> Result<(), StorageError> {
+        match self {
+            ListDirectory::Flat { offsets } => {
+                if offsets.len() != (n + 1) * 4 {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold directory shape",
+                        value: offsets.len() as u64,
+                    });
+                }
+                let mut prev = 0u32;
+                for i in 0..=n {
+                    let off = u32_at(offsets, i);
+                    if off < prev || off as usize > payload_len {
+                        return Err(StorageError::InvalidLength {
+                            context: "cold list offset",
+                            value: u64::from(off),
+                        });
+                    }
+                    prev = off;
+                }
+                if u32_at(offsets, n) as usize != payload_len {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold list offset",
+                        value: u64::from(prev),
+                    });
+                }
+                Ok(())
+            }
+            ListDirectory::Anchored {
+                lengths,
+                anchors,
+                interval,
+            } => {
+                if *interval == 0 {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold anchor interval",
+                        value: 0,
+                    });
+                }
+                let ngroups = n.div_ceil(*interval);
+                if anchors.len() != ngroups * 8 {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold directory shape",
+                        value: anchors.len() as u64,
+                    });
+                }
+                let mut rest: &[u8] = lengths;
+                let mut payload_at = 0usize;
+                for i in 0..n {
+                    if i % interval == 0 {
+                        let group = i / interval;
+                        let stream_at = lengths.len() - rest.len();
+                        if u32_at(anchors, group * 2) as usize != payload_at
+                            || u32_at(anchors, group * 2 + 1) as usize != stream_at
+                        {
+                            return Err(StorageError::InvalidLength {
+                                context: "cold list anchor",
+                                value: group as u64,
+                            });
+                        }
+                    }
+                    let len = varint::read_u64(&mut rest)? as usize;
+                    if len > payload_len - payload_at {
+                        return Err(StorageError::InvalidLength {
+                            context: "cold list length",
+                            value: len as u64,
+                        });
+                    }
+                    payload_at += len;
+                }
+                if !rest.is_empty() {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold directory slack",
+                        value: rest.len() as u64,
+                    });
+                }
+                if payload_at != payload_len {
+                    return Err(StorageError::InvalidLength {
+                        context: "cold list length",
+                        value: payload_at as u64,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Posting lists served directly from v2/v3 segment payloads.
 #[derive(Debug, Clone)]
 pub struct ColdPostingStore {
     /// Distinct values (every one has a non-empty list).
@@ -54,8 +214,8 @@ pub struct ColdPostingStore {
     values: Bytes,
     /// Byte offset of each restart point within `values` (u32 LE array).
     restarts: Bytes,
-    /// Byte offset of each list within `lists` (u32 LE array, `n + 1`).
-    offsets: Bytes,
+    /// Where each list lives inside `lists` (either directory layout).
+    dir: ListDirectory,
     /// Concatenated block-compressed lists ([`mate_storage::postings`]).
     lists: Bytes,
 }
@@ -69,7 +229,7 @@ impl ColdPostingStore {
         restart_interval: usize,
         values: Bytes,
         restarts: Bytes,
-        offsets: Bytes,
+        dir: ListDirectory,
         lists: Bytes,
     ) -> Result<Self, StorageError> {
         if restart_interval == 0 {
@@ -79,7 +239,7 @@ impl ColdPostingStore {
             });
         }
         let nrestarts = n.div_ceil(restart_interval);
-        if restarts.len() != nrestarts * 4 || offsets.len() != (n + 1) * 4 {
+        if restarts.len() != nrestarts * 4 {
             return Err(StorageError::InvalidLength {
                 context: "cold directory shape",
                 value: restarts.len() as u64,
@@ -87,23 +247,7 @@ impl ColdPostingStore {
         }
         // Every directory offset must land inside its payload, monotonically:
         // a corrupt directory fails here instead of panicking at probe time.
-        let mut prev = 0u32;
-        for i in 0..=n {
-            let off = u32_at(&offsets, i);
-            if off < prev || off as usize > lists.len() {
-                return Err(StorageError::InvalidLength {
-                    context: "cold list offset",
-                    value: u64::from(off),
-                });
-            }
-            prev = off;
-        }
-        if u32_at(&offsets, n) as usize != lists.len() {
-            return Err(StorageError::InvalidLength {
-                context: "cold list offset",
-                value: u64::from(prev),
-            });
-        }
+        dir.validate(n, lists.len())?;
         let mut prev = 0u32;
         for i in 0..nrestarts {
             let off = u32_at(&restarts, i);
@@ -121,7 +265,7 @@ impl ColdPostingStore {
             restart_interval,
             values,
             restarts,
-            offsets,
+            dir,
             lists,
         };
         store.validate_streams()?;
@@ -208,8 +352,7 @@ impl ColdPostingStore {
     /// Raw bytes of the `i`-th list.
     #[inline]
     fn list_bytes(&self, i: u32) -> &[u8] {
-        let lo = u32_at(&self.offsets, i as usize) as usize;
-        let hi = u32_at(&self.offsets, i as usize + 1) as usize;
+        let (lo, hi) = self.dir.bounds(i as usize);
         &self.lists[lo..hi]
     }
 
@@ -301,7 +444,13 @@ impl ColdPostingStore {
     /// Bytes of segment payload this store keeps mapped (shared `Bytes`
     /// slices of the loaded segment — not heap copies).
     pub fn mapped_bytes(&self) -> usize {
-        self.values.len() + self.restarts.len() + self.offsets.len() + self.lists.len()
+        self.values.len() + self.restarts.len() + self.dir.mapped_bytes() + self.lists.len()
+    }
+
+    /// Bytes of the list-offset directory alone (the `index.postings3`
+    /// satellite shrinks exactly this).
+    pub fn directory_bytes(&self) -> usize {
+        self.dir.mapped_bytes()
     }
 }
 

@@ -1,0 +1,209 @@
+//! The engine manifest: the single source of truth for recovery.
+//!
+//! One small CRC-framed file (`MANIFEST`, replaced atomically — see
+//! [`mate_storage::manifest`]) records everything [`crate::engine::Engine::open`]
+//! needs:
+//!
+//! * the hash configuration the index was built with,
+//! * the **live segment stack**, oldest → newest, with per-segment shape
+//!   metadata (value/posting counts, claimed table-id range),
+//! * the **corpus checkpoint generation** (which `corpus-<gen>.seg` holds
+//!   the corpus as of the last flush), and
+//! * the **WAL watermark** — the sequence number of the active WAL file.
+//!   Everything up to the watermark is folded into the segments + corpus
+//!   checkpoint; recovery replays only `wal-<seq>.log`.
+//!
+//! Any file in the engine directory *not* referenced here is an orphan from
+//! an interrupted flush/compaction and is deleted at open.
+
+use bytes::Bytes;
+use mate_storage::{manifest as framed, Reader, StorageError, Writer};
+use std::path::Path;
+
+/// Shape metadata of one live segment (the full claim set lives in the
+/// segment's own `engine.claims` block; the manifest carries the summary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Segment id (file `seg-<id>.seg`).
+    pub id: u64,
+    /// Distinct values with postings in the segment.
+    pub num_values: u64,
+    /// Live posting entries at write time.
+    pub num_postings: u64,
+    /// Number of claimed tables (including tombstones).
+    pub num_claims: u64,
+    /// Smallest claimed table id (0 when `num_claims == 0`).
+    pub table_min: u32,
+    /// Largest claimed table id (0 when `num_claims == 0`).
+    pub table_max: u32,
+    /// Segment file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Hash size (bits) of the super keys.
+    pub hash_bits: u64,
+    /// Name of the row hasher.
+    pub hasher_name: String,
+    /// Generation of the live corpus checkpoint (`corpus-<gen>.seg`).
+    pub corpus_gen: u64,
+    /// WAL watermark: sequence of the active log (`wal-<seq>.log`); older
+    /// logs are fully folded into the stack and checkpoint.
+    pub wal_seq: u64,
+    /// Next unused segment id.
+    pub next_segment_id: u64,
+    /// Live segment stack, oldest first.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Serializes the schema payload (framing is added by
+    /// [`mate_storage::manifest::frame`]).
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_varint(self.hash_bits);
+        w.put_str(&self.hasher_name);
+        w.put_varint(self.corpus_gen);
+        w.put_varint(self.wal_seq);
+        w.put_varint(self.next_segment_id);
+        w.put_varint(self.segments.len() as u64);
+        for s in &self.segments {
+            w.put_varint(s.id);
+            w.put_varint(s.num_values);
+            w.put_varint(s.num_postings);
+            w.put_varint(s.num_claims);
+            w.put_varint(u64::from(s.table_min));
+            w.put_varint(u64::from(s.table_max));
+            w.put_varint(s.file_bytes);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a schema payload.
+    pub fn decode(payload: Bytes) -> Result<Self, StorageError> {
+        let mut r = Reader::new(payload);
+        let hash_bits = r.get_varint()?;
+        let hasher_name = r.get_str()?;
+        let corpus_gen = r.get_varint()?;
+        let wal_seq = r.get_varint()?;
+        let next_segment_id = r.get_varint()?;
+        let n = r.get_varint()? as usize;
+        if n > r.remaining() {
+            return Err(StorageError::InvalidLength {
+                context: "manifest segment count",
+                value: n as u64,
+            });
+        }
+        let mut segments = Vec::with_capacity(n);
+        for _ in 0..n {
+            segments.push(SegmentMeta {
+                id: r.get_varint()?,
+                num_values: r.get_varint()?,
+                num_postings: r.get_varint()?,
+                num_claims: r.get_varint()?,
+                table_min: r.get_varint()? as u32,
+                table_max: r.get_varint()? as u32,
+                file_bytes: r.get_varint()?,
+            });
+        }
+        Ok(Manifest {
+            hash_bits,
+            hasher_name,
+            corpus_gen,
+            wal_seq,
+            next_segment_id,
+            segments,
+        })
+    }
+
+    /// Writes the manifest to `path` atomically (tmp + fsync + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StorageError> {
+        framed::save(path, &self.encode())
+    }
+
+    /// Reads and decodes the manifest at `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        Manifest::decode(framed::load(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            hash_bits: 128,
+            hasher_name: "Xash".to_string(),
+            corpus_gen: 3,
+            wal_seq: 7,
+            next_segment_id: 5,
+            segments: vec![
+                SegmentMeta {
+                    id: 1,
+                    num_values: 100,
+                    num_postings: 400,
+                    num_claims: 12,
+                    table_min: 0,
+                    table_max: 11,
+                    file_bytes: 4096,
+                },
+                SegmentMeta {
+                    id: 4,
+                    num_values: 7,
+                    num_postings: 9,
+                    num_claims: 2,
+                    table_min: 3,
+                    table_max: 12,
+                    file_bytes: 256,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::decode(m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn file_roundtrip_atomic() {
+        let dir = std::env::temp_dir().join(format!("mate-engine-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("MANIFEST");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        // Replacement fully supersedes.
+        let mut m2 = m.clone();
+        m2.wal_seq = 8;
+        m2.segments.clear();
+        m2.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_rejected() {
+        let m = sample();
+        let mut framed_bytes = framed::frame(&m.encode());
+        let last = framed_bytes.len() - 1;
+        framed_bytes[last] ^= 0xFF;
+        assert!(framed::unframe(&framed_bytes).is_err());
+    }
+
+    #[test]
+    fn oversized_segment_count_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(128);
+        w.put_str("Xash");
+        w.put_varint(0);
+        w.put_varint(0);
+        w.put_varint(0);
+        w.put_varint(1 << 40); // absurd segment count
+        assert!(Manifest::decode(w.finish()).is_err());
+    }
+}

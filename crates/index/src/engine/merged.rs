@@ -1,0 +1,335 @@
+//! [`MergedSource`]: one [`PostingSource`] over the memtable and every cold
+//! segment, with newest-wins masking.
+//!
+//! Each layer of the engine (cold segments oldest → newest, then the
+//! memtable) serves its own posting lists; a table's entries are live in
+//! exactly **one** layer — its *owner*, the newest layer that claims it
+//! (see [`crate::engine`]). `MergedSource` presents the union as a single
+//! virtual posting list per value:
+//!
+//! * a probe resolves the value in every layer, decodes only the table-id
+//!   runs (cold layers never touch column/row payloads here), and keeps the
+//!   runs whose table is owned by that layer;
+//! * the kept runs are concatenated layer by layer into one virtual list.
+//!   A table is owned by a single layer and lists are table-sorted within a
+//!   layer, so each `(value, table)` pair contributes exactly one
+//!   contiguous run — the same shape a single-shot index would produce,
+//!   which is why discovery over the merged view is bit-identical;
+//! * `collect_run` maps virtual positions back to the owning layer and
+//!   decodes only there.
+//!
+//! Resolved lists are memoized in an internal registry (one resolution per
+//! distinct probed value), so the repeated probes of a discovery run pay
+//! the multi-layer walk once. The registry is behind an `RwLock`; parallel
+//! discovery workers only ever take the read path.
+//!
+//! A `MergedSource` is a *snapshot*: it borrows the engine immutably, so
+//! the borrow checker guarantees no mutation can interleave with its
+//! lifetime.
+
+use crate::posting::PostingEntry;
+use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
+use mate_hash::fx::FxHashMap;
+use std::sync::RwLock;
+
+/// Owner value meaning "no layer owns this table" (deleted and compacted
+/// away).
+pub(crate) const NO_OWNER: u32 = u32::MAX;
+
+/// One contiguous piece of a virtual posting list, served by one layer.
+#[derive(Debug, Clone, Copy)]
+struct MergedRun {
+    /// Table id of every entry in the run.
+    table: u32,
+    /// Layer index into [`MergedSource::layers`].
+    layer: u32,
+    /// Start position within the layer's (unfiltered) list.
+    layer_start: u32,
+    /// Entries in the run.
+    len: u32,
+    /// Start position within the virtual merged list.
+    virt_start: u32,
+}
+
+/// A resolved virtual list: per-layer handles plus the kept runs in
+/// virtual order.
+#[derive(Debug)]
+struct MergedList {
+    total: u32,
+    handles: Vec<Option<ListHandle>>,
+    runs: Vec<MergedRun>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    /// Value → resolved list id (`None` = probed, no live entries).
+    by_value: FxHashMap<String, Option<u32>>,
+    lists: Vec<MergedList>,
+}
+
+/// A read-only union of posting layers with newest-wins table masking.
+pub struct MergedSource<'a> {
+    /// Cold segment stores oldest → newest, then the memtable store.
+    layers: Vec<&'a (dyn PostingSource + 'a)>,
+    /// Table id → index into `layers` of its owner, or [`NO_OWNER`].
+    owners: Vec<u32>,
+    /// Live distinct-value estimate (sum over layers; values present in
+    /// several layers are counted once per layer).
+    num_values_hint: usize,
+    /// Exact live posting count (maintained by the engine).
+    num_postings: usize,
+    registry: RwLock<Registry>,
+}
+
+impl std::fmt::Debug for MergedSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergedSource")
+            .field("layers", &self.layers.len())
+            .field("num_postings", &self.num_postings)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> MergedSource<'a> {
+    pub(crate) fn new(
+        layers: Vec<&'a (dyn PostingSource + 'a)>,
+        owners: Vec<u32>,
+        num_values_hint: usize,
+        num_postings: usize,
+    ) -> Self {
+        assert!(!layers.is_empty(), "merged source needs at least one layer");
+        MergedSource {
+            layers,
+            owners,
+            num_values_hint,
+            num_postings,
+            registry: RwLock::new(Registry::default()),
+        }
+    }
+
+    /// Number of layers in the union (cold segments + memtable).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    #[inline]
+    fn owner(&self, table: u32) -> u32 {
+        self.owners.get(table as usize).copied().unwrap_or(NO_OWNER)
+    }
+
+    /// Resolves `value` across all layers into a virtual list, memoizing
+    /// the result.
+    fn resolve(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle> {
+        {
+            // One guard for both the cache probe and the total lookup —
+            // re-locking inside the hit path could deadlock against a
+            // queued writer.
+            let reg = self.registry.read().expect("registry lock");
+            if let Some(&cached) = reg.by_value.get(value) {
+                return cached.map(|id| ListHandle {
+                    id,
+                    len: reg.lists[id as usize].total,
+                });
+            }
+        }
+
+        // Miss: walk the layers outside the lock (decoding may be slow).
+        let mut handles: Vec<Option<ListHandle>> = Vec::with_capacity(self.layers.len());
+        let mut runs: Vec<MergedRun> = Vec::new();
+        let mut total = 0u32;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let handle = layer.find_list(value, scratch);
+            if let Some(h) = handle {
+                let mut at = 0u32;
+                layer.table_runs(h, scratch, &mut |table, len| {
+                    if self.owner(table) == li as u32 {
+                        runs.push(MergedRun {
+                            table,
+                            layer: li as u32,
+                            layer_start: at,
+                            len,
+                            virt_start: total,
+                        });
+                        total += len;
+                    }
+                    at += len;
+                });
+            }
+            handles.push(handle);
+        }
+
+        let mut reg = self.registry.write().expect("registry lock");
+        // A concurrent resolver may have won the race; keep the first entry
+        // so ids stay stable.
+        if let Some(&cached) = reg.by_value.get(value) {
+            return cached.map(|id| ListHandle {
+                id,
+                len: reg.lists[id as usize].total,
+            });
+        }
+        if total == 0 {
+            reg.by_value.insert(value.to_string(), None);
+            return None;
+        }
+        let id = reg.lists.len() as u32;
+        reg.lists.push(MergedList {
+            total,
+            handles,
+            runs,
+        });
+        reg.by_value.insert(value.to_string(), Some(id));
+        Some(ListHandle { id, len: total })
+    }
+}
+
+impl PostingSource for MergedSource<'_> {
+    fn find_list(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle> {
+        self.resolve(value, scratch)
+    }
+
+    fn table_runs(
+        &self,
+        list: ListHandle,
+        _scratch: &mut ProbeScratch,
+        f: &mut dyn FnMut(u32, u32),
+    ) {
+        let reg = self.registry.read().expect("registry lock");
+        for run in &reg.lists[list.id as usize].runs {
+            f(run.table, run.len);
+        }
+    }
+
+    fn collect_run(
+        &self,
+        list: ListHandle,
+        start: u32,
+        len: u32,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<PostingEntry>,
+        counters: &mut ProbeCounters,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let reg = self.registry.read().expect("registry lock");
+        let merged = &reg.lists[list.id as usize];
+        // First run overlapping `start`.
+        let mut i = merged
+            .runs
+            .partition_point(|r| r.virt_start + r.len <= start);
+        let mut pos = start;
+        let mut remaining = len;
+        while remaining > 0 {
+            let run = &merged.runs[i];
+            let off = pos - run.virt_start;
+            let take = (run.len - off).min(remaining);
+            let handle = merged.handles[run.layer as usize].expect("run without a layer list");
+            self.layers[run.layer as usize].collect_run(
+                handle,
+                run.layer_start + off,
+                take,
+                scratch,
+                out,
+                counters,
+            );
+            pos += take;
+            remaining -= take;
+            i += 1;
+        }
+    }
+
+    /// Upper bound: layer-local distinct-value counts summed (a value
+    /// served from several layers is counted once per layer).
+    fn num_values(&self) -> usize {
+        self.num_values_hint
+    }
+
+    fn num_postings(&self) -> usize {
+        self.num_postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::PostingStore;
+
+    fn e(t: u32, c: u32, r: u32) -> PostingEntry {
+        PostingEntry::new(t, c, r)
+    }
+
+    /// Two hot stores acting as layers: layer 0 owns tables 0-1, layer 1
+    /// owns tables 2-3 and *masks* table 1 (claims it, newer wins).
+    fn setup() -> (PostingStore, PostingStore, Vec<u32>) {
+        let mut old = PostingStore::new();
+        let a = old.intern("a");
+        old.append(a, e(0, 0, 0));
+        old.append(a, e(0, 0, 1));
+        old.append(a, e(1, 0, 0)); // masked by layer 1
+        let b = old.intern("b");
+        old.append(b, e(1, 1, 0)); // masked by layer 1
+
+        let mut new = PostingStore::new();
+        let a = new.intern("a");
+        new.append(a, e(1, 0, 5));
+        new.append(a, e(2, 0, 0));
+        let c = new.intern("c");
+        new.append(c, e(3, 0, 0));
+
+        // owners: t0 → layer 0; t1, t2, t3 → layer 1.
+        (old, new, vec![0, 1, 1, 1])
+    }
+
+    #[test]
+    fn masking_and_virtual_order() {
+        let (old, new, owners) = setup();
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let mut scratch = ProbeScratch::new();
+
+        let h = src.find_list("a", &mut scratch).unwrap();
+        assert_eq!(h.len, 4, "t1's old entry is masked, t1's new one is live");
+        let mut runs = Vec::new();
+        src.table_runs(h, &mut scratch, &mut |t, n| runs.push((t, n)));
+        assert_eq!(runs, vec![(0, 2), (1, 1), (2, 1)]);
+
+        let mut out = Vec::new();
+        let mut counters = ProbeCounters::default();
+        src.collect_run(h, 0, h.len, &mut scratch, &mut out, &mut counters);
+        assert_eq!(out, vec![e(0, 0, 0), e(0, 0, 1), e(1, 0, 5), e(2, 0, 0)]);
+
+        // Fully-masked lists read as absent.
+        assert!(src.find_list("b", &mut scratch).is_none());
+        // Layer-1-only values come through.
+        let hc = src.find_list("c", &mut scratch).unwrap();
+        assert_eq!(hc.len, 1);
+        assert!(src.find_list("zzz", &mut scratch).is_none());
+    }
+
+    #[test]
+    fn partial_collects_cross_layer_boundaries() {
+        let (old, new, owners) = setup();
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let mut scratch = ProbeScratch::new();
+        let h = src.find_list("a", &mut scratch).unwrap();
+        let mut counters = ProbeCounters::default();
+        // [1, 3) spans the tail of layer 0's run and layer 1's first run.
+        let mut out = Vec::new();
+        src.collect_run(h, 1, 2, &mut scratch, &mut out, &mut counters);
+        assert_eq!(out, vec![e(0, 0, 1), e(1, 0, 5)]);
+        // Single-entry slice in the middle.
+        let mut out = Vec::new();
+        src.collect_run(h, 2, 1, &mut scratch, &mut out, &mut counters);
+        assert_eq!(out, vec![e(1, 0, 5)]);
+    }
+
+    #[test]
+    fn memoization_is_stable() {
+        let (old, new, owners) = setup();
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let mut scratch = ProbeScratch::new();
+        let h1 = src.find_list("a", &mut scratch).unwrap();
+        let h2 = src.find_list("a", &mut scratch).unwrap();
+        assert_eq!(h1, h2, "same value resolves to the same handle");
+        assert_eq!(src.num_postings(), 6);
+    }
+}

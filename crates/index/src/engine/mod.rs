@@ -1,0 +1,1133 @@
+//! The log-structured multi-segment index engine: ingest while serving.
+//!
+//! A single-segment index can only absorb edits by mutating the hot
+//! [`InvertedIndex`] and re-persisting one monolithic segment —
+//! incompatible with serving heavy query traffic while the lake grows.
+//! [`Engine`] is the standard log-structured answer:
+//!
+//! ```text
+//!              writes                         reads
+//!                │                              │
+//!                ▼                              ▼
+//!   WAL ──► memtable (hot InvertedIndex) ─┐  MergedSource
+//!   wal-S.log      │ flush (byte budget)  ├──  newest-wins union
+//!                  ▼                      │    over all layers
+//!        seg-N.seg (immutable, cold) ─────┤
+//!        seg-M.seg (immutable, cold) ─────┘
+//!                  ▲
+//!                  └── compaction merges the stack, drops tombstones
+//! ```
+//!
+//! * **Memtable** — a hot [`InvertedIndex`] holding the postings of every
+//!   table edited since the last flush, plus the *global* super-key store
+//!   (super keys are per-row and small; keeping them resident makes row
+//!   filtering identical across serving modes). Edits arrive as
+//!   [`WalRecord`]s: appended to `wal-<seq>.log` and fsynced *first*
+//!   (write-ahead rule), then applied through [`IndexUpdater`].
+//! * **Ownership / claims** — masking is tracked at table granularity.
+//!   Each layer *claims* the tables whose postings it carries; the newest
+//!   claim wins. Editing a table whose postings live in a cold segment
+//!   first **promotes** it: its current postings are re-derived from the
+//!   corpus into the memtable (exact, because cold postings always equal
+//!   the corpus projection of the tables they own), and the cold copy is
+//!   masked from then on. Deleting a cold-owned table just records a
+//!   zero-count claim — a **tombstone**.
+//! * **Flush** — when the memtable exceeds
+//!   [`EngineConfig::memtable_budget_bytes`], its postings are written as
+//!   an immutable segment (the standard v3 blocks plus an `engine.claims`
+//!   block), the corpus is checkpointed, the WAL rotates to a fresh file,
+//!   and the [`Manifest`] is atomically replaced. Only then is the
+//!   memtable cleared. A crash at *any* byte of this sequence recovers: the
+//!   manifest flip is the commit point, and everything it references is
+//!   fsynced before the flip.
+//! * **Recovery** — [`Engine::open`] loads the manifest's segment stack
+//!   cold (zero-copy, no posting decode), materializes super keys from the
+//!   newest segment (which always carries them as of the WAL watermark),
+//!   loads the corpus checkpoint, replays the active WAL into a fresh
+//!   memtable, and deletes orphan files from interrupted flushes.
+//! * **Compaction** — [`Engine::compact`] merges the whole cold stack into
+//!   one segment, dropping masked entries and tombstones, and preserves
+//!   discovery results exactly (property-tested). The corpus checkpoint
+//!   and WAL watermark are untouched, so crash recovery around compaction
+//!   needs no special cases.
+//!
+//! Reads go through [`Engine::source`], which returns a [`MergedSource`]
+//! snapshot implementing [`PostingSource`] — `mate_core` discovery runs
+//! unchanged over it and returns results bit-identical to a single-shot
+//! built index at every flush state.
+
+mod manifest;
+mod merged;
+
+pub use manifest::{Manifest, SegmentMeta};
+pub use merged::MergedSource;
+
+use crate::cold::ColdPostingStore;
+use crate::index::InvertedIndex;
+use crate::persist;
+use crate::posting::PostingEntry;
+use crate::source::{PostingSource, ProbeCounters, ProbeScratch};
+use crate::store::PostingStore;
+use crate::superkeys::SuperKeyStore;
+use crate::updates::IndexUpdater;
+use crate::wal::{frame_record, parse_log, WalRecord};
+use bytes::Bytes;
+use mate_hash::{HashSize, Xash};
+use mate_storage::manifest::write_file_atomic;
+use mate_storage::tombstone::{decode_claims, encode_claims, Claim};
+use mate_storage::{postings, Reader, SegmentReader, SegmentWriter, StorageError, Writer};
+use mate_table::{Corpus, Table, TableId};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Engine file names inside the directory.
+const MANIFEST_FILE: &str = "MANIFEST";
+
+fn seg_file(id: u64) -> String {
+    format!("seg-{id:08}.seg")
+}
+fn corpus_file(gen: u64) -> String {
+    format!("corpus-{gen:08}.seg")
+}
+fn wal_file(seq: u64) -> String {
+    format!("wal-{seq:08}.log")
+}
+
+/// Tuning knobs of the engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Hash size of the super keys (fixed at creation; reopen reads it from
+    /// the manifest and validates it against this field).
+    pub hash_size: HashSize,
+    /// Flush the memtable once its flattened posting store exceeds this
+    /// many bytes.
+    pub memtable_budget_bytes: usize,
+    /// Auto-compact when the cold stack grows beyond this many segments
+    /// after a flush (`0` disables auto-compaction).
+    pub max_cold_segments: usize,
+    /// Posting block length of flushed segments.
+    pub block_len: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            hash_size: HashSize::B128,
+            memtable_budget_bytes: 32 << 20,
+            max_cold_segments: 6,
+            block_len: postings::DEFAULT_BLOCK_LEN,
+        }
+    }
+}
+
+/// Which layer currently owns a table's postings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// No layer: the table was deleted and its tombstone compacted away.
+    None,
+    /// The memtable.
+    Mem,
+    /// Cold segment at this position in the stack.
+    Cold(u32),
+}
+
+/// One immutable cold segment loaded for serving.
+struct ColdLayer {
+    /// Segment id (file `seg-<id>.seg`).
+    id: u64,
+    /// Claimed tables with write-time posting counts, sorted by table id.
+    claims: Vec<Claim>,
+    /// Zero-copy posting store over the segment bytes.
+    store: ColdPostingStore,
+    /// The segment's raw `index.superkeys2` block (carried forward verbatim
+    /// by compaction so the newest segment always holds the super keys as
+    /// of the WAL watermark).
+    superkeys_block: Bytes,
+    /// Posting entries still *owned* by this layer (shrinks as tables are
+    /// promoted to the memtable).
+    live_postings: usize,
+    /// Segment file size.
+    bytes: usize,
+}
+
+impl ColdLayer {
+    /// Write-time posting count of a claimed table (0 if not claimed).
+    fn claim_postings(&self, table: u32) -> u64 {
+        self.claims
+            .binary_search_by_key(&table, |c| c.0)
+            .map(|i| self.claims[i].1)
+            .unwrap_or(0)
+    }
+
+    fn meta(&self) -> SegmentMeta {
+        let (table_min, table_max) = match (self.claims.first(), self.claims.last()) {
+            (Some(f), Some(l)) => (f.0, l.0),
+            _ => (0, 0),
+        };
+        SegmentMeta {
+            id: self.id,
+            num_values: PostingSource::num_values(&self.store) as u64,
+            num_postings: PostingSource::num_postings(&self.store) as u64,
+            num_claims: self.claims.len() as u64,
+            table_min,
+            table_max,
+            file_bytes: self.bytes as u64,
+        }
+    }
+}
+
+/// Counter snapshot of an engine (reported by the `engine_ingest` bench).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Live posting entries in the memtable.
+    pub memtable_postings: usize,
+    /// Flattened byte size of the memtable posting store.
+    pub memtable_bytes: usize,
+    /// Cold segments in the stack.
+    pub cold_segments: usize,
+    /// Total cold segment file bytes.
+    pub cold_bytes: usize,
+    /// Posting entries still owned by cold segments.
+    pub cold_live_postings: usize,
+    /// Total live posting entries across all layers.
+    pub live_postings: usize,
+    /// Tables in the corpus (including deleted placeholders).
+    pub tables: usize,
+    /// Flushes performed by this instance.
+    pub flushes: u64,
+    /// Compactions performed by this instance.
+    pub compactions: u64,
+    /// WAL records appended by this instance.
+    pub wal_records: u64,
+    /// WAL records replayed at open.
+    pub replayed_records: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    flushes: u64,
+    compactions: u64,
+    wal_records: u64,
+    replayed_records: u64,
+}
+
+/// The multi-segment log-structured index engine (see module docs).
+pub struct Engine {
+    dir: PathBuf,
+    config: EngineConfig,
+    hasher: Xash,
+    corpus: Corpus,
+    /// Hot layer: postings of memtable-owned tables + the global super-key
+    /// store.
+    memtable: InvertedIndex,
+    /// Cold segment stack, oldest first.
+    cold: Vec<ColdLayer>,
+    /// Table id → owning layer.
+    owners: Vec<Owner>,
+    wal: std::fs::File,
+    /// Set when a failed append could not be rolled back: the log tail is
+    /// torn, so acknowledging further writes would be a durability lie.
+    wal_poisoned: bool,
+    wal_seq: u64,
+    corpus_gen: u64,
+    next_segment_id: u64,
+    counters: Counters,
+}
+
+impl Engine {
+    // ------------------------------------------------------ construction --
+
+    /// Creates a fresh, empty engine in `dir` (created if missing; existing
+    /// engine state in the directory is superseded).
+    pub fn create(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let corpus = Corpus::new();
+        let hasher = Xash::new(config.hash_size);
+        let memtable = InvertedIndex::empty(config.hash_size, "Xash");
+        write_file_atomic(dir.join(corpus_file(0)), &persist::corpus_to_bytes(&corpus))?;
+        write_file_atomic(dir.join(wal_file(0)), &[])?;
+        Manifest {
+            hash_bits: config.hash_size.bits() as u64,
+            hasher_name: "Xash".to_string(),
+            corpus_gen: 0,
+            wal_seq: 0,
+            next_segment_id: 0,
+            segments: Vec::new(),
+        }
+        .save(dir.join(MANIFEST_FILE))?;
+        let wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(wal_file(0)))?;
+        let engine = Engine {
+            dir,
+            config,
+            hasher,
+            corpus,
+            memtable,
+            cold: Vec::new(),
+            owners: Vec::new(),
+            wal,
+            wal_poisoned: false,
+            wal_seq: 0,
+            corpus_gen: 0,
+            next_segment_id: 0,
+            counters: Counters::default(),
+        };
+        engine.gc_orphans();
+        Ok(engine)
+    }
+
+    /// Recovers an engine from `dir`: manifest → cold segment stack (zero-
+    /// copy) + super keys from the newest segment + corpus checkpoint, then
+    /// WAL tail replay into a fresh memtable. Every acknowledged (fsynced)
+    /// mutation survives a kill at any point; a torn WAL tail is trimmed.
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
+        let dir = dir.as_ref().to_path_buf();
+        let m = Manifest::load(dir.join(MANIFEST_FILE))?;
+        let hash_size =
+            HashSize::from_bits(m.hash_bits as usize).ok_or(StorageError::InvalidLength {
+                context: "manifest hash size",
+                value: m.hash_bits,
+            })?;
+        if hash_size != config.hash_size {
+            return Err(StorageError::InvalidLength {
+                context: "engine hash size mismatch",
+                value: config.hash_size.bits() as u64,
+            });
+        }
+        let corpus = persist::load_corpus(dir.join(corpus_file(m.corpus_gen)))?;
+        let mut superkeys = SuperKeyStore::new(hash_size);
+        let mut cold = Vec::with_capacity(m.segments.len());
+        for (i, sm) in m.segments.iter().enumerate() {
+            let data = Bytes::from(std::fs::read(dir.join(seg_file(sm.id)))?);
+            let bytes = data.len();
+            let seg = SegmentReader::open(data)?;
+            let store = persist::read_cold_store(&seg)?;
+            let claims = decode_claims(&mut Reader::new(seg.block("engine.claims")?))?;
+            if let Some(last) = claims.last() {
+                if last.0 as usize >= corpus.len() {
+                    return Err(StorageError::InvalidLength {
+                        context: "segment claim table id",
+                        value: u64::from(last.0),
+                    });
+                }
+            }
+            let superkeys_block = seg.block("index.superkeys2")?;
+            if i + 1 == m.segments.len() {
+                // Newest segment: authoritative super keys as of the WAL
+                // watermark.
+                let (size, _) = persist::read_meta(&seg)?;
+                if size != hash_size {
+                    return Err(StorageError::InvalidLength {
+                        context: "segment hash size",
+                        value: size.bits() as u64,
+                    });
+                }
+                persist::read_superkeys(&seg, hash_size, &mut superkeys)?;
+            }
+            cold.push(ColdLayer {
+                id: sm.id,
+                claims,
+                store,
+                superkeys_block,
+                live_postings: 0,
+                bytes,
+            });
+        }
+        if superkeys.num_tables() != corpus.len() {
+            return Err(StorageError::InvalidLength {
+                context: "superkey/corpus table count",
+                value: superkeys.num_tables() as u64,
+            });
+        }
+
+        // Ownership: newest claim wins (stack is oldest → newest).
+        let mut owners = vec![Owner::None; corpus.len()];
+        for (li, layer) in cold.iter().enumerate() {
+            for &(t, _) in &layer.claims {
+                owners[t as usize] = Owner::Cold(li as u32);
+            }
+        }
+        for (li, layer) in cold.iter_mut().enumerate() {
+            layer.live_postings = layer
+                .claims
+                .iter()
+                .filter(|(t, _)| owners[*t as usize] == Owner::Cold(li as u32))
+                .map(|(_, n)| *n as usize)
+                .sum();
+        }
+
+        let memtable = InvertedIndex {
+            store: PostingStore::new(),
+            superkeys,
+            hasher_name: m.hasher_name.clone(),
+        };
+        let wal_path = dir.join(wal_file(m.wal_seq));
+        let mut engine = Engine {
+            dir,
+            config,
+            hasher: Xash::new(hash_size),
+            corpus,
+            memtable,
+            cold,
+            owners,
+            // Placeholder handle; replaced after replay (the file may need
+            // a torn-tail trim first).
+            wal: std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&wal_path)?,
+            wal_poisoned: false,
+            wal_seq: m.wal_seq,
+            corpus_gen: m.corpus_gen,
+            next_segment_id: m.next_segment_id,
+            counters: Counters::default(),
+        };
+
+        // Replay the WAL tail (everything after the watermark). A read
+        // error here must abort the open — this is the one file holding
+        // acknowledged-but-unflushed mutations, and recovering without it
+        // would silently drop them (and the next flush would then destroy
+        // them for good).
+        let log = std::fs::read(&wal_path)?;
+        let (records, valid_len) = parse_log(&log);
+        for rec in &records {
+            engine.apply_in_memory(rec);
+            engine.counters.replayed_records += 1;
+        }
+        if valid_len < log.len() {
+            // Trim the torn tail so future appends start from a clean state.
+            std::fs::write(&wal_path, &log[..valid_len])?;
+            engine.wal = std::fs::OpenOptions::new().append(true).open(&wal_path)?;
+        }
+        engine.gc_orphans();
+        Ok(engine)
+    }
+
+    /// Deletes files in the engine directory that the manifest does not
+    /// reference — leftovers of flushes/compactions interrupted before
+    /// their manifest flip. Best-effort by design.
+    fn gc_orphans(&self) {
+        let mut keep: Vec<String> = vec![
+            MANIFEST_FILE.to_string(),
+            corpus_file(self.corpus_gen),
+            wal_file(self.wal_seq),
+        ];
+        keep.extend(self.cold.iter().map(|l| seg_file(l.id)));
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let engine_owned = name.starts_with("seg-")
+                || name.starts_with("corpus-")
+                || name.starts_with("wal-")
+                || name.ends_with(".tmp");
+            if engine_owned && !keep.iter().any(|k| k == name) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- writing --
+
+    /// Applies one edit durably: WAL append + fsync (write-ahead rule),
+    /// then in-memory apply; flushes and compacts per the configured
+    /// budgets. The record is recoverable from the moment this returns.
+    ///
+    /// A failed append is rolled back to the previous record boundary so a
+    /// torn frame can never sit *in front of* later acknowledged records
+    /// (replay stops at the first bad frame); if even the rollback fails,
+    /// the WAL is poisoned and every subsequent `apply` errors rather than
+    /// acknowledge writes that recovery would silently drop.
+    pub fn apply(&mut self, record: WalRecord) -> Result<(), StorageError> {
+        if self.wal_poisoned {
+            return Err(StorageError::Io(std::io::Error::other(
+                "WAL poisoned by an earlier failed append; reopen the engine",
+            )));
+        }
+        let boundary = self.wal.metadata()?.len();
+        let append = self
+            .wal
+            .write_all(&frame_record(&record))
+            .and_then(|()| self.wal.sync_data());
+        if let Err(e) = append {
+            if self.wal.set_len(boundary).is_err() {
+                self.wal_poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.counters.wal_records += 1;
+        self.apply_in_memory(&record);
+        if self.memtable.store.flat_bytes() > self.config.memtable_budget_bytes {
+            self.flush()?;
+            if self.config.max_cold_segments > 0 && self.cold.len() > self.config.max_cold_segments
+            {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: insert a table durably; returns its id.
+    pub fn insert_table(&mut self, table: Table) -> Result<TableId, StorageError> {
+        let id = TableId::from(self.corpus.len());
+        self.apply(WalRecord::InsertTable { table })?;
+        Ok(id)
+    }
+
+    /// The deterministic in-memory transition (shared by live writes and
+    /// WAL replay — determinism here is what makes kill-at-any-point
+    /// recovery bit-identical).
+    fn apply_in_memory(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::DeleteTable { table }
+                if matches!(
+                    self.owners.get(table.index()),
+                    Some(Owner::Cold(_) | Owner::None)
+                ) =>
+            {
+                // The memtable holds no postings for this table (cold-owned,
+                // or compacted away during replay): no need to materialize
+                // them just to remove them — tombstone the table directly.
+                let t = *table;
+                if let Owner::Cold(li) = self.owners[t.index()] {
+                    let n = self.cold[li as usize].claim_postings(t.0) as usize;
+                    self.cold[li as usize].live_postings -= n;
+                }
+                self.owners[t.index()] = Owner::Mem;
+                let name = self.corpus.table(t).name.clone();
+                *self.corpus.table_mut(t) = Table::new(name, vec![]);
+                self.memtable.superkeys.clear_table(t);
+            }
+            _ => {
+                if let Some(t) = record.target_table() {
+                    self.promote(t);
+                }
+                let mut updater =
+                    IndexUpdater::new(&mut self.corpus, &mut self.memtable, self.hasher);
+                record.apply(&mut updater);
+            }
+        }
+        // New tables enter owned by the memtable.
+        while self.owners.len() < self.corpus.len() {
+            self.owners.push(Owner::Mem);
+        }
+    }
+
+    /// Moves ownership of `t` into the memtable, re-deriving its postings
+    /// from the corpus. Exact: a cold layer's postings for a table it owns
+    /// are always the corpus projection of that table (any divergence would
+    /// require an edit, and every edit promotes first).
+    ///
+    /// `Owner::None` with a non-empty corpus table happens only during WAL
+    /// replay after a compaction dropped the table's masked cold copy (the
+    /// live run had already promoted it); the corpus checkpoint still holds
+    /// the watermark-time rows, so the same derivation reproduces exactly
+    /// the postings the live promotion produced.
+    fn promote(&mut self, t: TableId) {
+        let from_layer = match self.owners.get(t.index()) {
+            Some(Owner::Cold(li)) => Some(*li),
+            Some(Owner::None) => None,
+            Some(Owner::Mem) => return,
+            None => return, // brand-new id; registered after the updater runs
+        };
+        let table = self.corpus.table(t);
+        for (ci, col) in table.columns().iter().enumerate() {
+            for (ri, v) in col.values.iter().enumerate() {
+                if v.is_empty() {
+                    continue;
+                }
+                let vid = self.memtable.store.intern(v);
+                self.memtable
+                    .store
+                    .insert_sorted(vid, PostingEntry::new(t, ci as u32, ri as u32));
+            }
+        }
+        if let Some(li) = from_layer {
+            let layer = &mut self.cold[li as usize];
+            layer.live_postings -= layer.claim_postings(t.0) as usize;
+        }
+        self.owners[t.index()] = Owner::Mem;
+    }
+
+    // ----------------------------------------------------------- flushing --
+
+    fn manifest_for(&self, segments: Vec<SegmentMeta>, corpus_gen: u64, wal_seq: u64) -> Manifest {
+        Manifest {
+            hash_bits: self.hash_size().bits() as u64,
+            hasher_name: self.memtable.hasher_name().to_string(),
+            corpus_gen,
+            wal_seq,
+            next_segment_id: self.next_segment_id + 1,
+            segments,
+        }
+    }
+
+    /// Flushes the memtable into a new immutable cold segment, checkpoints
+    /// the corpus, rotates the WAL, and atomically flips the manifest.
+    /// Returns `false` when there was nothing to flush. On error the
+    /// in-memory engine is unchanged and still consistent with the on-disk
+    /// manifest; partial files are garbage-collected at the next open.
+    pub fn flush(&mut self) -> Result<bool, StorageError> {
+        let claimed: Vec<u32> = self
+            .owners
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == Owner::Mem)
+            .map(|(t, _)| t as u32)
+            .collect();
+        if claimed.is_empty() {
+            return Ok(false);
+        }
+        // Per-table live posting counts of the memtable.
+        let mut counts = vec![0u64; self.corpus.len()];
+        for (_, pl) in self.memtable.iter_values() {
+            for e in pl {
+                counts[e.table.index()] += 1;
+            }
+        }
+        let claims: Vec<Claim> = claimed.iter().map(|&t| (t, counts[t as usize])).collect();
+        let live: usize = claims.iter().map(|c| c.1 as usize).sum();
+
+        // ---- plan: write every file, newest manifest last ---------------
+        let seg_id = self.next_segment_id;
+        let mut sw = SegmentWriter::new();
+        persist::add_index_blocks(&mut sw, &self.memtable, self.config.block_len);
+        let mut cw = Writer::new();
+        encode_claims(&claims, &mut cw);
+        sw.add_block("engine.claims", cw.finish());
+        let bytes = sw.finish();
+        write_file_atomic(self.dir.join(seg_file(seg_id)), &bytes)?;
+        let new_gen = self.corpus_gen + 1;
+        write_file_atomic(
+            self.dir.join(corpus_file(new_gen)),
+            &persist::corpus_to_bytes(&self.corpus),
+        )?;
+        let new_seq = self.wal_seq + 1;
+        write_file_atomic(self.dir.join(wal_file(new_seq)), &[])?;
+
+        // Load the flushed segment back for serving (re-validates it).
+        let seg = SegmentReader::open(bytes.clone())?;
+        let store = persist::read_cold_store(&seg)?;
+        let superkeys_block = seg.block("index.superkeys2")?;
+        let layer = ColdLayer {
+            id: seg_id,
+            claims,
+            store,
+            superkeys_block,
+            live_postings: live,
+            bytes: bytes.len(),
+        };
+
+        // Commit point: the manifest flip.
+        let mut segments: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
+        segments.push(layer.meta());
+        self.manifest_for(segments, new_gen, new_seq)
+            .save(self.dir.join(MANIFEST_FILE))?;
+
+        // ---- commit: infallible in-memory state switch ------------------
+        let new_wal = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.dir.join(wal_file(new_seq)))?;
+        let old_wal = self.dir.join(wal_file(self.wal_seq));
+        let old_corpus = self.dir.join(corpus_file(self.corpus_gen));
+        self.wal = new_wal;
+        // The rotation supersedes any torn tail in the old log (everything
+        // applied in memory is now in the segment + checkpoint).
+        self.wal_poisoned = false;
+        self.wal_seq = new_seq;
+        self.corpus_gen = new_gen;
+        self.next_segment_id += 1;
+        let layer_idx = self.cold.len() as u32;
+        self.cold.push(layer);
+        for t in claimed {
+            self.owners[t as usize] = Owner::Cold(layer_idx);
+        }
+        self.memtable.store = PostingStore::new();
+        self.counters.flushes += 1;
+        // Superseded files; ignorable failures (orphan GC covers them).
+        let _ = std::fs::remove_file(old_wal);
+        let _ = std::fs::remove_file(old_corpus);
+        Ok(true)
+    }
+
+    // --------------------------------------------------------- compaction --
+
+    /// Merges the entire cold stack into one segment, dropping masked
+    /// entries and tombstones. Discovery results are preserved exactly;
+    /// the corpus checkpoint and WAL watermark are untouched. Returns the
+    /// number of segments merged (0 if the stack has fewer than two).
+    pub fn compact(&mut self) -> Result<usize, StorageError> {
+        if self.cold.len() < 2 {
+            return Ok(0);
+        }
+        // Union of every layer's live (owned) postings. A table is owned by
+        // one layer, so per-value lists concatenate without duplicates; the
+        // sort restores global (table, col, row) order.
+        let mut merged: BTreeMap<String, Vec<PostingEntry>> = BTreeMap::new();
+        let mut counts = vec![0u64; self.corpus.len()];
+        for (li, layer) in self.cold.iter().enumerate() {
+            for (value, list) in layer.store.iter_decoded() {
+                let kept: Vec<PostingEntry> = list
+                    .into_iter()
+                    .filter(|e| self.owners.get(e.table.index()) == Some(&Owner::Cold(li as u32)))
+                    .collect();
+                if !kept.is_empty() {
+                    for e in &kept {
+                        counts[e.table.index()] += 1;
+                    }
+                    merged.entry(value).or_default().extend(kept);
+                }
+            }
+        }
+        for pl in merged.values_mut() {
+            pl.sort_unstable();
+        }
+        // Tombstones and fully-masked claims are dropped: after a full
+        // merge there is no older layer left for them to mask.
+        let claims: Vec<Claim> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(t, n)| (t as u32, *n))
+            .collect();
+        let live: usize = claims.iter().map(|c| c.1 as usize).sum();
+
+        // ---- plan -------------------------------------------------------
+        let seg_id = self.next_segment_id;
+        let mut sw = SegmentWriter::new();
+        sw.add_block(
+            "index.meta",
+            persist::meta_block(
+                self.hash_size(),
+                self.memtable.hasher_name(),
+                self.corpus.len(),
+            ),
+        );
+        let mut values: Vec<(&str, &[PostingEntry])> = merged
+            .iter()
+            .map(|(v, pl)| (v.as_str(), pl.as_slice()))
+            .collect();
+        persist::add_posting_blocks(&mut sw, &mut values, self.config.block_len);
+        // Super keys as of the WAL watermark, carried forward verbatim from
+        // the newest input segment — recovery replays the WAL tail on top,
+        // and replay must start from watermark-time keys, not current ones.
+        let newest_superkeys = self.cold.last().expect("len >= 2").superkeys_block.clone();
+        sw.add_block("index.superkeys2", newest_superkeys);
+        let mut cw = Writer::new();
+        encode_claims(&claims, &mut cw);
+        sw.add_block("engine.claims", cw.finish());
+        let bytes = sw.finish();
+        write_file_atomic(self.dir.join(seg_file(seg_id)), &bytes)?;
+
+        let seg = SegmentReader::open(bytes.clone())?;
+        let store = persist::read_cold_store(&seg)?;
+        let superkeys_block = seg.block("index.superkeys2")?;
+        let layer = ColdLayer {
+            id: seg_id,
+            claims,
+            store,
+            superkeys_block,
+            live_postings: live,
+            bytes: bytes.len(),
+        };
+
+        // Commit point.
+        self.manifest_for(vec![layer.meta()], self.corpus_gen, self.wal_seq)
+            .save(self.dir.join(MANIFEST_FILE))?;
+
+        // ---- commit -----------------------------------------------------
+        let removed: Vec<u64> = self.cold.iter().map(|l| l.id).collect();
+        let merged_count = removed.len();
+        self.next_segment_id += 1;
+        self.cold = vec![layer];
+        for owner in &mut self.owners {
+            if matches!(owner, Owner::Cold(_)) {
+                *owner = Owner::None;
+            }
+        }
+        for &(t, _) in &self.cold[0].claims {
+            self.owners[t as usize] = Owner::Cold(0);
+        }
+        self.counters.compactions += 1;
+        for id in removed {
+            let _ = std::fs::remove_file(self.dir.join(seg_file(id)));
+        }
+        Ok(merged_count)
+    }
+
+    // ----------------------------------------------------------- reading --
+
+    /// A merged [`PostingSource`] snapshot over every layer. Construct one
+    /// per batch of queries; the borrow prevents mutation while it lives.
+    pub fn source(&self) -> MergedSource<'_> {
+        let mut layers: Vec<&(dyn PostingSource + '_)> = self
+            .cold
+            .iter()
+            .map(|l| &l.store as &(dyn PostingSource + '_))
+            .collect();
+        layers.push(&self.memtable.store);
+        let mem_layer = self.cold.len() as u32;
+        let owners: Vec<u32> = self
+            .owners
+            .iter()
+            .map(|o| match o {
+                Owner::None => merged::NO_OWNER,
+                Owner::Mem => mem_layer,
+                Owner::Cold(i) => *i,
+            })
+            .collect();
+        let values_hint = self.memtable.num_values()
+            + self
+                .cold
+                .iter()
+                .map(|l| PostingSource::num_values(&l.store))
+                .sum::<usize>();
+        MergedSource::new(layers, owners, values_hint, self.live_postings())
+    }
+
+    /// The corpus (verification reads candidate tables from here).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The global super-key store (always materialized and current).
+    pub fn superkeys(&self) -> &SuperKeyStore {
+        self.memtable.superkeys()
+    }
+
+    /// The row hasher the engine indexes with.
+    pub fn hasher(&self) -> Xash {
+        self.hasher
+    }
+
+    /// Hash size of the super keys.
+    pub fn hash_size(&self) -> HashSize {
+        self.memtable.hash_size()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cold segments currently in the stack.
+    pub fn num_cold_segments(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Serving layers (cold segments + the memtable).
+    pub fn num_layers(&self) -> usize {
+        self.cold.len() + 1
+    }
+
+    /// Exact live posting entries across all layers.
+    pub fn live_postings(&self) -> usize {
+        self.memtable.num_postings() + self.cold.iter().map(|l| l.live_postings).sum::<usize>()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            memtable_postings: self.memtable.num_postings(),
+            memtable_bytes: self.memtable.store.flat_bytes(),
+            cold_segments: self.cold.len(),
+            cold_bytes: self.cold.iter().map(|l| l.bytes).sum(),
+            cold_live_postings: self.cold.iter().map(|l| l.live_postings).sum(),
+            live_postings: self.live_postings(),
+            tables: self.corpus.len(),
+            flushes: self.counters.flushes,
+            compactions: self.counters.compactions,
+            wal_records: self.counters.wal_records,
+            replayed_records: self.counters.replayed_records,
+        }
+    }
+
+    /// Fully decodes the merged posting list of `value` (testing/tooling —
+    /// the serving path never materializes whole lists).
+    pub fn decoded_postings(&self, value: &str) -> Option<Vec<PostingEntry>> {
+        let source = self.source();
+        let mut scratch = ProbeScratch::new();
+        let handle = source.find_list(value, &mut scratch)?;
+        let mut out = Vec::with_capacity(handle.len as usize);
+        let mut counters = ProbeCounters::default();
+        source.collect_run(handle, 0, handle.len, &mut scratch, &mut out, &mut counters);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use mate_table::{ColId, RowId, TableBuilder};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mate-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config(budget: usize) -> EngineConfig {
+        EngineConfig {
+            memtable_budget_bytes: budget,
+            max_cold_segments: 0, // manual compaction in tests
+            ..EngineConfig::default()
+        }
+    }
+
+    fn people(n: usize, tag: &str) -> Table {
+        let mut tb = TableBuilder::new(format!("t-{tag}"), ["first", "last"]);
+        for i in 0..n {
+            tb = tb.row([format!("{tag}-first-{i}"), format!("shared-{}", i % 3)]);
+        }
+        tb.build()
+    }
+
+    /// The engine's merged view must equal a single-shot index built from
+    /// its corpus: same values, same posting sets, same super keys. The
+    /// merged virtual list concatenates layers, so cross-table order may
+    /// differ from the globally sorted single-shot list — but each table's
+    /// run must itself be sorted and contiguous (discovery's contract).
+    fn assert_matches_rebuild(engine: &Engine) {
+        let fresh = IndexBuilder::new(engine.hasher()).build(engine.corpus());
+        assert_eq!(engine.live_postings(), fresh.num_postings(), "postings");
+        for (v, pl) in fresh.iter_values() {
+            let got = engine.decoded_postings(v).unwrap_or_default();
+            let mut tables_seen = Vec::new();
+            for run in got.chunk_by(|a, b| a.table == b.table) {
+                assert!(
+                    run.windows(2).all(|w| w[0] < w[1]),
+                    "run of {v:?} not sorted"
+                );
+                assert!(
+                    !tables_seen.contains(&run[0].table),
+                    "table {} of {v:?} split across runs",
+                    run[0].table
+                );
+                tables_seen.push(run[0].table);
+            }
+            let mut sorted = got;
+            sorted.sort_unstable();
+            assert_eq!(sorted.as_slice(), pl, "posting set of {v:?}");
+        }
+        for (tid, table) in engine.corpus().iter() {
+            for r in 0..table.num_rows() {
+                assert_eq!(
+                    engine.superkeys().key(tid, RowId::from(r)),
+                    fresh.superkey(tid, RowId::from(r)),
+                    "superkey {tid}/{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn create_ingest_flush_reopen() {
+        let dir = tmpdir("basic");
+        {
+            let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+            e.insert_table(people(4, "a")).unwrap();
+            e.insert_table(people(3, "b")).unwrap();
+            assert_eq!(e.num_cold_segments(), 0);
+            assert_matches_rebuild(&e);
+            assert!(e.flush().unwrap());
+            assert_eq!(e.num_cold_segments(), 1);
+            assert_eq!(e.stats().memtable_postings, 0);
+            assert_matches_rebuild(&e);
+            // Nothing new → flush is a no-op.
+            assert!(!e.flush().unwrap());
+        }
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.num_cold_segments(), 1);
+        assert_eq!(e.corpus().len(), 2);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn budget_triggers_flushes_and_masking_stays_exact() {
+        let dir = tmpdir("budget");
+        let mut e = Engine::create(&dir, small_config(4096)).unwrap();
+        for t in 0..12 {
+            e.insert_table(people(10, &format!("t{t}"))).unwrap();
+        }
+        assert!(e.stats().flushes >= 2, "budget must force flushes");
+        assert!(e.num_cold_segments() >= 2);
+        assert_matches_rebuild(&e);
+
+        // Edit a cold-owned table: promote + newest-wins masking.
+        e.apply(WalRecord::UpdateCell {
+            table: TableId(0),
+            row: RowId(0),
+            col: ColId(0),
+            value: "replacement".into(),
+        })
+        .unwrap();
+        assert_matches_rebuild(&e);
+        // Delete a row of another cold table.
+        e.apply(WalRecord::DeleteRow {
+            table: TableId(1),
+            row: RowId(2),
+        })
+        .unwrap();
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn delete_table_tombstones_and_compaction_drops_them() {
+        let dir = tmpdir("tombstone");
+        let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+        for t in 0..4 {
+            e.insert_table(people(6, &format!("t{t}"))).unwrap();
+            e.flush().unwrap(); // one table per segment
+        }
+        assert_eq!(e.num_cold_segments(), 4);
+        // Tombstone a cold-owned table (fast path: no promotion).
+        e.apply(WalRecord::DeleteTable { table: TableId(2) })
+            .unwrap();
+        assert!(e.decoded_postings("t2-first-0").is_none());
+        assert_matches_rebuild(&e);
+        e.flush().unwrap();
+        assert_eq!(e.num_cold_segments(), 5);
+        assert_matches_rebuild(&e);
+
+        let merged = e.compact().unwrap();
+        assert_eq!(merged, 5);
+        assert_eq!(e.num_cold_segments(), 1);
+        assert_matches_rebuild(&e);
+        // The tombstone itself is gone from the compacted claims.
+        assert!(e.cold[0].claims.iter().all(|c| c.1 > 0));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recovery_replays_wal_tail() {
+        let dir = tmpdir("replay");
+        {
+            let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+            e.insert_table(people(5, "a")).unwrap();
+            e.flush().unwrap();
+            // Post-flush edits live only in the WAL.
+            e.apply(WalRecord::InsertRow {
+                table: TableId(0),
+                cells: vec!["grace".into(), "hopper".into()],
+            })
+            .unwrap();
+            e.insert_table(people(2, "late")).unwrap();
+            // Dropped without flush: crash-equivalent.
+        }
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.stats().replayed_records, 2);
+        assert_eq!(e.corpus().len(), 2);
+        assert_eq!(e.corpus().table(TableId(0)).num_rows(), 6);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_trimmed_and_engine_continues() {
+        let dir = tmpdir("torn");
+        {
+            let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+            e.insert_table(people(5, "a")).unwrap();
+            e.apply(WalRecord::InsertRow {
+                table: TableId(0),
+                cells: vec!["x".into(), "y".into()],
+            })
+            .unwrap();
+        }
+        // Crash mid-append: chop bytes off the active WAL.
+        let wal_path = dir.join(wal_file(0));
+        let log = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &log[..log.len() - 3]).unwrap();
+
+        let mut e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.corpus().table(TableId(0)).num_rows(), 5, "torn row gone");
+        assert_matches_rebuild(&e);
+        e.apply(WalRecord::InsertRow {
+            table: TableId(0),
+            cells: vec!["k".into(), "g".into()],
+        })
+        .unwrap();
+        drop(e);
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.corpus().table(TableId(0)).num_rows(), 6);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn crash_between_segment_write_and_manifest_flip_recovers_cleanly() {
+        let dir = tmpdir("orphan");
+        let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+        e.insert_table(people(5, "a")).unwrap();
+        // Simulate the torn flush: the segment file exists but the manifest
+        // was never flipped (write it by hand, bypassing flush()).
+        std::fs::write(dir.join(seg_file(99)), b"half a segment").unwrap();
+        std::fs::write(dir.join(corpus_file(9)), b"half a corpus").unwrap();
+        std::fs::write(dir.join("MANIFEST.tmp"), b"half a manifest").unwrap();
+        drop(e);
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_matches_rebuild(&e);
+        // Orphans are gone.
+        assert!(!dir.join(seg_file(99)).exists());
+        assert!(!dir.join(corpus_file(9)).exists());
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn replay_after_compaction_rederives_dropped_cold_copies() {
+        // Regression: a post-watermark edit promotes a cold-owned table;
+        // compaction then drops the masked cold copy. Recovery replays the
+        // edit against a stack where the table is owned by *no* layer — the
+        // promotion must re-derive its postings from the corpus checkpoint
+        // instead of assuming a layer holds them.
+        let dir = tmpdir("replay-compact");
+        {
+            let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+            e.insert_table(people(5, "a")).unwrap();
+            e.insert_table(people(5, "b")).unwrap();
+            e.flush().unwrap();
+            e.insert_table(people(5, "c")).unwrap();
+            e.flush().unwrap();
+            // Post-watermark edits on cold-owned tables (one promote-and-
+            // mutate, one tombstone), then compact. No flush afterwards.
+            e.apply(WalRecord::UpdateCell {
+                table: TableId(0),
+                row: RowId(1),
+                col: ColId(0),
+                value: "patched".into(),
+            })
+            .unwrap();
+            e.apply(WalRecord::DeleteTable { table: TableId(1) })
+                .unwrap();
+            e.compact().unwrap();
+            assert_matches_rebuild(&e);
+        }
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.stats().replayed_records, 2);
+        assert!(e.decoded_postings("patched").is_some());
+        assert!(e.decoded_postings("b-first-0").is_none(), "tombstoned");
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn wrong_hash_size_rejected_at_open() {
+        let dir = tmpdir("hashsize");
+        Engine::create(&dir, small_config(1 << 30)).unwrap();
+        let wrong = EngineConfig {
+            hash_size: HashSize::B256,
+            ..small_config(1 << 30)
+        };
+        assert!(Engine::open(&dir, wrong).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -25,11 +25,15 @@
 //!   tables, rows, columns, and cells.
 //! * [`persist`] — segment-file serialization for both corpora and indexes.
 //! * [`wal`] — a CRC-framed write-ahead log making the §5.4 edits durable.
+//! * [`engine`] — the log-structured multi-segment engine: a memtable over
+//!   a stack of immutable cold segments, with a manifest, WAL crash
+//!   recovery, newest-wins masking, and compaction.
 
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod cold;
+pub mod engine;
 pub mod index;
 pub mod persist;
 pub mod posting;
@@ -40,7 +44,8 @@ pub mod updates;
 pub mod wal;
 
 pub use builder::IndexBuilder;
-pub use cold::{ColdIndex, ColdPostingStore};
+pub use cold::{ColdIndex, ColdPostingStore, ListDirectory};
+pub use engine::{Engine, EngineConfig, EngineStats, MergedSource};
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;
 pub use source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};

@@ -225,6 +225,21 @@ impl WalRecord {
         Ok(rec)
     }
 
+    /// The *existing* table an edit targets — the engine promotes that
+    /// table into its memtable before applying. Whole-table inserts
+    /// allocate a fresh id and return `None`.
+    pub fn target_table(&self) -> Option<TableId> {
+        match self {
+            WalRecord::InsertTable { .. } => None,
+            WalRecord::InsertRow { table, .. }
+            | WalRecord::InsertColumn { table, .. }
+            | WalRecord::UpdateCell { table, .. }
+            | WalRecord::DeleteRow { table, .. }
+            | WalRecord::DeleteColumn { table, .. }
+            | WalRecord::DeleteTable { table } => Some(*table),
+        }
+    }
+
     /// Applies the record through an updater (replay path).
     pub fn apply<H: RowHasher>(&self, updater: &mut IndexUpdater<'_, H>) {
         match self {
@@ -268,20 +283,25 @@ pub fn frame_record(record: &WalRecord) -> Vec<u8> {
 }
 
 /// Parses a log buffer into records, stopping cleanly at the first torn or
-/// corrupt record. Returns the records and the number of bytes consumed.
+/// corrupt record. Returns the records and the number of bytes consumed —
+/// the offset the engine may truncate the log to (everything before it
+/// parsed and checksummed; everything after is a torn or corrupt tail).
+///
+/// Every slice is taken through checked `get` accessors, so no input —
+/// truncated, bit-flipped, or adversarial — can make this panic (property-
+/// tested in `tests/wal_properties.rs`).
 pub fn parse_log(data: &[u8]) -> (Vec<WalRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
-    loop {
-        if data.len() - pos < 8 {
-            break;
-        }
-        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
-        if data.len() - pos - 8 < len {
+    while let Some(header) = data.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("fixed slice")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
+        let Some(end) = (pos + 8).checked_add(len) else {
+            break; // absurd length: treat as a torn tail
+        };
+        let Some(payload) = data.get(pos + 8..end) else {
             break; // torn tail
-        }
-        let payload = &data[pos + 8..pos + 8 + len];
+        };
         if crc32(payload) != crc {
             break; // corrupt record: stop replay here
         }

@@ -1,0 +1,151 @@
+//! Property tests for `wal::parse_log` torn-tail handling.
+//!
+//! The engine truncates its log to the consumed offset `parse_log` reports,
+//! so two properties are load-bearing:
+//!
+//! 1. **No panic, ever** — truncated, bit-flipped, or arbitrary bytes must
+//!    parse to a clean `(records, consumed)` (the header reads at the top
+//!    of the loop must stay in-bounds for any input).
+//! 2. **Consumed is a stable trim point** — re-parsing `data[..consumed]`
+//!    yields the same records and the same offset, and appending a fresh
+//!    record at the trim point parses as `records + [new]`.
+
+use mate_index::wal::{frame_record, parse_log};
+use mate_index::WalRecord;
+use mate_table::{ColId, RowId, TableBuilder, TableId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Deterministically expands a compact spec into a record (all seven
+/// opcodes reachable).
+fn record_from(spec: (u8, u32, u32, u32)) -> WalRecord {
+    let (op, a, b, c) = spec;
+    match op % 7 {
+        0 => WalRecord::InsertTable {
+            table: TableBuilder::new(format!("t{a}"), ["x", "y"])
+                .row([format!("v{b}"), format!("w{c}")])
+                .build(),
+        },
+        1 => WalRecord::InsertRow {
+            table: TableId(a),
+            cells: vec![format!("c{b}"), format!("c{c}")],
+        },
+        2 => WalRecord::InsertColumn {
+            table: TableId(a),
+            name: format!("col{b}"),
+            values: vec![format!("v{c}")],
+        },
+        3 => WalRecord::UpdateCell {
+            table: TableId(a),
+            row: RowId(b),
+            col: ColId(c),
+            value: format!("u{a}"),
+        },
+        4 => WalRecord::DeleteRow {
+            table: TableId(a),
+            row: RowId(b),
+        },
+        5 => WalRecord::DeleteColumn {
+            table: TableId(a),
+            col: ColId(b),
+        },
+        _ => WalRecord::DeleteTable { table: TableId(a) },
+    }
+}
+
+fn build_log(records: &[WalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut log = Vec::new();
+    let mut ends = Vec::new();
+    for r in records {
+        log.extend(frame_record(r));
+        ends.push(log.len());
+    }
+    (log, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Intact logs round-trip completely.
+    #[test]
+    fn intact_log_roundtrips(specs in vec((0u8..14, 0u32..50, 0u32..50, 0u32..50), 0..12)) {
+        let records: Vec<WalRecord> = specs.into_iter().map(record_from).collect();
+        let (log, _) = build_log(&records);
+        let (parsed, consumed) = parse_log(&log);
+        prop_assert_eq!(parsed, records);
+        prop_assert_eq!(consumed, log.len());
+    }
+
+    /// Truncation at *any* byte: no panic, the parsed records are exactly
+    /// the fully-contained prefix, and `consumed` is a stable trim point.
+    #[test]
+    fn truncated_tail_never_panics_and_trim_point_is_stable(
+        specs in vec((0u8..14, 0u32..50, 0u32..50, 0u32..50), 1..10),
+        cut_permille in 0u64..1000,
+        extra in (0u8..14, 0u32..50, 0u32..50, 0u32..50),
+    ) {
+        let records: Vec<WalRecord> = specs.into_iter().map(record_from).collect();
+        let (log, ends) = build_log(&records);
+        let cut = (log.len() as u64 * cut_permille / 1000) as usize;
+        let truncated = &log[..cut];
+
+        let (parsed, consumed) = parse_log(truncated);
+        // Exactly the records whose frames fit in the cut survive.
+        let expect = ends.iter().filter(|&&e| e <= cut).count();
+        prop_assert_eq!(parsed.len(), expect);
+        prop_assert_eq!(&parsed[..], &records[..expect]);
+        prop_assert_eq!(consumed, if expect == 0 { 0 } else { ends[expect - 1] });
+        prop_assert!(consumed <= cut);
+
+        // Trimming to `consumed` is idempotent...
+        let (reparsed, reconsumed) = parse_log(&truncated[..consumed]);
+        prop_assert_eq!(reparsed, parsed);
+        prop_assert_eq!(reconsumed, consumed);
+
+        // ...and appending after the trim continues the log cleanly.
+        let mut resumed = truncated[..consumed].to_vec();
+        let new_record = record_from(extra);
+        resumed.extend(frame_record(&new_record));
+        let (resumed_parsed, resumed_consumed) = parse_log(&resumed);
+        prop_assert_eq!(resumed_parsed.len(), expect + 1);
+        prop_assert_eq!(&resumed_parsed[expect], &new_record);
+        prop_assert_eq!(resumed_consumed, resumed.len());
+    }
+
+    /// A flipped byte anywhere: no panic, and every record framed entirely
+    /// before the flip still replays (the CRC stops replay at or before the
+    /// damaged record, never past it).
+    #[test]
+    fn bit_flips_never_panic_and_preserve_the_clean_prefix(
+        specs in vec((0u8..14, 0u32..50, 0u32..50, 0u32..50), 1..10),
+        pos_permille in 0u64..=1000,
+        mask in 1u8..=255,
+    ) {
+        let records: Vec<WalRecord> = specs.into_iter().map(record_from).collect();
+        let (mut log, ends) = build_log(&records);
+        let pos = ((log.len() - 1) as u64 * pos_permille / 1000) as usize;
+        log[pos] ^= mask;
+
+        let (parsed, consumed) = parse_log(&log);
+        prop_assert!(consumed <= log.len());
+        // Records entirely before the flipped byte are untouched and must
+        // all be recovered, in order.
+        let clean = ends.iter().filter(|&&e| e <= pos).count();
+        prop_assert!(parsed.len() >= clean, "lost a clean record");
+        prop_assert_eq!(&parsed[..clean], &records[..clean]);
+        // The trim point is still stable.
+        let (reparsed, reconsumed) = parse_log(&log[..consumed]);
+        prop_assert_eq!(reparsed.len(), parsed.len());
+        prop_assert_eq!(reconsumed, consumed);
+    }
+
+    /// Arbitrary bytes (no framing at all): no panic, stable trim point.
+    #[test]
+    fn arbitrary_bytes_never_panic(junk in vec(any::<u8>(), 0..200)) {
+        let (parsed, consumed) = parse_log(&junk);
+        prop_assert!(consumed <= junk.len());
+        let (reparsed, reconsumed) = parse_log(&junk[..consumed]);
+        prop_assert_eq!(reparsed.len(), parsed.len());
+        prop_assert_eq!(reconsumed, consumed);
+    }
+}

@@ -18,6 +18,11 @@
 //! * [`segment`] — the on-disk container: a magic header, named blocks, each
 //!   length-prefixed and CRC-checked, so partial writes and corruption are
 //!   detected at load time.
+//! * [`manifest`] — CRC-framed state files with atomic (tmp + rename +
+//!   fsync) replacement, for the multi-segment engine's manifest.
+//! * [`tombstone`] — delta-coded segment claim sets: which tables a segment
+//!   owns, with zero-count claims acting as tombstones that mask older
+//!   segments.
 //!
 //! All multi-byte integers are little-endian.
 
@@ -28,8 +33,10 @@ pub mod codec;
 pub mod crc32;
 pub mod dict;
 pub mod error;
+pub mod manifest;
 pub mod postings;
 pub mod segment;
+pub mod tombstone;
 pub mod varint;
 
 pub use codec::{Reader, Writer};

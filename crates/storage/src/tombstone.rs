@@ -1,0 +1,165 @@
+//! Segment claim sets: which tables a segment owns, with tombstones.
+//!
+//! The multi-segment engine resolves reads with *newest-wins* semantics at
+//! table granularity: every flushed segment records the set of table ids it
+//! **claims** — the tables whose postings it carries — and a claim in a
+//! newer segment masks the same table's postings in every older one. A claim
+//! with a posting count of zero is a **tombstone**: it carries no data but
+//! still masks older segments (the table was deleted, or shrank to nothing).
+//!
+//! Claims are stored sorted by table id and delta-coded, with the live
+//! posting count varint-encoded next to each id:
+//!
+//! ```text
+//! count: varint
+//! first:  table id (varint), postings (varint)
+//! later:  gap-1 to previous id (varint), postings (varint)
+//! ```
+//!
+//! The `gap-1` encoding makes ascending order a *structural* property: any
+//! byte stream that decodes yields strictly increasing ids, so readers never
+//! need to re-validate sortedness.
+
+use crate::codec::{Reader, Writer};
+use crate::error::StorageError;
+
+/// One claim: a table id and the number of live posting entries the segment
+/// holds for it (`0` = tombstone).
+pub type Claim = (u32, u64);
+
+/// Encodes a claim set. `claims` must be sorted by strictly ascending table
+/// id.
+///
+/// # Panics
+/// Panics if the ids are not strictly ascending.
+pub fn encode_claims(claims: &[Claim], w: &mut Writer) {
+    w.put_varint(claims.len() as u64);
+    let mut prev: Option<u32> = None;
+    for &(table, postings) in claims {
+        match prev {
+            None => w.put_varint(u64::from(table)),
+            Some(p) => {
+                assert!(table > p, "claims must be sorted by ascending table id");
+                w.put_varint(u64::from(table - p - 1));
+            }
+        }
+        w.put_varint(postings);
+        prev = Some(table);
+    }
+}
+
+/// Decodes a claim set (always sorted by strictly ascending table id).
+pub fn decode_claims(r: &mut Reader) -> Result<Vec<Claim>, StorageError> {
+    let n = r.get_varint()? as usize;
+    // Every claim costs at least two bytes; reject absurd counts before
+    // allocating for them.
+    if n > r.remaining() {
+        return Err(StorageError::InvalidLength {
+            context: "claim count",
+            value: n as u64,
+        });
+    }
+    let mut claims = Vec::with_capacity(n);
+    let mut prev: Option<u32> = None;
+    for _ in 0..n {
+        let raw = r.get_varint()?;
+        let table = match prev {
+            None => u32::try_from(raw),
+            Some(p) => u32::try_from(u64::from(p) + raw + 1),
+        }
+        .map_err(|_| StorageError::InvalidLength {
+            context: "claim table id",
+            value: raw,
+        })?;
+        let postings = r.get_varint()?;
+        claims.push((table, postings));
+        prev = Some(table);
+    }
+    Ok(claims)
+}
+
+/// Whether a claim is a tombstone (masks older segments, carries no data).
+#[inline]
+pub fn is_tombstone(claim: &Claim) -> bool {
+    claim.1 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn roundtrip(claims: &[Claim]) -> Vec<Claim> {
+        let mut w = Writer::new();
+        encode_claims(claims, &mut w);
+        decode_claims(&mut Reader::new(w.finish())).unwrap()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(roundtrip(&[]), vec![]);
+        assert_eq!(roundtrip(&[(7, 123)]), vec![(7, 123)]);
+    }
+
+    #[test]
+    fn mixed_claims_and_tombstones() {
+        let claims = vec![(0, 10), (1, 0), (5, 99), (6, 0), (1000, 1)];
+        assert_eq!(roundtrip(&claims), claims);
+        assert!(is_tombstone(&(1, 0)));
+        assert!(!is_tombstone(&(1, 1)));
+    }
+
+    #[test]
+    fn dense_range_is_compact() {
+        // Consecutive ids cost one byte of gap each (gap-1 = 0).
+        let claims: Vec<Claim> = (0..1000u32).map(|t| (t, 1)).collect();
+        let mut w = Writer::new();
+        encode_claims(&claims, &mut w);
+        let bytes = w.finish();
+        assert!(
+            bytes.len() < 1000 * 3,
+            "dense claims blew up: {}",
+            bytes.len()
+        );
+        assert_eq!(decode_claims(&mut Reader::new(bytes)).unwrap(), claims);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_rejected() {
+        let mut w = Writer::new();
+        encode_claims(&[(5, 1), (3, 1)], &mut w);
+    }
+
+    #[test]
+    fn oversized_count_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(1 << 40);
+        assert!(decode_claims(&mut Reader::new(w.finish())).is_err());
+    }
+
+    #[test]
+    fn id_overflow_rejected() {
+        let mut w = Writer::new();
+        w.put_varint(2);
+        w.put_varint(u64::from(u32::MAX)); // first id: u32::MAX
+        w.put_varint(0);
+        w.put_varint(0); // gap-1 = 0 → next id would be u32::MAX + 1
+        w.put_varint(0);
+        assert!(decode_claims(&mut Reader::new(w.finish())).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors_cleanly() {
+        let mut w = Writer::new();
+        encode_claims(&[(1, 2), (3, 4)], &mut w);
+        let bytes = w.finish();
+        for cut in 0..bytes.len() {
+            let r = decode_claims(&mut Reader::new(Bytes::from(bytes[..cut].to_vec())));
+            if cut < bytes.len() {
+                // Prefixes may decode fewer claims or error; never panic.
+                let _ = r;
+            }
+        }
+    }
+}
