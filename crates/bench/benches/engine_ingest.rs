@@ -173,7 +173,9 @@ fn main() {
             format!("{:.0}us", r.query_us_merged),
         ]);
     }
-    report.note("ingest is fully WAL-durable: one fsync per record (batching is future work)");
+    report.note(
+        "ingest is fully WAL-durable: one fsync per record (see engine_lake for group commit)",
+    );
     report.note("merged query latency includes per-query source construction + cold block decode");
     report.note("identity asserted: merged top-k == single-shot hot top-k before reporting");
     report.note("single-core metrics only (rows/s, counts, per-op latency); no parallel claims");

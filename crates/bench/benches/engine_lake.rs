@@ -1,0 +1,276 @@
+//! EngineLake bench: group-commit ingest vs per-record fsync, and
+//! cached-source query latency vs per-query source construction.
+//!
+//! Emits a machine-readable `BENCH_engine_lake.json` (path overridable via
+//! `MATE_BENCH_JSON`). The headline comparisons are **fsync counts**, not
+//! wall clock — deterministic on any container:
+//!
+//! * per-record ingest acknowledges every record with its own fsync
+//!   (`group_syncs == records`);
+//! * grouped ingest batches records per durability wait
+//!   (`EngineLake::apply_many`), so one fsync covers a whole batch. The
+//!   bench asserts the grouped path needs ≤ half the fsyncs of the
+//!   baseline (it needs ~`1/GROUP` of them).
+//!
+//! Query latency is wall clock (informational on a busy CI box), but the
+//! cache hit/miss counters beside it are exact, and top-k identity
+//! between the cached and uncached paths is asserted before anything is
+//! reported.
+
+use mate_bench::{build_lakes, fmt_duration, Report};
+use mate_core::{discover_engine, discover_lake, MateConfig};
+use mate_hash::{HashSize, Xash};
+use mate_index::engine::{EngineConfig, EngineLake};
+use mate_index::{IndexBuilder, WalRecord};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Records per durability wait in the grouped ingest.
+const GROUP: usize = 16;
+/// Timed repetitions of each query batch.
+const QUERY_REPS: usize = 3;
+
+struct CorpusRow {
+    name: String,
+    tables: usize,
+    rows: usize,
+    sync_secs: f64,
+    sync_rows_per_s: f64,
+    sync_fsyncs: u64,
+    grouped_secs: f64,
+    grouped_rows_per_s: f64,
+    grouped_fsyncs: u64,
+    fsync_ratio: f64,
+    flushes: u64,
+    compactions: u64,
+    segments: usize,
+    query_us_fresh: f64,
+    query_us_cached: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn main() {
+    let lakes = build_lakes();
+    let hasher = Xash::new(HashSize::B128);
+    let base = std::env::temp_dir().join(format!("mate-engine-lake-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut rows_out: Vec<CorpusRow> = Vec::new();
+
+    for (name, corpus) in [
+        ("webtables", &lakes.webtables),
+        ("opendata", &lakes.opendata),
+        ("school", &lakes.school),
+    ] {
+        // Budget sized off the single-shot hot index so every scale
+        // produces a handful of flushes (and tiered compactions).
+        let single = IndexBuilder::new(hasher).build(corpus);
+        let budget = (single.stats().posting_store_bytes / 6).max(16 << 10);
+        let config = EngineConfig {
+            memtable_budget_bytes: budget,
+            max_cold_segments: 3,
+            tier_fanout: 2,
+            ..EngineConfig::default()
+        };
+        let total_rows: usize = corpus.iter().map(|(_, t)| t.num_rows()).sum();
+        let records: Vec<WalRecord> = corpus
+            .iter()
+            .map(|(_, t)| WalRecord::InsertTable { table: t.clone() })
+            .collect();
+
+        // ---- baseline: one durability wait (= one fsync) per record -----
+        let lake = EngineLake::create(base.join(format!("{name}-sync")), config.clone())
+            .expect("create lake");
+        let t = Instant::now();
+        for r in &records {
+            lake.apply(r.clone()).expect("ingest");
+        }
+        let sync_secs = t.elapsed().as_secs_f64();
+        let sync_fsyncs = lake.group_syncs();
+        // Every record pays its own fsync, except the ones whose apply
+        // triggered a flush — the rotation's manifest flip makes those
+        // durable without a WAL sync.
+        assert_eq!(
+            sync_fsyncs + lake.stats().flushes,
+            records.len() as u64,
+            "per-record applies must fsync (or rotate) once each"
+        );
+        drop(lake);
+
+        // ---- grouped: one durability wait per GROUP-record batch --------
+        let lake = EngineLake::create(base.join(format!("{name}-grouped")), config.clone())
+            .expect("create lake");
+        let t = Instant::now();
+        for chunk in records.chunks(GROUP) {
+            lake.apply_many(chunk.iter().cloned()).expect("ingest");
+        }
+        let grouped_secs = t.elapsed().as_secs_f64();
+        let grouped_fsyncs = lake.group_syncs();
+        let fsync_ratio = sync_fsyncs as f64 / grouped_fsyncs.max(1) as f64;
+        assert!(
+            sync_fsyncs >= 2 * grouped_fsyncs,
+            "group commit must need ≤ half the fsyncs ({sync_fsyncs} vs {grouped_fsyncs})"
+        );
+        let stats = lake.stats();
+
+        // ---- queries: per-query source construction vs shared cache -----
+        let queries: Vec<_> = lakes
+            .iter_sets()
+            .filter(|(_, c)| std::ptr::eq(*c, corpus))
+            .flat_map(|(set, _)| set.queries.iter().take(2))
+            .collect();
+
+        // Identity guard first: the bench refuses to report numbers for a
+        // cached path that returns different bits.
+        for q in &queries {
+            let reader = lake.reader();
+            let fresh =
+                discover_engine(reader.engine(), MateConfig::default(), &q.table, &q.key, 10);
+            drop(reader);
+            let cached = discover_lake(&lake, MateConfig::default(), &q.table, &q.key, 10);
+            assert_eq!(fresh.top_k, cached.top_k, "cached/uncached identity");
+        }
+
+        let time_queries = |mut f: Box<dyn FnMut(&mate_lake::GeneratedQuery) -> usize>| -> f64 {
+            let t = Instant::now();
+            let mut hits = 0usize;
+            for _ in 0..QUERY_REPS {
+                for q in &queries {
+                    hits += f(q);
+                }
+            }
+            std::hint::black_box(hits);
+            t.elapsed().as_secs_f64() * 1e6 / (queries.len() * QUERY_REPS).max(1) as f64
+        };
+        let query_us_fresh = {
+            let reader = lake.reader();
+            let engine = reader.engine();
+            let t = Instant::now();
+            let mut hits = 0usize;
+            for _ in 0..QUERY_REPS {
+                for q in &queries {
+                    hits += discover_engine(engine, MateConfig::default(), &q.table, &q.key, 10)
+                        .top_k
+                        .len();
+                }
+            }
+            std::hint::black_box(hits);
+            t.elapsed().as_secs_f64() * 1e6 / (queries.len() * QUERY_REPS).max(1) as f64
+        };
+        let (h0, m0) = (lake.source_cache().hits(), lake.source_cache().misses());
+        let query_us_cached = time_queries(Box::new(|q| {
+            discover_lake(&lake, MateConfig::default(), &q.table, &q.key, 10)
+                .top_k
+                .len()
+        }));
+        let cache_hits = lake.source_cache().hits() - h0;
+        let cache_misses = lake.source_cache().misses() - m0;
+
+        rows_out.push(CorpusRow {
+            name: name.to_string(),
+            tables: corpus.len(),
+            rows: total_rows,
+            sync_secs,
+            sync_rows_per_s: total_rows as f64 / sync_secs.max(1e-9),
+            sync_fsyncs,
+            grouped_secs,
+            grouped_rows_per_s: total_rows as f64 / grouped_secs.max(1e-9),
+            grouped_fsyncs,
+            fsync_ratio,
+            flushes: stats.flushes,
+            compactions: stats.compactions,
+            segments: stats.cold_segments,
+            query_us_fresh,
+            query_us_cached,
+            cache_hits,
+            cache_misses,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&base);
+
+    // ---- human-readable report -----------------------------------------
+    let mut report = Report::new(
+        "EngineLake: group-commit ingest + cached-source serving",
+        &[
+            "Corpus",
+            "Tables",
+            "Rows",
+            "Sync ingest",
+            "fsyncs",
+            "Grouped ingest",
+            "fsyncs",
+            "Ratio",
+            "Flushes",
+            "Tiered",
+            "Segs",
+            "Query fresh",
+            "Query cached",
+            "Hits",
+        ],
+    );
+    for r in &rows_out {
+        report.row(vec![
+            r.name.clone(),
+            r.tables.to_string(),
+            r.rows.to_string(),
+            fmt_duration(Duration::from_secs_f64(r.sync_secs)),
+            r.sync_fsyncs.to_string(),
+            fmt_duration(Duration::from_secs_f64(r.grouped_secs)),
+            r.grouped_fsyncs.to_string(),
+            format!("{:.1}x", r.fsync_ratio),
+            r.flushes.to_string(),
+            r.compactions.to_string(),
+            r.segments.to_string(),
+            format!("{:.0}us", r.query_us_fresh),
+            format!("{:.0}us", r.query_us_cached),
+            r.cache_hits.to_string(),
+        ]);
+    }
+    report.note(format!(
+        "grouped ingest batches {GROUP} records per durability wait (EngineLake::apply_many)"
+    ));
+    report.note("fsync counts are exact and container-independent; x = per-record/grouped");
+    report.note("cached queries resolve cold runs once per epoch via the shared SourceCache");
+    report.note("identity asserted: cached top-k == per-query-source top-k before reporting");
+    report.print();
+
+    // ---- machine-readable JSON ------------------------------------------
+    let path =
+        std::env::var("MATE_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine_lake.json".to_string());
+    let mut json = String::from("{\n  \"bench\": \"engine_lake\",\n");
+    let _ = writeln!(json, "  \"group_commit_batch\": {GROUP},");
+    json.push_str("  \"corpora\": [\n");
+    for (i, r) in rows_out.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"corpus\": \"{}\", \"tables\": {}, \"rows\": {}, \
+             \"per_record_ingest_secs\": {:.4}, \"per_record_rows_per_s\": {:.1}, \
+             \"per_record_fsyncs\": {}, \"grouped_ingest_secs\": {:.4}, \
+             \"grouped_rows_per_s\": {:.1}, \"grouped_fsyncs\": {}, \"fsync_ratio\": {:.2}, \
+             \"flushes\": {}, \"tiered_compactions\": {}, \"cold_segments\": {}, \
+             \"query_us_fresh_source\": {:.1}, \"query_us_cached_source\": {:.1}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+            r.name,
+            r.tables,
+            r.rows,
+            r.sync_secs,
+            r.sync_rows_per_s,
+            r.sync_fsyncs,
+            r.grouped_secs,
+            r.grouped_rows_per_s,
+            r.grouped_fsyncs,
+            r.fsync_ratio,
+            r.flushes,
+            r.compactions,
+            r.segments,
+            r.query_us_fresh,
+            r.query_us_cached,
+            r.cache_hits,
+            r.cache_misses,
+            if i + 1 < rows_out.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&path, &json).expect("write bench json");
+    eprintln!("[engine_lake] wrote {path}");
+}

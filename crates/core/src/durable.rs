@@ -79,9 +79,12 @@ impl DurableLake {
             }
         }
         if valid_len < log.len() {
-            // Drop the torn tail so future appends start from a clean state.
-            let truncated = &log[..valid_len];
-            std::fs::write(&wal_path, truncated)?;
+            // Trim the torn tail *in place*: `set_len` + fsync can never
+            // destroy the acknowledged prefix, unlike a full rewrite
+            // interrupted mid-copy.
+            let trim = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+            trim.set_len(valid_len as u64)?;
+            trim.sync_data()?;
         }
         let wal = std::fs::OpenOptions::new().append(true).open(&wal_path)?;
         Ok(DurableLake {

@@ -7,11 +7,16 @@
 //! bit-identical to a single-shot built index at every flush state
 //! (property-tested in `tests/engine_discovery.rs`).
 //!
+//! Two entry points: [`discover_engine`] for an exclusively-held
+//! [`Engine`] (fresh source per query), [`discover_lake`] for a shared
+//! [`EngineLake`] (concurrent readers, cold resolutions cached across
+//! queries and invalidated only on flush/compaction/promotion).
+//!
 //! [`MergedSource`]: mate_index::MergedSource
 
 use crate::config::MateConfig;
 use crate::discovery::{DiscoveryResult, MateDiscovery};
-use mate_index::engine::Engine;
+use mate_index::engine::{Engine, EngineLake};
 use mate_table::{ColId, Table};
 
 /// Runs a top-k discovery over an engine's merged (memtable + cold
@@ -40,6 +45,47 @@ pub fn discover_engine(
     )
     .discover(query, q_cols, k);
     result.stats.source_layers = engine.num_layers();
+    result
+}
+
+/// Runs a top-k discovery over an [`EngineLake`]: takes a read snapshot
+/// (concurrent with other readers; consistent against writers) and probes
+/// it through the lake's shared
+/// [`SourceCache`](mate_index::SourceCache), so cold-layer resolutions
+/// are amortized **across queries** instead of reconstructed per query —
+/// the cache invalidates itself on flush/compaction/promotion, and
+/// results are bit-identical to [`discover_engine`] on the same snapshot
+/// (property-tested in `tests/engine_lake.rs`).
+///
+/// Sets [`DiscoveryStats::source_layers`], plus
+/// [`DiscoveryStats::cold_cache_hits`] / `cold_cache_misses` deltas for
+/// this query.
+///
+/// [`DiscoveryStats::source_layers`]: crate::stats::DiscoveryStats::source_layers
+/// [`DiscoveryStats::cold_cache_hits`]: crate::stats::DiscoveryStats::cold_cache_hits
+pub fn discover_lake(
+    lake: &EngineLake,
+    config: MateConfig,
+    query: &Table,
+    q_cols: &[ColId],
+    k: usize,
+) -> DiscoveryResult {
+    let reader = lake.reader();
+    let engine = reader.engine();
+    let source = reader.source();
+    let hasher = engine.hasher();
+    let (hits0, misses0) = (lake.source_cache().hits(), lake.source_cache().misses());
+    let mut result = MateDiscovery::from_parts(
+        engine.corpus(),
+        &source,
+        engine.superkeys(),
+        &hasher,
+        config,
+    )
+    .discover(query, q_cols, k);
+    result.stats.source_layers = engine.num_layers();
+    result.stats.cold_cache_hits = lake.source_cache().hits().saturating_sub(hits0);
+    result.stats.cold_cache_misses = lake.source_cache().misses().saturating_sub(misses0);
     result
 }
 
@@ -84,6 +130,17 @@ mod tests {
         assert_eq!(single.top_k, merged.top_k);
         assert_eq!(merged.stats.source_layers, engine.num_layers());
         assert!(merged.stats.source_layers > 1, "flushes built cold layers");
+
+        // The lake path returns the same results and amortizes the cold
+        // walk: a repeated query hits the shared cache.
+        let lake = mate_index::EngineLake::new(engine);
+        let first = discover_lake(&lake, MateConfig::default(), &query, &key, 3);
+        assert_eq!(first.top_k, single.top_k);
+        assert!(first.stats.cold_cache_misses > 0, "first query fills");
+        let second = discover_lake(&lake, MateConfig::default(), &query, &key, 3);
+        assert_eq!(second.top_k, single.top_k);
+        assert!(second.stats.cold_cache_hits > 0, "repeat query hits");
+        assert_eq!(second.stats.cold_cache_misses, 0, "nothing left to fill");
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -90,6 +90,14 @@ pub struct DiscoveryStats {
     /// multi-segment engine (set by
     /// [`crate::engine_query::discover_engine`]).
     pub source_layers: usize,
+    /// Cold-layer resolutions answered by the lake's shared
+    /// [`SourceCache`](mate_index::SourceCache) during this query (set by
+    /// [`crate::engine_query::discover_lake`]; approximate when other
+    /// queries run concurrently — the cache counters are lake-global).
+    pub cold_cache_hits: u64,
+    /// Cold-layer resolutions that had to walk the segment stack (see
+    /// [`DiscoveryStats::cold_cache_hits`]).
+    pub cold_cache_misses: u64,
     /// Per-worker counter breakdown for parallel runs (empty when
     /// sequential; the aggregate fields above are their sums).
     pub per_worker: Vec<WorkerStats>,

@@ -3,9 +3,9 @@
 //! N flushes, after compaction, and after crash recovery — including
 //! workloads with updates and deletes.
 
-use mate_core::{discover_engine, MateConfig, MateDiscovery};
+use mate_core::{discover_engine, discover_lake, MateConfig, MateDiscovery};
 use mate_hash::{HashSize, Xash};
-use mate_index::engine::{Engine, EngineConfig};
+use mate_index::engine::{Engine, EngineConfig, EngineLake};
 use mate_index::{IndexBuilder, WalRecord};
 use mate_lake::{CorpusProfile, GeneratedQuery, LakeGenerator, LakeSpec, QuerySpec};
 use mate_table::{ColId, Corpus, RowId, TableId};
@@ -185,6 +185,41 @@ proptest! {
         drop(flushed);
         let reopened = Engine::open(dir.join("flush"), engine_config(2048)).unwrap();
         assert_equivalent(&reopened, &query, k);
+
+        // The shared EngineLake handle serves the same bits, from
+        // concurrent reader threads ∈ {1, 2, 4}, with the cold-resolution
+        // cache warm after the first query.
+        let hasher = Xash::new(HashSize::B128);
+        let fresh = IndexBuilder::new(hasher).build(reopened.corpus());
+        let single = MateDiscovery::new(reopened.corpus(), &fresh, &hasher)
+            .discover(&query.table, &query.key, k);
+        let lake = EngineLake::new(reopened);
+        for threads in [1usize, 2, 4] {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| {
+                        let r = discover_lake(
+                            &lake,
+                            MateConfig::default(),
+                            &query.table,
+                            &query.key,
+                            k,
+                        );
+                        assert_eq!(r.top_k, single.top_k);
+                        assert_eq!(r.stats.pl_items_fetched, single.stats.pl_items_fetched);
+                        assert_eq!(r.stats.candidate_tables, single.stats.candidate_tables);
+                        assert_eq!(
+                            r.stats.rows_verified_joinable,
+                            single.stats.rows_verified_joinable
+                        );
+                    });
+                }
+            });
+        }
+        prop_assert!(
+            lake.source_cache().hits() > 0,
+            "repeated queries must hit the shared cache"
+        );
 
         std::fs::remove_dir_all(dir).ok();
     }

@@ -208,3 +208,122 @@ fn recovery_with_flushes_and_compaction_preserves_topk() {
     assert_engines_identical(&recovered, &control, &query);
     std::fs::remove_dir_all(base).ok();
 }
+
+/// A kill on either side of a **tiered** (partial) compaction's manifest
+/// flip must garbage-collect only the replaced tier's files — never a
+/// segment the live manifest still references.
+#[test]
+fn kill_around_tiered_compaction_gcs_only_the_replaced_tier() {
+    let base = tmpdir("tiered");
+    let seg_names = |dir: &std::path::Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|f| f.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("seg-") && n.ends_with(".seg"))
+            .collect();
+        names.sort();
+        names
+    };
+
+    // Deterministic lake: six same-shape tables, one segment each, plus a
+    // post-watermark edit tail (promote + tombstone + insert) left in the
+    // WAL.
+    let table = |tag: &str| {
+        let mut tb = mate_table::TableBuilder::new(format!("t-{tag}"), ["first", "last"]);
+        for i in 0..6 {
+            tb = tb.row([format!("{tag}-first-{i}"), format!("shared-{}", i % 3)]);
+        }
+        tb.build()
+    };
+    let tags = ["a", "b", "c", "d", "e", "f"];
+    let tail = vec![
+        WalRecord::UpdateCell {
+            table: TableId(0),
+            row: RowId(1),
+            col: ColId(0),
+            value: "patched".into(),
+        },
+        WalRecord::DeleteTable { table: TableId(1) },
+        WalRecord::InsertRow {
+            table: TableId(2),
+            cells: vec!["late-0".into(), "late-1".into()],
+        },
+    ];
+    let query = GeneratedQuery {
+        table: mate_table::TableBuilder::new("q", ["x", "y"])
+            .row(["a-first-0", "shared-0"])
+            .row(["c-first-1", "shared-1"])
+            .row(["patched", "shared-1"])
+            .build(),
+        key: vec![ColId(0), ColId(1)],
+        planted_tables: Vec::new(),
+        planted_best: 0,
+        distinct_tuples: 3,
+    };
+
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    for tag in tags {
+        control.insert_table(table(tag)).unwrap();
+    }
+    for r in &tail {
+        control.apply(r.clone()).unwrap();
+    }
+
+    let dir = base.join("victim");
+    let cfg = EngineConfig {
+        tier_fanout: 2,
+        ..config(1 << 30)
+    };
+    {
+        let mut e = Engine::create(&dir, cfg.clone()).unwrap();
+        for tag in tags {
+            e.insert_table(table(tag)).unwrap();
+            e.flush().unwrap();
+        }
+        for r in &tail {
+            e.apply(r.clone()).unwrap();
+        }
+        assert_eq!(e.num_cold_segments(), 6);
+        // Killed with 6 segments + the edit tail in the WAL.
+    }
+
+    // (a) Kill BEFORE the flip: the half-written tier output and its tmp
+    // residue are orphans; every manifest-referenced input must survive.
+    let live_before = seg_names(&dir);
+    std::fs::write(dir.join("seg-00000099.seg"), b"half a tier output").unwrap();
+    std::fs::write(dir.join("seg-00000099.seg.tmp"), b"tmp residue").unwrap();
+    {
+        let e = Engine::open(&dir, cfg.clone()).unwrap();
+        assert_eq!(seg_names(&dir), live_before, "inputs kept, orphans gone");
+        assert_engines_identical(&e, &control, &query);
+    }
+
+    // (b) Kill AFTER the flip but before the replaced tier was deleted:
+    // resurrect the input files post-compaction and reopen. GC must
+    // remove exactly the resurrected inputs and keep the new stack.
+    let snapshot: Vec<(String, Vec<u8>)> = live_before
+        .iter()
+        .map(|n| (n.clone(), std::fs::read(dir.join(n)).unwrap()))
+        .collect();
+    let mut e = Engine::open(&dir, cfg.clone()).unwrap();
+    let merged = e.compact_tiered().unwrap();
+    assert!(merged >= 2, "same-shape segments must tier-merge");
+    let live_after = seg_names(&dir);
+    assert_ne!(live_after, live_before);
+    drop(e);
+    for (name, bytes) in &snapshot {
+        if !dir.join(name).exists() {
+            std::fs::write(dir.join(name), bytes).unwrap();
+        }
+    }
+    assert_ne!(seg_names(&dir), live_after, "inputs resurrected");
+    let e = Engine::open(&dir, cfg).unwrap();
+    assert_eq!(
+        seg_names(&dir),
+        live_after,
+        "GC removed the replaced tier and kept every referenced segment"
+    );
+    assert_engines_identical(&e, &control, &query);
+    std::fs::remove_dir_all(base).ok();
+}

@@ -1,0 +1,488 @@
+//! [`EngineLake`]: a shared, concurrently-readable handle over an
+//! [`Engine`] — ingest while serving, across threads.
+//!
+//! The bare [`Engine`] is `&mut self`-only: one writer, no readers while it
+//! writes, and every [`Engine::apply`] pays its own fsync. `EngineLake`
+//! wraps it the way [`DurableLake`] wraps the single-segment lake, plus a
+//! group-commit protocol and a shared probe cache:
+//!
+//! * **Lock discipline** — the engine sits behind one read-write lock.
+//!   Queries ([`EngineLake::reader`]) take the read side: any number run
+//!   concurrently, each over a consistent snapshot (the guard pins the
+//!   corpus, layer stack, and super keys together). Writers take the write
+//!   side only for the in-memory transition + buffered WAL append — the
+//!   expensive fsync happens *outside* the lock, so readers are never
+//!   blocked behind a disk flush. Lock order is `engine` → `commit`; no
+//!   code path acquires them in the other order, so the pair cannot
+//!   deadlock. Fairness caveat: the lock is `parking_lot::RwLock`, which
+//!   in this workspace is a thin wrapper over `std::sync::RwLock` — on
+//!   reader-preferring platforms (glibc pthreads), a query stream that
+//!   keeps the read side *continuously* occupied from several threads
+//!   can delay writers arbitrarily. Keep reader guards scoped to one
+//!   query (as [`discover_lake`] does); an epoch-based snapshot scheme
+//!   that takes readers off the lock entirely is noted in ROADMAP.md.
+//!
+//!   [`discover_lake`]: ../../mate_core/engine_query/fn.discover_lake.html
+//! * **Group commit** — [`EngineLake::apply`] appends the record and
+//!   applies it in memory under the write lock (unsynced), then blocks
+//!   until a *covering* fsync. The first waiter becomes the leader and
+//!   issues one `fdatasync` for every record appended so far; writers that
+//!   arrive while the leader is in the kernel batch up and are covered by
+//!   the next leader's single fsync. A record is therefore never
+//!   acknowledged before it is durable — batching comes from concurrency,
+//!   not from weakening the contract. A flush rotation also completes
+//!   waiters: rotation folds every applied record into the flushed
+//!   segment + checkpoint behind the manifest flip, which is itself
+//!   durable. The sequential sync path remains available as
+//!   [`Engine::apply`] with `group_commit == 1`.
+//! * **Shared probe cache** — every reader resolves cold-layer runs
+//!   through one [`SourceCache`], so `discover`-style query streams pay
+//!   the multi-segment walk once per value per
+//!   flush/compaction/promotion epoch instead of once per query (the
+//!   cache invalidates itself on [`Engine::source_epoch`] bumps; memtable
+//!   postings are always probed fresh, keeping results bit-identical to
+//!   an uncached engine).
+//!
+//! [`DurableLake`]: ../../mate_core/durable/struct.DurableLake.html
+
+use super::merged::SourceCache;
+use super::{Engine, EngineConfig, EngineStats, MergedSource, WalTicket};
+use crate::wal::WalRecord;
+use mate_storage::StorageError;
+use mate_table::{Table, TableId};
+use parking_lot::RwLock;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Group-commit bookkeeping for the active WAL file.
+struct CommitQueue {
+    /// WAL rotation epoch ([`Engine::wal_seq`]) the offsets refer to.
+    epoch: u64,
+    /// Bytes appended (buffered) in this epoch.
+    appended: u64,
+    /// Bytes made durable by group fsyncs in this epoch.
+    durable: u64,
+    /// A leader is currently in `fdatasync`.
+    syncing: bool,
+    /// A group fsync failed: durability of buffered records is unknown.
+    /// The engine's WAL is poisoned alongside (refusing appends *and*
+    /// flushes), so the in-memory state containing the failed writes can
+    /// never be durably committed — reopening is the only way forward.
+    poisoned: bool,
+    /// Duplicated handle to the active WAL file, synced outside the
+    /// engine lock.
+    file: Option<Arc<std::fs::File>>,
+}
+
+/// A shared engine handle: concurrent discovery readers, group-committed
+/// writers (see module docs).
+pub struct EngineLake {
+    engine: RwLock<Engine>,
+    cache: SourceCache,
+    commit: Mutex<CommitQueue>,
+    commit_cv: Condvar,
+    group_syncs: AtomicU64,
+}
+
+/// A read guard over the lake: pins a consistent engine snapshot and hands
+/// out cache-backed [`MergedSource`]s for it. Writers block while any
+/// reader is alive — drop it promptly.
+pub struct LakeReader<'a> {
+    guard: std::sync::RwLockReadGuard<'a, Engine>,
+    cache: &'a SourceCache,
+}
+
+impl LakeReader<'_> {
+    /// The engine snapshot (corpus, super keys, stats, ...).
+    pub fn engine(&self) -> &Engine {
+        &self.guard
+    }
+
+    /// A merged posting view of the snapshot, resolving cold runs through
+    /// the lake's shared [`SourceCache`].
+    pub fn source(&self) -> MergedSource<'_> {
+        self.guard.source_cached(self.cache)
+    }
+}
+
+impl EngineLake {
+    /// Creates a fresh engine in `dir` and wraps it (see
+    /// [`Engine::create`]).
+    pub fn create(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
+        Engine::create(dir, config).map(EngineLake::new)
+    }
+
+    /// Recovers an engine from `dir` and wraps it (see [`Engine::open`]).
+    pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
+        Engine::open(dir, config).map(EngineLake::new)
+    }
+
+    /// Wraps an already-constructed engine.
+    pub fn new(engine: Engine) -> Self {
+        let queue = CommitQueue {
+            epoch: engine.wal_seq(),
+            appended: engine.wal_len(),
+            // Everything already in the file at wrap time is either
+            // fsynced (acknowledged by the sequential path) or replayed
+            // recovery state — nothing the lake still owes an fsync for.
+            durable: engine.wal_len(),
+            syncing: false,
+            poisoned: false,
+            file: engine.wal_try_clone().ok().map(Arc::new),
+        };
+        EngineLake {
+            engine: RwLock::new(engine),
+            cache: SourceCache::new(),
+            commit: Mutex::new(queue),
+            commit_cv: Condvar::new(),
+            group_syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Unwraps the lake back into the owned engine.
+    pub fn into_engine(self) -> Engine {
+        self.engine.into_inner()
+    }
+
+    /// Takes a read snapshot for queries. Concurrent with other readers;
+    /// blocks writers while held.
+    pub fn reader(&self) -> LakeReader<'_> {
+        LakeReader {
+            guard: self.engine.read(),
+            cache: &self.cache,
+        }
+    }
+
+    /// The shared cold-resolution cache (hit/miss counters).
+    pub fn source_cache(&self) -> &SourceCache {
+        &self.cache
+    }
+
+    /// Group fsyncs issued by this lake (each may cover many records).
+    pub fn group_syncs(&self) -> u64 {
+        self.group_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot of the wrapped engine.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.read().stats()
+    }
+
+    /// Applies one edit durably: buffered WAL append + in-memory apply
+    /// under the write lock, then blocks until a group fsync (or a flush
+    /// rotation) covers the record. Durable from the moment this returns.
+    pub fn apply(&self, record: WalRecord) -> Result<(), StorageError> {
+        let ticket = self.append(record)?;
+        self.wait_durable(ticket)
+    }
+
+    /// Convenience: insert a table durably; returns its id (allocated
+    /// under the write lock, so concurrent inserters get distinct ids).
+    pub fn insert_table(&self, table: Table) -> Result<TableId, StorageError> {
+        let (ticket, id) = {
+            let mut engine = self.engine.write();
+            let id = TableId::from(engine.corpus().len());
+            let ticket = engine.apply_nosync(WalRecord::InsertTable { table })?;
+            self.flush_budget(&mut engine)?;
+            self.refresh_commit(&engine);
+            (ticket, id)
+        };
+        self.wait_durable(ticket)?;
+        Ok(id)
+    }
+
+    /// Applies a batch of edits with **one** durability wait: all records
+    /// are appended and applied under one write-lock acquisition, then a
+    /// single covering fsync acknowledges the batch (the flush budget is
+    /// still enforced per record).
+    pub fn apply_many(
+        &self,
+        records: impl IntoIterator<Item = WalRecord>,
+    ) -> Result<(), StorageError> {
+        let last = {
+            let mut engine = self.engine.write();
+            let mut last = None;
+            for record in records {
+                last = Some(engine.apply_nosync(record)?);
+                self.flush_budget(&mut engine)?;
+            }
+            self.refresh_commit(&engine);
+            last
+        };
+        match last {
+            Some(ticket) => self.wait_durable(ticket),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes the memtable (see [`Engine::flush`]).
+    pub fn flush(&self) -> Result<bool, StorageError> {
+        let mut engine = self.engine.write();
+        let r = engine.flush();
+        self.refresh_commit(&engine);
+        r
+    }
+
+    /// Full-stack compaction (see [`Engine::compact`]).
+    pub fn compact(&self) -> Result<usize, StorageError> {
+        let mut engine = self.engine.write();
+        let r = engine.compact();
+        self.refresh_commit(&engine);
+        r
+    }
+
+    /// Size-tiered compaction (see [`Engine::compact_tiered`]).
+    pub fn compact_tiered(&self) -> Result<usize, StorageError> {
+        let mut engine = self.engine.write();
+        let r = engine.compact_tiered();
+        self.refresh_commit(&engine);
+        r
+    }
+
+    // ------------------------------------------------- group commit core --
+
+    fn append(&self, record: WalRecord) -> Result<WalTicket, StorageError> {
+        let mut engine = self.engine.write();
+        let ticket = engine.apply_nosync(record)?;
+        self.flush_budget(&mut engine)?;
+        self.refresh_commit(&engine);
+        Ok(ticket)
+    }
+
+    /// Runs the flush/compaction budgets after an append. A failure here
+    /// poisons the engine and the queue (under the held write lock, so no
+    /// concurrent flush can slip through): the just-appended record was
+    /// applied but will be reported failed, and letting a later fsync or
+    /// flush commit it would turn the caller's retry into a duplicate.
+    /// Like any failed commit, the record's durability is *unknown* (its
+    /// frame is in the WAL file); the guarantee kept is that this engine
+    /// instance never silently acknowledges or re-serves progress past
+    /// what callers were told.
+    fn flush_budget(&self, engine: &mut Engine) -> Result<(), StorageError> {
+        if let Err(e) = engine.maybe_flush() {
+            engine.poison_wal();
+            let mut q = self.commit.lock().expect("commit queue");
+            q.poisoned = true;
+            drop(q);
+            self.commit_cv.notify_all();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Brings the commit queue up to date with the engine. Called while
+    /// still holding the engine write lock, so queue updates happen in
+    /// append order.
+    fn refresh_commit(&self, engine: &Engine) {
+        let mut q = self.commit.lock().expect("commit queue");
+        if q.epoch != engine.wal_seq() {
+            // Rotation: every record of the previous epoch is folded into
+            // a flushed segment + checkpoint behind the manifest flip.
+            q.epoch = engine.wal_seq();
+            q.durable = 0;
+            q.poisoned = false;
+            q.file = engine.wal_try_clone().ok().map(Arc::new);
+        }
+        q.appended = engine.wal_len();
+        drop(q);
+        // An epoch advance may have completed waiters of the old epoch.
+        self.commit_cv.notify_all();
+    }
+
+    /// Blocks until `ticket` is durable: covered by a group fsync, or
+    /// superseded by a rotation into a later epoch. The first waiter to
+    /// find no sync in flight becomes the leader and fsyncs for the whole
+    /// group.
+    fn wait_durable(&self, ticket: WalTicket) -> Result<(), StorageError> {
+        let mut q = self.commit.lock().expect("commit queue");
+        loop {
+            if q.epoch > ticket.wal_seq || (q.epoch == ticket.wal_seq && q.durable >= ticket.end) {
+                return Ok(());
+            }
+            if q.poisoned {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "group-commit fsync failed; reopen the lake",
+                )));
+            }
+            if !q.syncing {
+                // Leader: one fsync covers every record appended so far.
+                q.syncing = true;
+                let epoch = q.epoch;
+                let target = q.appended;
+                let file = q.file.clone();
+                drop(q);
+                let res = match &file {
+                    Some(f) => f.sync_data(),
+                    None => Err(std::io::Error::other("group-commit WAL handle unavailable")),
+                };
+                q = self.commit.lock().expect("commit queue");
+                q.syncing = false;
+                match res {
+                    Ok(()) => {
+                        self.group_syncs.fetch_add(1, Ordering::Relaxed);
+                        if q.epoch == epoch && target > q.durable {
+                            q.durable = target;
+                        }
+                        self.commit_cv.notify_all();
+                    }
+                    Err(e) => {
+                        self.commit_cv.notify_all();
+                        if q.epoch != epoch || q.durable >= target {
+                            // The file rotated away mid-sync (contents are
+                            // durable via the manifest flip) or a retry by
+                            // another leader already covered the group —
+                            // benign; re-examine the loop condition.
+                            continue;
+                        }
+                        // Durability of the buffered records is unknown.
+                        // Poison engine + queue together under the engine
+                        // write lock (lock order engine → commit), so no
+                        // concurrent writer can flush — and thereby
+                        // durably commit — the failed records between our
+                        // decision and the poison taking effect.
+                        drop(q);
+                        let mut engine = self.engine.write();
+                        let mut q2 = self.commit.lock().expect("commit queue");
+                        if q2.epoch == epoch && q2.durable < target {
+                            q2.poisoned = true;
+                            engine.poison_wal();
+                            drop(q2);
+                            self.commit_cv.notify_all();
+                            return Err(e.into());
+                        }
+                        // A rotation or successful retry landed while we
+                        // were re-locking: benign after all.
+                        drop(q2);
+                        drop(engine);
+                        q = self.commit.lock().expect("commit queue");
+                    }
+                }
+            } else {
+                q = self.commit_cv.wait(q).expect("commit queue");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mate_table::TableBuilder;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mate-lake-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config(budget: usize) -> EngineConfig {
+        EngineConfig {
+            memtable_budget_bytes: budget,
+            max_cold_segments: 0,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn people(n: usize, tag: &str) -> Table {
+        let mut tb = TableBuilder::new(format!("t-{tag}"), ["first", "last"]);
+        for i in 0..n {
+            tb = tb.row([format!("{tag}-first-{i}"), format!("shared-{}", i % 3)]);
+        }
+        tb.build()
+    }
+
+    #[test]
+    fn lake_apply_is_durable_and_reopens() {
+        let dir = tmpdir("durable");
+        {
+            let lake = EngineLake::create(&dir, config(1 << 30)).unwrap();
+            lake.insert_table(people(4, "a")).unwrap();
+            lake.apply(WalRecord::InsertRow {
+                table: TableId(0),
+                cells: vec!["grace".into(), "hopper".into()],
+            })
+            .unwrap();
+            assert!(lake.group_syncs() >= 2, "each apply waited on an fsync");
+            // Crash-equivalent drop: no flush.
+        }
+        let lake = EngineLake::open(&dir, config(1 << 30)).unwrap();
+        {
+            let reader = lake.reader();
+            assert_eq!(reader.engine().corpus().len(), 1);
+            assert_eq!(reader.engine().corpus().table(TableId(0)).num_rows(), 5);
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_stay_consistent() {
+        let dir = tmpdir("concurrent");
+        let lake = EngineLake::create(&dir, config(1 << 30)).unwrap();
+        lake.insert_table(people(3, "seed")).unwrap();
+
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let lake = &lake;
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        lake.apply(WalRecord::InsertRow {
+                            table: TableId(0),
+                            cells: vec![format!("w{w}-{i}"), format!("l{w}-{i}")],
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let lake = &lake;
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        let reader = lake.reader();
+                        // Row count only grows; postings stay internally
+                        // consistent under the guard.
+                        let rows = reader.engine().corpus().table(TableId(0)).num_rows();
+                        assert!((3..=23).contains(&rows));
+                        assert!(reader.engine().decoded_postings("seed-first-0").is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            lake.reader().engine().corpus().table(TableId(0)).num_rows(),
+            23
+        );
+        // Everything survives a reopen (all writes were acknowledged).
+        drop(lake);
+        let lake = EngineLake::open(&dir, config(1 << 30)).unwrap();
+        assert_eq!(
+            lake.reader().engine().corpus().table(TableId(0)).num_rows(),
+            23
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn apply_many_batches_one_wait() {
+        let dir = tmpdir("batch");
+        let lake = EngineLake::create(&dir, config(1 << 30)).unwrap();
+        lake.insert_table(people(2, "a")).unwrap();
+        let syncs_before = lake.group_syncs();
+        lake.apply_many((0..8).map(|i| WalRecord::InsertRow {
+            table: TableId(0),
+            cells: vec![format!("b{i}"), format!("c{i}")],
+        }))
+        .unwrap();
+        assert_eq!(
+            lake.group_syncs(),
+            syncs_before + 1,
+            "a batch takes one covering fsync"
+        );
+        assert_eq!(
+            lake.reader().engine().corpus().table(TableId(0)).num_rows(),
+            10
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -6,7 +6,11 @@
 //!
 //! * the hash configuration the index was built with,
 //! * the **live segment stack**, oldest → newest, with per-segment shape
-//!   metadata (value/posting counts, claimed table-id range),
+//!   metadata (value/posting counts, claimed table-id range). Stack
+//!   position — not segment id — carries the newest-wins masking order: a
+//!   tiered merge writes its output (a fresh, higher id) at the stack
+//!   position of its newest input, so ids are *not* monotone along the
+//!   stack,
 //! * the **corpus checkpoint generation** (which `corpus-<gen>.seg` holds
 //!   the corpus as of the last flush), and
 //! * the **WAL watermark** — the sequence number of the active WAL file.

@@ -30,11 +30,96 @@
 use crate::posting::PostingEntry;
 use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 use mate_hash::fx::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// Owner value meaning "no layer owns this table" (deleted and compacted
 /// away).
 pub(crate) const NO_OWNER: u32 = u32::MAX;
+
+/// Identity of a cache generation: *which* engine instance, at which
+/// [`source_epoch`]. The instance id makes generations unique across
+/// reopens — a reopened engine restarts its epoch at 0, so epoch alone
+/// could collide with a cache filled by a previous instance.
+///
+/// [`source_epoch`]: crate::engine::Engine::source_epoch
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct CacheEpoch {
+    /// Process-unique engine instance id.
+    pub(crate) instance: u64,
+    /// The instance's source epoch at snapshot time.
+    pub(crate) epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct ColdCache {
+    /// The engine generation the entries were resolved at. Entries are
+    /// valid only for the exact same generation — cold stores are
+    /// immutable and their [`ListHandle`]s stable, so within a generation
+    /// a resolution never goes stale.
+    key: CacheEpoch,
+    /// The resolved cold prefixes, same bookkeeping as the per-source
+    /// [`Registry`].
+    registry: Registry,
+}
+
+/// A cross-query cache of resolved cold-layer posting runs.
+///
+/// [`crate::engine::EngineLake`] owns one and hands it to every
+/// [`MergedSource`] it creates (via
+/// [`crate::engine::Engine::source_cached`]): the multi-segment walk +
+/// table-run decode for a probed value is paid once per
+/// flush/compaction/promotion epoch instead of once per query. Memtable
+/// runs are *never* cached — they change with every write and are probed
+/// fresh (a cheap hot-store hash lookup), which is what keeps cached
+/// serving bit-identical to uncached serving at all times.
+///
+/// Thread-safe: readers share the inner `RwLock` read-side; a resolver
+/// that misses fills the cache under the write lock.
+///
+/// Bounded: at most `MAX_CACHED_VALUES` (1M) distinct values are kept per
+/// generation — beyond that, resolutions still work (layer walk per
+/// probe) but are no longer inserted, so a read-mostly epoch serving a
+/// high-cardinality value stream cannot grow the cache without bound.
+/// Entries are re-derivable, so the bound never affects results.
+#[derive(Debug, Default)]
+pub struct SourceCache {
+    inner: RwLock<ColdCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cap on distinct cached values per generation (see [`SourceCache`]).
+/// Entries cost roughly a value string + a few runs/handles each; the
+/// cap keeps worst-case cache memory in the low hundreds of MB.
+const MAX_CACHED_VALUES: usize = 1 << 20;
+
+impl SourceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SourceCache::default()
+    }
+
+    /// Probes answered from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that had to walk the cold layers (and filled the cache).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct values currently resolved in the cache.
+    pub fn cached_values(&self) -> usize {
+        self.inner
+            .read()
+            .expect("source cache lock")
+            .registry
+            .by_value
+            .len()
+    }
+}
 
 /// One contiguous piece of a virtual posting list, served by one layer.
 #[derive(Debug, Clone, Copy)]
@@ -51,10 +136,14 @@ struct MergedRun {
     virt_start: u32,
 }
 
-/// A resolved virtual list: per-layer handles plus the kept runs in
-/// virtual order.
-#[derive(Debug)]
-struct MergedList {
+/// A resolved (piece of a) virtual list: per-layer handles plus the kept
+/// runs in virtual order. Used in two roles: the per-source registry
+/// stores complete lists (every layer, memtable included); the shared
+/// [`SourceCache`] stores the **cold prefix** only (handles cover the
+/// cold layers, virtual positions start at 0, memtable runs are appended
+/// per query).
+#[derive(Debug, Clone)]
+struct ResolvedList {
     total: u32,
     handles: Vec<Option<ListHandle>>,
     runs: Vec<MergedRun>,
@@ -64,7 +153,7 @@ struct MergedList {
 struct Registry {
     /// Value → resolved list id (`None` = probed, no live entries).
     by_value: FxHashMap<String, Option<u32>>,
-    lists: Vec<MergedList>,
+    lists: Vec<ResolvedList>,
 }
 
 /// A read-only union of posting layers with newest-wins table masking.
@@ -78,6 +167,9 @@ pub struct MergedSource<'a> {
     num_values_hint: usize,
     /// Exact live posting count (maintained by the engine).
     num_postings: usize,
+    /// Cross-query cold-resolution cache + the engine generation this
+    /// snapshot was taken at (`None`: every probe walks the layers).
+    cache: Option<(&'a SourceCache, CacheEpoch)>,
     registry: RwLock<Registry>,
 }
 
@@ -96,6 +188,7 @@ impl<'a> MergedSource<'a> {
         owners: Vec<u32>,
         num_values_hint: usize,
         num_postings: usize,
+        cache: Option<(&'a SourceCache, CacheEpoch)>,
     ) -> Self {
         assert!(!layers.is_empty(), "merged source needs at least one layer");
         MergedSource {
@@ -103,6 +196,7 @@ impl<'a> MergedSource<'a> {
             owners,
             num_values_hint,
             num_postings,
+            cache,
             registry: RwLock::new(Registry::default()),
         }
     }
@@ -115,6 +209,108 @@ impl<'a> MergedSource<'a> {
     #[inline]
     fn owner(&self, table: u32) -> u32 {
         self.owners.get(table as usize).copied().unwrap_or(NO_OWNER)
+    }
+
+    /// Walks one layer, appending its live (owned) runs to `runs` and
+    /// advancing `total` through virtual positions. Returns the layer's
+    /// list handle.
+    fn walk_layer(
+        &self,
+        li: usize,
+        value: &str,
+        scratch: &mut ProbeScratch,
+        runs: &mut Vec<MergedRun>,
+        total: &mut u32,
+    ) -> Option<ListHandle> {
+        let layer = self.layers[li];
+        let handle = layer.find_list(value, scratch);
+        if let Some(h) = handle {
+            let mut at = 0u32;
+            layer.table_runs(h, scratch, &mut |table, len| {
+                if self.owner(table) == li as u32 {
+                    runs.push(MergedRun {
+                        table,
+                        layer: li as u32,
+                        layer_start: at,
+                        len,
+                        virt_start: *total,
+                    });
+                    *total += len;
+                }
+                at += len;
+            });
+        }
+        handle
+    }
+
+    /// The cold prefix of `value`'s virtual list — from the shared
+    /// [`SourceCache`] when it holds a same-generation entry, otherwise by
+    /// walking the cold layers (and filling the cache).
+    fn resolve_cold(&self, value: &str, scratch: &mut ProbeScratch) -> ResolvedList {
+        let mem_layer = self.layers.len() - 1;
+        if let Some((cache, key)) = self.cache {
+            {
+                let inner = cache.inner.read().expect("source cache lock");
+                if inner.key == key {
+                    if let Some(&cached) = inner.registry.by_value.get(value) {
+                        cache.hits.fetch_add(1, Ordering::Relaxed);
+                        return match cached {
+                            Some(id) => inner.registry.lists[id as usize].clone(),
+                            None => ResolvedList {
+                                total: 0,
+                                handles: vec![None; mem_layer],
+                                runs: Vec::new(),
+                            },
+                        };
+                    }
+                }
+            }
+            cache.misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Walk the cold layers outside any cache lock (decoding may be
+        // slow).
+        let mut handles: Vec<Option<ListHandle>> = Vec::with_capacity(mem_layer);
+        let mut runs: Vec<MergedRun> = Vec::new();
+        let mut total = 0u32;
+        for li in 0..mem_layer {
+            let handle = self.walk_layer(li, value, scratch, &mut runs, &mut total);
+            handles.push(handle);
+        }
+        let cold = ResolvedList {
+            total,
+            handles,
+            runs,
+        };
+
+        if let Some((cache, key)) = self.cache {
+            let mut inner = cache.inner.write().expect("source cache lock");
+            if inner.key != key {
+                if inner.key.instance == key.instance && inner.key.epoch > key.epoch {
+                    // A newer generation of the same engine already filled
+                    // the cache (impossible under the lake's lock
+                    // discipline, where no source outlives a write):
+                    // don't clobber it with stale runs.
+                    return cold;
+                }
+                // First fill of this generation: reset.
+                inner.key = key;
+                inner.registry = Registry::default();
+            }
+            if inner.registry.by_value.len() < MAX_CACHED_VALUES
+                && !inner.registry.by_value.contains_key(value)
+            {
+                let entry = if cold.total == 0 && cold.runs.is_empty() {
+                    None
+                } else {
+                    let id = inner.registry.lists.len() as u32;
+                    inner.registry.lists.push(cold.clone());
+                    Some(id)
+                };
+                inner.registry.by_value.insert(value.to_string(), entry);
+            }
+        }
+        cold
     }
 
     /// Resolves `value` across all layers into a virtual list, memoizing
@@ -133,30 +329,18 @@ impl<'a> MergedSource<'a> {
             }
         }
 
-        // Miss: walk the layers outside the lock (decoding may be slow).
-        let mut handles: Vec<Option<ListHandle>> = Vec::with_capacity(self.layers.len());
-        let mut runs: Vec<MergedRun> = Vec::new();
-        let mut total = 0u32;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let handle = layer.find_list(value, scratch);
-            if let Some(h) = handle {
-                let mut at = 0u32;
-                layer.table_runs(h, scratch, &mut |table, len| {
-                    if self.owner(table) == li as u32 {
-                        runs.push(MergedRun {
-                            table,
-                            layer: li as u32,
-                            layer_start: at,
-                            len,
-                            virt_start: total,
-                        });
-                        total += len;
-                    }
-                    at += len;
-                });
-            }
-            handles.push(handle);
-        }
+        // Miss: cold prefix (shared cache or layer walk), then a fresh
+        // memtable probe — memtable contents change with every write and
+        // are never cached across queries.
+        let cold = self.resolve_cold(value, scratch);
+        let ResolvedList {
+            mut total,
+            mut handles,
+            mut runs,
+        } = cold;
+        let mem_layer = self.layers.len() - 1;
+        let mem_handle = self.walk_layer(mem_layer, value, scratch, &mut runs, &mut total);
+        handles.push(mem_handle);
 
         let mut reg = self.registry.write().expect("registry lock");
         // A concurrent resolver may have won the race; keep the first entry
@@ -172,7 +356,7 @@ impl<'a> MergedSource<'a> {
             return None;
         }
         let id = reg.lists.len() as u32;
-        reg.lists.push(MergedList {
+        reg.lists.push(ResolvedList {
             total,
             handles,
             runs,
@@ -283,7 +467,7 @@ mod tests {
     #[test]
     fn masking_and_virtual_order() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
         let mut scratch = ProbeScratch::new();
 
         let h = src.find_list("a", &mut scratch).unwrap();
@@ -308,7 +492,7 @@ mod tests {
     #[test]
     fn partial_collects_cross_layer_boundaries() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
         let mut scratch = ProbeScratch::new();
         let h = src.find_list("a", &mut scratch).unwrap();
         let mut counters = ProbeCounters::default();
@@ -325,7 +509,7 @@ mod tests {
     #[test]
     fn memoization_is_stable() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6);
+        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
         let mut scratch = ProbeScratch::new();
         let h1 = src.find_list("a", &mut scratch).unwrap();
         let h2 = src.find_list("a", &mut scratch).unwrap();

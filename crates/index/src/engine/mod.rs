@@ -45,22 +45,68 @@
 //!   newest segment (which always carries them as of the WAL watermark),
 //!   loads the corpus checkpoint, replays the active WAL into a fresh
 //!   memtable, and deletes orphan files from interrupted flushes.
-//! * **Compaction** — [`Engine::compact`] merges the whole cold stack into
-//!   one segment, dropping masked entries and tombstones, and preserves
-//!   discovery results exactly (property-tested). The corpus checkpoint
-//!   and WAL watermark are untouched, so crash recovery around compaction
+//! * **Compaction** — [`Engine::compact_tiered`] runs a **size-tiered
+//!   policy**: segments are bucketed into factor-4 size classes, and
+//!   whenever a class holds at least [`EngineConfig::tier_fanout`]
+//!   segments, the oldest `tier_fanout` of that class are merged into one
+//!   segment placed at the stack position of the newest input. Masked
+//!   entries are dropped; a tombstone is retained only while an older
+//!   *remaining* segment still claims the table it masks. Write
+//!   amplification is bounded: a merge only ever rewrites segments of one
+//!   size class, never the whole stack. [`Engine::compact`] (the full-stack
+//!   fold) remains available for tooling. Either way discovery results are
+//!   preserved exactly (property-tested), and the corpus checkpoint and
+//!   WAL watermark are untouched, so crash recovery around compaction
 //!   needs no special cases.
+//! * **Group commit** — [`Engine::apply`] acknowledges a record once its
+//!   WAL frame is fsynced. With [`EngineConfig::group_commit`] > 1 the
+//!   fsync is deferred: records are buffered (written, not yet synced) and
+//!   one `fdatasync` acknowledges the whole window — a crash may lose the
+//!   buffered tail, never a synced prefix. [`Engine::apply_nosync`] +
+//!   [`Engine::sync_wal`] expose the two halves for callers (the
+//!   [`EngineLake`] group-commit protocol, tests) that manage the window
+//!   themselves.
+//!
+//! # Durability guarantee (fsync discipline)
+//!
+//! Every commit point is ordered behind the durability of everything it
+//! references:
+//!
+//! * **WAL appends** are made durable by `fdatasync` before they are
+//!   acknowledged (write-ahead rule). The WAL file itself is created with
+//!   tmp + fsync + rename + parent-directory fsync, so the file's
+//!   existence is durable before any record lands in it.
+//! * **Segment, corpus-checkpoint, and manifest writes** all go through
+//!   [`write_file_atomic`]: contents fsynced, renamed into place, parent
+//!   directory fsynced — in that order, each file *before* the manifest
+//!   flip that references it. The manifest rename is the single commit
+//!   point of flush and compaction. (The directory fsync step is
+//!   best-effort by design — see [`write_file_atomic`]: on filesystems
+//!   where it fails, file *contents* are still fully synced and only the
+//!   durability of the rename itself degrades to the filesystem's own
+//!   ordering guarantees.)
+//! * **Torn-tail trims** at recovery use in-place `set_len` + fsync —
+//!   never a rewrite of the acknowledged prefix, so a crash during the
+//!   trim cannot destroy acknowledged records.
+//! * **Deletions** of superseded files (old WAL, old checkpoint, compacted
+//!   segments) are best-effort and carry no directory fsync: if a crash
+//!   resurrects one, the next [`Engine::open`] garbage-collects every file
+//!   the manifest does not reference, so resurrection is harmless.
 //!
 //! Reads go through [`Engine::source`], which returns a [`MergedSource`]
 //! snapshot implementing [`PostingSource`] — `mate_core` discovery runs
 //! unchanged over it and returns results bit-identical to a single-shot
-//! built index at every flush state.
+//! built index at every flush state. [`EngineLake`] wraps the engine in a
+//! read-write lock for concurrent ingest-while-serve, sharing one
+//! [`SourceCache`] across queries.
 
+mod lake;
 mod manifest;
 mod merged;
 
+pub use lake::{EngineLake, LakeReader};
 pub use manifest::{Manifest, SegmentMeta};
-pub use merged::MergedSource;
+pub use merged::{MergedSource, SourceCache};
 
 use crate::cold::ColdPostingStore;
 use crate::index::InvertedIndex;
@@ -94,6 +140,22 @@ fn wal_file(seq: u64) -> String {
     format!("wal-{seq:08}.log")
 }
 
+/// Size class of a segment for the tiered policy: factor-4 byte buckets
+/// (`⌊log₂ bytes / 2⌋`), so segments within 4× of each other merge
+/// together and the output lands roughly one class up.
+fn size_class(bytes: usize) -> u32 {
+    bytes.max(1).ilog2() / 2
+}
+
+/// Process-unique engine instance ids: a [`SourceCache`] entry is keyed by
+/// (instance, epoch), so a cache can never accidentally validate against a
+/// *different* engine (e.g. after a reopen reset `source_epoch` to 0).
+static NEXT_ENGINE_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn next_engine_instance() -> u64 {
+    NEXT_ENGINE_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Tuning knobs of the engine.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -108,6 +170,21 @@ pub struct EngineConfig {
     pub max_cold_segments: usize,
     /// Posting block length of flushed segments.
     pub block_len: usize,
+    /// Group-commit window of the sequential [`Engine::apply`] path: how
+    /// many WAL records may share one fsync. `1` (the default) fsyncs
+    /// every record before acknowledging it — the strongest contract, and
+    /// the one the crash-recovery tests assume. With a window of `n`,
+    /// records are buffered and one fsync acknowledges up to `n` of them;
+    /// a crash loses at most the unsynced tail of the current window
+    /// (call [`Engine::sync_wal`] to close a window early).
+    /// [`EngineLake::apply`] ignores this knob — it always blocks until a
+    /// covering group fsync, batching across concurrent writers instead.
+    pub group_commit: usize,
+    /// Size-tiered compaction fanout: merge the oldest `tier_fanout`
+    /// segments of a size class once the class holds that many. Values
+    /// below 2 disable tiering — auto-compaction falls back to the
+    /// full-stack [`Engine::compact`].
+    pub tier_fanout: usize,
 }
 
 impl Default for EngineConfig {
@@ -117,8 +194,24 @@ impl Default for EngineConfig {
             memtable_budget_bytes: 32 << 20,
             max_cold_segments: 6,
             block_len: postings::DEFAULT_BLOCK_LEN,
+            group_commit: 1,
+            tier_fanout: 4,
         }
     }
+}
+
+/// Durability ticket of a buffered (written, not yet fsynced) WAL record:
+/// the WAL rotation epoch it was appended to and the byte offset one past
+/// its frame. The record is durable once that WAL file is fsynced through
+/// `end`, **or** once the engine rotates to a later epoch (rotation folds
+/// the whole file into a flushed segment + checkpoint before the manifest
+/// flip).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalTicket {
+    /// WAL file sequence number (`wal-<seq>.log`) holding the record.
+    pub wal_seq: u64,
+    /// Offset one past the record's frame within that file.
+    pub end: u64,
 }
 
 /// Which layer currently owns a table's postings.
@@ -158,6 +251,12 @@ impl ColdLayer {
             .binary_search_by_key(&table, |c| c.0)
             .map(|i| self.claims[i].1)
             .unwrap_or(0)
+    }
+
+    /// Whether the layer claims `table` at all (tombstones included —
+    /// unlike [`ColdLayer::claim_postings`], which reads 0 for both).
+    fn claims_table(&self, table: u32) -> bool {
+        self.claims.binary_search_by_key(&table, |c| c.0).is_ok()
     }
 
     fn meta(&self) -> SegmentMeta {
@@ -200,8 +299,17 @@ pub struct EngineStats {
     pub compactions: u64,
     /// WAL records appended by this instance.
     pub wal_records: u64,
+    /// WAL fsyncs issued by this instance (group commit amortizes several
+    /// records per fsync; with `group_commit == 1` this tracks
+    /// `wal_records`).
+    pub wal_syncs: u64,
     /// WAL records replayed at open.
     pub replayed_records: u64,
+    /// Corpus checkpoints written by flushes of this instance.
+    pub checkpoints_written: u64,
+    /// Flushes that skipped the corpus checkpoint because the live corpus
+    /// was unchanged since the previous checkpoint (postings-only flush).
+    pub checkpoints_skipped: u64,
 }
 
 #[derive(Debug, Default)]
@@ -209,7 +317,10 @@ struct Counters {
     flushes: u64,
     compactions: u64,
     wal_records: u64,
+    wal_syncs: u64,
     replayed_records: u64,
+    checkpoints_written: u64,
+    checkpoints_skipped: u64,
 }
 
 /// The multi-segment log-structured index engine (see module docs).
@@ -226,10 +337,28 @@ pub struct Engine {
     /// Table id → owning layer.
     owners: Vec<Owner>,
     wal: std::fs::File,
-    /// Set when a failed append could not be rolled back: the log tail is
-    /// torn, so acknowledging further writes would be a durability lie.
+    /// Set when a failed append could not be rolled back (or an fsync
+    /// failed with records buffered): the log tail is torn, so
+    /// acknowledging further writes would be a durability lie.
     wal_poisoned: bool,
     wal_seq: u64,
+    /// Tracked byte length of the active WAL file (rollback boundary and
+    /// group-commit ticket offsets).
+    wal_len: u64,
+    /// Records appended since the last fsync (the open group-commit
+    /// window; rotation resets it — the rotated file's tail is folded).
+    wal_pending: usize,
+    /// True once a record applied since the last checkpoint actually
+    /// changed the corpus; a flush with a clean corpus skips the
+    /// checkpoint rewrite and keeps the generation.
+    corpus_dirty: bool,
+    /// Bumped whenever the cold stack or cold-table ownership changes
+    /// (flush, compaction, promotion, cold tombstone): the invalidation
+    /// epoch of any [`SourceCache`] serving this engine.
+    source_epoch: u64,
+    /// Process-unique instance id (cache entries are keyed by
+    /// `(instance, epoch)` so they cannot validate across reopens).
+    instance: u64,
     corpus_gen: u64,
     next_segment_id: u64,
     counters: Counters,
@@ -271,6 +400,11 @@ impl Engine {
             wal,
             wal_poisoned: false,
             wal_seq: 0,
+            wal_len: 0,
+            wal_pending: 0,
+            corpus_dirty: false,
+            source_epoch: 0,
+            instance: next_engine_instance(),
             corpus_gen: 0,
             next_segment_id: 0,
             counters: Counters::default(),
@@ -381,6 +515,11 @@ impl Engine {
                 .open(&wal_path)?,
             wal_poisoned: false,
             wal_seq: m.wal_seq,
+            wal_len: 0,
+            wal_pending: 0,
+            corpus_dirty: false,
+            source_epoch: 0,
+            instance: next_engine_instance(),
             corpus_gen: m.corpus_gen,
             next_segment_id: m.next_segment_id,
             counters: Counters::default(),
@@ -398,10 +537,16 @@ impl Engine {
             engine.counters.replayed_records += 1;
         }
         if valid_len < log.len() {
-            // Trim the torn tail so future appends start from a clean state.
-            std::fs::write(&wal_path, &log[..valid_len])?;
+            // Trim the torn tail *in place* (`set_len`, never a rewrite:
+            // a crash mid-rewrite of a full copy could destroy the
+            // acknowledged prefix, a crash mid-truncation cannot), and
+            // fsync so the trim itself is durable before new appends.
+            let trim = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
+            trim.set_len(valid_len as u64)?;
+            trim.sync_data()?;
             engine.wal = std::fs::OpenOptions::new().append(true).open(&wal_path)?;
         }
+        engine.wal_len = valid_len as u64;
         engine.gc_orphans();
         Ok(engine)
     }
@@ -434,42 +579,112 @@ impl Engine {
 
     // ----------------------------------------------------------- writing --
 
-    /// Applies one edit durably: WAL append + fsync (write-ahead rule),
-    /// then in-memory apply; flushes and compacts per the configured
-    /// budgets. The record is recoverable from the moment this returns.
+    /// Applies one edit: WAL append (write-ahead rule) + in-memory apply,
+    /// then an fsync per the [`EngineConfig::group_commit`] window, then
+    /// flushes and compacts per the configured budgets. With the default
+    /// window of 1 the record is recoverable from the moment this
+    /// returns; with a wider window it is recoverable once its window
+    /// closes (the `group_commit`-th record, [`Engine::sync_wal`], or a
+    /// flush rotation).
+    pub fn apply(&mut self, record: WalRecord) -> Result<(), StorageError> {
+        self.apply_nosync(record)?;
+        if self.config.group_commit <= 1 || self.wal_pending >= self.config.group_commit {
+            self.sync_wal()?;
+        }
+        self.maybe_flush()?;
+        Ok(())
+    }
+
+    /// The append half of [`Engine::apply`]: writes the record's WAL frame
+    /// (no fsync) and applies it in memory. The returned [`WalTicket`]
+    /// says when the record becomes durable; until then a crash may drop
+    /// it. Callers own the sync policy — the sequential path closes the
+    /// window via [`Engine::sync_wal`], [`EngineLake`] runs a cross-writer
+    /// group-commit protocol over the ticket.
     ///
     /// A failed append is rolled back to the previous record boundary so a
     /// torn frame can never sit *in front of* later acknowledged records
     /// (replay stops at the first bad frame); if even the rollback fails,
-    /// the WAL is poisoned and every subsequent `apply` errors rather than
+    /// the WAL is poisoned and every subsequent append errors rather than
     /// acknowledge writes that recovery would silently drop.
-    pub fn apply(&mut self, record: WalRecord) -> Result<(), StorageError> {
+    pub fn apply_nosync(&mut self, record: WalRecord) -> Result<WalTicket, StorageError> {
         if self.wal_poisoned {
             return Err(StorageError::Io(std::io::Error::other(
-                "WAL poisoned by an earlier failed append; reopen the engine",
+                "WAL poisoned by an earlier failed append or fsync; reopen the engine",
             )));
         }
-        let boundary = self.wal.metadata()?.len();
-        let append = self
-            .wal
-            .write_all(&frame_record(&record))
-            .and_then(|()| self.wal.sync_data());
-        if let Err(e) = append {
+        let boundary = self.wal_len;
+        let frame = frame_record(&record);
+        if let Err(e) = self.wal.write_all(&frame) {
             if self.wal.set_len(boundary).is_err() {
                 self.wal_poisoned = true;
             }
             return Err(e.into());
         }
+        self.wal_len = boundary + frame.len() as u64;
+        self.wal_pending += 1;
         self.counters.wal_records += 1;
         self.apply_in_memory(&record);
-        if self.memtable.store.flat_bytes() > self.config.memtable_budget_bytes {
-            self.flush()?;
-            if self.config.max_cold_segments > 0 && self.cold.len() > self.config.max_cold_segments
-            {
+        Ok(WalTicket {
+            wal_seq: self.wal_seq,
+            end: self.wal_len,
+        })
+    }
+
+    /// Closes the open group-commit window: one fsync makes every buffered
+    /// record durable. No-op when nothing is buffered. An fsync failure
+    /// poisons the WAL — the durability of the buffered records is
+    /// unknown, and the in-memory state already includes them, so the
+    /// engine refuses further appends *and flushes* (a flush would
+    /// durably commit writes whose callers were told they failed).
+    /// Reopening recovers the last trustworthy on-disk state.
+    pub fn sync_wal(&mut self) -> Result<(), StorageError> {
+        if self.wal_pending == 0 {
+            return Ok(());
+        }
+        match self.wal.sync_data() {
+            Ok(()) => {
+                self.counters.wal_syncs += 1;
+                self.wal_pending = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.wal_poisoned = true;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Marks the WAL poisoned (see [`Engine::sync_wal`]) — used by
+    /// [`EngineLake`] when a group fsync on its duplicated handle fails.
+    pub(crate) fn poison_wal(&mut self) {
+        self.wal_poisoned = true;
+    }
+
+    /// Flushes if the memtable exceeds its budget, then auto-compacts
+    /// once the cold stack exceeds [`EngineConfig::max_cold_segments`]:
+    /// the size-tiered policy runs first (when
+    /// [`EngineConfig::tier_fanout`] ≥ 2), and if it makes no progress —
+    /// every class under-full — the full-stack fold restores the cap, so
+    /// the stack stays bounded either way. Returns whether a flush
+    /// happened.
+    pub fn maybe_flush(&mut self) -> Result<bool, StorageError> {
+        if self.memtable.store.flat_bytes() <= self.config.memtable_budget_bytes {
+            return Ok(false);
+        }
+        self.flush()?;
+        if self.config.max_cold_segments > 0 && self.cold.len() > self.config.max_cold_segments {
+            if self.config.tier_fanout >= 2 {
+                self.compact_tiered()?;
+            }
+            // The cap is a hard bound: when tiering made no (or not
+            // enough) progress — classes under-full — the full fold
+            // restores it.
+            if self.cold.len() > self.config.max_cold_segments {
                 self.compact()?;
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Convenience: insert a table durably; returns its id.
@@ -479,10 +694,34 @@ impl Engine {
         Ok(id)
     }
 
+    /// True if applying `record` to the current corpus would change it.
+    /// The one systematically clean case is rewriting a cell with its
+    /// existing value (idempotent re-upsert): postings may still move
+    /// between layers (promotion), but the checkpoint stays valid — the
+    /// flush path uses this to skip the corpus rewrite. Everything
+    /// unrecognized is conservatively "changes".
+    fn record_changes_corpus(&self, record: &WalRecord) -> bool {
+        match record {
+            WalRecord::UpdateCell {
+                table,
+                row,
+                col,
+                value,
+            } => self.corpus.get(*table).is_none_or(|t| {
+                t.columns()
+                    .get(col.index())
+                    .and_then(|c| c.values.get(row.index()))
+                    != Some(value)
+            }),
+            _ => true,
+        }
+    }
+
     /// The deterministic in-memory transition (shared by live writes and
     /// WAL replay — determinism here is what makes kill-at-any-point
     /// recovery bit-identical).
     fn apply_in_memory(&mut self, record: &WalRecord) {
+        self.corpus_dirty |= self.record_changes_corpus(record);
         match record {
             WalRecord::DeleteTable { table }
                 if matches!(
@@ -497,6 +736,7 @@ impl Engine {
                 if let Owner::Cold(li) = self.owners[t.index()] {
                     let n = self.cold[li as usize].claim_postings(t.0) as usize;
                     self.cold[li as usize].live_postings -= n;
+                    self.source_epoch += 1;
                 }
                 self.owners[t.index()] = Owner::Mem;
                 let name = self.corpus.table(t).name.clone();
@@ -550,6 +790,9 @@ impl Engine {
         if let Some(li) = from_layer {
             let layer = &mut self.cold[li as usize];
             layer.live_postings -= layer.claim_postings(t.0) as usize;
+            // Cold runs of this table just went dead: invalidate cached
+            // cold resolutions.
+            self.source_epoch += 1;
         }
         self.owners[t.index()] = Owner::Mem;
     }
@@ -568,11 +811,23 @@ impl Engine {
     }
 
     /// Flushes the memtable into a new immutable cold segment, checkpoints
-    /// the corpus, rotates the WAL, and atomically flips the manifest.
-    /// Returns `false` when there was nothing to flush. On error the
-    /// in-memory engine is unchanged and still consistent with the on-disk
-    /// manifest; partial files are garbage-collected at the next open.
+    /// the corpus (skipped — generation kept — when no record since the
+    /// last checkpoint changed the corpus, e.g. a postings-only flush of
+    /// promoted tables), rotates the WAL, and atomically flips the
+    /// manifest. Returns `false` when there was nothing to flush. On error
+    /// the in-memory engine is unchanged and still consistent with the
+    /// on-disk manifest; partial files are garbage-collected at the next
+    /// open.
     pub fn flush(&mut self) -> Result<bool, StorageError> {
+        if self.wal_poisoned {
+            // The in-memory state may contain records whose append or
+            // fsync *failed* (their callers were told so). Folding it
+            // into a segment would durably commit those failed writes —
+            // refuse; reopening recovers the trustworthy on-disk state.
+            return Err(StorageError::Io(std::io::Error::other(
+                "WAL poisoned; refusing to flush unacknowledged state — reopen the engine",
+            )));
+        }
         let claimed: Vec<u32> = self
             .owners
             .iter()
@@ -602,11 +857,18 @@ impl Engine {
         sw.add_block("engine.claims", cw.finish());
         let bytes = sw.finish();
         write_file_atomic(self.dir.join(seg_file(seg_id)), &bytes)?;
-        let new_gen = self.corpus_gen + 1;
-        write_file_atomic(
-            self.dir.join(corpus_file(new_gen)),
-            &persist::corpus_to_bytes(&self.corpus),
-        )?;
+        // Checkpoint only a changed corpus; an unchanged one is already
+        // covered by the live generation.
+        let new_gen = if self.corpus_dirty {
+            let gen = self.corpus_gen + 1;
+            write_file_atomic(
+                self.dir.join(corpus_file(gen)),
+                &persist::corpus_to_bytes(&self.corpus),
+            )?;
+            gen
+        } else {
+            self.corpus_gen
+        };
         let new_seq = self.wal_seq + 1;
         write_file_atomic(self.dir.join(wal_file(new_seq)), &[])?;
 
@@ -634,12 +896,18 @@ impl Engine {
             .append(true)
             .open(self.dir.join(wal_file(new_seq)))?;
         let old_wal = self.dir.join(wal_file(self.wal_seq));
-        let old_corpus = self.dir.join(corpus_file(self.corpus_gen));
+        let old_corpus =
+            (new_gen != self.corpus_gen).then(|| self.dir.join(corpus_file(self.corpus_gen)));
         self.wal = new_wal;
-        // The rotation supersedes any torn tail in the old log (everything
-        // applied in memory is now in the segment + checkpoint).
-        self.wal_poisoned = false;
         self.wal_seq = new_seq;
+        self.wal_len = 0;
+        self.wal_pending = 0;
+        if old_corpus.is_some() {
+            self.counters.checkpoints_written += 1;
+        } else {
+            self.counters.checkpoints_skipped += 1;
+        }
+        self.corpus_dirty = false;
         self.corpus_gen = new_gen;
         self.next_segment_id += 1;
         let layer_idx = self.cold.len() as u32;
@@ -649,9 +917,12 @@ impl Engine {
         }
         self.memtable.store = PostingStore::new();
         self.counters.flushes += 1;
+        self.source_epoch += 1;
         // Superseded files; ignorable failures (orphan GC covers them).
         let _ = std::fs::remove_file(old_wal);
-        let _ = std::fs::remove_file(old_corpus);
+        if let Some(p) = old_corpus {
+            let _ = std::fs::remove_file(p);
+        }
         Ok(true)
     }
 
@@ -665,12 +936,68 @@ impl Engine {
         if self.cold.len() < 2 {
             return Ok(0);
         }
-        // Union of every layer's live (owned) postings. A table is owned by
-        // one layer, so per-value lists concatenate without duplicates; the
-        // sort restores global (table, col, row) order.
+        let all: Vec<usize> = (0..self.cold.len()).collect();
+        self.merge_segments(&all)?;
+        Ok(all.len())
+    }
+
+    /// One round-robin of the **size-tiered** policy: while any size class
+    /// (factor-4 byte buckets) holds at least [`EngineConfig::tier_fanout`]
+    /// segments, merge the oldest `tier_fanout` of that class — smallest
+    /// class first, so small flush outputs fold together before anything
+    /// large is rewritten. Returns the total number of segments merged.
+    ///
+    /// Unlike [`Engine::compact`], a tiered merge never rewrites segments
+    /// outside the chosen class, so write amplification per flush is
+    /// bounded by the class size instead of the whole stack.
+    pub fn compact_tiered(&mut self) -> Result<usize, StorageError> {
+        let fanout = self.config.tier_fanout.max(2);
+        let mut total = 0usize;
+        loop {
+            // Size class → stack positions, oldest first (stack order).
+            let mut classes: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (li, l) in self.cold.iter().enumerate() {
+                classes.entry(size_class(l.bytes)).or_default().push(li);
+            }
+            let Some(picks) = classes
+                .into_values()
+                .find(|ps| ps.len() >= fanout)
+                .map(|ps| ps[..fanout].to_vec())
+            else {
+                break;
+            };
+            self.merge_segments(&picks)?;
+            total += fanout;
+        }
+        Ok(total)
+    }
+
+    /// Merges the cold segments at stack positions `picks` (ascending)
+    /// into one segment placed at the position of the **newest** input.
+    ///
+    /// Correctness of a *partial* merge rests on table-granular ownership:
+    /// * Only entries of tables **owned** by a picked layer are carried
+    ///   over; dead (masked) copies are dropped. The owner is the newest
+    ///   claimant, so every other claimant of a carried table is *older*
+    ///   than the owner — placing the output at the newest picked position
+    ///   keeps it newer than all of them, and ownership resolution is
+    ///   unchanged.
+    /// * A tombstone (zero-count claim) owned by a picked layer still
+    ///   masks older claims. It is carried into the output while any
+    ///   **remaining** segment older than the output claims that table,
+    ///   and dropped only when nothing is left to mask (a full-stack merge
+    ///   therefore drops every tombstone).
+    fn merge_segments(&mut self, picks: &[usize]) -> Result<(), StorageError> {
+        debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks ascending");
+        let out_pos = *picks.last().expect("non-empty pick set");
+
+        // Union of the picked layers' live (owned) postings. A table is
+        // owned by one layer, so per-value lists concatenate without
+        // duplicates; the sort restores global (table, col, row) order.
         let mut merged: BTreeMap<String, Vec<PostingEntry>> = BTreeMap::new();
         let mut counts = vec![0u64; self.corpus.len()];
-        for (li, layer) in self.cold.iter().enumerate() {
+        for &li in picks {
+            let layer = &self.cold[li];
             for (value, list) in layer.store.iter_decoded() {
                 let kept: Vec<PostingEntry> = list
                     .into_iter()
@@ -687,14 +1014,31 @@ impl Engine {
         for pl in merged.values_mut() {
             pl.sort_unstable();
         }
-        // Tombstones and fully-masked claims are dropped: after a full
-        // merge there is no older layer left for them to mask.
-        let claims: Vec<Claim> = counts
+
+        // Claims: live posting counts of owned tables, plus retained
+        // tombstones (see method docs).
+        let mut claims: Vec<Claim> = counts
             .iter()
             .enumerate()
             .filter(|(_, n)| **n > 0)
             .map(|(t, n)| (t as u32, *n))
             .collect();
+        for &li in picks {
+            for &(t, n) in &self.cold[li].claims {
+                if n != 0 || self.owners.get(t as usize) != Some(&Owner::Cold(li as u32)) {
+                    continue; // live claims collected above; dead claims drop
+                }
+                let masks_older = self
+                    .cold
+                    .iter()
+                    .enumerate()
+                    .any(|(lj, l)| lj < out_pos && !picks.contains(&lj) && l.claims_table(t));
+                if masks_older {
+                    claims.push((t, 0));
+                }
+            }
+        }
+        claims.sort_unstable_by_key(|c| c.0);
         let live: usize = claims.iter().map(|c| c.1 as usize).sum();
 
         // ---- plan -------------------------------------------------------
@@ -713,10 +1057,11 @@ impl Engine {
             .map(|(v, pl)| (v.as_str(), pl.as_slice()))
             .collect();
         persist::add_posting_blocks(&mut sw, &mut values, self.config.block_len);
-        // Super keys as of the WAL watermark, carried forward verbatim from
-        // the newest input segment — recovery replays the WAL tail on top,
-        // and replay must start from watermark-time keys, not current ones.
-        let newest_superkeys = self.cold.last().expect("len >= 2").superkeys_block.clone();
+        // Super keys carried forward verbatim from the newest input. When
+        // the output becomes the newest segment of the stack these are the
+        // watermark-time keys recovery must replay from; otherwise only
+        // the newest stack segment's block is ever read back.
+        let newest_superkeys = self.cold[out_pos].superkeys_block.clone();
         sw.add_block("index.superkeys2", newest_superkeys);
         let mut cw = Writer::new();
         encode_claims(&claims, &mut cw);
@@ -736,28 +1081,61 @@ impl Engine {
             bytes: bytes.len(),
         };
 
-        // Commit point.
-        self.manifest_for(vec![layer.meta()], self.corpus_gen, self.wal_seq)
+        // Commit point: the manifest names the post-merge stack; every
+        // file it references is already durable.
+        let mut metas = Vec::with_capacity(self.cold.len() + 1 - picks.len());
+        for (li, l) in self.cold.iter().enumerate() {
+            if li == out_pos {
+                metas.push(layer.meta());
+            } else if !picks.contains(&li) {
+                metas.push(l.meta());
+            }
+        }
+        self.manifest_for(metas, self.corpus_gen, self.wal_seq)
             .save(self.dir.join(MANIFEST_FILE))?;
 
         // ---- commit -----------------------------------------------------
-        let removed: Vec<u64> = self.cold.iter().map(|l| l.id).collect();
-        let merged_count = removed.len();
+        let removed: Vec<u64> = picks.iter().map(|&li| self.cold[li].id).collect();
         self.next_segment_id += 1;
-        self.cold = vec![layer];
+        let mut new_layer = Some(layer);
+        let old = std::mem::take(&mut self.cold);
+        for (li, l) in old.into_iter().enumerate() {
+            if li == out_pos {
+                self.cold.push(new_layer.take().expect("placed once"));
+            } else if !picks.contains(&li) {
+                self.cold.push(l);
+            }
+        }
+        // Re-resolve ownership against the new stack (memtable ownership
+        // is untouched — it always outranks cold claims).
         for owner in &mut self.owners {
-            if matches!(owner, Owner::Cold(_)) {
+            if !matches!(owner, Owner::Mem) {
                 *owner = Owner::None;
             }
         }
-        for &(t, _) in &self.cold[0].claims {
-            self.owners[t as usize] = Owner::Cold(0);
+        for li in 0..self.cold.len() {
+            for ci in 0..self.cold[li].claims.len() {
+                let t = self.cold[li].claims[ci].0 as usize;
+                if !matches!(self.owners[t], Owner::Mem) {
+                    self.owners[t] = Owner::Cold(li as u32);
+                }
+            }
+        }
+        for li in 0..self.cold.len() {
+            let live: usize = self.cold[li]
+                .claims
+                .iter()
+                .filter(|(t, _)| self.owners[*t as usize] == Owner::Cold(li as u32))
+                .map(|(_, n)| *n as usize)
+                .sum();
+            self.cold[li].live_postings = live;
         }
         self.counters.compactions += 1;
+        self.source_epoch += 1;
         for id in removed {
             let _ = std::fs::remove_file(self.dir.join(seg_file(id)));
         }
-        Ok(merged_count)
+        Ok(())
     }
 
     // ----------------------------------------------------------- reading --
@@ -765,6 +1143,19 @@ impl Engine {
     /// A merged [`PostingSource`] snapshot over every layer. Construct one
     /// per batch of queries; the borrow prevents mutation while it lives.
     pub fn source(&self) -> MergedSource<'_> {
+        self.source_inner(None)
+    }
+
+    /// Like [`Engine::source`], but resolving cold-layer runs through a
+    /// shared [`SourceCache`], so repeated probes of the same value across
+    /// queries skip the multi-segment walk. The cache self-invalidates
+    /// when [`Engine::source_epoch`] moves past the epoch it was filled
+    /// at (flush, compaction, promotion, cold tombstone).
+    pub fn source_cached<'a>(&'a self, cache: &'a SourceCache) -> MergedSource<'a> {
+        self.source_inner(Some(cache))
+    }
+
+    fn source_inner<'a>(&'a self, cache: Option<&'a SourceCache>) -> MergedSource<'a> {
         let mut layers: Vec<&(dyn PostingSource + '_)> = self
             .cold
             .iter()
@@ -787,7 +1178,47 @@ impl Engine {
                 .iter()
                 .map(|l| PostingSource::num_values(&l.store))
                 .sum::<usize>();
-        MergedSource::new(layers, owners, values_hint, self.live_postings())
+        MergedSource::new(
+            layers,
+            owners,
+            values_hint,
+            self.live_postings(),
+            cache.map(|c| {
+                (
+                    c,
+                    merged::CacheEpoch {
+                        instance: self.instance,
+                        epoch: self.source_epoch,
+                    },
+                )
+            }),
+        )
+    }
+
+    /// Invalidation epoch of cached cold-layer resolutions: moves on
+    /// flush, compaction, promotion, and cold tombstones — exactly the
+    /// events that change which cold runs are live.
+    pub fn source_epoch(&self) -> u64 {
+        self.source_epoch
+    }
+
+    /// Sequence number of the active WAL file (the rotation epoch of
+    /// [`WalTicket`]s issued now).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Tracked byte length of the active WAL file (every buffered record
+    /// ends at or before this offset).
+    pub(crate) fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// A duplicated handle to the active WAL file, for fsyncing outside
+    /// the engine's exclusive borrow (the [`EngineLake`] group-commit
+    /// leader).
+    pub(crate) fn wal_try_clone(&self) -> std::io::Result<std::fs::File> {
+        self.wal.try_clone()
     }
 
     /// The corpus (verification reads candidate tables from here).
@@ -843,7 +1274,10 @@ impl Engine {
             flushes: self.counters.flushes,
             compactions: self.counters.compactions,
             wal_records: self.counters.wal_records,
+            wal_syncs: self.counters.wal_syncs,
             replayed_records: self.counters.replayed_records,
+            checkpoints_written: self.counters.checkpoints_written,
+            checkpoints_skipped: self.counters.checkpoints_skipped,
         }
     }
 
@@ -1128,6 +1562,240 @@ mod tests {
             ..small_config(1 << 30)
         };
         assert!(Engine::open(&dir, wrong).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsyncs_and_recovers() {
+        let dir = tmpdir("group");
+        let cfg = EngineConfig {
+            group_commit: 4,
+            ..small_config(1 << 30)
+        };
+        {
+            let mut e = Engine::create(&dir, cfg.clone()).unwrap();
+            for i in 0..10 {
+                e.apply(WalRecord::InsertTable {
+                    table: people(2, &format!("g{i}")),
+                })
+                .unwrap();
+            }
+            assert_eq!(e.stats().wal_records, 10);
+            assert_eq!(e.stats().wal_syncs, 2, "records 4 and 8 closed windows");
+            // The sync path closes the open window on demand.
+            e.sync_wal().unwrap();
+            assert_eq!(e.stats().wal_syncs, 3);
+            e.sync_wal().unwrap();
+            assert_eq!(e.stats().wal_syncs, 3, "empty window is a no-op");
+        }
+        // Everything was synced → everything replays.
+        let e = Engine::open(&dir, cfg).unwrap();
+        assert_eq!(e.stats().replayed_records, 10);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn default_config_fsyncs_every_record() {
+        let dir = tmpdir("sync-each");
+        let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+        for i in 0..3 {
+            e.insert_table(people(2, &format!("s{i}"))).unwrap();
+        }
+        assert_eq!(e.stats().wal_syncs, 3);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn postings_only_flush_skips_checkpoint_rewrite() {
+        let dir = tmpdir("ckpt-skip");
+        let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+        e.insert_table(people(4, "a")).unwrap();
+        e.insert_table(people(3, "b")).unwrap();
+        assert!(e.flush().unwrap());
+        assert_eq!(e.stats().checkpoints_written, 1);
+        assert_eq!(e.stats().checkpoints_skipped, 0);
+
+        // Idempotent touch: rewrite a cell with its current value. The
+        // cold-owned table is *promoted* (its postings move into the
+        // memtable), but the corpus is byte-identical to the checkpoint.
+        let current = e
+            .corpus()
+            .table(TableId(0))
+            .cell(RowId(0), ColId(0))
+            .to_string();
+        e.apply(WalRecord::UpdateCell {
+            table: TableId(0),
+            row: RowId(0),
+            col: ColId(0),
+            value: current,
+        })
+        .unwrap();
+        assert!(e.stats().memtable_postings > 0, "promotion filled memtable");
+        assert!(e.flush().unwrap(), "postings-only flush still flushes");
+        assert_eq!(e.stats().checkpoints_written, 1, "checkpoint not rewritten");
+        assert_eq!(e.stats().checkpoints_skipped, 1);
+        // One checkpoint file on disk, still generation 1.
+        let corpus_files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|f| f.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("corpus-"))
+            .collect();
+        assert_eq!(corpus_files, vec![corpus_file(1)]);
+        assert_matches_rebuild(&e);
+
+        // Recovery from the kept generation reproduces the state exactly.
+        drop(e);
+        let mut e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_matches_rebuild(&e);
+
+        // A corpus-changing edit checkpoints again at the next flush.
+        e.apply(WalRecord::UpdateCell {
+            table: TableId(0),
+            row: RowId(0),
+            col: ColId(0),
+            value: "genuinely-new".into(),
+        })
+        .unwrap();
+        assert!(e.flush().unwrap());
+        assert_eq!(e.stats().checkpoints_written, 1, "this instance wrote one");
+        assert!(dir.join(corpus_file(2)).exists());
+        assert!(!dir.join(corpus_file(1)).exists(), "superseded gen removed");
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tiered_compaction_merges_oldest_of_a_class() {
+        let dir = tmpdir("tiered");
+        let cfg = EngineConfig {
+            tier_fanout: 3,
+            ..small_config(1 << 30)
+        };
+        let mut e = Engine::create(&dir, cfg.clone()).unwrap();
+        // Three small segments (one class) + two large ones (another).
+        for t in 0..3 {
+            e.insert_table(people(6, &format!("t{t}"))).unwrap();
+            e.flush().unwrap();
+        }
+        for t in 3..5 {
+            e.insert_table(people(300, &format!("t{t}"))).unwrap();
+            e.flush().unwrap();
+        }
+        assert_eq!(e.num_cold_segments(), 5);
+        let small = size_class(e.cold[0].bytes);
+        assert!(
+            e.cold[..3].iter().all(|l| size_class(l.bytes) == small),
+            "small segments share a class"
+        );
+        assert!(
+            e.cold[3..].iter().all(|l| size_class(l.bytes) > small),
+            "large segments sit in a higher class"
+        );
+        let large_ids: Vec<u64> = e.cold[3..].iter().map(|l| l.id).collect();
+        let merged = e.compact_tiered().unwrap();
+        assert_eq!(merged, 3, "one merge of the oldest 3 (the small class)");
+        assert_eq!(e.num_cold_segments(), 3, "output + the 2 untouched large");
+        // The output replaced the newest picked position: it is the oldest
+        // remaining layer and owns the three merged tables; the large
+        // segments were not rewritten.
+        assert_eq!(
+            e.cold[0].claims.iter().map(|c| c.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            e.cold[1..].iter().map(|l| l.id).collect::<Vec<_>>(),
+            large_ids,
+            "write amplification bounded to the merged class"
+        );
+        assert_matches_rebuild(&e);
+        drop(e);
+        let e = Engine::open(&dir, cfg).unwrap();
+        assert_eq!(e.num_cold_segments(), 3);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn tiered_merge_retains_masking_tombstones() {
+        let dir = tmpdir("tier-tomb");
+        let cfg = small_config(1 << 30);
+        let mut e = Engine::create(&dir, cfg.clone()).unwrap();
+        e.insert_table(people(6, "a")).unwrap();
+        e.flush().unwrap(); // seg @0: claims table 0 (live)
+        e.insert_table(people(6, "b")).unwrap();
+        e.flush().unwrap(); // seg @1: claims table 1
+        e.apply(WalRecord::DeleteTable { table: TableId(0) })
+            .unwrap();
+        e.insert_table(people(6, "c")).unwrap();
+        e.flush().unwrap(); // seg @2: tombstone of table 0 + table 2
+        assert_eq!(e.num_cold_segments(), 3);
+        assert!(e.decoded_postings("a-first-0").is_none());
+
+        // Merge the two NEWEST segments. The oldest remains and still
+        // claims table 0, so the tombstone must be carried forward.
+        e.merge_segments(&[1, 2]).unwrap();
+        assert_eq!(e.num_cold_segments(), 2);
+        assert!(
+            e.cold[1].claims.contains(&(0, 0)),
+            "tombstone retained while an older claimant remains"
+        );
+        assert!(e.decoded_postings("a-first-0").is_none(), "stays dead");
+        assert_matches_rebuild(&e);
+
+        // Recovery resolves ownership the same way — no resurrection.
+        drop(e);
+        let mut e = Engine::open(&dir, cfg).unwrap();
+        assert!(e.decoded_postings("a-first-0").is_none());
+        assert_matches_rebuild(&e);
+
+        // The full fold has nothing older left to mask: tombstone dropped.
+        e.compact().unwrap();
+        assert!(e.cold[0].claims.iter().all(|c| c.1 > 0));
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_appends_and_flushes() {
+        let dir = tmpdir("poison");
+        let mut e = Engine::create(&dir, small_config(1 << 30)).unwrap();
+        e.insert_table(people(3, "a")).unwrap();
+        e.poison_wal();
+        // Nothing may durably commit the possibly-unacknowledged memory
+        // state: appends and flushes both refuse until a reopen.
+        assert!(e
+            .apply(WalRecord::DeleteTable { table: TableId(0) })
+            .is_err());
+        assert!(e.flush().is_err());
+        drop(e);
+        // Reopen recovers the acknowledged (fsynced) state.
+        let e = Engine::open(&dir, small_config(1 << 30)).unwrap();
+        assert_eq!(e.corpus().len(), 1);
+        assert_matches_rebuild(&e);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn auto_tiered_compaction_triggers_past_max_segments() {
+        let dir = tmpdir("auto-tier");
+        let cfg = EngineConfig {
+            memtable_budget_bytes: 2048,
+            max_cold_segments: 2,
+            tier_fanout: 2,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::create(&dir, cfg.clone()).unwrap();
+        for t in 0..10 {
+            e.insert_table(people(8, &format!("t{t}"))).unwrap();
+        }
+        assert!(e.stats().flushes >= 3, "budget must force flushes");
+        assert!(e.stats().compactions >= 1, "tiering must have kicked in");
+        assert_matches_rebuild(&e);
+        drop(e);
+        let e = Engine::open(&dir, cfg).unwrap();
+        assert_matches_rebuild(&e);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -27,7 +27,9 @@
 //! * [`wal`] — a CRC-framed write-ahead log making the §5.4 edits durable.
 //! * [`engine`] — the log-structured multi-segment engine: a memtable over
 //!   a stack of immutable cold segments, with a manifest, WAL crash
-//!   recovery, newest-wins masking, and compaction.
+//!   recovery (group-committed appends), newest-wins masking, and
+//!   size-tiered compaction. [`EngineLake`] is its shared handle for
+//!   concurrent ingest-while-serve.
 
 #![warn(missing_docs)]
 
@@ -45,7 +47,9 @@ pub mod wal;
 
 pub use builder::IndexBuilder;
 pub use cold::{ColdIndex, ColdPostingStore, ListDirectory};
-pub use engine::{Engine, EngineConfig, EngineStats, MergedSource};
+pub use engine::{
+    Engine, EngineConfig, EngineLake, EngineStats, LakeReader, MergedSource, SourceCache, WalTicket,
+};
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;
 pub use source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};

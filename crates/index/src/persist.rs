@@ -108,10 +108,10 @@ pub fn corpus_from_bytes(data: Bytes) -> Result<Corpus, StorageError> {
     Ok(corpus)
 }
 
-/// Writes a corpus to a segment file.
+/// Writes a corpus to a segment file (atomically: tmp + fsync + rename +
+/// directory fsync — a crash never leaves a half-written checkpoint).
 pub fn save_corpus(corpus: &Corpus, path: impl AsRef<Path>) -> Result<(), StorageError> {
-    std::fs::write(path, corpus_to_bytes(corpus))?;
-    Ok(())
+    mate_storage::manifest::write_file_atomic(path, &corpus_to_bytes(corpus))
 }
 
 /// Loads a corpus from a segment file.
@@ -614,10 +614,9 @@ pub fn cold_index_from_bytes(data: Bytes) -> Result<ColdIndex, StorageError> {
     Ok(ColdIndex::new(store, superkeys, hasher_name))
 }
 
-/// Writes an index to a segment file.
+/// Writes an index to a segment file (atomically, like [`save_corpus`]).
 pub fn save_index(index: &InvertedIndex, path: impl AsRef<Path>) -> Result<(), StorageError> {
-    std::fs::write(path, index_to_bytes(index))?;
-    Ok(())
+    mate_storage::manifest::write_file_atomic(path, &index_to_bytes(index))
 }
 
 /// Loads an index from a segment file.
