@@ -16,9 +16,18 @@
 //! cache hit/miss counters beside it are exact, and top-k identity
 //! between the cached and uncached paths is asserted before anything is
 //! reported.
+//!
+//! **Flush-stall section**: measures query latency *while a flush runs
+//! concurrently* and how long a flush takes *while a reader snapshot is
+//! outstanding*. Under the pre-snapshot guard-based serving both were
+//! unbounded (a reader guard held across a flush deadlocked the flusher;
+//! a flush held the write lock against every query start); with
+//! Arc-snapshot serving both sides proceed, and the old reader's results
+//! are asserted bit-identical to its pre-flush snapshot before anything
+//! is reported.
 
 use mate_bench::{build_lakes, fmt_duration, Report};
-use mate_core::{discover_engine, discover_lake, MateConfig};
+use mate_core::{discover_lake, discover_snapshot, MateConfig};
 use mate_hash::{HashSize, Xash};
 use mate_index::engine::{EngineConfig, EngineLake};
 use mate_index::{IndexBuilder, WalRecord};
@@ -48,6 +57,9 @@ struct CorpusRow {
     query_us_cached: f64,
     cache_hits: u64,
     cache_misses: u64,
+    query_us_during_flush: f64,
+    flush_ms_with_open_reader: f64,
+    snapshot_lag_observed: u64,
 }
 
 fn main() {
@@ -124,8 +136,13 @@ fn main() {
         // cached path that returns different bits.
         for q in &queries {
             let reader = lake.reader();
-            let fresh =
-                discover_engine(reader.engine(), MateConfig::default(), &q.table, &q.key, 10);
+            let fresh = discover_snapshot(
+                reader.snapshot(),
+                MateConfig::default(),
+                &q.table,
+                &q.key,
+                10,
+            );
             drop(reader);
             let cached = discover_lake(&lake, MateConfig::default(), &q.table, &q.key, 10);
             assert_eq!(fresh.top_k, cached.top_k, "cached/uncached identity");
@@ -144,14 +161,15 @@ fn main() {
         };
         let query_us_fresh = {
             let reader = lake.reader();
-            let engine = reader.engine();
+            let snapshot = reader.snapshot();
             let t = Instant::now();
             let mut hits = 0usize;
             for _ in 0..QUERY_REPS {
                 for q in &queries {
-                    hits += discover_engine(engine, MateConfig::default(), &q.table, &q.key, 10)
-                        .top_k
-                        .len();
+                    hits +=
+                        discover_snapshot(snapshot, MateConfig::default(), &q.table, &q.key, 10)
+                            .top_k
+                            .len();
                 }
             }
             std::hint::black_box(hits);
@@ -165,6 +183,88 @@ fn main() {
         }));
         let cache_hits = lake.source_cache().hits() - h0;
         let cache_misses = lake.source_cache().misses() - m0;
+
+        // ---- flush stall: force a flush mid-query ------------------------
+        // Dirty the memtable so the forced flush has real work (row inserts
+        // promote their cold-owned tables and add fresh postings).
+        let dirty: Vec<WalRecord> = corpus
+            .iter()
+            .filter(|(_, t)| t.num_cols() > 0)
+            .take(8)
+            .map(|(id, t)| WalRecord::InsertRow {
+                table: id,
+                cells: (0..t.num_cols()).map(|c| format!("stall-{c}")).collect(),
+            })
+            .collect();
+        lake.apply_many(dirty).expect("dirty memtable");
+
+        // Pin a pre-flush snapshot and record its answer for the identity
+        // check after the flush has restructured the layer stack.
+        let reader = lake.reader();
+        let pinned: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                discover_snapshot(
+                    reader.snapshot(),
+                    MateConfig::default(),
+                    &q.table,
+                    &q.key,
+                    10,
+                )
+                .top_k
+            })
+            .collect();
+
+        // Run the query batch while a flush executes on another thread.
+        // Pre-snapshot serving, this configuration could not even be
+        // expressed without deadlock (reader guard vs. flush write lock);
+        // the numbers below are the residual interference.
+        let (query_us_during_flush, flush_ms_with_open_reader) = std::thread::scope(|scope| {
+            let lake_ref = &lake;
+            let flusher = scope.spawn(move || {
+                let t = Instant::now();
+                let flushed = lake_ref.flush().expect("flush during queries");
+                (t.elapsed().as_secs_f64() * 1e3, flushed)
+            });
+            let t = Instant::now();
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += discover_snapshot(
+                    reader.snapshot(),
+                    MateConfig::default(),
+                    &q.table,
+                    &q.key,
+                    10,
+                )
+                .top_k
+                .len();
+            }
+            std::hint::black_box(hits);
+            let query_us = t.elapsed().as_secs_f64() * 1e6 / queries.len().max(1) as f64;
+            let (flush_ms, flushed) = flusher.join().expect("flusher thread");
+            assert!(flushed, "the dirtied memtable must actually flush");
+            (query_us, flush_ms)
+        });
+
+        // The outstanding reader's view did not move: bit-identical to its
+        // pre-flush answers.
+        for (q, pre) in queries.iter().zip(&pinned) {
+            let post = discover_snapshot(
+                reader.snapshot(),
+                MateConfig::default(),
+                &q.table,
+                &q.key,
+                10,
+            );
+            assert_eq!(&post.top_k, pre, "snapshot moved under an open reader");
+        }
+        // And the reader is now behind the published state — the snapshot-
+        // age counter a lake query reports.
+        let snapshot_lag_observed = lake
+            .published_epoch()
+            .saturating_sub(reader.snapshot().source_epoch());
+        assert!(snapshot_lag_observed > 0, "flush must advance the epoch");
+        drop(reader);
 
         rows_out.push(CorpusRow {
             name: name.to_string(),
@@ -184,6 +284,9 @@ fn main() {
             query_us_cached,
             cache_hits,
             cache_misses,
+            query_us_during_flush,
+            flush_ms_with_open_reader,
+            snapshot_lag_observed,
         });
     }
     let _ = std::fs::remove_dir_all(&base);
@@ -206,6 +309,8 @@ fn main() {
             "Query fresh",
             "Query cached",
             "Hits",
+            "Query @flush",
+            "Flush w/reader",
         ],
     );
     for r in &rows_out {
@@ -224,6 +329,8 @@ fn main() {
             format!("{:.0}us", r.query_us_fresh),
             format!("{:.0}us", r.query_us_cached),
             r.cache_hits.to_string(),
+            format!("{:.0}us", r.query_us_during_flush),
+            format!("{:.1}ms", r.flush_ms_with_open_reader),
         ]);
     }
     report.note(format!(
@@ -232,6 +339,11 @@ fn main() {
     report.note("fsync counts are exact and container-independent; x = per-record/grouped");
     report.note("cached queries resolve cold runs once per epoch via the shared SourceCache");
     report.note("identity asserted: cached top-k == per-query-source top-k before reporting");
+    report.note(
+        "flush-stall section: queries ran on a pre-flush snapshot WHILE the flush executed; \
+         pre-snapshot (guard) serving deadlocked this configuration outright",
+    );
+    report.note("old-reader identity asserted after the flush: its snapshot never moved");
     report.print();
 
     // ---- machine-readable JSON ------------------------------------------
@@ -249,7 +361,9 @@ fn main() {
              \"grouped_rows_per_s\": {:.1}, \"grouped_fsyncs\": {}, \"fsync_ratio\": {:.2}, \
              \"flushes\": {}, \"tiered_compactions\": {}, \"cold_segments\": {}, \
              \"query_us_fresh_source\": {:.1}, \"query_us_cached_source\": {:.1}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}{}",
+             \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"query_us_during_flush\": {:.1}, \"flush_ms_with_open_reader\": {:.2}, \
+             \"snapshot_lag_observed\": {}}}{}",
             r.name,
             r.tables,
             r.rows,
@@ -267,6 +381,9 @@ fn main() {
             r.query_us_cached,
             r.cache_hits,
             r.cache_misses,
+            r.query_us_during_flush,
+            r.flush_ms_with_open_reader,
+            r.snapshot_lag_observed,
             if i + 1 < rows_out.len() { "," } else { "" },
         );
     }

@@ -7,16 +7,17 @@
 //! bit-identical to a single-shot built index at every flush state
 //! (property-tested in `tests/engine_discovery.rs`).
 //!
-//! Two entry points: [`discover_engine`] for an exclusively-held
-//! [`Engine`] (fresh source per query), [`discover_lake`] for a shared
-//! [`EngineLake`] (concurrent readers, cold resolutions cached across
-//! queries and invalidated only on flush/compaction/promotion).
+//! Three entry points: [`discover_engine`] for an exclusively-held
+//! [`Engine`] (fresh source per query), [`discover_snapshot`] for an owned
+//! [`EngineSnapshot`] (lock-free, immune to concurrent writes), and
+//! [`discover_lake`] for a shared [`EngineLake`] (takes the current
+//! snapshot, resolves cold runs through the lake's shared cache).
 //!
 //! [`MergedSource`]: mate_index::MergedSource
 
 use crate::config::MateConfig;
 use crate::discovery::{DiscoveryResult, MateDiscovery};
-use mate_index::engine::{Engine, EngineLake};
+use mate_index::engine::{Engine, EngineLake, EngineSnapshot};
 use mate_table::{ColId, Table};
 
 /// Runs a top-k discovery over an engine's merged (memtable + cold
@@ -48,20 +49,61 @@ pub fn discover_engine(
     result
 }
 
-/// Runs a top-k discovery over an [`EngineLake`]: takes a read snapshot
-/// (concurrent with other readers; consistent against writers) and probes
-/// it through the lake's shared
+/// Runs a top-k discovery over an owned [`EngineSnapshot`] — the lock-free
+/// serving path. The snapshot pins corpus, layer stack, and super keys
+/// together, so the query is immune to concurrent flushes, compactions,
+/// and ingest, and results are bit-identical to [`discover_engine`] on the
+/// engine state the snapshot was taken from. Batch callers holding one
+/// snapshot across many queries share nothing but the immutable data;
+/// each call builds a fresh merged view (use
+/// [`MateDiscovery::from_parts`] with one
+/// [`EngineSnapshot::source`] to also share the resolved-list cache).
+///
+/// Sets [`DiscoveryStats::snapshot_epoch`] to the snapshot's source epoch
+/// ([`DiscoveryStats::snapshot_lag`] stays 0 — a bare snapshot has no
+/// "current" state to compare against; [`discover_lake`] fills it in).
+///
+/// [`DiscoveryStats::snapshot_epoch`]: crate::stats::DiscoveryStats::snapshot_epoch
+/// [`DiscoveryStats::snapshot_lag`]: crate::stats::DiscoveryStats::snapshot_lag
+pub fn discover_snapshot(
+    snapshot: &EngineSnapshot,
+    config: MateConfig,
+    query: &Table,
+    q_cols: &[ColId],
+    k: usize,
+) -> DiscoveryResult {
+    let source = snapshot.source();
+    let hasher = snapshot.hasher();
+    let mut result = MateDiscovery::from_parts(
+        snapshot.corpus(),
+        &source,
+        snapshot.superkeys(),
+        &hasher,
+        config,
+    )
+    .discover(query, q_cols, k);
+    result.stats.source_layers = snapshot.num_layers();
+    result.stats.snapshot_epoch = snapshot.source_epoch();
+    result
+}
+
+/// Runs a top-k discovery over an [`EngineLake`]: clones the published
+/// snapshot (no engine lock — returns promptly even mid-flush, and never
+/// delays writers) and probes it through the lake's shared
 /// [`SourceCache`](mate_index::SourceCache), so cold-layer resolutions
 /// are amortized **across queries** instead of reconstructed per query —
-/// the cache invalidates itself on flush/compaction/promotion, and
-/// results are bit-identical to [`discover_engine`] on the same snapshot
-/// (property-tested in `tests/engine_lake.rs`).
+/// the cache keys itself by source epoch, and results are bit-identical
+/// to [`discover_engine`] on the same snapshot (property-tested in
+/// `tests/engine_lake.rs`).
 ///
-/// Sets [`DiscoveryStats::source_layers`], plus
-/// [`DiscoveryStats::cold_cache_hits`] / `cold_cache_misses` deltas for
-/// this query.
+/// Sets [`DiscoveryStats::source_layers`], the snapshot-age counters
+/// [`DiscoveryStats::snapshot_epoch`] / `snapshot_lag` (how many
+/// structural changes the served snapshot fell behind the published state
+/// by query end), plus [`DiscoveryStats::cold_cache_hits`] /
+/// `cold_cache_misses` deltas for this query.
 ///
 /// [`DiscoveryStats::source_layers`]: crate::stats::DiscoveryStats::source_layers
+/// [`DiscoveryStats::snapshot_epoch`]: crate::stats::DiscoveryStats::snapshot_epoch
 /// [`DiscoveryStats::cold_cache_hits`]: crate::stats::DiscoveryStats::cold_cache_hits
 pub fn discover_lake(
     lake: &EngineLake,
@@ -71,19 +113,23 @@ pub fn discover_lake(
     k: usize,
 ) -> DiscoveryResult {
     let reader = lake.reader();
-    let engine = reader.engine();
+    let snapshot = reader.snapshot();
     let source = reader.source();
-    let hasher = engine.hasher();
+    let hasher = snapshot.hasher();
     let (hits0, misses0) = (lake.source_cache().hits(), lake.source_cache().misses());
     let mut result = MateDiscovery::from_parts(
-        engine.corpus(),
+        snapshot.corpus(),
         &source,
-        engine.superkeys(),
+        snapshot.superkeys(),
         &hasher,
         config,
     )
     .discover(query, q_cols, k);
-    result.stats.source_layers = engine.num_layers();
+    result.stats.source_layers = snapshot.num_layers();
+    result.stats.snapshot_epoch = snapshot.source_epoch();
+    result.stats.snapshot_lag = lake
+        .published_epoch()
+        .saturating_sub(snapshot.source_epoch());
     result.stats.cold_cache_hits = lake.source_cache().hits().saturating_sub(hits0);
     result.stats.cold_cache_misses = lake.source_cache().misses().saturating_sub(misses0);
     result

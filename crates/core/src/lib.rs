@@ -41,7 +41,7 @@ pub mod topk;
 pub use config::{InitColumnHeuristic, MateConfig};
 pub use discovery::{DiscoveryResult, MateDiscovery, TableResult};
 pub use durable::DurableLake;
-pub use engine_query::{discover_engine, discover_lake};
+pub use engine_query::{discover_engine, discover_lake, discover_snapshot};
 pub use joinability::verify_table_joinability;
 pub use stats::{DiscoveryStats, WorkerStats};
 pub use topk::TopK;

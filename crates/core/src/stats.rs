@@ -98,6 +98,20 @@ pub struct DiscoveryStats {
     /// Cold-layer resolutions that had to walk the segment stack (see
     /// [`DiscoveryStats::cold_cache_hits`]).
     pub cold_cache_misses: u64,
+    /// Source epoch of the engine snapshot that served the query (set by
+    /// [`crate::engine_query::discover_snapshot`] /
+    /// [`crate::engine_query::discover_lake`]; 0 when probing a plain
+    /// index). Every flush, compaction, promotion, and cold tombstone
+    /// bumps the engine's epoch, so two queries reporting the same epoch
+    /// observed the same layer structure.
+    pub snapshot_epoch: u64,
+    /// How many epochs the served snapshot was behind the lake's published
+    /// state when the query finished (set by
+    /// [`crate::engine_query::discover_lake`]) — the snapshot-age counter.
+    /// 0 means the query ran over the newest published state; a non-zero
+    /// lag means writers advanced mid-query, which snapshot serving makes
+    /// harmless (the query's view stayed pinned).
+    pub snapshot_lag: u64,
     /// Per-worker counter breakdown for parallel runs (empty when
     /// sequential; the aggregate fields above are their sums).
     pub per_worker: Vec<WorkerStats>,

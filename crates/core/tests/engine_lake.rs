@@ -4,21 +4,33 @@
 //! inserts/updates/deletes (group-committed, with flushes and tiered
 //! compactions firing mid-stream). Every query must be bit-identical to a
 //! single-shot index built from the corpus snapshot that query observed —
-//! the read guard pins corpus, layer stack, and super keys together, so
-//! "the snapshot the query observed" is well-defined even though the lake
-//! keeps moving between queries.
+//! an [`EngineSnapshot`] pins corpus, layer stack, and super keys
+//! together, so "the snapshot the query observed" is well-defined even
+//! though the lake keeps moving between queries.
 //!
 //! The final states (flushed / tier-compacted / crash-recovered) are each
 //! re-checked from two concurrent reader threads.
+//!
+//! Two regression suites ride along:
+//! * **snapshot isolation** — a [`LakeReader`] taken mid-stream keeps
+//!   answering from its pinned state, bit-identically, across later
+//!   ingest, flushes, and tiered compactions;
+//! * **writer starvation** — a writer's `apply_many` completes a bounded
+//!   batch while reader threads hammer queries back-to-back (pre-fix,
+//!   guard-based serving on a fairness-free `RwLock` could starve or —
+//!   with a reader held on the writing thread — deadlock this).
+//!
+//! [`EngineSnapshot`]: mate_index::EngineSnapshot
+//! [`LakeReader`]: mate_index::LakeReader
 
-use mate_core::{discover_lake, MateConfig, MateDiscovery};
+use mate_core::{discover_lake, discover_snapshot, MateConfig, MateDiscovery};
 use mate_index::engine::{EngineConfig, EngineLake};
 use mate_index::{IndexBuilder, WalRecord};
 use mate_lake::{CorpusProfile, GeneratedQuery, LakeGenerator, LakeSpec, QuerySpec};
 use mate_table::{ColId, Corpus, RowId, TableId};
 use proptest::prelude::*;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Builds a Zipf lake with planted joins and planted false-positive tables.
 fn build_lake(seed: u64, rows: usize, key_size: usize) -> (Corpus, GeneratedQuery) {
@@ -109,25 +121,25 @@ fn workload(corpus: &Corpus, seed: u64, dir: &std::path::Path) -> Vec<WalRecord>
 
 /// One serve-while-ingest query: run discovery over the lake's current
 /// snapshot, then verify it against a single-shot index built from the
-/// corpus **that same snapshot** pinned (cloned under the read guard).
+/// corpus **that same snapshot** pinned (a cheap Arc-spine clone).
 fn snapshot_discover(lake: &EngineLake, query: &GeneratedQuery, k: usize) {
     let (got, corpus, hasher) = {
         let reader = lake.reader();
-        let engine = reader.engine();
+        let snapshot = reader.snapshot();
         let source = reader.source();
-        let hasher = engine.hasher();
+        let hasher = snapshot.hasher();
         let got = MateDiscovery::from_parts(
-            engine.corpus(),
+            snapshot.corpus(),
             &source,
-            engine.superkeys(),
+            snapshot.superkeys(),
             &hasher,
             MateConfig::default(),
         )
         .discover(&query.table, &query.key, k);
-        (got, engine.corpus().clone(), hasher)
+        (got, snapshot.corpus().clone(), hasher)
     };
-    // Rebuild outside the guard — the comparison is against the pinned
-    // snapshot, so the writer racing ahead cannot disturb it.
+    // Rebuild after dropping the reader — the comparison is against the
+    // pinned snapshot, so the writer racing ahead cannot disturb it.
     let fresh = IndexBuilder::new(hasher).build(&corpus);
     let expected =
         MateDiscovery::new(&corpus, &fresh, &hasher).discover(&query.table, &query.key, k);
@@ -200,7 +212,7 @@ proptest! {
             }
         });
         prop_assert_eq!(
-            lake.reader().engine().corpus().len(),
+            lake.reader().snapshot().corpus().len(),
             corpus.len(),
             "every insert landed"
         );
@@ -226,4 +238,161 @@ proptest! {
 
         std::fs::remove_dir_all(dir).ok();
     }
+
+    /// Snapshot isolation: a [`mate_index::LakeReader`] pinned mid-stream
+    /// answers from the corpus state it observed — bit-identically — no
+    /// matter how much ingest, flushing, and compaction happens after it,
+    /// while fresh readers follow the moving state.
+    #[test]
+    fn readers_are_snapshot_isolated_across_flush_and_compaction(
+        seed in 0u64..10_000,
+        rows in 5usize..15,
+        key_size in 1usize..3,
+        k in 1usize..4,
+    ) {
+        let (corpus, query) = build_lake(seed, rows, key_size);
+        let dir = tmpdir(&format!("iso{seed}-{rows}-{key_size}-{k}"));
+        let records = workload(&corpus, seed, &dir);
+        let cfg = EngineConfig {
+            memtable_budget_bytes: 4096,
+            max_cold_segments: 3,
+            tier_fanout: 2,
+            ..EngineConfig::default()
+        };
+        let lake = EngineLake::create(dir.join("lake"), cfg).unwrap();
+        let half = records.len() / 2;
+        lake.apply_many(records[..half].iter().cloned()).unwrap();
+
+        // Pin a mid-stream snapshot plus the corpus state it observed, and
+        // the single-shot ground truth for that state.
+        let reader = lake.reader();
+        let pinned_corpus = reader.snapshot().corpus().clone();
+        let pinned_postings = reader.snapshot().live_postings();
+        let hasher = reader.snapshot().hasher();
+        let fresh = IndexBuilder::new(hasher).build(&pinned_corpus);
+        let expected = MateDiscovery::new(&pinned_corpus, &fresh, &hasher)
+            .discover(&query.table, &query.key, k);
+        let before = discover_snapshot(
+            reader.snapshot(), MateConfig::default(), &query.table, &query.key, k,
+        );
+        prop_assert_eq!(&before.top_k, &expected.top_k, "pre-churn identity");
+
+        // Churn: the rest of the ingest (budget-driven flushes + tiered
+        // compactions fire mid-stream), then an explicit flush, a tiered
+        // round, and a full fold — every structural transition the engine
+        // has.
+        lake.apply_many(records[half..].iter().cloned()).unwrap();
+        lake.flush().unwrap();
+        lake.compact_tiered().unwrap();
+        lake.compact().unwrap();
+
+        // The old reader's world did not move: same top-k AND the same
+        // evaluation counters as the single-shot rebuild of its pinned
+        // corpus — results stay bit-identical to snapshot time.
+        let after = discover_snapshot(
+            reader.snapshot(), MateConfig::default(), &query.table, &query.key, k,
+        );
+        prop_assert_eq!(&after.top_k, &expected.top_k, "post-churn identity");
+        prop_assert_eq!(after.stats.pl_items_fetched, expected.stats.pl_items_fetched);
+        prop_assert_eq!(after.stats.candidate_tables, expected.stats.candidate_tables);
+        prop_assert_eq!(
+            after.stats.rows_verified_joinable,
+            expected.stats.rows_verified_joinable
+        );
+        prop_assert_eq!(reader.snapshot().live_postings(), pinned_postings);
+        // The reader is now measurably behind the published state, and the
+        // lake wiring reports that age.
+        prop_assert!(lake.published_epoch() > reader.snapshot().source_epoch());
+        let lagged = discover_lake(&lake, MateConfig::default(), &query.table, &query.key, k);
+        prop_assert_eq!(lagged.stats.snapshot_lag, 0, "fresh reader serves the newest state");
+
+        // Fresh readers see the final state exactly (single-shot identity).
+        snapshot_discover(&lake, &query, k);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// Writer-starvation regression: reader threads issue back-to-back queries
+/// with zero think time while one writer ingests a bounded batch. Snapshot
+/// readers never touch the engine lock, so the writer must finish well
+/// inside the budget. Pre-fix, readers held `RwLock` read guards for whole
+/// queries; the vendored `parking_lot` is a thin `std::sync::RwLock`
+/// wrapper with no fairness guarantee, so a saturated read side could
+/// delay the write side indefinitely (and a reader held on the writing
+/// thread deadlocked it outright — see
+/// `reader_outlives_flush_compaction_and_further_ingest` in
+/// `mate_index::engine::lake` for the single-threaded variant).
+///
+/// Thread counts stay 1-core-safe: 2 readers + the writer on the main
+/// thread, all yielding via the OS scheduler.
+#[test]
+fn writer_completes_bounded_batch_under_saturated_readers() {
+    let (corpus, query) = build_lake(7, 10, 2);
+    let dir = tmpdir("starve");
+    let records = workload(&corpus, 7, &dir);
+    let cfg = EngineConfig {
+        memtable_budget_bytes: 4096,
+        max_cold_segments: 3,
+        tier_fanout: 2,
+        ..EngineConfig::default()
+    };
+    let lake = EngineLake::create(dir.join("lake"), cfg).unwrap();
+    // Seed the corpus so reader queries have real work to saturate on.
+    let inserts = corpus.len();
+    lake.apply_many(records[..inserts].iter().cloned()).unwrap();
+
+    let done = AtomicBool::new(false);
+    let queries_run = AtomicU64::new(0);
+    // Generous wall-clock budget: the writer's work is a handful of edit
+    // batches + one flush (< 1s unloaded). Pre-fix this could block
+    // unboundedly behind the query stream; the budget turns "starved"
+    // into a failure instead of a CI timeout.
+    let budget = std::time::Duration::from_secs(60);
+
+    let elapsed = std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (lake, query, done, queries_run) = (&lake, &query, &done, &queries_run);
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let reader = lake.reader();
+                    let r = discover_snapshot(
+                        reader.snapshot(),
+                        MateConfig::default(),
+                        &query.table,
+                        &query.key,
+                        3,
+                    );
+                    std::hint::black_box(r.top_k.len());
+                    queries_run.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let t = std::time::Instant::now();
+        // Collect the writer outcome instead of unwrapping inline: the
+        // readers spin on `done`, so it must be set before any panic.
+        let write: Result<(), String> = (|| {
+            for chunk in records[inserts..].chunks(2) {
+                lake.apply_many(chunk.iter().cloned())
+                    .map_err(|e| format!("writer apply: {e:?}"))?;
+            }
+            lake.flush().map_err(|e| format!("writer flush: {e:?}"))?;
+            Ok(())
+        })();
+        let elapsed = t.elapsed();
+        done.store(true, Ordering::Release);
+        write.unwrap();
+        elapsed
+    });
+
+    assert!(
+        elapsed < budget,
+        "writer took {elapsed:?} under saturated readers (budget {budget:?})"
+    );
+    assert!(
+        queries_run.load(Ordering::Relaxed) > 0,
+        "readers must actually have run during the write window"
+    );
+    // The writes all landed despite the query saturation.
+    assert_eq!(lake.reader().snapshot().corpus().len(), corpus.len());
+    std::fs::remove_dir_all(dir).ok();
 }

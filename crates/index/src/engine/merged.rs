@@ -31,7 +31,22 @@ use crate::posting::PostingEntry;
 use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 use mate_hash::fx::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
+
+/// Recovers a read guard even if a previous holder panicked. The caches in
+/// this module are *memoization* state: every entry is re-derivable from
+/// the immutable layers, and the two-step fills (push a list, then insert
+/// the value pointing at it) leave at worst an orphaned list behind a
+/// panic — never a dangling reference. Propagating the poison would turn
+/// one panicking query thread into a panic in every later query.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-side counterpart of [`read_lock`]; same recovery rationale.
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Owner value meaning "no layer owns this table" (deleted and compacted
 /// away).
@@ -112,12 +127,7 @@ impl SourceCache {
 
     /// Distinct values currently resolved in the cache.
     pub fn cached_values(&self) -> usize {
-        self.inner
-            .read()
-            .expect("source cache lock")
-            .registry
-            .by_value
-            .len()
+        read_lock(&self.inner).registry.by_value.len()
     }
 }
 
@@ -161,7 +171,9 @@ pub struct MergedSource<'a> {
     /// Cold segment stores oldest → newest, then the memtable store.
     layers: Vec<&'a (dyn PostingSource + 'a)>,
     /// Table id → index into `layers` of its owner, or [`NO_OWNER`].
-    owners: Vec<u32>,
+    /// Shared with the engine snapshot that built this source, so
+    /// constructing a source per query costs no owner-map copy.
+    owners: Arc<Vec<u32>>,
     /// Live distinct-value estimate (sum over layers; values present in
     /// several layers are counted once per layer).
     num_values_hint: usize,
@@ -185,7 +197,7 @@ impl std::fmt::Debug for MergedSource<'_> {
 impl<'a> MergedSource<'a> {
     pub(crate) fn new(
         layers: Vec<&'a (dyn PostingSource + 'a)>,
-        owners: Vec<u32>,
+        owners: Arc<Vec<u32>>,
         num_values_hint: usize,
         num_postings: usize,
         cache: Option<(&'a SourceCache, CacheEpoch)>,
@@ -250,7 +262,7 @@ impl<'a> MergedSource<'a> {
         let mem_layer = self.layers.len() - 1;
         if let Some((cache, key)) = self.cache {
             {
-                let inner = cache.inner.read().expect("source cache lock");
+                let inner = read_lock(&cache.inner);
                 if inner.key == key {
                     if let Some(&cached) = inner.registry.by_value.get(value) {
                         cache.hits.fetch_add(1, Ordering::Relaxed);
@@ -284,13 +296,16 @@ impl<'a> MergedSource<'a> {
         };
 
         if let Some((cache, key)) = self.cache {
-            let mut inner = cache.inner.write().expect("source cache lock");
+            let mut inner = write_lock(&cache.inner);
             if inner.key != key {
                 if inner.key.instance == key.instance && inner.key.epoch > key.epoch {
                     // A newer generation of the same engine already filled
-                    // the cache (impossible under the lake's lock
-                    // discipline, where no source outlives a write):
-                    // don't clobber it with stale runs.
+                    // the cache. Routine under snapshot serving: a reader
+                    // holding a pre-flush snapshot keeps probing after the
+                    // flush bumped the epoch and newer readers refilled.
+                    // Its resolutions stay correct for *its* snapshot (the
+                    // layers are immutable and pinned by the snapshot) but
+                    // must not clobber the newer generation's cache.
                     return cold;
                 }
                 // First fill of this generation: reset.
@@ -320,7 +335,7 @@ impl<'a> MergedSource<'a> {
             // One guard for both the cache probe and the total lookup —
             // re-locking inside the hit path could deadlock against a
             // queued writer.
-            let reg = self.registry.read().expect("registry lock");
+            let reg = read_lock(&self.registry);
             if let Some(&cached) = reg.by_value.get(value) {
                 return cached.map(|id| ListHandle {
                     id,
@@ -342,7 +357,7 @@ impl<'a> MergedSource<'a> {
         let mem_handle = self.walk_layer(mem_layer, value, scratch, &mut runs, &mut total);
         handles.push(mem_handle);
 
-        let mut reg = self.registry.write().expect("registry lock");
+        let mut reg = write_lock(&self.registry);
         // A concurrent resolver may have won the race; keep the first entry
         // so ids stay stable.
         if let Some(&cached) = reg.by_value.get(value) {
@@ -377,7 +392,7 @@ impl PostingSource for MergedSource<'_> {
         _scratch: &mut ProbeScratch,
         f: &mut dyn FnMut(u32, u32),
     ) {
-        let reg = self.registry.read().expect("registry lock");
+        let reg = read_lock(&self.registry);
         for run in &reg.lists[list.id as usize].runs {
             f(run.table, run.len);
         }
@@ -395,7 +410,7 @@ impl PostingSource for MergedSource<'_> {
         if len == 0 {
             return;
         }
-        let reg = self.registry.read().expect("registry lock");
+        let reg = read_lock(&self.registry);
         let merged = &reg.lists[list.id as usize];
         // First run overlapping `start`.
         let mut i = merged
@@ -467,7 +482,7 @@ mod tests {
     #[test]
     fn masking_and_virtual_order() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
+        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
         let mut scratch = ProbeScratch::new();
 
         let h = src.find_list("a", &mut scratch).unwrap();
@@ -492,7 +507,7 @@ mod tests {
     #[test]
     fn partial_collects_cross_layer_boundaries() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
+        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
         let mut scratch = ProbeScratch::new();
         let h = src.find_list("a", &mut scratch).unwrap();
         let mut counters = ProbeCounters::default();
@@ -509,7 +524,7 @@ mod tests {
     #[test]
     fn memoization_is_stable() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], owners, 0, 6, None);
+        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
         let mut scratch = ProbeScratch::new();
         let h1 = src.find_list("a", &mut scratch).unwrap();
         let h2 = src.find_list("a", &mut scratch).unwrap();

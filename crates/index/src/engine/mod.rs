@@ -93,20 +93,24 @@
 //!   resurrects one, the next [`Engine::open`] garbage-collects every file
 //!   the manifest does not reference, so resurrection is harmless.
 //!
-//! Reads go through [`Engine::source`], which returns a [`MergedSource`]
-//! snapshot implementing [`PostingSource`] — `mate_core` discovery runs
-//! unchanged over it and returns results bit-identical to a single-shot
-//! built index at every flush state. [`EngineLake`] wraps the engine in a
-//! read-write lock for concurrent ingest-while-serve, sharing one
-//! [`SourceCache`] across queries.
+//! Reads go through [`Engine::source`] (a [`MergedSource`] borrowing the
+//! engine) or [`Engine::snapshot`] (an owned, immutable
+//! [`EngineSnapshot`] pinning the read-relevant state by `Arc`) — either
+//! way `mate_core` discovery runs unchanged over a [`PostingSource`] and
+//! returns results bit-identical to a single-shot built index at every
+//! flush state. [`EngineLake`] is the concurrent handle: writers behind a
+//! write lock publish snapshots; readers clone the published `Arc` and
+//! query without any engine lock, sharing one [`SourceCache`].
 
 mod lake;
 mod manifest;
 mod merged;
+mod snapshot;
 
 pub use lake::{EngineLake, LakeReader};
 pub use manifest::{Manifest, SegmentMeta};
 pub use merged::{MergedSource, SourceCache};
+pub use snapshot::EngineSnapshot;
 
 use crate::cold::ColdPostingStore;
 use crate::index::InvertedIndex;
@@ -126,6 +130,7 @@ use mate_table::{Corpus, Table, TableId};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Engine file names inside the directory.
 const MANIFEST_FILE: &str = "MANIFEST";
@@ -225,21 +230,21 @@ enum Owner {
     Cold(u32),
 }
 
-/// One immutable cold segment loaded for serving.
-struct ColdLayer {
+/// One immutable cold segment loaded for serving. Fully immutable after
+/// construction (mutable bookkeeping like per-layer live-posting counts
+/// lives in [`Engine::cold_live`]), so layers are shared by reference
+/// between the engine and every outstanding [`EngineSnapshot`].
+pub(crate) struct ColdLayer {
     /// Segment id (file `seg-<id>.seg`).
     id: u64,
     /// Claimed tables with write-time posting counts, sorted by table id.
     claims: Vec<Claim>,
     /// Zero-copy posting store over the segment bytes.
-    store: ColdPostingStore,
+    pub(crate) store: ColdPostingStore,
     /// The segment's raw `index.superkeys2` block (carried forward verbatim
     /// by compaction so the newest segment always holds the super keys as
     /// of the WAL watermark).
     superkeys_block: Bytes,
-    /// Posting entries still *owned* by this layer (shrinks as tables are
-    /// promoted to the memtable).
-    live_postings: usize,
     /// Segment file size.
     bytes: usize,
 }
@@ -324,18 +329,36 @@ struct Counters {
 }
 
 /// The multi-segment log-structured index engine (see module docs).
+///
+/// The read-relevant state (corpus, memtable, cold stack) sits behind
+/// [`Arc`]s so [`Engine::snapshot`] can capture an immutable point-in-time
+/// view in O(layers): writers mutate through `Arc::make_mut`, which copies
+/// a structure only while a snapshot still pins it — and the COW substrate
+/// is table-granular (per-table [`Arc`]s inside [`Corpus`] and
+/// [`SuperKeyStore`]), so the copy is one table, not the lake. Only the
+/// memtable's posting store is copied wholesale on the first write after a
+/// snapshot, and that store is bounded by
+/// [`EngineConfig::memtable_budget_bytes`].
 pub struct Engine {
     dir: PathBuf,
     config: EngineConfig,
     hasher: Xash,
-    corpus: Corpus,
+    corpus: Arc<Corpus>,
     /// Hot layer: postings of memtable-owned tables + the global super-key
     /// store.
-    memtable: InvertedIndex,
+    memtable: Arc<InvertedIndex>,
     /// Cold segment stack, oldest first.
-    cold: Vec<ColdLayer>,
+    cold: Vec<Arc<ColdLayer>>,
+    /// Posting entries still *owned* by each cold layer (parallel to
+    /// `cold`; shrinks as tables are promoted to the memtable). Kept
+    /// outside [`ColdLayer`] so layers stay immutable and shareable.
+    cold_live: Vec<usize>,
     /// Table id → owning layer.
     owners: Vec<Owner>,
+    /// Cached [`EngineSnapshot`] of the current state; dropped by
+    /// [`Engine::invalidate_snapshot`] before any mutation so an engine
+    /// with no outstanding readers never pays a copy-on-write.
+    snapshot_cache: Option<Arc<EngineSnapshot>>,
     wal: std::fs::File,
     /// Set when a failed append could not be rolled back (or an fsync
     /// failed with records buffered): the log tail is torn, so
@@ -393,10 +416,12 @@ impl Engine {
             dir,
             config,
             hasher,
-            corpus,
-            memtable,
+            corpus: Arc::new(corpus),
+            memtable: Arc::new(memtable),
             cold: Vec::new(),
+            cold_live: Vec::new(),
             owners: Vec::new(),
+            snapshot_cache: None,
             wal,
             wal_poisoned: false,
             wal_seq: 0,
@@ -461,14 +486,13 @@ impl Engine {
                 }
                 persist::read_superkeys(&seg, hash_size, &mut superkeys)?;
             }
-            cold.push(ColdLayer {
+            cold.push(Arc::new(ColdLayer {
                 id: sm.id,
                 claims,
                 store,
                 superkeys_block,
-                live_postings: 0,
                 bytes,
-            });
+            }));
         }
         if superkeys.num_tables() != corpus.len() {
             return Err(StorageError::InvalidLength {
@@ -484,14 +508,18 @@ impl Engine {
                 owners[t as usize] = Owner::Cold(li as u32);
             }
         }
-        for (li, layer) in cold.iter_mut().enumerate() {
-            layer.live_postings = layer
-                .claims
-                .iter()
-                .filter(|(t, _)| owners[*t as usize] == Owner::Cold(li as u32))
-                .map(|(_, n)| *n as usize)
-                .sum();
-        }
+        let cold_live: Vec<usize> = cold
+            .iter()
+            .enumerate()
+            .map(|(li, layer)| {
+                layer
+                    .claims
+                    .iter()
+                    .filter(|(t, _)| owners[*t as usize] == Owner::Cold(li as u32))
+                    .map(|(_, n)| *n as usize)
+                    .sum()
+            })
+            .collect();
 
         let memtable = InvertedIndex {
             store: PostingStore::new(),
@@ -503,10 +531,12 @@ impl Engine {
             dir,
             config,
             hasher: Xash::new(hash_size),
-            corpus,
-            memtable,
+            corpus: Arc::new(corpus),
+            memtable: Arc::new(memtable),
             cold,
+            cold_live,
             owners,
+            snapshot_cache: None,
             // Placeholder handle; replaced after replay (the file may need
             // a torn-tail trim first).
             wal: std::fs::OpenOptions::new()
@@ -613,6 +643,10 @@ impl Engine {
                 "WAL poisoned by an earlier failed append or fsync; reopen the engine",
             )));
         }
+        // Drop the engine's own reference to the cached snapshot *before*
+        // mutating: outstanding readers keep theirs (and force the
+        // copy-on-write), but a reader-less engine mutates in place.
+        self.invalidate_snapshot();
         let boundary = self.wal_len;
         let frame = frame_record(&record);
         if let Err(e) = self.wal.write_all(&frame) {
@@ -642,6 +676,8 @@ impl Engine {
         if self.wal_pending == 0 {
             return Ok(());
         }
+        // Counters live in snapshots too — keep cached stats honest.
+        self.invalidate_snapshot();
         match self.wal.sync_data() {
             Ok(()) => {
                 self.counters.wal_syncs += 1;
@@ -735,20 +771,23 @@ impl Engine {
                 let t = *table;
                 if let Owner::Cold(li) = self.owners[t.index()] {
                     let n = self.cold[li as usize].claim_postings(t.0) as usize;
-                    self.cold[li as usize].live_postings -= n;
+                    self.cold_live[li as usize] -= n;
                     self.source_epoch += 1;
                 }
                 self.owners[t.index()] = Owner::Mem;
                 let name = self.corpus.table(t).name.clone();
-                *self.corpus.table_mut(t) = Table::new(name, vec![]);
-                self.memtable.superkeys.clear_table(t);
+                *Arc::make_mut(&mut self.corpus).table_mut(t) = Table::new(name, vec![]);
+                Arc::make_mut(&mut self.memtable).superkeys.clear_table(t);
             }
             _ => {
                 if let Some(t) = record.target_table() {
                     self.promote(t);
                 }
-                let mut updater =
-                    IndexUpdater::new(&mut self.corpus, &mut self.memtable, self.hasher);
+                let mut updater = IndexUpdater::new(
+                    Arc::make_mut(&mut self.corpus),
+                    Arc::make_mut(&mut self.memtable),
+                    self.hasher,
+                );
                 record.apply(&mut updater);
             }
         }
@@ -775,21 +814,24 @@ impl Engine {
             Some(Owner::Mem) => return,
             None => return, // brand-new id; registered after the updater runs
         };
-        let table = self.corpus.table(t);
+        // Pin the corpus by reference (refcount bump) so the table can be
+        // read while the memtable is mutated through `make_mut`.
+        let corpus = Arc::clone(&self.corpus);
+        let table = corpus.table(t);
+        let memtable = Arc::make_mut(&mut self.memtable);
         for (ci, col) in table.columns().iter().enumerate() {
             for (ri, v) in col.values.iter().enumerate() {
                 if v.is_empty() {
                     continue;
                 }
-                let vid = self.memtable.store.intern(v);
-                self.memtable
+                let vid = memtable.store.intern(v);
+                memtable
                     .store
                     .insert_sorted(vid, PostingEntry::new(t, ci as u32, ri as u32));
             }
         }
         if let Some(li) = from_layer {
-            let layer = &mut self.cold[li as usize];
-            layer.live_postings -= layer.claim_postings(t.0) as usize;
+            self.cold_live[li as usize] -= self.cold[li as usize].claim_postings(t.0) as usize;
             // Cold runs of this table just went dead: invalidate cached
             // cold resolutions.
             self.source_epoch += 1;
@@ -828,6 +870,7 @@ impl Engine {
                 "WAL poisoned; refusing to flush unacknowledged state — reopen the engine",
             )));
         }
+        self.invalidate_snapshot();
         let claimed: Vec<u32> = self
             .owners
             .iter()
@@ -851,7 +894,7 @@ impl Engine {
         // ---- plan: write every file, newest manifest last ---------------
         let seg_id = self.next_segment_id;
         let mut sw = SegmentWriter::new();
-        persist::add_index_blocks(&mut sw, &self.memtable, self.config.block_len);
+        persist::add_index_blocks(&mut sw, self.memtable.as_ref(), self.config.block_len);
         let mut cw = Writer::new();
         encode_claims(&claims, &mut cw);
         sw.add_block("engine.claims", cw.finish());
@@ -881,7 +924,6 @@ impl Engine {
             claims,
             store,
             superkeys_block,
-            live_postings: live,
             bytes: bytes.len(),
         };
 
@@ -911,11 +953,20 @@ impl Engine {
         self.corpus_gen = new_gen;
         self.next_segment_id += 1;
         let layer_idx = self.cold.len() as u32;
-        self.cold.push(layer);
+        self.cold.push(Arc::new(layer));
+        self.cold_live.push(live);
         for t in claimed {
             self.owners[t as usize] = Owner::Cold(layer_idx);
         }
-        self.memtable.store = PostingStore::new();
+        // Fresh store rather than `make_mut` + clear: if a snapshot still
+        // pins the old memtable, `make_mut` would deep-copy the posting
+        // store just to throw it away. The super keys are shared forward
+        // (per-table Arc spine — cheap either way).
+        self.memtable = Arc::new(InvertedIndex {
+            store: PostingStore::new(),
+            superkeys: self.memtable.superkeys.clone(),
+            hasher_name: self.memtable.hasher_name.clone(),
+        });
         self.counters.flushes += 1;
         self.source_epoch += 1;
         // Superseded files; ignorable failures (orphan GC covers them).
@@ -990,6 +1041,7 @@ impl Engine {
     fn merge_segments(&mut self, picks: &[usize]) -> Result<(), StorageError> {
         debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks ascending");
         let out_pos = *picks.last().expect("non-empty pick set");
+        self.invalidate_snapshot();
 
         // Union of the picked layers' live (owned) postings. A table is
         // owned by one layer, so per-value lists concatenate without
@@ -1039,7 +1091,6 @@ impl Engine {
             }
         }
         claims.sort_unstable_by_key(|c| c.0);
-        let live: usize = claims.iter().map(|c| c.1 as usize).sum();
 
         // ---- plan -------------------------------------------------------
         let seg_id = self.next_segment_id;
@@ -1077,7 +1128,6 @@ impl Engine {
             claims,
             store,
             superkeys_block,
-            live_postings: live,
             bytes: bytes.len(),
         };
 
@@ -1097,7 +1147,7 @@ impl Engine {
         // ---- commit -----------------------------------------------------
         let removed: Vec<u64> = picks.iter().map(|&li| self.cold[li].id).collect();
         self.next_segment_id += 1;
-        let mut new_layer = Some(layer);
+        let mut new_layer = Some(Arc::new(layer));
         let old = std::mem::take(&mut self.cold);
         for (li, l) in old.into_iter().enumerate() {
             if li == out_pos {
@@ -1121,15 +1171,18 @@ impl Engine {
                 }
             }
         }
-        for li in 0..self.cold.len() {
-            let live: usize = self.cold[li]
-                .claims
-                .iter()
-                .filter(|(t, _)| self.owners[*t as usize] == Owner::Cold(li as u32))
-                .map(|(_, n)| *n as usize)
-                .sum();
-            self.cold[li].live_postings = live;
-        }
+        self.cold_live = self
+            .cold
+            .iter()
+            .enumerate()
+            .map(|(li, l)| {
+                l.claims
+                    .iter()
+                    .filter(|(t, _)| self.owners[*t as usize] == Owner::Cold(li as u32))
+                    .map(|(_, n)| *n as usize)
+                    .sum()
+            })
+            .collect();
         self.counters.compactions += 1;
         self.source_epoch += 1;
         for id in removed {
@@ -1162,16 +1215,6 @@ impl Engine {
             .map(|l| &l.store as &(dyn PostingSource + '_))
             .collect();
         layers.push(&self.memtable.store);
-        let mem_layer = self.cold.len() as u32;
-        let owners: Vec<u32> = self
-            .owners
-            .iter()
-            .map(|o| match o {
-                Owner::None => merged::NO_OWNER,
-                Owner::Mem => mem_layer,
-                Owner::Cold(i) => *i,
-            })
-            .collect();
         let values_hint = self.memtable.num_values()
             + self
                 .cold
@@ -1180,7 +1223,7 @@ impl Engine {
                 .sum::<usize>();
         MergedSource::new(
             layers,
-            owners,
+            Arc::new(self.owners_u32()),
             values_hint,
             self.live_postings(),
             cache.map(|c| {
@@ -1193,6 +1236,64 @@ impl Engine {
                 )
             }),
         )
+    }
+
+    /// The owner map in [`MergedSource`] layout: table id → layer index
+    /// (cold position, or `cold.len()` for the memtable, or
+    /// [`merged::NO_OWNER`]).
+    fn owners_u32(&self) -> Vec<u32> {
+        let mem_layer = self.cold.len() as u32;
+        self.owners
+            .iter()
+            .map(|o| match o {
+                Owner::None => merged::NO_OWNER,
+                Owner::Mem => mem_layer,
+                Owner::Cold(i) => *i,
+            })
+            .collect()
+    }
+
+    /// An immutable point-in-time view of the read-relevant engine state
+    /// (corpus, memtable postings, super keys, cold stack, source epoch,
+    /// counters), shareable across threads without holding any lock on the
+    /// engine. Building one is O(layers + tables) — the payloads are
+    /// pinned by reference, not copied; later writes copy-on-write only
+    /// what they touch, so the snapshot stays bit-identical to the state
+    /// it was taken from for as long as it is held.
+    ///
+    /// The snapshot is cached until the next mutation, so back-to-back
+    /// calls between writes return the same `Arc`.
+    pub fn snapshot(&mut self) -> Arc<EngineSnapshot> {
+        if let Some(s) = &self.snapshot_cache {
+            return Arc::clone(s);
+        }
+        let values_hint = self.memtable.num_values()
+            + self
+                .cold
+                .iter()
+                .map(|l| PostingSource::num_values(&l.store))
+                .sum::<usize>();
+        let snap = Arc::new(EngineSnapshot {
+            corpus: Arc::clone(&self.corpus),
+            memtable: Arc::clone(&self.memtable),
+            cold: self.cold.clone(),
+            owners: Arc::new(self.owners_u32()),
+            hasher: self.hasher,
+            instance: self.instance,
+            epoch: self.source_epoch,
+            num_values_hint: values_hint,
+            num_postings: self.live_postings(),
+            stats: self.stats(),
+        });
+        self.snapshot_cache = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Drops the engine's cached snapshot. Every mutation path calls this
+    /// *before* touching COW state, so the copy-on-write is paid only when
+    /// an outstanding reader still pins the data.
+    fn invalidate_snapshot(&mut self) {
+        self.snapshot_cache = None;
     }
 
     /// Invalidation epoch of cached cold-layer resolutions: moves on
@@ -1258,7 +1359,7 @@ impl Engine {
 
     /// Exact live posting entries across all layers.
     pub fn live_postings(&self) -> usize {
-        self.memtable.num_postings() + self.cold.iter().map(|l| l.live_postings).sum::<usize>()
+        self.memtable.num_postings() + self.cold_live.iter().sum::<usize>()
     }
 
     /// Counter snapshot.
@@ -1268,7 +1369,7 @@ impl Engine {
             memtable_bytes: self.memtable.store.flat_bytes(),
             cold_segments: self.cold.len(),
             cold_bytes: self.cold.iter().map(|l| l.bytes).sum(),
-            cold_live_postings: self.cold.iter().map(|l| l.live_postings).sum(),
+            cold_live_postings: self.cold_live.iter().sum(),
             live_postings: self.live_postings(),
             tables: self.corpus.len(),
             flushes: self.counters.flushes,

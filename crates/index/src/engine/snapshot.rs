@@ -1,0 +1,165 @@
+//! [`EngineSnapshot`]: an owned, immutable point-in-time view of an
+//! [`Engine`](super::Engine) — the unit of Arc-snapshot serving.
+//!
+//! A snapshot pins everything a discovery query reads:
+//!
+//! * the **corpus** (per-table `Arc` spine — verification re-reads cell
+//!   values from here),
+//! * the **memtable** posting store and the global **super-key** store,
+//! * the **cold segment stack** (each layer an `Arc`d zero-copy store),
+//! * the owner map, the **source epoch**, and an [`EngineStats`] counter
+//!   snapshot.
+//!
+//! Nothing in a snapshot is behind a lock and nothing in it ever mutates:
+//! writers replace the engine's `Arc`s (copy-on-write) instead of editing
+//! shared data in place, so a query running over a snapshot is immune to
+//! concurrent flushes, compactions, and ingest — and, symmetrically, never
+//! delays them. Memory of superseded state (an old memtable store, a
+//! compacted-away segment, a pre-edit table payload) is released when the
+//! last snapshot pinning it drops.
+//!
+//! Obtain one from [`Engine::snapshot`](super::Engine::snapshot) or, on the
+//! concurrent handle, [`EngineLake::reader`](super::EngineLake::reader).
+
+use super::merged::CacheEpoch;
+use super::{ColdLayer, EngineStats, MergedSource, SourceCache};
+use crate::index::InvertedIndex;
+use crate::posting::PostingEntry;
+use crate::source::{PostingSource, ProbeCounters, ProbeScratch};
+use crate::superkeys::SuperKeyStore;
+use mate_hash::{HashSize, Xash};
+use mate_table::Corpus;
+use std::sync::Arc;
+
+/// An immutable view of the read-relevant engine state (see module docs).
+/// Cheap to clone through its `Arc`; safe to move across threads and to
+/// outlive the engine itself.
+pub struct EngineSnapshot {
+    pub(super) corpus: Arc<Corpus>,
+    pub(super) memtable: Arc<InvertedIndex>,
+    pub(super) cold: Vec<Arc<ColdLayer>>,
+    /// Table id → serving layer in [`MergedSource`] layout.
+    pub(super) owners: Arc<Vec<u32>>,
+    pub(super) hasher: Xash,
+    /// Engine instance the snapshot was taken from (cache identity).
+    pub(super) instance: u64,
+    /// [`Engine::source_epoch`](super::Engine::source_epoch) at snapshot
+    /// time.
+    pub(super) epoch: u64,
+    pub(super) num_values_hint: usize,
+    pub(super) num_postings: usize,
+    pub(super) stats: EngineStats,
+}
+
+impl std::fmt::Debug for EngineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("epoch", &self.epoch)
+            .field("tables", &self.corpus.len())
+            .field("cold_segments", &self.cold.len())
+            .field("num_postings", &self.num_postings)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EngineSnapshot {
+    /// The corpus as of snapshot time (verification reads candidate tables
+    /// from here).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The global super-key store as of snapshot time.
+    pub fn superkeys(&self) -> &SuperKeyStore {
+        self.memtable.superkeys()
+    }
+
+    /// The row hasher the engine indexes with.
+    pub fn hasher(&self) -> Xash {
+        self.hasher
+    }
+
+    /// Hash size of the super keys.
+    pub fn hash_size(&self) -> HashSize {
+        self.memtable.hash_size()
+    }
+
+    /// Cold segments in the snapshot's stack.
+    pub fn num_cold_segments(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// Serving layers (cold segments + the memtable).
+    pub fn num_layers(&self) -> usize {
+        self.cold.len() + 1
+    }
+
+    /// Exact live posting entries across all layers at snapshot time.
+    pub fn live_postings(&self) -> usize {
+        self.num_postings
+    }
+
+    /// The engine's source epoch at snapshot time. Comparing two snapshots'
+    /// epochs says whether the cold stack / ownership changed between them
+    /// (every flush, compaction, promotion, and cold tombstone bumps it).
+    pub fn source_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Engine counter values at snapshot time.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// A merged [`PostingSource`] over the snapshot's layers. Construct one
+    /// per batch of queries; it borrows the snapshot, so results are stable
+    /// no matter what the engine does meanwhile.
+    pub fn source(&self) -> MergedSource<'_> {
+        self.source_inner(None)
+    }
+
+    /// Like [`EngineSnapshot::source`], but resolving cold-layer runs
+    /// through a shared [`SourceCache`]. The cache is keyed by
+    /// `(instance, epoch)`: a snapshot taken before the cache's current
+    /// generation simply bypasses it (correct, just uncached), so stale
+    /// readers never pollute newer readers' entries — and vice versa.
+    pub fn source_cached<'a>(&'a self, cache: &'a SourceCache) -> MergedSource<'a> {
+        self.source_inner(Some(cache))
+    }
+
+    fn source_inner<'a>(&'a self, cache: Option<&'a SourceCache>) -> MergedSource<'a> {
+        let mut layers: Vec<&(dyn PostingSource + '_)> = self
+            .cold
+            .iter()
+            .map(|l| &l.store as &(dyn PostingSource + '_))
+            .collect();
+        layers.push(&self.memtable.store);
+        MergedSource::new(
+            layers,
+            Arc::clone(&self.owners),
+            self.num_values_hint,
+            self.num_postings,
+            cache.map(|c| {
+                (
+                    c,
+                    CacheEpoch {
+                        instance: self.instance,
+                        epoch: self.epoch,
+                    },
+                )
+            }),
+        )
+    }
+
+    /// Fully decodes the merged posting list of `value` (testing/tooling —
+    /// the serving path never materializes whole lists).
+    pub fn decoded_postings(&self, value: &str) -> Option<Vec<PostingEntry>> {
+        let source = self.source();
+        let mut scratch = ProbeScratch::new();
+        let handle = source.find_list(value, &mut scratch)?;
+        let mut out = Vec::with_capacity(handle.len as usize);
+        let mut counters = ProbeCounters::default();
+        source.collect_run(handle, 0, handle.len, &mut scratch, &mut out, &mut counters);
+        Some(out)
+    }
+}

@@ -13,7 +13,7 @@ use mate_table::{RowId, TableId};
 /// arena for all distinct values and one contiguous entry buffer with
 /// per-value ranges — instead of a hash map of per-value `Vec`s; see the
 /// [`crate::store`] module docs for the layout and why it is faster.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     pub(crate) store: PostingStore,
     pub(crate) superkeys: SuperKeyStore,

@@ -48,7 +48,8 @@ pub mod wal;
 pub use builder::IndexBuilder;
 pub use cold::{ColdIndex, ColdPostingStore, ListDirectory};
 pub use engine::{
-    Engine, EngineConfig, EngineLake, EngineStats, LakeReader, MergedSource, SourceCache, WalTicket,
+    Engine, EngineConfig, EngineLake, EngineSnapshot, EngineStats, LakeReader, MergedSource,
+    SourceCache, WalTicket,
 };
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;

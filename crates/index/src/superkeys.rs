@@ -8,13 +8,21 @@
 
 use mate_hash::HashSize;
 use mate_table::{RowId, TableId};
+use std::sync::Arc;
 
 /// Flat store of per-row super keys, grouped by table.
+///
+/// Each table's key payload sits behind an [`Arc`], so cloning the store is
+/// a shallow spine copy and clones share payloads copy-on-write: a mutation
+/// copies only the touched table's words (`Arc::make_mut`), never the whole
+/// store. This keeps point-in-time snapshots of the global key store (the
+/// engine's Arc-snapshot serving) cheap while preserving value semantics —
+/// a clone never observes later mutations of its source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SuperKeyStore {
     size: HashSize,
     /// `tables[t]` holds `num_rows(t) * words_per_key` words.
-    tables: Vec<Vec<u64>>,
+    tables: Vec<Arc<Vec<u64>>>,
 }
 
 impl SuperKeyStore {
@@ -67,14 +75,15 @@ impl SuperKeyStore {
     /// corpus order.
     pub fn push_table(&mut self, rows: usize) -> TableId {
         let id = TableId::from(self.tables.len());
-        self.tables.push(vec![0u64; rows * self.words_per_key()]);
+        self.tables
+            .push(Arc::new(vec![0u64; rows * self.words_per_key()]));
         id
     }
 
     /// Appends one all-zero row to `table`, returning its row id.
     pub fn push_row(&mut self, table: TableId) -> RowId {
         let wpk = self.words_per_key();
-        let t = &mut self.tables[table.index()];
+        let t = Arc::make_mut(&mut self.tables[table.index()]);
         let row = RowId::from(t.len() / wpk);
         t.extend(std::iter::repeat_n(0u64, wpk));
         row
@@ -91,12 +100,13 @@ impl SuperKeyStore {
         &self.tables[table.index()][start..start + wpk]
     }
 
-    /// Mutable access to the super key of `(table, row)`.
+    /// Mutable access to the super key of `(table, row)`. Copies the
+    /// table's payload first if it is shared with a store clone.
     #[inline]
     pub fn key_mut(&mut self, table: TableId, row: RowId) -> &mut [u64] {
         let wpk = self.words_per_key();
         let start = row.index() * wpk;
-        &mut self.tables[table.index()][start..start + wpk]
+        &mut Arc::make_mut(&mut self.tables[table.index()])[start..start + wpk]
     }
 
     /// OR-merges `words` into the key at `(table, row)`.
@@ -123,7 +133,7 @@ impl SuperKeyStore {
     /// `row`'s slot).
     pub fn swap_remove_row(&mut self, table: TableId, row: RowId) {
         let wpk = self.words_per_key();
-        let t = &mut self.tables[table.index()];
+        let t = Arc::make_mut(&mut self.tables[table.index()]);
         let nrows = t.len() / wpk;
         assert!(row.index() < nrows, "row out of bounds");
         let last = nrows - 1;
@@ -136,7 +146,9 @@ impl SuperKeyStore {
 
     /// Clears all keys of a table (tombstone semantics for table deletion).
     pub fn clear_table(&mut self, table: TableId) {
-        self.tables[table.index()].clear();
+        // Replace rather than `make_mut` + clear: no point copying a shared
+        // payload just to empty it.
+        self.tables[table.index()] = Arc::new(Vec::new());
     }
 
     /// Replaces the whole key payload of a table (used when loading).
@@ -146,12 +158,12 @@ impl SuperKeyStore {
             0,
             "misaligned key payload"
         );
-        self.tables[table.index()] = words;
+        self.tables[table.index()] = Arc::new(words);
     }
 
     /// The raw word payload of a table (used when persisting).
     pub fn table_words(&self, table: TableId) -> &[u64] {
-        &self.tables[table.index()]
+        self.tables[table.index()].as_slice()
     }
 }
 

@@ -6,11 +6,21 @@
 
 use crate::ids::TableId;
 use crate::table::Table;
+use std::sync::Arc;
 
 /// A collection of tables addressed by [`TableId`].
+///
+/// Tables sit behind per-table [`Arc`]s, so cloning a corpus is a shallow
+/// spine copy (one refcount bump per table) and two clones share table
+/// payloads until one of them mutates — [`Corpus::table_mut`] copies the
+/// touched table on demand (`Arc::make_mut`). Value semantics are
+/// unchanged: a clone never observes later mutations of its source. This
+/// is what makes point-in-time corpus snapshots (the engine's Arc-snapshot
+/// serving) affordable: a snapshot pins every table by reference, and a
+/// writer editing one table pays for copying that table only.
 #[derive(Debug, Clone, Default)]
 pub struct Corpus {
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
 }
 
 impl Corpus {
@@ -21,13 +31,15 @@ impl Corpus {
 
     /// Creates a corpus from a vector of tables; ids are assigned by position.
     pub fn from_tables(tables: Vec<Table>) -> Self {
-        Corpus { tables }
+        Corpus {
+            tables: tables.into_iter().map(Arc::new).collect(),
+        }
     }
 
     /// Adds a table and returns its id.
     pub fn add_table(&mut self, table: Table) -> TableId {
         let id = TableId::from(self.tables.len());
-        self.tables.push(table);
+        self.tables.push(Arc::new(table));
         id
     }
 
@@ -40,15 +52,17 @@ impl Corpus {
         &self.tables[id.index()]
     }
 
-    /// Mutable access to a table (used by the index-update paths).
+    /// Mutable access to a table (used by the index-update paths). If the
+    /// table is shared with a corpus clone (a snapshot), it is copied first
+    /// so the clone keeps its point-in-time view.
     #[inline]
     pub fn table_mut(&mut self, id: TableId) -> &mut Table {
-        &mut self.tables[id.index()]
+        Arc::make_mut(&mut self.tables[id.index()])
     }
 
     /// The table with the given id, or `None` if out of bounds.
     pub fn get(&self, id: TableId) -> Option<&Table> {
-        self.tables.get(id.index())
+        self.tables.get(id.index()).map(Arc::as_ref)
     }
 
     /// Number of tables.
@@ -68,17 +82,17 @@ impl Corpus {
         self.tables
             .iter()
             .enumerate()
-            .map(|(i, t)| (TableId::from(i), t))
+            .map(|(i, t)| (TableId::from(i), t.as_ref()))
     }
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::num_rows).sum()
+        self.tables.iter().map(|t| t.num_rows()).sum()
     }
 
     /// Total number of columns across all tables.
     pub fn total_cols(&self) -> usize {
-        self.tables.iter().map(Table::num_cols).sum()
+        self.tables.iter().map(|t| t.num_cols()).sum()
     }
 
     /// Total number of cells across all tables.
