@@ -86,9 +86,10 @@ pub struct DiscoveryStats {
     /// Worker threads used by the per-table loop (1 = sequential).
     pub query_threads: usize,
     /// Posting layers that served the query: 0 when probing a plain
-    /// hot/cold index directly, `cold segments + 1` when running over the
-    /// multi-segment engine (set by
-    /// [`crate::engine_query::discover_engine`]).
+    /// hot/cold index directly, `cold segments + memtable shards` when
+    /// running over the multi-segment engine (set by
+    /// [`crate::engine_query::discover_engine`]; the shard count is
+    /// [`EngineConfig::apply_shards`](mate_index::engine::EngineConfig::apply_shards)).
     pub source_layers: usize,
     /// Cold-layer resolutions answered by the lake's shared
     /// [`SourceCache`](mate_index::SourceCache) during this query (set by

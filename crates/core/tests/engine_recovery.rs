@@ -209,6 +209,79 @@ fn recovery_with_flushes_and_compaction_preserves_topk() {
     std::fs::remove_dir_all(base).ok();
 }
 
+/// Kill at **every corpus-delta-chain boundary**: after each flush the
+/// checkpoint state is `corpus-<gen>.seg` ⊕ `cdelta-<gen>-<1..=n>.seg` ⊕
+/// the WAL tail. Reopening at every chain length n (plus a trailing
+/// unflushed edit) must land bit-identical to a never-killed engine, and
+/// a stray delta past the manifest's chain (a flush killed between the
+/// delta write and the manifest flip) must be garbage-collected, not
+/// replayed.
+#[test]
+fn kill_at_every_delta_chain_boundary() {
+    let (records, query) = lake_workload(53);
+    let base = tmpdir("delta-chain");
+
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    for r in &records {
+        control.apply(r.clone()).unwrap();
+    }
+
+    // Victim: flush after every record, so each record boundary is also a
+    // delta-chain boundary — the chain grows by one per flush.
+    for cut in 1..=records.len() {
+        let dir = base.join(format!("chain{cut}"));
+        {
+            let mut e = Engine::create(&dir, config(1 << 30)).unwrap();
+            for r in &records[..cut] {
+                e.apply(r.clone()).unwrap();
+                e.flush().unwrap();
+            }
+            let s = e.stats();
+            assert_eq!(
+                s.deltas_written + s.checkpoints_skipped,
+                cut as u64,
+                "every flush extended the chain (or was corpus-clean)"
+            );
+            // Killed here, mid-chain: manifest references chain length n.
+        }
+        let mut recovered = Engine::open(&dir, config(1 << 30)).unwrap();
+        for r in &records[cut..] {
+            recovered.apply(r.clone()).unwrap();
+        }
+        assert_engines_identical(&recovered, &control, &query);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // A flush killed after writing `cdelta-<gen>-<n+1>` but before the
+    // manifest flip leaves a stray delta one past the committed chain.
+    // Recovery must ignore and delete it.
+    let dir = base.join("stray");
+    {
+        let mut e = Engine::create(&dir, config(1 << 30)).unwrap();
+        for r in &records {
+            e.apply(r.clone()).unwrap();
+        }
+        e.flush().unwrap();
+    }
+    let stray: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|f| f.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("cdelta-"))
+        .collect();
+    assert!(!stray.is_empty(), "flush must have written a delta");
+    std::fs::write(dir.join("cdelta-00000000-00000099.seg"), b"half a delta").unwrap();
+    std::fs::write(dir.join("cdelta-00000000-00000099.tmp"), b"tmp residue").unwrap();
+    let recovered = Engine::open(&dir, config(1 << 30)).unwrap();
+    assert!(!dir.join("cdelta-00000000-00000099.seg").exists());
+    assert!(!dir.join("cdelta-00000000-00000099.tmp").exists());
+    for n in &stray {
+        assert!(dir.join(n).exists(), "referenced chain file {n} kept");
+    }
+    assert_engines_identical(&recovered, &control, &query);
+    std::fs::remove_dir_all(base).ok();
+}
+
 /// A kill on either side of a **tiered** (partial) compaction's manifest
 /// flip must garbage-collect only the replaced tier's files — never a
 /// segment the live manifest still references.

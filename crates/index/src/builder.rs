@@ -166,15 +166,20 @@ fn merge_posting_stores(worker_stores: Vec<PostingStore>, threads: usize) -> Pos
         id_maps.push(map);
     }
 
-    // 2. Exact allocation: run offsets are prefix sums in value-id order, so
-    //    a contiguous chunk of value ids owns a contiguous slice of entries.
+    // 2. Exact allocation: runs are packed in value-id order, so a
+    //    contiguous chunk of value ids owns a contiguous set of run slices.
     merged.allocate_exact(&counts);
     let num_values = counts.len();
-    let (offsets, mut buf) = merged.fill_parts();
+    let mut runs = merged.run_slices_mut();
 
     // 3. Parallel fill: split value ids into `threads` chunks balanced by
-    //    entry count, hand each worker its disjoint entry slice.
-    let total: usize = counts.iter().sum();
+    //    entry count, hand each worker its disjoint run slices.
+    let mut offsets: Vec<usize> = Vec::with_capacity(num_values);
+    let mut total = 0usize;
+    for &n in &counts {
+        offsets.push(total);
+        total += n;
+    }
     let per_chunk = total.div_ceil(threads.max(1)).max(1);
     let mut chunks: Vec<(usize, usize)> = Vec::new(); // value-id ranges
     {
@@ -192,39 +197,32 @@ fn merge_posting_stores(worker_stores: Vec<PostingStore>, threads: usize) -> Pos
 
     crossbeam::thread::scope(|scope| {
         let stores = &worker_stores;
-        let offsets = &offsets;
         let id_maps = &id_maps;
+        let mut rest: &mut [&mut [PostingEntry]] = &mut runs;
         for &(lo, hi) in &chunks {
-            let base = offsets[lo];
-            let width = if hi < num_values {
-                offsets[hi] - base
-            } else {
-                total - base
-            };
-            let (head, tail) = buf.split_at_mut(width);
-            buf = tail;
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
             scope.spawn(move |_| {
-                fill_chunk(stores, id_maps, offsets, lo, hi, base, head);
+                fill_chunk(stores, id_maps, lo, hi, head);
             });
         }
     })
     .expect("posting merge worker panicked");
+    drop(runs);
 
     merged
 }
 
-/// Copies every worker's run for merged value ids `[lo, hi)` into `out`
-/// (the slice of the merged entry buffer starting at global offset `base`),
-/// then sorts each merged run. Worker-local ids resolve through the
-/// precomputed `id_maps` — no text lookups.
+/// Copies every worker's run for merged value ids `[lo, hi)` into the
+/// corresponding run slices (`runs[vid - lo]`), then sorts each merged run.
+/// Worker-local ids resolve through the precomputed `id_maps` — no text
+/// lookups.
 fn fill_chunk(
     stores: &[PostingStore],
     id_maps: &[Vec<u32>],
-    offsets: &[usize],
     lo: usize,
     hi: usize,
-    base: usize,
-    out: &mut [PostingEntry],
+    runs: &mut [&mut [PostingEntry]],
 ) {
     let mut cursor = vec![0usize; hi - lo];
     for (store, map) in stores.iter().zip(id_maps) {
@@ -234,14 +232,13 @@ fn fill_chunk(
                 continue;
             }
             let pl = store.postings(local as u32);
-            let at = offsets[vid] - base + cursor[vid - lo];
-            out[at..at + pl.len()].copy_from_slice(pl);
+            let at = cursor[vid - lo];
+            runs[vid - lo][at..at + pl.len()].copy_from_slice(pl);
             cursor[vid - lo] += pl.len();
         }
     }
-    for (i, &cur) in cursor.iter().enumerate() {
-        let at = offsets[lo + i] - base;
-        out[at..at + cur].sort_unstable();
+    for run in runs.iter_mut() {
+        run.sort_unstable();
     }
 }
 

@@ -67,8 +67,11 @@
 //! [`DurableLake`]: ../../mate_core/durable/struct.DurableLake.html
 
 use super::merged::SourceCache;
-use super::{Engine, EngineConfig, EngineSnapshot, EngineStats, MergedSource, WalTicket};
+use super::{
+    prepare_insert, Engine, EngineConfig, EngineSnapshot, EngineStats, MergedSource, WalTicket,
+};
 use crate::wal::WalRecord;
+use mate_hash::Xash;
 use mate_storage::StorageError;
 use mate_table::{Table, TableId};
 use parking_lot::RwLock;
@@ -106,6 +109,10 @@ struct CommitQueue {
 /// writers (see module docs).
 pub struct EngineLake {
     engine: RwLock<Engine>,
+    /// Copy of the engine's row hasher, so [`EngineLake::insert_table`]
+    /// can run phase A of the staged protocol (per-row super-key hashing)
+    /// without touching the engine lock.
+    hasher: Xash,
     cache: Arc<SourceCache>,
     /// The most recently published snapshot — always valid, replaced (never
     /// mutated) under the engine write lock after every write batch.
@@ -169,8 +176,10 @@ impl EngineLake {
             file: engine.wal_try_clone().ok().map(Arc::new),
         };
         let published = engine.snapshot();
+        let hasher = engine.hasher;
         EngineLake {
             engine: RwLock::new(engine),
+            hasher,
             cache: Arc::new(SourceCache::new()),
             published: Mutex::new(published),
             commit: Mutex::new(queue),
@@ -231,16 +240,34 @@ impl EngineLake {
 
     /// Convenience: insert a table durably; returns its id (allocated
     /// under the write lock, so concurrent inserters get distinct ids).
+    ///
+    /// This is the staged fast path: per-row super-key hashing (phase A)
+    /// runs before any lock is taken, the engine write lock covers only
+    /// the WAL frame append plus the O(1) corpus/super-key install
+    /// (phase B), and the posting fill (phase C) runs under the target
+    /// shard's latch alone — inserters whose tables land on different
+    /// shards fill concurrently. The snapshot is republished (after a
+    /// rendezvous) once the fill completes, so readers never observe a
+    /// half-filled table.
     pub fn insert_table(&self, table: Table) -> Result<TableId, StorageError> {
-        let (ticket, id) = {
+        let prep = prepare_insert(&table, &self.hasher);
+        let (ticket, task) = {
             let mut engine = self.engine.write();
-            let id = TableId::from(engine.corpus().len());
-            let ticket = engine.apply_nosync(WalRecord::InsertTable { table })?;
+            let staged = engine.stage_nosync(table, prep);
+            // Publish WAL progress so a concurrent leader's fsync can
+            // cover this frame, but do NOT publish a snapshot yet: that
+            // would rendezvous on our own still-unrun task.
+            self.refresh_commit(&engine);
+            staged?
+        };
+        let id = task.tid;
+        task.run();
+        {
+            let mut engine = self.engine.write();
             let budget = self.flush_budget(&mut engine);
             self.finish_write(&mut engine);
             budget?;
-            (ticket, id)
-        };
+        }
         self.wait_durable(ticket)?;
         Ok(id)
     }

@@ -53,6 +53,11 @@ pub struct Manifest {
     pub hasher_name: String,
     /// Generation of the live corpus checkpoint (`corpus-<gen>.seg`).
     pub corpus_gen: u64,
+    /// Length of the incremental delta chain stacked on the checkpoint:
+    /// recovery loads `corpus-<gen>.seg`, then applies
+    /// `cdelta-<gen>-<1..=seq>.seg` in order. Zero means the checkpoint is
+    /// monolithic (deltas fold into a fresh generation at compaction).
+    pub corpus_delta_seq: u64,
     /// WAL watermark: sequence of the active log (`wal-<seq>.log`); older
     /// logs are fully folded into the stack and checkpoint.
     pub wal_seq: u64,
@@ -70,6 +75,7 @@ impl Manifest {
         w.put_varint(self.hash_bits);
         w.put_str(&self.hasher_name);
         w.put_varint(self.corpus_gen);
+        w.put_varint(self.corpus_delta_seq);
         w.put_varint(self.wal_seq);
         w.put_varint(self.next_segment_id);
         w.put_varint(self.segments.len() as u64);
@@ -91,6 +97,7 @@ impl Manifest {
         let hash_bits = r.get_varint()?;
         let hasher_name = r.get_str()?;
         let corpus_gen = r.get_varint()?;
+        let corpus_delta_seq = r.get_varint()?;
         let wal_seq = r.get_varint()?;
         let next_segment_id = r.get_varint()?;
         let n = r.get_varint()? as usize;
@@ -116,6 +123,7 @@ impl Manifest {
             hash_bits,
             hasher_name,
             corpus_gen,
+            corpus_delta_seq,
             wal_seq,
             next_segment_id,
             segments,
@@ -142,6 +150,7 @@ mod tests {
             hash_bits: 128,
             hasher_name: "Xash".to_string(),
             corpus_gen: 3,
+            corpus_delta_seq: 2,
             wal_seq: 7,
             next_segment_id: 5,
             segments: vec![
@@ -204,6 +213,7 @@ mod tests {
         let mut w = Writer::new();
         w.put_varint(128);
         w.put_str("Xash");
+        w.put_varint(0);
         w.put_varint(0);
         w.put_varint(0);
         w.put_varint(0);

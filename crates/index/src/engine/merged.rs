@@ -29,9 +29,30 @@
 
 use crate::posting::PostingEntry;
 use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
+use crate::store::PostingStore;
 use mate_hash::fx::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// One layer of a [`MergedSource`]: either borrowed from the engine /
+/// snapshot that built the source (cold stores, snapshot-held shard
+/// stores), or pinned by refcount (live memtable shard stores, which sit
+/// behind per-shard latches and cannot be borrowed for the source's
+/// lifetime — the pin makes later shard writes copy-on-write instead of
+/// mutating under the reader).
+pub(crate) enum LayerRef<'a> {
+    Ref(&'a (dyn PostingSource + 'a)),
+    Pinned(Arc<PostingStore>),
+}
+
+impl LayerRef<'_> {
+    pub(crate) fn get(&self) -> &(dyn PostingSource + '_) {
+        match self {
+            LayerRef::Ref(l) => *l,
+            LayerRef::Pinned(s) => s.as_ref(),
+        }
+    }
+}
 
 /// Recovers a read guard even if a previous holder panicked. The caches in
 /// this module are *memoization* state: every entry is re-derivable from
@@ -168,8 +189,13 @@ struct Registry {
 
 /// A read-only union of posting layers with newest-wins table masking.
 pub struct MergedSource<'a> {
-    /// Cold segment stores oldest → newest, then the memtable store.
-    layers: Vec<&'a (dyn PostingSource + 'a)>,
+    /// Cold segment stores oldest → newest, then the memtable shard
+    /// stores.
+    layers: Vec<LayerRef<'a>>,
+    /// How many leading entries of `layers` are cold segments; the rest
+    /// are memtable shards. Cold resolutions are cacheable across queries,
+    /// memtable runs never are.
+    num_cold: usize,
     /// Table id → index into `layers` of its owner, or [`NO_OWNER`].
     /// Shared with the engine snapshot that built this source, so
     /// constructing a source per query costs no owner-map copy.
@@ -196,15 +222,18 @@ impl std::fmt::Debug for MergedSource<'_> {
 
 impl<'a> MergedSource<'a> {
     pub(crate) fn new(
-        layers: Vec<&'a (dyn PostingSource + 'a)>,
+        layers: Vec<LayerRef<'a>>,
+        num_cold: usize,
         owners: Arc<Vec<u32>>,
         num_values_hint: usize,
         num_postings: usize,
         cache: Option<(&'a SourceCache, CacheEpoch)>,
     ) -> Self {
         assert!(!layers.is_empty(), "merged source needs at least one layer");
+        assert!(num_cold < layers.len(), "at least one memtable layer");
         MergedSource {
             layers,
+            num_cold,
             owners,
             num_values_hint,
             num_postings,
@@ -213,7 +242,7 @@ impl<'a> MergedSource<'a> {
         }
     }
 
-    /// Number of layers in the union (cold segments + memtable).
+    /// Number of layers in the union (cold segments + memtable shards).
     pub fn num_layers(&self) -> usize {
         self.layers.len()
     }
@@ -234,7 +263,7 @@ impl<'a> MergedSource<'a> {
         runs: &mut Vec<MergedRun>,
         total: &mut u32,
     ) -> Option<ListHandle> {
-        let layer = self.layers[li];
+        let layer = self.layers[li].get();
         let handle = layer.find_list(value, scratch);
         if let Some(h) = handle {
             let mut at = 0u32;
@@ -259,7 +288,7 @@ impl<'a> MergedSource<'a> {
     /// [`SourceCache`] when it holds a same-generation entry, otherwise by
     /// walking the cold layers (and filling the cache).
     fn resolve_cold(&self, value: &str, scratch: &mut ProbeScratch) -> ResolvedList {
-        let mem_layer = self.layers.len() - 1;
+        let num_cold = self.num_cold;
         if let Some((cache, key)) = self.cache {
             {
                 let inner = read_lock(&cache.inner);
@@ -270,7 +299,7 @@ impl<'a> MergedSource<'a> {
                             Some(id) => inner.registry.lists[id as usize].clone(),
                             None => ResolvedList {
                                 total: 0,
-                                handles: vec![None; mem_layer],
+                                handles: vec![None; num_cold],
                                 runs: Vec::new(),
                             },
                         };
@@ -282,10 +311,10 @@ impl<'a> MergedSource<'a> {
 
         // Walk the cold layers outside any cache lock (decoding may be
         // slow).
-        let mut handles: Vec<Option<ListHandle>> = Vec::with_capacity(mem_layer);
+        let mut handles: Vec<Option<ListHandle>> = Vec::with_capacity(num_cold);
         let mut runs: Vec<MergedRun> = Vec::new();
         let mut total = 0u32;
-        for li in 0..mem_layer {
+        for li in 0..num_cold {
             let handle = self.walk_layer(li, value, scratch, &mut runs, &mut total);
             handles.push(handle);
         }
@@ -344,18 +373,19 @@ impl<'a> MergedSource<'a> {
             }
         }
 
-        // Miss: cold prefix (shared cache or layer walk), then a fresh
-        // memtable probe — memtable contents change with every write and
-        // are never cached across queries.
+        // Miss: cold prefix (shared cache or layer walk), then fresh
+        // memtable shard probes — memtable contents change with every
+        // write and are never cached across queries.
         let cold = self.resolve_cold(value, scratch);
         let ResolvedList {
             mut total,
             mut handles,
             mut runs,
         } = cold;
-        let mem_layer = self.layers.len() - 1;
-        let mem_handle = self.walk_layer(mem_layer, value, scratch, &mut runs, &mut total);
-        handles.push(mem_handle);
+        for li in self.num_cold..self.layers.len() {
+            let mem_handle = self.walk_layer(li, value, scratch, &mut runs, &mut total);
+            handles.push(mem_handle);
+        }
 
         let mut reg = write_lock(&self.registry);
         // A concurrent resolver may have won the race; keep the first entry
@@ -423,7 +453,7 @@ impl PostingSource for MergedSource<'_> {
             let off = pos - run.virt_start;
             let take = (run.len - off).min(remaining);
             let handle = merged.handles[run.layer as usize].expect("run without a layer list");
-            self.layers[run.layer as usize].collect_run(
+            self.layers[run.layer as usize].get().collect_run(
                 handle,
                 run.layer_start + off,
                 take,
@@ -482,7 +512,14 @@ mod tests {
     #[test]
     fn masking_and_virtual_order() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
+        let src = MergedSource::new(
+            vec![LayerRef::Ref(&old), LayerRef::Ref(&new)],
+            1,
+            Arc::new(owners),
+            0,
+            6,
+            None,
+        );
         let mut scratch = ProbeScratch::new();
 
         let h = src.find_list("a", &mut scratch).unwrap();
@@ -507,7 +544,14 @@ mod tests {
     #[test]
     fn partial_collects_cross_layer_boundaries() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
+        let src = MergedSource::new(
+            vec![LayerRef::Ref(&old), LayerRef::Ref(&new)],
+            1,
+            Arc::new(owners),
+            0,
+            6,
+            None,
+        );
         let mut scratch = ProbeScratch::new();
         let h = src.find_list("a", &mut scratch).unwrap();
         let mut counters = ProbeCounters::default();
@@ -524,7 +568,14 @@ mod tests {
     #[test]
     fn memoization_is_stable() {
         let (old, new, owners) = setup();
-        let src = MergedSource::new(vec![&old, &new], Arc::new(owners), 0, 6, None);
+        let src = MergedSource::new(
+            vec![LayerRef::Ref(&old), LayerRef::Ref(&new)],
+            1,
+            Arc::new(owners),
+            0,
+            6,
+            None,
+        );
         let mut scratch = ProbeScratch::new();
         let h1 = src.find_list("a", &mut scratch).unwrap();
         let h2 = src.find_list("a", &mut scratch).unwrap();

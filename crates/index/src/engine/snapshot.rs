@@ -5,7 +5,8 @@
 //!
 //! * the **corpus** (per-table `Arc` spine — verification re-reads cell
 //!   values from here),
-//! * the **memtable** posting store and the global **super-key** store,
+//! * the **memtable shard** posting stores and the global **super-key**
+//!   store,
 //! * the **cold segment stack** (each layer an `Arc`d zero-copy store),
 //! * the owner map, the **source epoch**, and an [`EngineStats`] counter
 //!   snapshot.
@@ -21,13 +22,13 @@
 //! Obtain one from [`Engine::snapshot`](super::Engine::snapshot) or, on the
 //! concurrent handle, [`EngineLake::reader`](super::EngineLake::reader).
 
-use super::merged::CacheEpoch;
+use super::merged::{CacheEpoch, LayerRef};
 use super::{ColdLayer, EngineStats, MergedSource, SourceCache};
-use crate::index::InvertedIndex;
 use crate::posting::PostingEntry;
 use crate::source::{PostingSource, ProbeCounters, ProbeScratch};
+use crate::store::PostingStore;
 use crate::superkeys::SuperKeyStore;
-use mate_hash::{HashSize, Xash};
+use mate_hash::{HashSize, RowHasher, Xash};
 use mate_table::Corpus;
 use std::sync::Arc;
 
@@ -36,7 +37,10 @@ use std::sync::Arc;
 /// outlive the engine itself.
 pub struct EngineSnapshot {
     pub(super) corpus: Arc<Corpus>,
-    pub(super) memtable: Arc<InvertedIndex>,
+    /// Memtable shard stores, pinned by refcount (shard order — layer
+    /// `cold.len() + i` in [`MergedSource`] layout).
+    pub(super) mem: Vec<Arc<PostingStore>>,
+    pub(super) superkeys: Arc<SuperKeyStore>,
     pub(super) cold: Vec<Arc<ColdLayer>>,
     /// Table id → serving layer in [`MergedSource`] layout.
     pub(super) owners: Arc<Vec<u32>>,
@@ -71,7 +75,7 @@ impl EngineSnapshot {
 
     /// The global super-key store as of snapshot time.
     pub fn superkeys(&self) -> &SuperKeyStore {
-        self.memtable.superkeys()
+        &self.superkeys
     }
 
     /// The row hasher the engine indexes with.
@@ -81,7 +85,7 @@ impl EngineSnapshot {
 
     /// Hash size of the super keys.
     pub fn hash_size(&self) -> HashSize {
-        self.memtable.hash_size()
+        self.hasher.hash_size()
     }
 
     /// Cold segments in the snapshot's stack.
@@ -89,9 +93,9 @@ impl EngineSnapshot {
         self.cold.len()
     }
 
-    /// Serving layers (cold segments + the memtable).
+    /// Serving layers (cold segments + the memtable shards).
     pub fn num_layers(&self) -> usize {
-        self.cold.len() + 1
+        self.cold.len() + self.mem.len()
     }
 
     /// Exact live posting entries across all layers at snapshot time.
@@ -128,14 +132,18 @@ impl EngineSnapshot {
     }
 
     fn source_inner<'a>(&'a self, cache: Option<&'a SourceCache>) -> MergedSource<'a> {
-        let mut layers: Vec<&(dyn PostingSource + '_)> = self
+        let mut layers: Vec<LayerRef<'a>> = self
             .cold
             .iter()
-            .map(|l| &l.store as &(dyn PostingSource + '_))
+            .map(|l| LayerRef::Ref(&l.store as &(dyn PostingSource + '_)))
             .collect();
-        layers.push(&self.memtable.store);
+        // The snapshot owns its pins; borrowing them is enough here.
+        for store in &self.mem {
+            layers.push(LayerRef::Ref(store.as_ref()));
+        }
         MergedSource::new(
             layers,
+            self.cold.len(),
             Arc::clone(&self.owners),
             self.num_values_hint,
             self.num_postings,

@@ -119,6 +119,77 @@ pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, StorageError> {
     corpus_from_bytes(Bytes::from(std::fs::read(path)?))
 }
 
+/// Serializes an incremental corpus delta: the **full current content** of
+/// each listed table (id, name, columns, raw cells). A delta is a
+/// table-granular snapshot, not an operation log — applying it over any
+/// base that has at least `id` tables replaces (or appends, when
+/// `id == len`) those tables wholesale, so replaying a delta chain in
+/// order reproduces the corpus no matter what earlier deltas said about
+/// the same tables. The engine writes one per flush, covering exactly the
+/// tables dirtied since the previous checkpoint.
+pub(crate) fn corpus_delta_to_bytes(corpus: &Corpus, tables: &[u32]) -> Bytes {
+    let mut w = Writer::new();
+    w.put_varint(tables.len() as u64);
+    for &t in tables {
+        let table = corpus.table(TableId(t));
+        w.put_varint(u64::from(t));
+        w.put_str(&table.name);
+        w.put_varint(table.num_cols() as u64);
+        w.put_varint(table.num_rows() as u64);
+        for col in table.columns() {
+            w.put_str(&col.name);
+            for v in &col.values {
+                w.put_str(v);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Applies a [`corpus_delta_to_bytes`] payload on top of `corpus`.
+/// Table ids beyond one past the current length are structurally invalid
+/// (a delta chain is replayed in write order, so appends arrive densely).
+pub(crate) fn apply_corpus_delta(corpus: &mut Corpus, payload: Bytes) -> Result<(), StorageError> {
+    let mut r = Reader::new(payload);
+    let ntables = r.get_varint()? as usize;
+    if ntables > r.remaining() {
+        return Err(StorageError::InvalidLength {
+            context: "corpus delta table count",
+            value: ntables as u64,
+        });
+    }
+    for _ in 0..ntables {
+        let id = r.get_varint()? as usize;
+        let name = r.get_str()?;
+        let ncols = r.get_varint()? as usize;
+        let nrows = r.get_varint()? as usize;
+        let mut columns = Vec::with_capacity(ncols.min(r.remaining()));
+        for _ in 0..ncols {
+            let col_name = r.get_str()?;
+            let mut values = Vec::with_capacity(nrows.min(r.remaining()));
+            for _ in 0..nrows {
+                values.push(r.get_str()?);
+            }
+            columns.push(Column {
+                name: col_name,
+                values,
+            });
+        }
+        let table = Table::new(name, columns);
+        if id == corpus.len() {
+            corpus.add_table(table);
+        } else if id < corpus.len() {
+            *corpus.table_mut(TableId::from(id)) = table;
+        } else {
+            return Err(StorageError::InvalidLength {
+                context: "corpus delta table id",
+                value: id as u64,
+            });
+        }
+    }
+    Ok(())
+}
+
 // ----------------------------------------------------------------- index --
 
 /// Shared meta block: hash size, hasher name, table count.
@@ -153,7 +224,9 @@ fn superkeys_block(superkeys: &SuperKeyStore) -> Bytes {
 /// v2 super-key block: per row, the key's set-bit positions Rice-coded
 /// ([`mate_storage::bitset`]) — super keys are sparse (a handful of bits per
 /// cell, OR-ed per row), so this is the segment's biggest single win.
-fn superkeys_block_v2(superkeys: &SuperKeyStore) -> Bytes {
+/// `pub(crate)` because the engine's sharded flush assembles its segment
+/// blocks directly from the global super-key store.
+pub(crate) fn superkeys_block_v2(superkeys: &SuperKeyStore) -> Bytes {
     let mut keys = Writer::new();
     let ntables = superkeys.num_tables();
     let wpk = superkeys.words_per_key();
@@ -908,5 +981,85 @@ mod tests {
         }
         sw.add_block("index.postings3", Bytes::from(p3));
         assert!(cold_index_from_bytes(sw.finish()).is_err());
+    }
+
+    #[test]
+    fn delta_rejects_sparse_table_id() {
+        let mut w = Writer::new();
+        w.put_varint(1); // one table
+        w.put_varint(5); // id 5 over an empty corpus: a gap
+        w.put_str("ghost");
+        w.put_varint(0);
+        w.put_varint(0);
+        let mut c = Corpus::new();
+        assert!(apply_corpus_delta(&mut c, w.finish()).is_err());
+    }
+
+    use proptest::prelude::{prop_assert_eq, ProptestConfig};
+
+    proptest::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Folding a base checkpoint through any chain of table-granular
+        /// deltas is bit-identical to a monolithic checkpoint of the final
+        /// corpus — including deltas that re-cover the same table (last
+        /// wins) and deltas that append new tables.
+        #[test]
+        fn delta_chain_fold_equals_monolithic_checkpoint(
+            base_tables in 0usize..5,
+            steps in proptest::collection::vec(
+                (0usize..7, 0usize..4, proptest::collection::vec("[a-c]{0,3}", 1..6)),
+                1..6,
+            ),
+        ) {
+            // Base corpus.
+            let mut live = Corpus::new();
+            for i in 0..base_tables {
+                live.add_table(
+                    TableBuilder::new(format!("base{i}"), ["k", "v"])
+                        .row([format!("key-{i}"), "shared".to_string()])
+                        .build(),
+                );
+            }
+            let mut folded = corpus_from_bytes(corpus_to_bytes(&live)).unwrap();
+
+            // Each step mutates/appends some tables in the live corpus and
+            // writes a delta covering exactly those ids.
+            for (slot, ncols, cells) in steps {
+                let id = slot.min(live.len()); // append when == len
+                let cols: Vec<String> = (0..=ncols).map(|c| format!("c{c}")).collect();
+                let mut tb = TableBuilder::new(format!("tbl-{id}-{ncols}"), cols);
+                for chunk in cells.chunks(ncols + 1) {
+                    let mut row: Vec<String> = chunk.to_vec();
+                    row.resize(ncols + 1, String::new());
+                    tb = tb.row(row);
+                }
+                let table = tb.build();
+                if id == live.len() {
+                    live.add_table(table);
+                } else {
+                    *live.table_mut(TableId::from(id)) = table;
+                }
+                let delta = corpus_delta_to_bytes(&live, &[id as u32]);
+                apply_corpus_delta(&mut folded, delta).unwrap();
+            }
+
+            // The fold must equal a monolithic checkpoint of the live
+            // corpus, down to the serialized bytes.
+            prop_assert_eq!(live.len(), folded.len());
+            for (tid, t) in live.iter() {
+                prop_assert_eq!(t, folded.table(tid));
+            }
+            prop_assert_eq!(corpus_to_bytes(&live), corpus_to_bytes(&folded));
+
+            // And a delta covering *every* table over the old base is a
+            // full resync: idempotent to apply twice.
+            let all: Vec<u32> = (0..live.len() as u32).collect();
+            let resync = corpus_delta_to_bytes(&live, &all);
+            let mut twice = corpus_from_bytes(corpus_to_bytes(&folded)).unwrap();
+            apply_corpus_delta(&mut twice, resync.clone()).unwrap();
+            apply_corpus_delta(&mut twice, resync).unwrap();
+            prop_assert_eq!(corpus_to_bytes(&twice), corpus_to_bytes(&live));
+        }
     }
 }

@@ -1,15 +1,18 @@
-//! Flattened, arena-backed posting storage.
+//! Flattened, arena-backed posting storage with copy-on-write chunks.
 //!
 //! The seed implementation kept postings in a
 //! `FxHashMap<Box<str>, Vec<PostingEntry>>`: one heap allocation per distinct
 //! value for the key, another for the posting `Vec`, and a pointer chase per
-//! lookup. [`PostingStore`] flattens all of that into four big buffers:
+//! lookup. [`PostingStore`] flattens all of that into a handful of big
+//! buffers:
 //!
 //! * `arena` — every distinct value's bytes, concatenated;
 //! * `spans` — per value id, the `(offset, len)` of its bytes in `arena`;
-//! * `entries` — **all** posting entries in one contiguous `Vec`, each
-//!   value's live entries forming one contiguous run;
-//! * `ranges` — per value id, the `(offset, len, capacity)` of its run.
+//! * `chunks` — **all** posting entries, stored as a sequence of
+//!   `Arc<Vec<PostingEntry>>` chunks of at most `CHUNK_CAP` slots; each
+//!   value's live entries form one contiguous run inside a single chunk;
+//! * `ranges` — per value id, the `(chunk, offset, len, capacity)` of its
+//!   run.
 //!
 //! Lookup goes through an open-addressing table (`value → value id`, FxHash,
 //! linear probing) instead of a general-purpose hash map, so interning a
@@ -18,21 +21,53 @@
 //! first-intern order), which the index builder exploits to replace its
 //! value→hash cache map with a plain `Vec` indexed by value id.
 //!
+//! Chunking exists for the engine's snapshot path: a published snapshot
+//! holds a clone of the memtable store, and the first write after a publish
+//! must copy-on-write. With a single entries `Vec` that copy was
+//! proportional to the whole memtable (the PR-5 cliff); with `Arc` chunks a
+//! clone shares every chunk pointer and a write copies only the one chunk
+//! (≤ `CHUNK_CAP` entries) it touches via `Arc::make_mut`. The small
+//! side tables (arena, spans, ranges, lookup table) are still copied
+//! wholesale — posting entries dominate memtable bytes, so that is the
+//! cheap part by design.
+//!
 //! Mutation (the §5.4 incremental updates) uses a slab discipline: a run
-//! that outgrows its capacity is relocated to the tail of `entries` with
-//! doubled capacity, leaving a dead hole that a compaction sweep reclaims
-//! once holes exceed half the buffer. Appends during bulk builds are
-//! amortized O(1); the build finishes with [`PostingStore::compact`], which
-//! packs runs back-to-back in value-id order with zero slack.
+//! that outgrows its capacity is relocated to the tail chunk with doubled
+//! capacity, leaving a dead hole that a compaction sweep reclaims once
+//! holes exceed half the allocated slots. Runs never span chunks; a run
+//! larger than `CHUNK_CAP` gets a dedicated oversized chunk of its own.
+//! Appends during bulk builds are amortized O(1); the build finishes with
+//! [`PostingStore::compact`], which packs runs back-to-back in value-id
+//! order with zero slack.
 
 use crate::posting::PostingEntry;
 use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
 
-/// One value's run inside [`PostingStore::entries`].
+/// Maximum slots per entries chunk (larger runs get a dedicated chunk).
+/// 4096 × 12-byte entries ≈ 48 KiB: small enough that a post-publish COW
+/// copies a bounded sliver, large enough that chunk bookkeeping is noise.
+pub(crate) const CHUNK_CAP: usize = 4096;
+
+/// Hash-partitions a table id over `n` memtable shards (Fibonacci hashing
+/// so consecutive table ids spread instead of clustering). All writers of
+/// the engine's sharded apply path must agree on this mapping.
+#[inline]
+pub(crate) fn shard_of(table: u32, n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (table.wrapping_mul(0x9E37_79B9) >> 16) as usize % n
+    }
+}
+
+/// One value's run inside [`PostingStore`]'s chunked entry storage.
 #[derive(Debug, Clone, Copy)]
 struct PlRange {
-    /// First slot of the run.
-    off: usize,
+    /// Chunk holding the run.
+    chunk: u32,
+    /// First slot of the run within its chunk.
+    off: u32,
     /// Live entries.
     len: u32,
     /// Allocated slots (`len..cap` is slack).
@@ -42,7 +77,7 @@ struct PlRange {
 const EMPTY_SLOT: u32 = 0;
 
 /// Arena-backed posting storage: all distinct values interned into one
-/// string arena, all posting entries in one contiguous buffer.
+/// string arena, all posting entries in chunked copy-on-write buffers.
 #[derive(Debug, Clone)]
 pub struct PostingStore {
     arena: String,
@@ -52,8 +87,9 @@ pub struct PostingStore {
     hashes: Vec<u64>,
     /// Value id → run of posting entries.
     ranges: Vec<PlRange>,
-    /// All posting entries; per-value runs are contiguous.
-    entries: Vec<PostingEntry>,
+    /// All posting entries; per-value runs are contiguous within one chunk.
+    /// `Arc` so a cloned store shares chunks until a write COWs one.
+    chunks: Vec<Arc<Vec<PostingEntry>>>,
     /// Open-addressing lookup table holding `value id + 1` (0 = empty).
     /// Length is always a power of two.
     table: Vec<u32>,
@@ -61,7 +97,9 @@ pub struct PostingStore {
     live_values: usize,
     /// Total live posting entries.
     live_postings: usize,
-    /// Dead slots in `entries` (abandoned by relocations/removals).
+    /// Total allocated slots across all chunks.
+    slots: usize,
+    /// Dead slots (abandoned by relocations/removals).
     dead: usize,
 }
 
@@ -79,10 +117,11 @@ impl PostingStore {
             spans: Vec::new(),
             hashes: Vec::new(),
             ranges: Vec::new(),
-            entries: Vec::new(),
+            chunks: Vec::new(),
             table: vec![EMPTY_SLOT; 16],
             live_values: 0,
             live_postings: 0,
+            slots: 0,
             dead: 0,
         }
     }
@@ -156,7 +195,8 @@ impl PostingStore {
         self.arena.push_str(value);
         self.hashes.push(hash);
         self.ranges.push(PlRange {
-            off: self.entries.len(),
+            chunk: 0,
+            off: 0,
             len: 0,
             cap: 0,
         });
@@ -207,7 +247,10 @@ impl PostingStore {
     #[inline]
     pub fn postings(&self, vid: u32) -> &[PostingEntry] {
         let r = self.ranges[vid as usize];
-        &self.entries[r.off..r.off + r.len as usize]
+        if r.len == 0 {
+            return &[];
+        }
+        &self.chunks[r.chunk as usize][r.off as usize..(r.off + r.len) as usize]
     }
 
     /// Posting list of `value`, or `None` if the value is unknown or all its
@@ -238,13 +281,34 @@ impl PostingStore {
 
     // ---------------------------------------------------------- mutation --
 
+    /// Allocates `n` placeholder slots at the tail: extends the last chunk
+    /// when the run fits, otherwise opens a new chunk (dedicated when
+    /// `n > CHUNK_CAP`). Returns the `(chunk, offset)` of the new slots.
+    fn alloc(&mut self, n: usize) -> (u32, u32) {
+        debug_assert!(n > 0, "alloc of zero slots");
+        let zero = PostingEntry::new(0u32, 0u32, 0u32);
+        if n <= CHUNK_CAP {
+            if let Some(last) = self.chunks.last_mut() {
+                let off = last.len();
+                if off + n <= CHUNK_CAP {
+                    Arc::make_mut(last).resize(off + n, zero);
+                    self.slots += n;
+                    return ((self.chunks.len() - 1) as u32, off as u32);
+                }
+            }
+        }
+        self.chunks.push(Arc::new(vec![zero; n]));
+        self.slots += n;
+        ((self.chunks.len() - 1) as u32, 0)
+    }
+
     /// Makes room for one more entry in `vid`'s run, relocating it to the
     /// tail with doubled capacity when full.
     fn ensure_room(&mut self, vid: u32) {
         // Compact *before* growing, never after: compaction resets every
         // run to `cap == len`, so running it later would destroy the slack
         // this call is about to hand to the caller.
-        if self.dead > self.entries.len() / 2 && self.entries.len() > 1024 {
+        if self.dead > self.slots / 2 && self.slots > 1024 {
             self.compact();
         }
         let r = self.ranges[vid as usize];
@@ -252,24 +316,24 @@ impl PostingStore {
             return;
         }
         let new_cap = (r.cap * 2).max(4);
-        if r.off + r.cap as usize == self.entries.len() {
-            // Run already at the tail: extend in place.
-            self.entries.resize(
-                r.off + new_cap as usize,
-                PostingEntry::new(0u32, 0u32, 0u32),
-            );
+        let zero = PostingEntry::new(0u32, 0u32, 0u32);
+        let at_tail = r.chunk as usize + 1 == self.chunks.len()
+            && (r.off + r.cap) as usize == self.chunks[r.chunk as usize].len();
+        if at_tail && (r.off == 0 || (r.off + new_cap) as usize <= CHUNK_CAP) {
+            // Run at the tail of the last chunk: extend in place. A run
+            // starting at offset 0 owns its chunk outright and may grow
+            // past CHUNK_CAP (oversized dedicated chunk).
+            let chunk = Arc::make_mut(&mut self.chunks[r.chunk as usize]);
+            chunk.resize((r.off + new_cap) as usize, zero);
+            self.slots += (new_cap - r.cap) as usize;
         } else {
-            let new_off = self.entries.len();
-            self.entries.reserve(new_cap as usize);
-            for i in 0..r.len as usize {
-                self.entries.push(self.entries[r.off + i]);
-            }
-            self.entries.resize(
-                new_off + new_cap as usize,
-                PostingEntry::new(0u32, 0u32, 0u32),
-            );
+            let run: Vec<PostingEntry> = self.postings(vid).to_vec();
+            let (chunk, off) = self.alloc(new_cap as usize);
+            let dst = Arc::make_mut(&mut self.chunks[chunk as usize]);
+            dst[off as usize..off as usize + run.len()].copy_from_slice(&run);
             self.dead += r.cap as usize;
-            self.ranges[vid as usize].off = new_off;
+            self.ranges[vid as usize].chunk = chunk;
+            self.ranges[vid as usize].off = off;
         }
         self.ranges[vid as usize].cap = new_cap;
     }
@@ -280,12 +344,12 @@ impl PostingStore {
     pub fn append(&mut self, vid: u32, entry: PostingEntry) {
         self.ensure_room(vid);
         let r = self.ranges[vid as usize];
+        let chunk = Arc::make_mut(&mut self.chunks[r.chunk as usize]);
         debug_assert!(
-            r.len == 0 || self.entries[r.off + r.len as usize - 1] < entry,
-            "append would break posting order for {:?}",
-            self.value_at(vid),
+            r.len == 0 || chunk[(r.off + r.len - 1) as usize] < entry,
+            "append would break posting order",
         );
-        self.entries[r.off + r.len as usize] = entry;
+        chunk[(r.off + r.len) as usize] = entry;
         self.ranges[vid as usize].len += 1;
         if r.len == 0 {
             self.live_values += 1;
@@ -304,9 +368,10 @@ impl PostingStore {
             .expect_err("posting entry already present");
         self.ensure_room(vid);
         let r = self.ranges[vid as usize];
-        self.entries
-            .copy_within(r.off + pos..r.off + r.len as usize, r.off + pos + 1);
-        self.entries[r.off + pos] = entry;
+        let chunk = Arc::make_mut(&mut self.chunks[r.chunk as usize]);
+        let off = r.off as usize;
+        chunk.copy_within(off + pos..off + r.len as usize, off + pos + 1);
+        chunk[off + pos] = entry;
         self.ranges[vid as usize].len += 1;
         if r.len == 0 {
             self.live_values += 1;
@@ -324,8 +389,9 @@ impl PostingStore {
             .binary_search(&entry)
             .expect("posting entry not found");
         let r = self.ranges[vid as usize];
-        self.entries
-            .copy_within(r.off + pos + 1..r.off + r.len as usize, r.off + pos);
+        let chunk = Arc::make_mut(&mut self.chunks[r.chunk as usize]);
+        let off = r.off as usize;
+        chunk.copy_within(off + pos + 1..off + r.len as usize, off + pos);
         self.ranges[vid as usize].len -= 1;
         self.live_postings -= 1;
         if r.len == 1 {
@@ -344,80 +410,139 @@ impl PostingStore {
             self.live_values -= 1;
             self.live_postings -= r.len as usize;
         }
-        let off = self.entries.len();
-        self.entries.extend_from_slice(list);
+        if list.is_empty() {
+            self.ranges[vid as usize] = PlRange {
+                chunk: 0,
+                off: 0,
+                len: 0,
+                cap: 0,
+            };
+            return;
+        }
+        let (chunk, off) = self.alloc(list.len());
+        let dst = Arc::make_mut(&mut self.chunks[chunk as usize]);
+        dst[off as usize..off as usize + list.len()].copy_from_slice(list);
         self.ranges[vid as usize] = PlRange {
+            chunk,
             off,
             len: list.len() as u32,
             cap: list.len() as u32,
         };
-        if !list.is_empty() {
-            self.live_values += 1;
-            self.live_postings += list.len();
-        }
+        self.live_values += 1;
+        self.live_postings += list.len();
     }
 
     /// Packs all runs back-to-back in value-id order, dropping dead slots
     /// and slack. Bulk builds call this once at the end.
     pub fn compact(&mut self) {
-        if self.dead == 0 && self.entries.len() == self.live_postings {
+        if self.dead == 0 && self.slots == self.live_postings {
             return;
         }
-        let mut packed = Vec::with_capacity(self.live_postings);
-        for r in &mut self.ranges {
-            let off = packed.len();
-            packed.extend_from_slice(&self.entries[r.off..r.off + r.len as usize]);
-            *r = PlRange {
+        let old_chunks = std::mem::take(&mut self.chunks);
+        self.slots = 0;
+        for vid in 0..self.ranges.len() {
+            let r = self.ranges[vid];
+            if r.len == 0 {
+                self.ranges[vid] = PlRange {
+                    chunk: 0,
+                    off: 0,
+                    len: 0,
+                    cap: 0,
+                };
+                continue;
+            }
+            let src = &old_chunks[r.chunk as usize][r.off as usize..(r.off + r.len) as usize];
+            // Pack exactly r.len slots: extend the last chunk when the run
+            // fits, else open a new (possibly oversized) chunk.
+            let n = r.len as usize;
+            self.slots += n;
+            let (chunk, off) = match self.chunks.last_mut() {
+                Some(last) if n <= CHUNK_CAP && last.len() + n <= CHUNK_CAP => {
+                    let off = last.len();
+                    Arc::make_mut(last).extend_from_slice(src);
+                    ((self.chunks.len() - 1) as u32, off as u32)
+                }
+                _ => {
+                    self.chunks.push(Arc::new(src.to_vec()));
+                    ((self.chunks.len() - 1) as u32, 0)
+                }
+            };
+            self.ranges[vid] = PlRange {
+                chunk,
                 off,
                 len: r.len,
                 cap: r.len,
             };
         }
-        self.entries = packed;
         self.dead = 0;
     }
 
     /// Pre-sizes every run to the exact counts given (indexed by value id),
     /// with all runs packed in value-id order and `len == cap == count`.
     /// The entries themselves are left as placeholder slots for the caller
-    /// to fill via [`PostingStore::run_offsets`] / a split of the entries
-    /// buffer — the parallel build merge uses this.
+    /// to fill via [`PostingStore::run_slices_mut`] — the parallel build
+    /// merge uses this.
     pub(crate) fn allocate_exact(&mut self, counts: &[usize]) {
         assert_eq!(counts.len(), self.spans.len(), "one count per value");
-        assert!(self.entries.is_empty(), "allocate_exact on a filled store");
+        assert!(self.chunks.is_empty(), "allocate_exact on a filled store");
         let total: usize = counts.iter().sum();
-        let mut off = 0usize;
-        for (r, &n) in self.ranges.iter_mut().zip(counts) {
-            *r = PlRange {
+        for (vid, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (chunk, off) = self.alloc(n);
+            self.ranges[vid] = PlRange {
+                chunk,
                 off,
                 len: n as u32,
                 cap: n as u32,
             };
-            off += n;
         }
-        self.entries = vec![PostingEntry::new(0u32, 0u32, 0u32); total];
         self.live_postings = total;
         self.live_values = counts.iter().filter(|&&n| n > 0).count();
     }
 
-    /// Run offset of each value id plus the buffer to fill, for callers
-    /// (the parallel merge) that write runs through disjoint splits.
-    pub(crate) fn fill_parts(&mut self) -> (Vec<usize>, &mut [PostingEntry]) {
-        let offs = self.ranges.iter().map(|r| r.off).collect();
-        (offs, &mut self.entries)
+    /// One mutable slice per value id (empty for empty runs), for callers
+    /// (the parallel merge) that fill runs through disjoint splits. Only
+    /// valid right after [`PostingStore::allocate_exact`], which packs runs
+    /// in monotonically increasing `(chunk, offset)` order.
+    pub(crate) fn run_slices_mut(&mut self) -> Vec<&mut [PostingEntry]> {
+        let mut rest: Vec<&mut [PostingEntry]> = Vec::with_capacity(self.chunks.len());
+        for chunk in &mut self.chunks {
+            rest.push(Arc::make_mut(chunk).as_mut_slice());
+        }
+        let mut consumed = vec![0usize; rest.len()];
+        let mut out: Vec<&mut [PostingEntry]> = Vec::with_capacity(self.ranges.len());
+        for r in &self.ranges {
+            if r.len == 0 {
+                out.push(&mut []);
+                continue;
+            }
+            let ci = r.chunk as usize;
+            assert_eq!(
+                r.off as usize, consumed[ci],
+                "runs not packed; call allocate_exact first"
+            );
+            let slice = std::mem::take(&mut rest[ci]);
+            let (run, tail) = slice.split_at_mut(r.len as usize);
+            rest[ci] = tail;
+            consumed[ci] += r.len as usize;
+            out.push(run);
+        }
+        out
     }
 
     // ------------------------------------------------------------- sizes --
 
     /// Bytes held by the flattened layout: arena text, spans, hashes,
-    /// ranges, lookup table, and the posting buffer itself.
+    /// ranges, lookup table, and the posting chunks themselves.
     pub fn flat_bytes(&self) -> usize {
         self.arena.len()
             + self.spans.len() * std::mem::size_of::<(u32, u32)>()
             + self.hashes.len() * 8
             + self.ranges.len() * std::mem::size_of::<PlRange>()
             + self.table.len() * 4
-            + self.entries.len() * std::mem::size_of::<PostingEntry>()
+            + self.slots * std::mem::size_of::<PostingEntry>()
     }
 
     /// Estimated bytes the seed's per-value layout
@@ -435,6 +560,18 @@ impl PostingStore {
     /// Bytes of value-arena text alone.
     pub fn arena_bytes(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Number of entry chunks (test/observability hook for the COW layout).
+    #[cfg(test)]
+    fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether chunk `i` is physically shared with `other` (same `Arc`).
+    #[cfg(test)]
+    fn shares_chunk_with(&self, other: &PostingStore, i: usize) -> bool {
+        Arc::ptr_eq(&self.chunks[i], &other.chunks[i])
     }
 }
 
@@ -592,7 +729,7 @@ mod tests {
         let v = s.intern("v");
         let big: Vec<PostingEntry> = (0..2000).map(|i| e(i, 0, 0)).collect();
         s.load_list(v, &big);
-        s.load_list(v, &[e(0, 0, 0)]); // dead += 2000 > entries.len()/2
+        s.load_list(v, &[e(0, 0, 0)]); // dead += 2000 > slots/2
         s.insert_sorted(v, e(1, 0, 0));
         s.insert_sorted(v, e(2, 0, 0));
         assert_eq!(
@@ -639,5 +776,75 @@ mod tests {
             s.flat_bytes(),
             s.per_value_layout_bytes()
         );
+    }
+
+    #[test]
+    fn oversized_runs_get_dedicated_chunks() {
+        let mut s = PostingStore::new();
+        let v = s.intern("v");
+        let big: Vec<PostingEntry> = (0..(CHUNK_CAP as u32 * 2)).map(|i| e(i, 0, 0)).collect();
+        s.load_list(v, &big);
+        assert_eq!(s.postings(v).len(), CHUNK_CAP * 2);
+        // The run stays contiguous through further growth past CHUNK_CAP.
+        s.insert_sorted(v, e(CHUNK_CAP as u32 * 2, 0, 0));
+        assert_eq!(s.postings(v).len(), CHUNK_CAP * 2 + 1);
+        assert!(s.postings(v).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn clone_shares_chunks_until_write() {
+        let mut s = PostingStore::new();
+        // Fill several chunks' worth of entries across many values.
+        let ids: Vec<u32> = (0..64).map(|i| s.intern(&format!("v{i}"))).collect();
+        for round in 0..200u32 {
+            for (i, &vid) in ids.iter().enumerate() {
+                s.append(vid, e(round, i as u32, 0));
+            }
+        }
+        s.compact();
+        assert!(s.num_chunks() > 1, "test needs multiple chunks");
+        let snap = s.clone();
+        for i in 0..s.num_chunks() {
+            assert!(s.shares_chunk_with(&snap, i), "clone shares chunk {i}");
+        }
+        // A single in-place write COWs exactly the chunk it touches.
+        let target = ids[0];
+        s.remove_sorted(target, e(0, 0, 0));
+        let shared: usize = (0..snap.num_chunks())
+            .filter(|&i| s.shares_chunk_with(&snap, i))
+            .count();
+        assert_eq!(
+            shared,
+            snap.num_chunks() - 1,
+            "exactly one chunk should have been copied"
+        );
+        // The snapshot still reads the old state.
+        assert_eq!(snap.postings(target).len(), 200);
+        assert_eq!(s.postings(target).len(), 199);
+    }
+
+    #[test]
+    fn allocate_exact_and_run_slices_fill() {
+        let mut s = PostingStore::new();
+        let a = s.intern("a");
+        let _b = s.intern("b"); // stays empty
+        let c = s.intern("c");
+        s.allocate_exact(&[3, 0, 2]);
+        {
+            let mut runs = s.run_slices_mut();
+            assert_eq!(runs.len(), 3);
+            assert_eq!(runs[0].len(), 3);
+            assert_eq!(runs[1].len(), 0);
+            assert_eq!(runs[2].len(), 2);
+            runs[0][0] = e(0, 0, 0);
+            runs[0][1] = e(1, 0, 0);
+            runs[0][2] = e(2, 0, 0);
+            runs[2][0] = e(0, 1, 0);
+            runs[2][1] = e(3, 0, 0);
+        }
+        assert_eq!(s.postings(a), &[e(0, 0, 0), e(1, 0, 0), e(2, 0, 0)]);
+        assert_eq!(s.postings(c), &[e(0, 1, 0), e(3, 0, 0)]);
+        assert_eq!(s.num_postings(), 5);
+        assert_eq!(s.num_values(), 2);
     }
 }

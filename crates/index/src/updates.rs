@@ -28,14 +28,28 @@
 
 use crate::index::InvertedIndex;
 use crate::posting::PostingEntry;
+use crate::store::{shard_of, PostingStore};
+use crate::superkeys::SuperKeyStore;
 use mate_hash::RowHasher;
 use mate_table::{ColId, Column, Corpus, RowId, Table, TableId};
+
+/// Where an updater writes postings: the single hot index, or the engine's
+/// hash-partitioned memtable shards (one [`PostingStore`] per shard, routed
+/// by table id via [`shard_of`]) plus the global super-key store.
+#[derive(Debug)]
+enum Target<'a> {
+    Single(&'a mut InvertedIndex),
+    Sharded {
+        stores: Vec<&'a mut PostingStore>,
+        superkeys: &'a mut SuperKeyStore,
+    },
+}
 
 /// Applies edits to a corpus and its index in lock-step.
 #[derive(Debug)]
 pub struct IndexUpdater<'a, H: RowHasher> {
     corpus: &'a mut Corpus,
-    index: &'a mut InvertedIndex,
+    target: Target<'a>,
     hasher: H,
 }
 
@@ -55,17 +69,52 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
         );
         IndexUpdater {
             corpus,
-            index,
+            target: Target::Single(index),
             hasher,
+        }
+    }
+
+    /// Creates an updater over the engine's sharded memtable: one exclusive
+    /// posting-store borrow per shard plus the global super-key store. The
+    /// engine validates hasher compatibility at open, so no check here.
+    pub(crate) fn sharded(
+        corpus: &'a mut Corpus,
+        stores: Vec<&'a mut PostingStore>,
+        superkeys: &'a mut SuperKeyStore,
+        hasher: H,
+    ) -> Self {
+        IndexUpdater {
+            corpus,
+            target: Target::Sharded { stores, superkeys },
+            hasher,
+        }
+    }
+
+    /// The posting store that owns `tid`'s entries.
+    fn store(&mut self, tid: TableId) -> &mut PostingStore {
+        match &mut self.target {
+            Target::Single(index) => &mut index.store,
+            Target::Sharded { stores, .. } => {
+                let n = stores.len();
+                stores[shard_of(tid.0, n)]
+            }
+        }
+    }
+
+    /// The super-key store (global in both targets).
+    fn superkeys(&mut self) -> &mut SuperKeyStore {
+        match &mut self.target {
+            Target::Single(index) => &mut index.superkeys,
+            Target::Sharded { superkeys, .. } => superkeys,
         }
     }
 
     /// Inserts a new table into the corpus and indexes it.
     pub fn insert_table(&mut self, table: Table) -> TableId {
         let tid = self.corpus.add_table(table);
-        let table = self.corpus.table(tid);
-        self.index.superkeys.push_table(table.num_rows());
-        for r in 0..table.num_rows() {
+        let num_rows = self.corpus.table(tid).num_rows();
+        self.superkeys().push_table(num_rows);
+        for r in 0..num_rows {
             self.index_row(tid, RowId::from(r));
         }
         tid
@@ -74,7 +123,7 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
     /// Appends a row to an existing table and indexes it.
     pub fn insert_row(&mut self, tid: TableId, cells: &[&str]) -> RowId {
         self.corpus.table_mut(tid).push_row(cells);
-        let row = self.index.superkeys.push_row(tid);
+        let row = self.superkeys().push_row(tid);
         debug_assert_eq!(row.index(), self.corpus.table(tid).num_rows() - 1);
         self.index_row(tid, row);
         row
@@ -85,19 +134,19 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
     pub fn insert_column(&mut self, tid: TableId, column: Column) -> ColId {
         let col = ColId::from(self.corpus.table(tid).num_cols());
         self.corpus.table_mut(tid).push_column(column);
-        let table = self.corpus.table(tid);
-        for r in 0..table.num_rows() {
-            let value = table.cell(RowId::from(r), col).to_string();
+        let num_rows = self.corpus.table(tid).num_rows();
+        for r in 0..num_rows {
+            let value = self.corpus.table(tid).cell(RowId::from(r), col).to_string();
             if value.is_empty() {
                 continue;
             }
             insert_posting(
-                self.index,
+                self.store(tid),
                 &value,
                 PostingEntry::new(tid, col, RowId::from(r)),
             );
             let h = self.hasher.hash_value(&value);
-            self.index.superkeys.or_into(tid, RowId::from(r), h.words());
+            self.superkeys().or_into(tid, RowId::from(r), h.words());
         }
         col
     }
@@ -113,10 +162,10 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
         }
         let entry = PostingEntry::new(tid, col, row);
         if !old.is_empty() {
-            remove_posting(self.index, &old, entry);
+            remove_posting(self.store(tid), &old, entry);
         }
         if !new.is_empty() {
-            insert_posting(self.index, &new, entry);
+            insert_posting(self.store(tid), &new, entry);
         }
         self.rehash_row(tid, row);
     }
@@ -124,32 +173,40 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
     /// Deletes a row (swap-remove). The last row of the table takes the
     /// deleted row's id; its postings are re-pointed accordingly.
     pub fn delete_row(&mut self, tid: TableId, row: RowId) {
-        let table = self.corpus.table(tid);
-        let last = RowId::from(table.num_rows() - 1);
+        let last = RowId::from(self.corpus.table(tid).num_rows() - 1);
         // 1. Remove postings of the victim row.
-        for (ci, v) in table.row(row).into_iter().enumerate() {
-            if !v.is_empty() {
-                remove_posting_owned(
-                    self.index,
-                    v.to_string(),
-                    PostingEntry::new(tid, ci as u32, row),
-                );
-            }
+        let victims: Vec<(usize, String)> = self
+            .corpus
+            .table(tid)
+            .row(row)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(c, v)| (c, v.to_string()))
+            .collect();
+        for (ci, v) in victims {
+            remove_posting(self.store(tid), &v, PostingEntry::new(tid, ci as u32, row));
         }
         // 2. Re-point postings of the last row to the victim's id.
         if last != row {
-            let table = self.corpus.table(tid);
-            for (ci, v) in table.row(last).into_iter().enumerate() {
-                if !v.is_empty() {
-                    let old_e = PostingEntry::new(tid, ci as u32, last);
-                    let new_e = PostingEntry::new(tid, ci as u32, row);
-                    move_posting(self.index, v.to_string(), old_e, new_e);
-                }
+            let movers: Vec<(usize, String)> = self
+                .corpus
+                .table(tid)
+                .row(last)
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(c, v)| (c, v.to_string()))
+                .collect();
+            for (ci, v) in movers {
+                let old_e = PostingEntry::new(tid, ci as u32, last);
+                let new_e = PostingEntry::new(tid, ci as u32, row);
+                move_posting(self.store(tid), v, old_e, new_e);
             }
         }
         // 3. Mirror in corpus + super keys.
         self.corpus.table_mut(tid).swap_remove_row(row);
-        self.index.superkeys.swap_remove_row(tid, row);
+        self.superkeys().swap_remove_row(tid, row);
     }
 
     /// Deletes a whole table: removes its postings and tombstones its super
@@ -167,10 +224,10 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
             }
         }
         for (v, e) in entries {
-            remove_posting_owned(self.index, v, e);
+            remove_posting(self.store(tid), &v, e);
         }
         *self.corpus.table_mut(tid) = Table::new(name, vec![]);
-        self.index.superkeys.clear_table(tid);
+        self.superkeys().clear_table(tid);
     }
 
     /// Deletes a column: removes its postings and re-hashes every row's super
@@ -184,7 +241,7 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
             }
         }
         for (v, e) in entries {
-            remove_posting_owned(self.index, v, e);
+            remove_posting(self.store(tid), &v, e);
         }
         // Columns right of `col` shift left by one: re-point their postings.
         let ncols = self.corpus.table(tid).num_cols();
@@ -201,7 +258,7 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
                 }
                 let old_e = PostingEntry::new(tid, ci as u32, RowId::from(ri));
                 let new_e = PostingEntry::new(tid, (ci - 1) as u32, RowId::from(ri));
-                move_posting(self.index, v, old_e, new_e);
+                move_posting(self.store(tid), v, old_e, new_e);
             }
         }
         self.corpus.table_mut(tid).remove_column(col);
@@ -221,9 +278,9 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
             .map(|(c, v)| (c, v.to_string()))
             .collect();
         for (ci, v) in &values {
-            insert_posting(self.index, v, PostingEntry::new(tid, *ci as u32, row));
+            insert_posting(self.store(tid), v, PostingEntry::new(tid, *ci as u32, row));
             let h = self.hasher.hash_value(v);
-            self.index.superkeys.or_into(tid, row, h.words());
+            self.superkeys().or_into(tid, row, h.words());
         }
     }
 
@@ -231,32 +288,28 @@ impl<'a, H: RowHasher> IndexUpdater<'a, H> {
     fn rehash_row(&mut self, tid: TableId, row: RowId) {
         let table = self.corpus.table(tid);
         let sk = self.hasher.superkey(table.row_iter(row));
-        self.index.superkeys.set(tid, row, sk.words());
+        self.superkeys().set(tid, row, sk.words());
     }
 }
 
-fn insert_posting(index: &mut InvertedIndex, value: &str, entry: PostingEntry) {
-    let vid = index.store.intern(value);
-    index.store.insert_sorted(vid, entry);
+fn insert_posting(store: &mut PostingStore, value: &str, entry: PostingEntry) {
+    let vid = store.intern(value);
+    store.insert_sorted(vid, entry);
 }
 
-fn remove_posting(index: &mut InvertedIndex, value: &str, entry: PostingEntry) {
-    let Some(vid) = index.store.lookup(value) else {
+fn remove_posting(store: &mut PostingStore, value: &str, entry: PostingEntry) {
+    let Some(vid) = store.lookup(value) else {
         panic!("removing posting for unindexed value {value:?}");
     };
     // An emptied run stays interned (the arena is append-only) but reads as
     // absent through `posting_list`, matching the seed's map-removal
     // semantics.
-    index.store.remove_sorted(vid, entry);
+    store.remove_sorted(vid, entry);
 }
 
-fn remove_posting_owned(index: &mut InvertedIndex, value: String, entry: PostingEntry) {
-    remove_posting(index, &value, entry);
-}
-
-fn move_posting(index: &mut InvertedIndex, value: String, old: PostingEntry, new: PostingEntry) {
-    remove_posting(index, &value, old);
-    insert_posting(index, &value, new);
+fn move_posting(store: &mut PostingStore, value: String, old: PostingEntry, new: PostingEntry) {
+    remove_posting(store, &value, old);
+    insert_posting(store, &value, new);
 }
 
 #[cfg(test)]

@@ -7,6 +7,12 @@
 //! stops cleanly at a torn tail (crash mid-append loses at most the last
 //! record, never corrupts earlier ones).
 //!
+//! A WAL file covers exactly the records since the last engine flush: the
+//! flush folds them into an immutable segment plus an incremental corpus
+//! delta record and rotates to a fresh log, so recovery replays one file —
+//! checkpoint ⊕ delta chain first, then this tail (see
+//! [`crate::engine::Engine`]'s module docs for the full fsync discipline).
+//!
 //! Format per record:
 //!
 //! ```text

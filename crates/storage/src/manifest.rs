@@ -23,6 +23,12 @@
 //! A torn write (power loss between steps) either leaves the old file intact
 //! or a `.tmp` orphan that readers ignore; a corrupt payload fails the CRC
 //! and is reported as a structured error instead of being half-applied.
+//!
+//! The same framed [`save`]/[`load`] path is reused for every small record
+//! the engine commits via rename — not just the MANIFEST file but also the
+//! `cdelta-*` incremental corpus-delta records that flushes append (each is
+//! an independently CRC-checked frame; the manifest names the chain that is
+//! live, so stray delta files from dead generations are ignored and GC'd).
 
 use crate::crc32::crc32;
 use crate::error::StorageError;
