@@ -6,6 +6,12 @@
 //! rule), then apply in memory. [`DurableLake::open`] recovers state as
 //! checkpoint segments + WAL replay; [`DurableLake::checkpoint`] folds the
 //! log into fresh segments and truncates it.
+//!
+//! This is the *legacy single-segment* lake, kept for the monolithic
+//! checkpoint workflow; the multi-segment [`mate_index::engine`] is the
+//! fault-injectable path. Its direct `std::fs` calls are `// vfs-exempt:`
+//! it predates the [`mate_storage::Vfs`] seam and is not part of the
+//! engine's failure model.
 
 use crate::{DiscoveryResult, MateDiscovery};
 use mate_hash::{HashSize, Xash};
@@ -40,12 +46,14 @@ impl DurableLake {
     /// Creates a new empty lake in `dir` (created if missing).
     pub fn create(dir: impl AsRef<Path>, size: HashSize) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
+        // vfs-exempt: legacy single-segment lake (see module docs).
         std::fs::create_dir_all(&dir)?;
         let corpus = Corpus::new();
         let hasher = Xash::new(size);
         let index = IndexBuilder::new(hasher).build(&corpus);
         persist::save_corpus(&corpus, dir.join(CORPUS_FILE))?;
         persist::save_index(&index, dir.join(INDEX_FILE))?;
+        // vfs-exempt: legacy single-segment lake (see module docs).
         let wal = std::fs::OpenOptions::new()
             .create(true)
             .truncate(true)
@@ -82,10 +90,12 @@ impl DurableLake {
             // Trim the torn tail *in place*: `set_len` + fsync can never
             // destroy the acknowledged prefix, unlike a full rewrite
             // interrupted mid-copy.
+            // vfs-exempt: legacy single-segment lake (see module docs).
             let trim = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
             trim.set_len(valid_len as u64)?;
             trim.sync_data()?;
         }
+        // vfs-exempt: legacy single-segment lake (see module docs).
         let wal = std::fs::OpenOptions::new().append(true).open(&wal_path)?;
         Ok(DurableLake {
             dir,
@@ -140,6 +150,7 @@ impl DurableLake {
         persist::save_index(&state.index, self.dir.join(INDEX_FILE))?;
         drop(state);
         let mut wal = self.wal.lock();
+        // vfs-exempt: legacy single-segment lake (see module docs).
         *wal = std::fs::OpenOptions::new()
             .create(true)
             .truncate(true)

@@ -8,11 +8,13 @@
 //! discovery-bit-identical to an engine that was never killed.
 
 use mate_core::{discover_engine, MateConfig};
-use mate_index::engine::{Engine, EngineConfig};
+use mate_index::engine::{Engine, EngineConfig, EngineError};
 use mate_index::WalRecord;
 use mate_lake::{CorpusProfile, GeneratedQuery, LakeGenerator, LakeSpec, QuerySpec};
-use mate_table::{ColId, Corpus, RowId, TableId};
+use mate_storage::FaultVfs;
+use mate_table::{ColId, Corpus, RowId, Table, TableId};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn tmpdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("mate-engine-rec-{tag}-{}", std::process::id()));
@@ -398,5 +400,234 @@ fn kill_around_tiered_compaction_gcs_only_the_replaced_tier() {
         "GC removed the replaced tier and kept every referenced segment"
     );
     assert_engines_identical(&e, &control, &query);
+    std::fs::remove_dir_all(base).ok();
+}
+
+// ------------------------------------------------------------------------
+// Fault-injection sweeps (the `FaultVfs` harness): fail the Nth I/O call
+// of the whole create→ingest→flush→compact workload, for every N, and
+// require that the engine (a) never panics, (b) surfaces failures as typed
+// `EngineError`s, and (c) after reopening on a clean filesystem recovers
+// exactly an acknowledged prefix of the workload — never silently losing
+// an acknowledged record, never inventing state.
+// ------------------------------------------------------------------------
+
+/// The comparable state of an engine: every corpus table plus the live
+/// posting total. Used to match a recovered engine against the canonical
+/// state after each record prefix.
+type StateSnapshot = (Vec<(TableId, Table)>, usize);
+
+fn state_snapshot(e: &Engine) -> StateSnapshot {
+    (
+        e.corpus().iter().map(|(tid, t)| (tid, t.clone())).collect(),
+        e.live_postings(),
+    )
+}
+
+/// Builds the never-faulted control engine and records the canonical state
+/// after every record prefix (`states[k]` = state after `records[..k]`).
+fn build_controls(base: &std::path::Path, records: &[WalRecord]) -> (Vec<StateSnapshot>, Engine) {
+    let mut control = Engine::create(base.join("control"), config(1 << 30)).unwrap();
+    let mut states = vec![state_snapshot(&control)];
+    for r in records {
+        control.apply(r.clone()).unwrap();
+        states.push(state_snapshot(&control));
+    }
+    (states, control)
+}
+
+/// Which fault the sweep arms on its Nth target operation.
+enum SweepFault {
+    /// Generic I/O error on the Nth operation of *any* class.
+    AnyError,
+    /// The Nth write persists only a prefix of its buffer, then fails.
+    TornWrite,
+    /// The Nth fsync (file or directory, data or full) fails with EIO.
+    SyncError,
+    /// The Nth write — and, sticky, every later one — fails ENOSPC.
+    Enospc,
+}
+
+/// The sweep: run the full workload with fault N armed, for N = 1, 2, ...
+/// until a run completes without the fault firing (N exceeded the
+/// workload's total operation count). After each faulted run, reopen on a
+/// clean vfs and require the recovered state to be the acknowledged record
+/// prefix (or one past it — a record whose WAL append hit disk before its
+/// `apply` returned the error was never acknowledged, and recovering it is
+/// allowed; losing an acknowledged one is not). Finishing the workload
+/// from there must converge on the control, discovery-bit-identical.
+fn run_fault_sweep(tag: &str, sweep: SweepFault) {
+    let (records, query) = lake_workload(71);
+    let base = tmpdir(tag);
+    std::fs::create_dir_all(&base).unwrap();
+    let (states, control) = build_controls(&base, &records);
+    // Small memtable budget: the workload must cross flush (and delta
+    // checkpoint) boundaries so the sweep reaches segment/manifest I/O.
+    let budget = 2200;
+
+    let mut n = 0u64;
+    loop {
+        n += 1;
+        let dir = base.join(format!("n{n}"));
+        let fault = Arc::new(FaultVfs::new());
+        match sweep {
+            SweepFault::AnyError => fault.fail_nth(n),
+            SweepFault::TornWrite => fault.torn_nth_write(n, n ^ 0x5bd1_e995),
+            SweepFault::SyncError => fault.eio_on_nth_sync(n),
+            SweepFault::Enospc => fault.enospc_on_nth_write(n),
+        }
+        let cfg = EngineConfig {
+            vfs: Arc::new(Arc::clone(&fault)),
+            ..config(budget)
+        };
+        let mut acked = 0usize;
+        let outcome = (|| -> Result<(), EngineError> {
+            let mut e = Engine::create(&dir, cfg)?;
+            for r in &records {
+                e.apply(r.clone())?;
+                acked += 1;
+            }
+            e.flush()?;
+            e.compact()?;
+            Ok(())
+        })();
+
+        if fault.injected() == 0 {
+            // N is past the workload's last operation: nothing fired, so
+            // the run must have been the fault-free baseline.
+            outcome.expect("no fault fired; the workload itself must succeed");
+            assert_eq!(acked, records.len());
+            assert!(
+                n > 20,
+                "sweep ended after only {n} ops — workload too small"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+            break;
+        }
+        // The fault fired. `outcome` is either a typed error or — for an
+        // advisory operation (directory-sync hardening, old-file cleanup,
+        // where the commit point already passed) — a survived run. Either
+        // way: reopen on a clean production vfs and check the contract.
+        let _ = &outcome;
+        if !dir.join("MANIFEST").exists() {
+            // Creation itself was interrupted before its commit point.
+            assert_eq!(
+                acked, 0,
+                "op {n}: records acked but creation never committed"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        }
+        let mut reopened = Engine::open(&dir, config(budget))
+            .unwrap_or_else(|e| panic!("op {n}: reopen on a clean vfs failed: {e}"));
+        let snap = state_snapshot(&reopened);
+        let hi = (acked + 1).min(records.len());
+        let k = (acked..=hi)
+            .find(|&k| states[k] == snap)
+            .unwrap_or_else(|| {
+                panic!("op {n}: recovered state is not an acknowledged prefix (acked {acked})")
+            });
+        for r in &records[k..] {
+            reopened.apply(r.clone()).unwrap();
+        }
+        assert_engines_identical(&reopened, &control, &query);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(base).ok();
+}
+
+#[test]
+fn fault_sweep_generic_error_on_every_io_op() {
+    run_fault_sweep("sweep-any", SweepFault::AnyError);
+}
+
+#[test]
+fn fault_sweep_torn_write_on_every_write() {
+    run_fault_sweep("sweep-torn", SweepFault::TornWrite);
+}
+
+#[test]
+fn fault_sweep_eio_on_every_fsync() {
+    run_fault_sweep("sweep-sync", SweepFault::SyncError);
+}
+
+#[test]
+fn fault_sweep_sticky_enospc_on_every_write() {
+    run_fault_sweep("sweep-enospc", SweepFault::Enospc);
+}
+
+/// A silent single-bit flip on each read that recovery performs: `open`
+/// must either fail with a typed error (CRC framing catches the flip in a
+/// manifest, checkpoint, or segment) or come up on a record-prefix state —
+/// a flip inside the WAL tail is indistinguishable from a torn append, so
+/// recovery may legitimately trim back to an earlier record boundary, but
+/// it must never serve corrupted data or panic.
+#[test]
+fn fault_sweep_bitflip_on_every_recovery_read() {
+    let (records, query) = lake_workload(71);
+    let base = tmpdir("sweep-flip");
+    std::fs::create_dir_all(&base).unwrap();
+    let (states, control) = build_controls(&base, &records);
+
+    // Build the pristine on-disk engine once, with real cold segments and
+    // a non-empty WAL tail (records after the last flush stay in the log).
+    let pristine = base.join("pristine");
+    {
+        let mut e = Engine::create(&pristine, config(2200)).unwrap();
+        for r in &records {
+            e.apply(r.clone()).unwrap();
+        }
+        assert!(e.stats().flushes >= 2, "budget must force flushes");
+        assert!(e.stats().wal_records as usize > 0);
+    }
+
+    let mut n = 0u64;
+    let mut typed_failures = 0u64;
+    loop {
+        n += 1;
+        // Recovery may trim a WAL whose read came back corrupted, so each
+        // iteration works on its own copy of the pristine directory.
+        let dir = base.join(format!("flip{n}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in std::fs::read_dir(&pristine).unwrap().flatten() {
+            std::fs::copy(name.path(), dir.join(name.file_name())).unwrap();
+        }
+        let fault = Arc::new(FaultVfs::new());
+        fault.bitflip_nth_read(n, n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let cfg = EngineConfig {
+            vfs: Arc::new(Arc::clone(&fault)),
+            ..config(2200)
+        };
+        let opened = Engine::open(&dir, cfg);
+        let fired = fault.injected() > 0;
+        match opened {
+            Ok(mut e) => {
+                let snap = state_snapshot(&e);
+                let k = (0..=records.len())
+                    .find(|&k| states[k] == snap)
+                    .unwrap_or_else(|| panic!("read {n}: recovered state is no record prefix"));
+                for r in &records[k..] {
+                    e.apply(r.clone()).unwrap();
+                }
+                assert_engines_identical(&e, &control, &query);
+            }
+            Err(err) => {
+                assert!(
+                    fired,
+                    "read {n}: open failed without an injected flip: {err}"
+                );
+                typed_failures += 1;
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        if !fired {
+            break;
+        }
+    }
+    assert!(n > 5, "recovery performs more reads than {n}");
+    assert!(
+        typed_failures > 0,
+        "at least one flip must land in CRC-protected bytes and be rejected"
+    );
     std::fs::remove_dir_all(base).ok();
 }

@@ -72,7 +72,7 @@ use super::{
 };
 use crate::wal::WalRecord;
 use mate_hash::Xash;
-use mate_storage::StorageError;
+use mate_storage::{StorageError, VfsFile};
 use mate_table::{Table, TableId};
 use parking_lot::RwLock;
 use std::path::Path;
@@ -102,7 +102,7 @@ struct CommitQueue {
     poisoned: bool,
     /// Duplicated handle to the active WAL file, synced outside the
     /// engine lock.
-    file: Option<Arc<std::fs::File>>,
+    file: Option<Arc<dyn VfsFile>>,
 }
 
 /// A shared engine handle: lock-free snapshot readers, group-committed
@@ -173,7 +173,7 @@ impl EngineLake {
             durable: engine.wal_len(),
             syncing: false,
             poisoned: false,
-            file: engine.wal_try_clone().ok().map(Arc::new),
+            file: engine.wal_try_clone().ok().map(Arc::from),
         };
         let published = engine.snapshot();
         let hasher = engine.hasher;
@@ -333,6 +333,18 @@ impl EngineLake {
         r
     }
 
+    /// Scrub pass over every manifest-referenced file (see
+    /// [`Engine::scrub`]): corrupt segments are quarantined and rebuilt,
+    /// corrupt checkpoints replaced, unhealable states degrade the lake to
+    /// read-only. Readers keep serving their snapshots throughout; the
+    /// healed state is published on return.
+    pub fn scrub(&self) -> Result<super::ScrubReport, StorageError> {
+        let mut engine = self.engine.write();
+        let r = engine.scrub();
+        self.finish_write(&mut engine);
+        r
+    }
+
     // ------------------------------------------------- group commit core --
 
     fn append(&self, record: WalRecord) -> Result<WalTicket, StorageError> {
@@ -387,7 +399,7 @@ impl EngineLake {
             q.epoch = engine.wal_seq();
             q.durable = 0;
             q.poisoned = false;
-            q.file = engine.wal_try_clone().ok().map(Arc::new);
+            q.file = engine.wal_try_clone().ok().map(Arc::from);
         }
         q.appended = engine.wal_len();
         drop(q);
@@ -406,9 +418,9 @@ impl EngineLake {
                 return Ok(());
             }
             if q.poisoned {
-                return Err(StorageError::Io(std::io::Error::other(
-                    "group-commit fsync failed; reopen the lake",
-                )));
+                return Err(StorageError::Degraded {
+                    reason: "group-commit fsync failed; reopen the lake".to_string(),
+                });
             }
             if !q.syncing {
                 // Leader: one fsync covers every record appended so far.

@@ -21,7 +21,7 @@
 //! an interrupted flush/compaction and is deleted at open.
 
 use bytes::Bytes;
-use mate_storage::{manifest as framed, Reader, StorageError, Writer};
+use mate_storage::{manifest as framed, Reader, StorageError, Vfs, Writer};
 use std::path::Path;
 
 /// Shape metadata of one live segment (the full claim set lives in the
@@ -135,9 +135,19 @@ impl Manifest {
         framed::save(path, &self.encode())
     }
 
+    /// [`Manifest::save`] through an explicit [`Vfs`].
+    pub fn save_vfs(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), StorageError> {
+        framed::save_vfs(vfs, path, &self.encode())
+    }
+
     /// Reads and decodes the manifest at `path`.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, StorageError> {
         Manifest::decode(framed::load(path)?)
+    }
+
+    /// [`Manifest::load`] through an explicit [`Vfs`].
+    pub fn load_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Self, StorageError> {
+        Manifest::decode(framed::load_vfs(vfs, path)?)
     }
 }
 

@@ -105,7 +105,7 @@
 //!   tmp + fsync + rename + parent-directory fsync, so the file's
 //!   existence is durable before any record lands in it.
 //! * **Segment, corpus-checkpoint, corpus-delta, and manifest writes**
-//!   all go through [`write_file_atomic`]: contents fsynced, renamed into
+//!   all go through [`write_file_atomic_vfs`]: contents fsynced, renamed into
 //!   place, parent directory fsynced — in that order, each file *before*
 //!   the manifest flip that references it. The manifest rename is the
 //!   single commit point of flush and compaction. A corpus delta is a
@@ -114,7 +114,7 @@
 //!   `*.tmp`), both garbage-collected at the next open; the chain the
 //!   manifest references is always complete and fully fsynced. (The
 //!   directory fsync step is best-effort by design — see
-//!   [`write_file_atomic`]: on filesystems where it fails, file
+//!   [`write_file_atomic_vfs`]: on filesystems where it fails, file
 //!   *contents* are still fully synced and only the durability of the
 //!   rename itself degrades to the filesystem's own ordering
 //!   guarantees.)
@@ -125,6 +125,31 @@
 //!   segments) are best-effort and carry no directory fsync: if a crash
 //!   resurrects one, the next [`Engine::open`] garbage-collects every file
 //!   the manifest does not reference, so resurrection is harmless.
+//!
+//! # Failure model (fault injection, scrub, self-healing)
+//!
+//! Every durability-relevant I/O call goes through a [`Vfs`] handle
+//! ([`EngineConfig::vfs`], [`StdVfs`] in production) so tests can inject
+//! deterministic faults ([`mate_storage::FaultVfs`]): failing the Nth
+//! call, `ENOSPC` on append, `EIO` on fsync, torn writes, silent bit
+//! flips on read. The engine's contract under any such fault:
+//!
+//! * An I/O error never panics and never silently acknowledges an
+//!   unsynced record — it surfaces as a typed [`EngineError`] carrying
+//!   the failing operation and path ([`StorageError::IoAt`]).
+//! * Reopening after the fault recovers a state bit-identical to some
+//!   acknowledged prefix of the write history (the commit-point
+//!   discipline above; swept exhaustively in `engine_recovery.rs`).
+//! * [`Engine::scrub`] re-reads and CRC-verifies every file the manifest
+//!   references. A corrupt cold segment is moved to `quarantine/` and
+//!   **rebuilt from the watermark corpus** — exact, because cold postings
+//!   always equal the corpus projection of the tables they own (the
+//!   promote invariant). A corrupt checkpoint/delta-chain link heals by
+//!   writing a fresh full checkpoint. [`EngineConfig::scrub_every_flushes`]
+//!   runs the pass automatically every K flushes.
+//! * Unhealable states (rebuild mismatch, heal-write failure, WAL
+//!   poisoning) degrade the engine to **read-only**: reads keep serving
+//!   from memory, write paths return [`EngineError::Degraded`].
 //!
 //! Reads go through [`Engine::source`] (a [`MergedSource`] borrowing the
 //! engine) or [`Engine::snapshot`] (an owned, immutable
@@ -152,21 +177,27 @@ use crate::source::{PostingSource, ProbeCounters, ProbeScratch};
 use crate::store::{shard_of, PostingStore};
 use crate::superkeys::SuperKeyStore;
 use crate::updates::IndexUpdater;
-use crate::wal::{frame_record, parse_log, WalRecord};
+use crate::wal::{self, frame_record, WalRecord};
 use bytes::Bytes;
 use mate_hash::{HashSize, RowHasher, Xash};
-use mate_storage::manifest::write_file_atomic;
+use mate_storage::manifest::write_file_atomic_vfs;
 use mate_storage::tombstone::{decode_claims, encode_claims, Claim};
-use mate_storage::{postings, Reader, SegmentReader, SegmentWriter, StorageError, Writer};
+use mate_storage::{
+    postings, IoCtx as _, Reader, SegmentReader, SegmentWriter, StdVfs, StorageError, Vfs, VfsFile,
+    Writer,
+};
 use mate_table::{Corpus, RowId, Table, TableId};
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Engine file names inside the directory.
 const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Subdirectory corrupt segment files are moved into before a rebuild
+/// replaces them (preserved for post-mortem; never scanned by orphan GC).
+const QUARANTINE_DIR: &str = "quarantine";
 
 /// Fold the corpus delta chain into a fresh full checkpoint once it grows
 /// this long, even if no compaction ran (bounds recovery replay work).
@@ -248,6 +279,14 @@ pub struct EngineConfig {
     /// result) are bit-identical across shard counts. Defaults to
     /// `min(cores, 8)`; values below 1 are treated as 1.
     pub apply_shards: usize,
+    /// The filesystem behind every durability-relevant I/O call of the
+    /// engine (WAL, segments, checkpoints, manifest, GC). [`StdVfs`] in
+    /// production; tests inject a [`mate_storage::FaultVfs`] to exercise
+    /// the failure model (see module docs).
+    pub vfs: Arc<dyn Vfs>,
+    /// Run a [`Engine::scrub`] pass automatically after every this many
+    /// flushes (`0`, the default, disables the hook — scrub on demand).
+    pub scrub_every_flushes: u64,
 }
 
 fn default_apply_shards() -> usize {
@@ -267,6 +306,8 @@ impl Default for EngineConfig {
             group_commit: 1,
             tier_fanout: 4,
             apply_shards: default_apply_shards(),
+            vfs: Arc::new(StdVfs),
+            scrub_every_flushes: 0,
         }
     }
 }
@@ -537,6 +578,19 @@ pub struct EngineStats {
     /// Staged applies that entered while another staged apply was still
     /// in flight — i.e. true memtable write concurrency.
     pub applies_concurrent: u64,
+    /// Scrub passes run by this instance (manual [`Engine::scrub`] calls
+    /// plus the [`EngineConfig::scrub_every_flushes`] hook).
+    pub scrub_runs: u64,
+    /// Corrupt files (segments, checkpoint/delta chain, manifest) scrub
+    /// passes found on this instance.
+    pub scrub_corruptions_found: u64,
+    /// Corrupt segments moved into `quarantine/` by scrub passes.
+    pub segments_quarantined: u64,
+    /// Segments rebuilt from the watermark corpus after quarantine.
+    pub segments_rebuilt: u64,
+    /// Faults the [`EngineConfig::vfs`] injected so far (0 under
+    /// [`StdVfs`]; nonzero only with a test [`mate_storage::FaultVfs`]).
+    pub io_errors_injected: u64,
 }
 
 #[derive(Debug, Default)]
@@ -551,6 +605,35 @@ struct Counters {
     deltas_written: u64,
     checkpoint_delta_bytes: u64,
     checkpoint_full_bytes: u64,
+    scrub_runs: u64,
+    scrub_corruptions_found: u64,
+    segments_quarantined: u64,
+    segments_rebuilt: u64,
+}
+
+/// Error type of every fallible engine operation. An alias of
+/// [`StorageError`] — the variants the failure model adds are
+/// engine-visible through it: [`EngineError::IoAt`] (which file failed,
+/// doing what) and [`EngineError::Degraded`] (the engine is read-only; see
+/// the failure-model section of the module docs).
+pub type EngineError = StorageError;
+
+/// What one [`Engine::scrub`] pass found and repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Cold segments whose files were re-read and CRC-verified.
+    pub segments_checked: usize,
+    /// Corrupt files found (segments + checkpoint chain + manifest).
+    pub corruptions_found: u64,
+    /// Corrupt segments preserved under `quarantine/`.
+    pub segments_quarantined: u64,
+    /// Segments rebuilt bit-identically from the watermark corpus.
+    pub segments_rebuilt: u64,
+    /// Whether a corrupt checkpoint/delta chain was replaced by a fresh
+    /// full checkpoint.
+    pub checkpoint_rewritten: bool,
+    /// Whether a corrupt manifest was rewritten from the live state.
+    pub manifest_rewritten: bool,
 }
 
 /// The multi-segment log-structured index engine (see module docs).
@@ -574,6 +657,9 @@ struct Counters {
 pub struct Engine {
     dir: PathBuf,
     config: EngineConfig,
+    /// The filesystem every durability-relevant I/O call goes through
+    /// (shared with [`EngineConfig::vfs`]).
+    vfs: Arc<dyn Vfs>,
     hasher: Xash,
     hasher_name: String,
     corpus: Arc<Corpus>,
@@ -597,11 +683,15 @@ pub struct Engine {
     /// [`Engine::invalidate_snapshot`] before any mutation so an engine
     /// with no outstanding readers never pays a copy-on-write.
     snapshot_cache: Option<Arc<EngineSnapshot>>,
-    wal: std::fs::File,
+    wal: Box<dyn VfsFile>,
     /// Set when a failed append could not be rolled back (or an fsync
     /// failed with records buffered): the log tail is torn, so
     /// acknowledging further writes would be a durability lie.
     wal_poisoned: bool,
+    /// Set when scrub hit an unhealable state: the engine serves reads
+    /// but every write path returns [`EngineError::Degraded`] with this
+    /// reason.
+    degraded: Option<String>,
     wal_seq: u64,
     /// Tracked byte length of the active WAL file (rollback boundary and
     /// group-commit ticket offsets).
@@ -635,11 +725,17 @@ impl Engine {
     /// engine state in the directory is superseded).
     pub fn create(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)?;
+        let vfs = Arc::clone(&config.vfs);
+        vfs.create_dir_all(&dir)
+            .io_ctx("creating engine dir", &dir)?;
         let corpus = Corpus::new();
         let hasher = Xash::new(config.hash_size);
-        write_file_atomic(dir.join(corpus_file(0)), &persist::corpus_to_bytes(&corpus))?;
-        write_file_atomic(dir.join(wal_file(0)), &[])?;
+        write_file_atomic_vfs(
+            vfs.as_ref(),
+            &dir.join(corpus_file(0)),
+            &persist::corpus_to_bytes(&corpus),
+        )?;
+        write_file_atomic_vfs(vfs.as_ref(), &dir.join(wal_file(0)), &[])?;
         Manifest {
             hash_bits: config.hash_size.bits() as u64,
             hasher_name: "Xash".to_string(),
@@ -649,12 +745,14 @@ impl Engine {
             next_segment_id: 0,
             segments: Vec::new(),
         }
-        .save(dir.join(MANIFEST_FILE))?;
-        let wal = std::fs::OpenOptions::new()
-            .append(true)
-            .open(dir.join(wal_file(0)))?;
+        .save_vfs(vfs.as_ref(), &dir.join(MANIFEST_FILE))?;
+        let wal_path = dir.join(wal_file(0));
+        let wal = vfs
+            .open_append(&wal_path)
+            .io_ctx("opening WAL", &wal_path)?;
         let engine = Engine {
             dir,
+            vfs,
             hasher,
             hasher_name: "Xash".to_string(),
             corpus: Arc::new(corpus),
@@ -669,6 +767,7 @@ impl Engine {
             snapshot_cache: None,
             wal,
             wal_poisoned: false,
+            degraded: None,
             wal_seq: 0,
             wal_len: 0,
             wal_pending: 0,
@@ -690,7 +789,8 @@ impl Engine {
     /// mutation survives a kill at any point; a torn WAL tail is trimmed.
     pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
-        let m = Manifest::load(dir.join(MANIFEST_FILE))?;
+        let vfs = Arc::clone(&config.vfs);
+        let m = Manifest::load_vfs(vfs.as_ref(), &dir.join(MANIFEST_FILE))?;
         let hash_size =
             HashSize::from_bits(m.hash_bits as usize).ok_or(StorageError::InvalidLength {
                 context: "manifest hash size",
@@ -702,21 +802,25 @@ impl Engine {
                 value: config.hash_size.bits() as u64,
             });
         }
-        let mut corpus = persist::load_corpus(dir.join(corpus_file(m.corpus_gen)))?;
+        let mut corpus =
+            persist::load_corpus_vfs(vfs.as_ref(), &dir.join(corpus_file(m.corpus_gen)))?;
         // Fold the incremental delta chain on top of the full checkpoint:
         // `corpus-<gen>` ⊕ `cdelta-<gen>-1..=seq` is the corpus as of the
         // WAL watermark (each delta carries the full content of its dirty
         // tables — last-wins, so the fold is order-dependent but
         // idempotent per table).
         for seq in 1..=m.corpus_delta_seq {
-            let payload =
-                mate_storage::manifest::load(dir.join(corpus_delta_file(m.corpus_gen, seq)))?;
+            let payload = mate_storage::manifest::load_vfs(
+                vfs.as_ref(),
+                &dir.join(corpus_delta_file(m.corpus_gen, seq)),
+            )?;
             persist::apply_corpus_delta(&mut corpus, payload)?;
         }
         let mut superkeys = SuperKeyStore::new(hash_size);
         let mut cold = Vec::with_capacity(m.segments.len());
         for (i, sm) in m.segments.iter().enumerate() {
-            let data = Bytes::from(std::fs::read(dir.join(seg_file(sm.id)))?);
+            let seg_path = dir.join(seg_file(sm.id));
+            let data = Bytes::from(vfs.read(&seg_path).io_ctx("reading segment", &seg_path)?);
             let bytes = data.len();
             let seg = SegmentReader::open(data)?;
             let store = persist::read_cold_store(&seg)?;
@@ -778,8 +882,14 @@ impl Engine {
             .collect();
 
         let wal_path = dir.join(wal_file(m.wal_seq));
+        // Placeholder handle (created if missing); replaced after replay
+        // if the file needs a torn-tail trim first.
+        let wal = vfs
+            .open_append(&wal_path)
+            .io_ctx("opening WAL", &wal_path)?;
         let mut engine = Engine {
             dir,
+            vfs,
             hasher: Xash::new(hash_size),
             hasher_name: m.hasher_name.clone(),
             corpus: Arc::new(corpus),
@@ -792,13 +902,9 @@ impl Engine {
             cold_live,
             owners,
             snapshot_cache: None,
-            // Placeholder handle; replaced after replay (the file may need
-            // a torn-tail trim first).
-            wal: std::fs::OpenOptions::new()
-                .append(true)
-                .create(true)
-                .open(&wal_path)?,
+            wal,
             wal_poisoned: false,
+            degraded: None,
             wal_seq: m.wal_seq,
             wal_len: 0,
             wal_pending: 0,
@@ -816,8 +922,11 @@ impl Engine {
         // acknowledged-but-unflushed mutations, and recovering without it
         // would silently drop them (and the next flush would then destroy
         // them for good).
-        let log = std::fs::read(&wal_path)?;
-        let (records, valid_len) = parse_log(&log);
+        let log = engine
+            .vfs
+            .read(&wal_path)
+            .io_ctx("reading WAL", &wal_path)?;
+        let (records, valid_len) = wal::parse_log(&log);
         for rec in records {
             engine.apply_in_memory(rec);
             engine.counters.replayed_records += 1;
@@ -827,10 +936,11 @@ impl Engine {
             // a crash mid-rewrite of a full copy could destroy the
             // acknowledged prefix, a crash mid-truncation cannot), and
             // fsync so the trim itself is durable before new appends.
-            let trim = std::fs::OpenOptions::new().write(true).open(&wal_path)?;
-            trim.set_len(valid_len as u64)?;
-            trim.sync_data()?;
-            engine.wal = std::fs::OpenOptions::new().append(true).open(&wal_path)?;
+            wal::trim_torn_tail(engine.vfs.as_ref(), &wal_path, valid_len as u64)?;
+            engine.wal = engine
+                .vfs
+                .open_append(&wal_path)
+                .io_ctx("reopening trimmed WAL", &wal_path)?;
         }
         engine.wal_len = valid_len as u64;
         engine.gc_orphans();
@@ -848,19 +958,20 @@ impl Engine {
         ];
         keep.extend((1..=self.corpus_delta_seq).map(|s| corpus_delta_file(self.corpus_gen, s)));
         keep.extend(self.cold.iter().map(|l| seg_file(l.id)));
-        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+        let Ok(entries) = self.vfs.read_dir(&self.dir) else {
             return;
         };
-        for entry in entries.flatten() {
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for entry in entries {
+            let Some(name) = entry.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
             let engine_owned = name.starts_with("seg-")
                 || name.starts_with("corpus-")
                 || name.starts_with("cdelta-")
                 || name.starts_with("wal-")
                 || name.ends_with(".tmp");
             if engine_owned && !keep.iter().any(|k| k == name) {
-                let _ = std::fs::remove_file(entry.path());
+                let _ = self.vfs.remove_file(&self.dir.join(name));
             }
         }
     }
@@ -939,10 +1050,16 @@ impl Engine {
     /// Shared by the inline and staged apply paths; owns the rollback /
     /// poisoning discipline documented on [`Engine::apply_nosync`].
     fn append_frame(&mut self, record: &WalRecord) -> Result<WalTicket, StorageError> {
+        if let Some(reason) = &self.degraded {
+            return Err(StorageError::Degraded {
+                reason: reason.clone(),
+            });
+        }
         if self.wal_poisoned {
-            return Err(StorageError::Io(std::io::Error::other(
-                "WAL poisoned by an earlier failed append or fsync; reopen the engine",
-            )));
+            return Err(StorageError::Degraded {
+                reason: "WAL poisoned by an earlier failed append or fsync; reopen the engine"
+                    .to_string(),
+            });
         }
         // Drop the engine's own reference to the cached snapshot *before*
         // mutating: outstanding readers keep theirs (and force the
@@ -954,7 +1071,11 @@ impl Engine {
             if self.wal.set_len(boundary).is_err() {
                 self.wal_poisoned = true;
             }
-            return Err(e.into());
+            return Err(StorageError::IoAt {
+                op: "appending to",
+                path: self.dir.join(wal_file(self.wal_seq)),
+                source: e,
+            });
         }
         self.wal_len = boundary + frame.len() as u64;
         self.wal_pending += 1;
@@ -1035,7 +1156,11 @@ impl Engine {
             }
             Err(e) => {
                 self.wal_poisoned = true;
-                Err(e.into())
+                Err(StorageError::IoAt {
+                    op: "fsyncing",
+                    path: self.dir.join(wal_file(self.wal_seq)),
+                    source: e,
+                })
             }
         }
     }
@@ -1068,6 +1193,12 @@ impl Engine {
             if self.cold.len() > self.config.max_cold_segments {
                 self.compact()?;
             }
+        }
+        // The automatic scrub cadence: re-verify everything the manifest
+        // references every K flushes (see module docs' failure model).
+        let every = self.config.scrub_every_flushes;
+        if every > 0 && self.counters.flushes.is_multiple_of(every) {
+            self.scrub()?;
         }
         Ok(true)
     }
@@ -1249,14 +1380,29 @@ impl Engine {
     /// independent of [`EngineConfig::apply_shards`] and of the order
     /// concurrent staged inserts interned values.
     pub fn flush(&mut self) -> Result<bool, StorageError> {
+        self.flush_inner(false)
+    }
+
+    /// [`Engine::flush`] with an optional override: `force_full_checkpoint`
+    /// writes a fresh monolithic corpus checkpoint even when the dirty set
+    /// is empty or the delta chain is short — the scrub path uses it to
+    /// replace a corrupt checkpoint/delta chain with a known-good
+    /// generation.
+    fn flush_inner(&mut self, force_full_checkpoint: bool) -> Result<bool, StorageError> {
+        if let Some(reason) = &self.degraded {
+            return Err(StorageError::Degraded {
+                reason: reason.clone(),
+            });
+        }
         if self.wal_poisoned {
             // The in-memory state may contain records whose append or
             // fsync *failed* (their callers were told so). Folding it
             // into a segment would durably commit those failed writes —
             // refuse; reopening recovers the trustworthy on-disk state.
-            return Err(StorageError::Io(std::io::Error::other(
-                "WAL poisoned; refusing to flush unacknowledged state — reopen the engine",
-            )));
+            return Err(StorageError::Degraded {
+                reason: "WAL poisoned; refusing to flush unacknowledged state — reopen the engine"
+                    .to_string(),
+            });
         }
         self.invalidate_snapshot();
         self.rendezvous();
@@ -1315,35 +1461,41 @@ impl Engine {
         encode_claims(&claims, &mut cw);
         sw.add_block("engine.claims", cw.finish());
         let bytes = sw.finish();
-        write_file_atomic(self.dir.join(seg_file(seg_id)), &bytes)?;
+        write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(seg_file(seg_id)), &bytes)?;
         // Checkpoint only what changed: nothing (generation and chain
         // kept), a delta record of the dirty tables, or — once the chain
-        // is long enough that replay cost would creep — a fold into a
-        // fresh full checkpoint.
+        // is long enough that replay cost would creep (or the scrub path
+        // demanded a known-good checkpoint) — a fold into a fresh full
+        // checkpoint.
         enum Ckpt {
             Skip,
             Delta(u64),
             Full(u64),
         }
         let dirty: Vec<u32> = self.dirty_tables.iter().copied().collect();
-        let (ckpt, new_gen, new_delta_seq) = if dirty.is_empty() {
+        let (ckpt, new_gen, new_delta_seq) = if dirty.is_empty() && !force_full_checkpoint {
             (Ckpt::Skip, self.corpus_gen, self.corpus_delta_seq)
-        } else if self.corpus_delta_seq < MAX_DELTA_CHAIN {
+        } else if !force_full_checkpoint && self.corpus_delta_seq < MAX_DELTA_CHAIN {
             let seq = self.corpus_delta_seq + 1;
             let payload = persist::corpus_delta_to_bytes(&self.corpus, &dirty);
-            mate_storage::manifest::save(
-                self.dir.join(corpus_delta_file(self.corpus_gen, seq)),
+            mate_storage::manifest::save_vfs(
+                self.vfs.as_ref(),
+                &self.dir.join(corpus_delta_file(self.corpus_gen, seq)),
                 &payload,
             )?;
             (Ckpt::Delta(payload.len() as u64), self.corpus_gen, seq)
         } else {
             let gen = self.corpus_gen + 1;
             let payload = persist::corpus_to_bytes(&self.corpus);
-            write_file_atomic(self.dir.join(corpus_file(gen)), &payload)?;
+            write_file_atomic_vfs(
+                self.vfs.as_ref(),
+                &self.dir.join(corpus_file(gen)),
+                &payload,
+            )?;
             (Ckpt::Full(payload.len() as u64), gen, 0)
         };
         let new_seq = self.wal_seq + 1;
-        write_file_atomic(self.dir.join(wal_file(new_seq)), &[])?;
+        write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(wal_file(new_seq)), &[])?;
 
         // Load the flushed segment back for serving (re-validates it).
         let seg = SegmentReader::open(bytes.clone())?;
@@ -1361,12 +1513,14 @@ impl Engine {
         let mut segments: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
         segments.push(layer.meta());
         self.manifest_for(segments, new_gen, new_delta_seq, new_seq)
-            .save(self.dir.join(MANIFEST_FILE))?;
+            .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))?;
 
         // ---- commit: infallible in-memory state switch ------------------
-        let new_wal = std::fs::OpenOptions::new()
-            .append(true)
-            .open(self.dir.join(wal_file(new_seq)))?;
+        let new_wal_path = self.dir.join(wal_file(new_seq));
+        let new_wal = self
+            .vfs
+            .open_append(&new_wal_path)
+            .io_ctx("opening rotated WAL", &new_wal_path)?;
         let old_wal = self.dir.join(wal_file(self.wal_seq));
         // A generation bump supersedes the previous full checkpoint and
         // its whole delta chain.
@@ -1413,9 +1567,9 @@ impl Engine {
         self.counters.flushes += 1;
         self.source_epoch += 1;
         // Superseded files; ignorable failures (orphan GC covers them).
-        let _ = std::fs::remove_file(old_wal);
+        let _ = self.vfs.remove_file(&old_wal);
         for p in old_corpus.into_iter().flatten() {
-            let _ = std::fs::remove_file(p);
+            let _ = self.vfs.remove_file(&p);
         }
         Ok(true)
     }
@@ -1557,7 +1711,7 @@ impl Engine {
         encode_claims(&claims, &mut cw);
         sw.add_block("engine.claims", cw.finish());
         let bytes = sw.finish();
-        write_file_atomic(self.dir.join(seg_file(seg_id)), &bytes)?;
+        write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(seg_file(seg_id)), &bytes)?;
 
         let seg = SegmentReader::open(bytes.clone())?;
         let store = persist::read_cold_store(&seg)?;
@@ -1578,7 +1732,11 @@ impl Engine {
         // contains post-watermark records that replay will re-apply).
         let folded = self.fold_corpus_checkpoint()?;
         if let Some((gen, payload)) = &folded {
-            write_file_atomic(self.dir.join(corpus_file(*gen)), payload)?;
+            write_file_atomic_vfs(
+                self.vfs.as_ref(),
+                &self.dir.join(corpus_file(*gen)),
+                payload,
+            )?;
         }
         let (m_gen, m_delta_seq) = match &folded {
             Some((gen, _)) => (*gen, 0),
@@ -1596,7 +1754,7 @@ impl Engine {
             }
         }
         self.manifest_for(metas, m_gen, m_delta_seq, self.wal_seq)
-            .save(self.dir.join(MANIFEST_FILE))?;
+            .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))?;
 
         // ---- commit -----------------------------------------------------
         let removed: Vec<u64> = picks.iter().map(|&li| self.cold[li].id).collect();
@@ -1607,9 +1765,11 @@ impl Engine {
             self.corpus_delta_seq = 0;
             self.counters.checkpoints_written += 1;
             self.counters.checkpoint_full_bytes += payload.len() as u64;
-            let _ = std::fs::remove_file(self.dir.join(corpus_file(old_gen)));
+            let _ = self.vfs.remove_file(&self.dir.join(corpus_file(old_gen)));
             for s in 1..=old_chain {
-                let _ = std::fs::remove_file(self.dir.join(corpus_delta_file(old_gen, s)));
+                let _ = self
+                    .vfs
+                    .remove_file(&self.dir.join(corpus_delta_file(old_gen, s)));
             }
         }
         self.next_segment_id += 1;
@@ -1652,7 +1812,7 @@ impl Engine {
         self.counters.compactions += 1;
         self.source_epoch += 1;
         for id in removed {
-            let _ = std::fs::remove_file(self.dir.join(seg_file(id)));
+            let _ = self.vfs.remove_file(&self.dir.join(seg_file(id)));
         }
         Ok(())
     }
@@ -1667,17 +1827,371 @@ impl Engine {
         if self.corpus_delta_seq == 0 {
             return Ok(None);
         }
-        let mut corpus = persist::load_corpus(self.dir.join(corpus_file(self.corpus_gen)))?;
-        for seq in 1..=self.corpus_delta_seq {
-            let payload = mate_storage::manifest::load(
-                self.dir.join(corpus_delta_file(self.corpus_gen, seq)),
-            )?;
-            persist::apply_corpus_delta(&mut corpus, payload)?;
-        }
+        let corpus = self.load_watermark_corpus()?;
         Ok(Some((
             self.corpus_gen + 1,
             persist::corpus_to_bytes(&corpus),
         )))
+    }
+
+    /// Loads the on-disk corpus state at the WAL watermark:
+    /// `corpus-<gen>` ⊕ `cdelta-<gen>-1..=seq`, read back through the
+    /// [`Vfs`]. This is what recovery would reconstruct — *behind* the
+    /// live corpus by the unflushed WAL tail — and therefore the base
+    /// both checkpoint folds and scrub rebuilds must work from.
+    fn load_watermark_corpus(&self) -> Result<Corpus, StorageError> {
+        let mut corpus = persist::load_corpus_vfs(
+            self.vfs.as_ref(),
+            &self.dir.join(corpus_file(self.corpus_gen)),
+        )?;
+        for seq in 1..=self.corpus_delta_seq {
+            let payload = mate_storage::manifest::load_vfs(
+                self.vfs.as_ref(),
+                &self.dir.join(corpus_delta_file(self.corpus_gen, seq)),
+            )?;
+            persist::apply_corpus_delta(&mut corpus, payload)?;
+        }
+        Ok(corpus)
+    }
+
+    // ----------------------------------------------- scrub / self-healing --
+
+    /// Marks the engine read-only with `reason` and returns the matching
+    /// typed error. Every later write path (and scrub itself) refuses with
+    /// the same reason; reads keep serving from memory.
+    fn degrade(&mut self, reason: String) -> StorageError {
+        self.degraded = Some(reason.clone());
+        StorageError::Degraded { reason }
+    }
+
+    /// Re-reads and fully re-validates every file the manifest references:
+    /// the corpus checkpoint ⊕ delta chain, every cold segment (all CRC-
+    /// checked blocks, claims drift, hash size), and the manifest frame
+    /// itself. Detected corruption self-heals where a known-good source
+    /// exists:
+    ///
+    /// * **cold segment** → the corrupt file is preserved under
+    ///   `quarantine/` and the segment is rebuilt from the watermark
+    ///   corpus (exact by the promote invariant: cold postings always
+    ///   equal the corpus projection of the tables they own);
+    /// * **checkpoint / delta chain** → replaced by a fresh full
+    ///   checkpoint (forced-full flush when the memtable holds claims;
+    ///   direct rewrite otherwise — the live corpus *is* the watermark
+    ///   then);
+    /// * **manifest** → rewritten from the live in-memory state.
+    ///
+    /// Unhealable states (rebuild mismatch, heal-write failure) degrade
+    /// the engine to read-only and surface as [`EngineError::Degraded`].
+    pub fn scrub(&mut self) -> Result<ScrubReport, StorageError> {
+        if let Some(reason) = &self.degraded {
+            return Err(StorageError::Degraded {
+                reason: reason.clone(),
+            });
+        }
+        self.counters.scrub_runs += 1;
+        let mut report = ScrubReport::default();
+
+        // 1. Checkpoint ⊕ delta chain first: segment rebuilds need it as
+        //    their known-good source.
+        let watermark = match self.load_watermark_corpus() {
+            Ok(c) => c,
+            Err(_) => {
+                report.corruptions_found += 1;
+                self.counters.scrub_corruptions_found += 1;
+                self.heal_checkpoint()?;
+                report.checkpoint_rewritten = true;
+                // The heal moved the watermark (fresh generation; possibly
+                // a flush) — reload it for the segment pass below.
+                self.load_watermark_corpus()
+                    .map_err(|e| self.degrade(format!("checkpoint heal did not verify: {e}")))?
+            }
+        };
+
+        // 2. Every cold segment file, newest-wins order irrelevant here.
+        for li in 0..self.cold.len() {
+            report.segments_checked += 1;
+            if self.verify_segment(li).is_ok() {
+                continue;
+            }
+            report.corruptions_found += 1;
+            self.counters.scrub_corruptions_found += 1;
+            self.quarantine_and_rebuild(li, &watermark)?;
+            report.segments_quarantined += 1;
+            report.segments_rebuilt += 1;
+        }
+
+        // 3. The manifest frame itself (cheap; rebuilds above already
+        //    rewrote it as their commit point).
+        if Manifest::load_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE)).is_err() {
+            report.corruptions_found += 1;
+            self.counters.scrub_corruptions_found += 1;
+            let metas: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
+            self.manifest_for(metas, self.corpus_gen, self.corpus_delta_seq, self.wal_seq)
+                .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))
+                .map_err(|e| self.degrade(format!("manifest rewrite failed: {e}")))?;
+            report.manifest_rewritten = true;
+        }
+        Ok(report)
+    }
+
+    /// Full validation of one cold segment's on-disk file: re-read, CRC-
+    /// check every block the engine ever consumes, and cross-check the
+    /// decoded claims against the in-memory layer.
+    fn verify_segment(&self, li: usize) -> Result<(), StorageError> {
+        let layer = &self.cold[li];
+        let path = self.dir.join(seg_file(layer.id));
+        let data = Bytes::from(self.vfs.read(&path).io_ctx("reading segment", &path)?);
+        let seg = SegmentReader::open(data)?;
+        // Decoding the cold store CRC-checks the meta/dictionary/posting
+        // blocks; the remaining blocks are checked by direct access.
+        persist::read_cold_store(&seg)?;
+        let claims = decode_claims(&mut Reader::new(seg.block("engine.claims")?))?;
+        if claims != layer.claims {
+            return Err(StorageError::ChecksumMismatch {
+                block: "engine.claims (drifted from manifest state)".to_string(),
+            });
+        }
+        seg.block("index.superkeys2")?;
+        let (size, _) = persist::read_meta(&seg)?;
+        if size != self.hash_size() {
+            return Err(StorageError::InvalidLength {
+                context: "segment hash size",
+                value: size.bits() as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces a corrupt corpus checkpoint / delta chain with a fresh
+    /// full checkpoint. When the memtable holds claims, a forced-full
+    /// flush does it (the flush rotation makes the live corpus the new
+    /// watermark); when it holds none, the WAL tail is empty — every WAL
+    /// record leaves its table memtable-owned until the next flush — so
+    /// the live corpus already *is* the watermark and can be written
+    /// directly under the next generation.
+    fn heal_checkpoint(&mut self) -> Result<(), StorageError> {
+        if self.wal_poisoned {
+            return Err(self.degrade(
+                "corpus checkpoint corrupt and WAL poisoned; no trustworthy source to heal from"
+                    .to_string(),
+            ));
+        }
+        let claimed = self.owners.iter().any(|o| matches!(o, Owner::Mem));
+        if claimed {
+            return match self.flush_inner(true) {
+                Ok(_) => Ok(()),
+                Err(e) => Err(self.degrade(format!("checkpoint heal flush failed: {e}"))),
+            };
+        }
+        self.invalidate_snapshot();
+        let gen = self.corpus_gen + 1;
+        let payload = persist::corpus_to_bytes(&self.corpus);
+        write_file_atomic_vfs(
+            self.vfs.as_ref(),
+            &self.dir.join(corpus_file(gen)),
+            &payload,
+        )
+        .map_err(|e| self.degrade(format!("checkpoint heal write failed: {e}")))?;
+        let metas: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
+        self.manifest_for(metas, gen, 0, self.wal_seq)
+            .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))
+            .map_err(|e| self.degrade(format!("checkpoint heal manifest flip failed: {e}")))?;
+        let old_gen = self.corpus_gen;
+        let old_chain = self.corpus_delta_seq;
+        self.corpus_gen = gen;
+        self.corpus_delta_seq = 0;
+        self.counters.checkpoints_written += 1;
+        self.counters.checkpoint_full_bytes += payload.len() as u64;
+        let _ = self.vfs.remove_file(&self.dir.join(corpus_file(old_gen)));
+        for s in 1..=old_chain {
+            let _ = self
+                .vfs
+                .remove_file(&self.dir.join(corpus_delta_file(old_gen, s)));
+        }
+        Ok(())
+    }
+
+    /// Preserves the corrupt segment at stack position `li` under
+    /// `quarantine/` and rebuilds it from the watermark corpus: owned live
+    /// claims become the corpus projection of their tables (exact by the
+    /// promote invariant — a count mismatch means the invariant is broken
+    /// and the engine degrades instead of guessing), owned tombstones are
+    /// carried, and claims masked by a *newer cold layer* are dropped
+    /// (safe: the newer claimant keeps winning; live memtable promotions
+    /// are ignored on purpose — reopen-time ownership comes from the
+    /// claim stack plus WAL replay, so the rebuilt file must reproduce
+    /// the flushed state, not the live one).
+    fn quarantine_and_rebuild(
+        &mut self,
+        li: usize,
+        watermark: &Corpus,
+    ) -> Result<(), StorageError> {
+        self.invalidate_snapshot();
+        let old_id = self.cold[li].id;
+        let old_path = self.dir.join(seg_file(old_id));
+
+        // Preserve the corrupt bytes for post-mortem *before* anything
+        // else touches disk: a crash anywhere later leaves either the old
+        // manifest (still referencing the corrupt file — no worse than
+        // before) or the healed state.
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        if let Ok(bytes) = self.vfs.read(&old_path) {
+            let _ = self.vfs.create_dir_all(&qdir);
+            let qpath = qdir.join(seg_file(old_id));
+            if let Ok(mut f) = self.vfs.create(&qpath) {
+                let _ = f.write_all(&bytes);
+                let _ = f.sync_all();
+            }
+        }
+
+        // Watermark-time ownership from the claim stack alone (newest
+        // claimant wins; the in-memory `owners` map also reflects live
+        // post-watermark promotions, which must not leak into the file).
+        let nt = watermark.len();
+        let mut wm_owner: Vec<Option<u32>> = vec![None; nt];
+        for (lj, l) in self.cold.iter().enumerate() {
+            for &(t, _) in &l.claims {
+                if (t as usize) < nt {
+                    wm_owner[t as usize] = Some(lj as u32);
+                }
+            }
+        }
+
+        let old_claims = self.cold[li].claims.clone();
+        let mut claims: Vec<Claim> = Vec::new();
+        let mut merged: BTreeMap<&str, Vec<PostingEntry>> = BTreeMap::new();
+        for &(t, n) in &old_claims {
+            if wm_owner.get(t as usize).copied().flatten() != Some(li as u32) {
+                continue; // masked by a newer cold layer: dead weight, drop
+            }
+            claims.push((t, n));
+            if n == 0 {
+                continue; // tombstone: masks older layers, carries no postings
+            }
+            let table = watermark.table(TableId(t));
+            let mut count = 0u64;
+            for (ci, col) in table.columns().iter().enumerate() {
+                for (ri, v) in col.values.iter().enumerate() {
+                    if !v.is_empty() {
+                        merged
+                            .entry(v.as_str())
+                            .or_default()
+                            .push(PostingEntry::new(TableId(t), ci as u32, ri as u32));
+                        count += 1;
+                    }
+                }
+            }
+            if count != n {
+                return Err(self.degrade(format!(
+                    "segment {old_id} rebuild: corpus projection of table {t} has {count} \
+                     postings but the claim recorded {n}; promote invariant broken"
+                )));
+            }
+        }
+        for pl in merged.values_mut() {
+            pl.sort_unstable();
+        }
+
+        // Super keys re-derived from the watermark corpus. Only the
+        // newest stack segment's block is ever read back (recovery), and
+        // for it this derivation is exactly the watermark-time store; for
+        // older segments the block is dead bytes carried for uniformity.
+        let mut sk = SuperKeyStore::new(self.hash_size());
+        for (_, table) in watermark.iter() {
+            let tid = sk.push_table(table.num_rows());
+            for col in table.columns() {
+                for (ri, v) in col.values.iter().enumerate() {
+                    if !v.is_empty() {
+                        let h = self.hasher.hash_value(v);
+                        sk.or_into(tid, RowId::from(ri), h.words());
+                    }
+                }
+            }
+        }
+
+        let seg_id = self.next_segment_id;
+        let mut sw = SegmentWriter::new();
+        sw.add_block(
+            "index.meta",
+            persist::meta_block(self.config.hash_size, &self.hasher_name, nt),
+        );
+        let mut values: Vec<(&str, &[PostingEntry])> =
+            merged.iter().map(|(v, pl)| (*v, pl.as_slice())).collect();
+        persist::add_posting_blocks(&mut sw, &mut values, self.config.block_len);
+        sw.add_block("index.superkeys2", persist::superkeys_block_v2(&sk));
+        let mut cw = Writer::new();
+        encode_claims(&claims, &mut cw);
+        sw.add_block("engine.claims", cw.finish());
+        let bytes = sw.finish();
+        write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(seg_file(seg_id)), &bytes)
+            .map_err(|e| self.degrade(format!("segment {old_id} rebuild write failed: {e}")))?;
+
+        let seg = SegmentReader::open(bytes.clone())
+            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
+        let store = persist::read_cold_store(&seg)
+            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
+        let superkeys_block = seg
+            .block("index.superkeys2")
+            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
+        let layer = ColdLayer {
+            id: seg_id,
+            claims,
+            store,
+            superkeys_block,
+            bytes: bytes.len(),
+        };
+
+        // Commit point: the manifest names the rebuilt segment at the same
+        // stack position (masking order unchanged).
+        let metas: Vec<SegmentMeta> = self
+            .cold
+            .iter()
+            .enumerate()
+            .map(|(lj, l)| if lj == li { layer.meta() } else { l.meta() })
+            .collect();
+        self.manifest_for(metas, self.corpus_gen, self.corpus_delta_seq, self.wal_seq)
+            .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))
+            .map_err(|e| {
+                self.degrade(format!(
+                    "segment {old_id} rebuild manifest flip failed: {e}"
+                ))
+            })?;
+
+        // ---- commit -----------------------------------------------------
+        self.next_segment_id += 1;
+        self.cold[li] = Arc::new(layer);
+        // Re-resolve ownership against the new stack (memtable ownership
+        // outranks cold claims and is untouched).
+        for owner in &mut self.owners {
+            if !matches!(owner, Owner::Mem) {
+                *owner = Owner::None;
+            }
+        }
+        for lj in 0..self.cold.len() {
+            for ci in 0..self.cold[lj].claims.len() {
+                let t = self.cold[lj].claims[ci].0 as usize;
+                if !matches!(self.owners[t], Owner::Mem) {
+                    self.owners[t] = Owner::Cold(lj as u32);
+                }
+            }
+        }
+        self.cold_live = self
+            .cold
+            .iter()
+            .enumerate()
+            .map(|(lj, l)| {
+                l.claims
+                    .iter()
+                    .filter(|(t, _)| self.owners[*t as usize] == Owner::Cold(lj as u32))
+                    .map(|(_, n)| *n as usize)
+                    .sum()
+            })
+            .collect();
+        self.counters.segments_quarantined += 1;
+        self.counters.segments_rebuilt += 1;
+        self.source_epoch += 1;
+        let _ = self.vfs.remove_file(&old_path);
+        Ok(())
     }
 
     // ----------------------------------------------------------- reading --
@@ -1819,8 +2333,14 @@ impl Engine {
     /// A duplicated handle to the active WAL file, for fsyncing outside
     /// the engine's exclusive borrow (the [`EngineLake`] group-commit
     /// leader).
-    pub(crate) fn wal_try_clone(&self) -> std::io::Result<std::fs::File> {
+    pub(crate) fn wal_try_clone(&self) -> std::io::Result<Box<dyn VfsFile>> {
         self.wal.try_clone()
+    }
+
+    /// Why the engine is read-only, if it is (see the failure-model
+    /// section of the module docs). `None` for a healthy engine.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.degraded.as_deref()
     }
 
     /// The corpus (verification reads candidate tables from here).
@@ -1900,6 +2420,11 @@ impl Engine {
             checkpoint_full_bytes: self.counters.checkpoint_full_bytes,
             shard_lock_waits: self.shard_counters.lock_waits.load(Ordering::Relaxed),
             applies_concurrent: self.shard_counters.concurrent.load(Ordering::Relaxed),
+            scrub_runs: self.counters.scrub_runs,
+            scrub_corruptions_found: self.counters.scrub_corruptions_found,
+            segments_quarantined: self.counters.segments_quarantined,
+            segments_rebuilt: self.counters.segments_rebuilt,
+            io_errors_injected: self.vfs.injected_faults(),
         }
     }
 

@@ -48,8 +48,8 @@ pub mod wal;
 pub use builder::IndexBuilder;
 pub use cold::{ColdIndex, ColdPostingStore, ListDirectory};
 pub use engine::{
-    Engine, EngineConfig, EngineLake, EngineSnapshot, EngineStats, LakeReader, MergedSource,
-    SourceCache, WalTicket,
+    Engine, EngineConfig, EngineError, EngineLake, EngineSnapshot, EngineStats, LakeReader,
+    MergedSource, ScrubReport, SourceCache, WalTicket,
 };
 pub use index::{IndexStats, InvertedIndex};
 pub use posting::PostingEntry;

@@ -33,7 +33,8 @@ use bytes::Bytes;
 use mate_hash::HashSize;
 use mate_storage::postings::{self, RawPosting};
 use mate_storage::{
-    varint, DictBuilder, Dictionary, Reader, SegmentReader, SegmentWriter, StorageError, Writer,
+    varint, DictBuilder, Dictionary, IoCtx as _, Reader, SegmentReader, SegmentWriter, StdVfs,
+    StorageError, Vfs, Writer,
 };
 use mate_table::{Column, Corpus, Table, TableId};
 use std::path::Path;
@@ -111,12 +112,24 @@ pub fn corpus_from_bytes(data: Bytes) -> Result<Corpus, StorageError> {
 /// Writes a corpus to a segment file (atomically: tmp + fsync + rename +
 /// directory fsync — a crash never leaves a half-written checkpoint).
 pub fn save_corpus(corpus: &Corpus, path: impl AsRef<Path>) -> Result<(), StorageError> {
-    mate_storage::manifest::write_file_atomic(path, &corpus_to_bytes(corpus))
+    save_corpus_vfs(&StdVfs, corpus, path.as_ref())
+}
+
+/// [`save_corpus`] through an explicit [`Vfs`].
+pub fn save_corpus_vfs(vfs: &dyn Vfs, corpus: &Corpus, path: &Path) -> Result<(), StorageError> {
+    mate_storage::manifest::write_file_atomic_vfs(vfs, path, &corpus_to_bytes(corpus))
 }
 
 /// Loads a corpus from a segment file.
 pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, StorageError> {
-    corpus_from_bytes(Bytes::from(std::fs::read(path)?))
+    load_corpus_vfs(&StdVfs, path.as_ref())
+}
+
+/// [`load_corpus`] through an explicit [`Vfs`]. Errors carry the path.
+pub fn load_corpus_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Corpus, StorageError> {
+    corpus_from_bytes(Bytes::from(
+        vfs.read(path).io_ctx("reading corpus checkpoint", path)?,
+    ))
 }
 
 /// Serializes an incremental corpus delta: the **full current content** of
@@ -694,13 +707,19 @@ pub fn save_index(index: &InvertedIndex, path: impl AsRef<Path>) -> Result<(), S
 
 /// Loads an index from a segment file.
 pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, StorageError> {
-    index_from_bytes(Bytes::from(std::fs::read(path)?))
+    let path = path.as_ref();
+    index_from_bytes(Bytes::from(
+        StdVfs.read(path).io_ctx("reading index segment", path)?,
+    ))
 }
 
 /// Loads a v2 index segment in cold serving mode (see
 /// [`cold_index_from_bytes`]).
 pub fn load_index_cold(path: impl AsRef<Path>) -> Result<ColdIndex, StorageError> {
-    cold_index_from_bytes(Bytes::from(std::fs::read(path)?))
+    let path = path.as_ref();
+    cold_index_from_bytes(Bytes::from(
+        StdVfs.read(path).io_ctx("reading index segment", path)?,
+    ))
 }
 
 #[cfg(test)]

@@ -23,8 +23,9 @@
 
 use crate::updates::IndexUpdater;
 use mate_hash::RowHasher;
-use mate_storage::{crc32::crc32, Reader, StorageError, Writer};
+use mate_storage::{crc32::crc32, IoCtx as _, Reader, StorageError, Vfs, Writer};
 use mate_table::{ColId, Column, RowId, Table, TableId};
+use std::path::Path;
 
 /// One durable edit operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,6 +319,25 @@ pub fn parse_log(data: &[u8]) -> (Vec<WalRecord>, usize) {
         pos += 8 + len;
     }
     (records, pos)
+}
+
+/// Reads a WAL file through `vfs` and parses it with [`parse_log`].
+/// Returns the records plus the valid byte length (torn tails excluded).
+pub fn read_log(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<WalRecord>, usize), StorageError> {
+    let data = vfs.read(path).io_ctx("reading WAL", path)?;
+    Ok(parse_log(&data))
+}
+
+/// Truncates a WAL file to `valid_len` (discarding a torn tail found by
+/// [`parse_log`]) and fsyncs the truncation so it survives a crash.
+pub fn trim_torn_tail(vfs: &dyn Vfs, path: &Path, valid_len: u64) -> Result<(), StorageError> {
+    let f = vfs
+        .open_write(path)
+        .io_ctx("opening WAL to trim torn tail of", path)?;
+    f.set_len(valid_len)
+        .io_ctx("truncating torn tail of", path)?;
+    f.sync_data().io_ctx("fsyncing trimmed", path)?;
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Storage error type.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Errors raised while encoding, decoding, or validating stored data.
 #[derive(Debug)]
@@ -34,6 +35,43 @@ pub enum StorageError {
     InvalidUtf8,
     /// Underlying I/O error.
     Io(std::io::Error),
+    /// An I/O error with file and operation context (what failed, where —
+    /// see [`IoCtx`]): `while fsyncing wal-00000012.log: ...`.
+    IoAt {
+        /// The operation in progress, gerund form ("fsyncing", "reading").
+        op: &'static str,
+        /// The file or directory the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The engine is in degraded read-only mode: an unhealable storage
+    /// fault was detected (or durability became unknowable) and write
+    /// paths refuse rather than risk committing unverifiable state. Reads
+    /// keep serving from memory.
+    Degraded {
+        /// Why the engine degraded.
+        reason: String,
+    },
+}
+
+/// Attaches operation + path context to raw `std::io` results, turning
+/// them into [`StorageError::IoAt`] — so a degraded-mode report says
+/// *which* file failed *how* (`while fsyncing wal-00000012.log: ...`)
+/// instead of a bare OS error.
+pub trait IoCtx<T> {
+    /// Wraps the error with the operation (gerund form) and target path.
+    fn io_ctx(self, op: &'static str, path: &Path) -> Result<T, StorageError>;
+}
+
+impl<T> IoCtx<T> for std::io::Result<T> {
+    fn io_ctx(self, op: &'static str, path: &Path) -> Result<T, StorageError> {
+        self.map_err(|source| StorageError::IoAt {
+            op,
+            path: path.to_path_buf(),
+            source,
+        })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -54,6 +92,12 @@ impl fmt::Display for StorageError {
             StorageError::MissingBlock(b) => write!(f, "missing required block '{b}'"),
             StorageError::InvalidUtf8 => write!(f, "invalid UTF-8 in stored string"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::IoAt { op, path, source } => {
+                write!(f, "I/O error while {op} {}: {source}", path.display())
+            }
+            StorageError::Degraded { reason } => {
+                write!(f, "engine degraded to read-only: {reason}")
+            }
         }
     }
 }
@@ -62,6 +106,7 @@ impl std::error::Error for StorageError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StorageError::Io(e) => Some(e),
+            StorageError::IoAt { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -102,5 +147,28 @@ mod tests {
         let e: StorageError = io.into();
         assert!(matches!(e, StorageError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_ctx_names_operation_and_path() {
+        let r: std::io::Result<()> = Err(std::io::Error::other("disk on fire"));
+        let e = r
+            .io_ctx("fsyncing", Path::new("wal-00000012.log"))
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("while fsyncing"), "{msg}");
+        assert!(msg.contains("wal-00000012.log"), "{msg}");
+        assert!(msg.contains("disk on fire"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn degraded_is_typed_and_displayed() {
+        let e = StorageError::Degraded {
+            reason: "segment rebuild failed".into(),
+        };
+        assert!(matches!(e, StorageError::Degraded { .. }));
+        assert!(e.to_string().contains("read-only"));
+        assert!(e.to_string().contains("segment rebuild failed"));
     }
 }

@@ -23,6 +23,9 @@
 //! * [`tombstone`] — delta-coded segment claim sets: which tables a segment
 //!   owns, with zero-count claims acting as tombstones that mask older
 //!   segments.
+//! * [`vfs`] — the filesystem seam: every durability-relevant I/O call of
+//!   the engine goes through a [`Vfs`] handle ([`StdVfs`] in production,
+//!   [`FaultVfs`] injecting deterministic faults under test).
 //!
 //! All multi-byte integers are little-endian.
 
@@ -38,8 +41,10 @@ pub mod postings;
 pub mod segment;
 pub mod tombstone;
 pub mod varint;
+pub mod vfs;
 
 pub use codec::{Reader, Writer};
 pub use dict::{DictBuilder, Dictionary};
-pub use error::StorageError;
+pub use error::{IoCtx, StorageError};
 pub use segment::{SegmentReader, SegmentWriter};
+pub use vfs::{FaultVfs, StdVfs, Vfs, VfsFile};

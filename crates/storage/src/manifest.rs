@@ -31,9 +31,9 @@
 //! live, so stray delta files from dead generations are ignored and GC'd).
 
 use crate::crc32::crc32;
-use crate::error::StorageError;
+use crate::error::{IoCtx as _, StorageError};
+use crate::vfs::{StdVfs, Vfs};
 use bytes::Bytes;
-use std::io::Write as _;
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"MATEMAN1";
@@ -85,34 +85,48 @@ pub fn unframe(data: &[u8]) -> Result<Bytes, StorageError> {
 /// files (which must be fully durable *before* the manifest that references
 /// them is renamed into place).
 pub fn write_file_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), StorageError> {
-    let path = path.as_ref();
+    write_file_atomic_vfs(&StdVfs, path.as_ref(), bytes)
+}
+
+/// [`write_file_atomic`] through an explicit [`Vfs`] (the engine threads
+/// its fault-injectable handle here). Errors carry the path and the step
+/// that failed.
+pub fn write_file_atomic_vfs(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
     let tmp = path.with_extension("tmp");
     {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        let mut f = vfs.create(&tmp).io_ctx("creating", &tmp)?;
+        f.write_all(bytes).io_ctx("writing", &tmp)?;
+        f.sync_all().io_ctx("fsyncing", &tmp)?;
     }
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path).io_ctx("renaming into place", path)?;
     // Make the rename durable. Directory fsync is not available on every
     // platform/filesystem; failing to sync the directory only weakens
     // durability of the *rename* (the file contents are already synced), so
     // this is best-effort by design.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = vfs.sync_dir(dir);
     }
     Ok(())
 }
 
 /// Writes a framed manifest payload to `path` atomically.
 pub fn save(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), StorageError> {
-    write_file_atomic(path, &frame(payload))
+    save_vfs(&StdVfs, path.as_ref(), payload)
+}
+
+/// [`save`] through an explicit [`Vfs`].
+pub fn save_vfs(vfs: &dyn Vfs, path: &Path, payload: &[u8]) -> Result<(), StorageError> {
+    write_file_atomic_vfs(vfs, path, &frame(payload))
 }
 
 /// Reads and unframes a manifest file.
 pub fn load(path: impl AsRef<Path>) -> Result<Bytes, StorageError> {
-    unframe(&std::fs::read(path)?)
+    load_vfs(&StdVfs, path.as_ref())
+}
+
+/// [`load`] through an explicit [`Vfs`]. Errors carry the path.
+pub fn load_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Bytes, StorageError> {
+    unframe(&vfs.read(path).io_ctx("reading", path)?)
 }
 
 #[cfg(test)]

@@ -85,8 +85,11 @@ impl SegmentWriter {
         w.finish()
     }
 
-    /// Serializes and writes the segment to a file.
+    /// Serializes and writes the segment to a file (no fsync — tooling
+    /// convenience, not a durability path).
     pub fn write_to(self, path: impl AsRef<Path>) -> Result<(), StorageError> {
+        // vfs-exempt: one-shot tooling/bench helper; the engine's durable
+        // segment writes go through `manifest::write_file_atomic_vfs`.
         std::fs::write(path, self.finish())?;
         Ok(())
     }
@@ -143,6 +146,8 @@ impl SegmentReader {
 
     /// Reads and parses a segment from a file.
     pub fn open_file(path: impl AsRef<Path>) -> Result<Self, StorageError> {
+        // vfs-exempt: read-only tooling entry point; the engine opens
+        // segments from bytes it read through its own `Vfs` handle.
         let data = std::fs::read(path)?;
         SegmentReader::open(Bytes::from(data))
     }
