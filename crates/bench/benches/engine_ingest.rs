@@ -26,10 +26,62 @@ struct CorpusRow {
     compact_ms: f64,
     recovery_ms: f64,
     replayed_records: u64,
+    apply_p50_us: u64,
+    apply_p95_us: u64,
+    apply_p99_us: u64,
     query_us_hot: f64,
     query_us_merged: f64,
     live_postings: usize,
     cold_bytes: usize,
+}
+
+/// Obs overhead control: the same ingest run twice in one process, once
+/// with the engine's obs hub enabled (spans + events recorded) and once
+/// disabled. A same-run pair cancels machine noise better than comparing
+/// against a historical baseline.
+struct ObsOverhead {
+    enabled_secs: f64,
+    disabled_secs: f64,
+    ratio: f64,
+}
+
+fn measure_obs_overhead(corpus: &mate_table::Corpus, base: &std::path::Path) -> ObsOverhead {
+    let run = |label: &str, obs: std::sync::Arc<mate_obs::Obs>| -> f64 {
+        let config = EngineConfig {
+            obs,
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            Engine::create(base.join(format!("obs-{label}")), config).expect("create engine");
+        let t = Instant::now();
+        for (_, table) in corpus.iter() {
+            engine
+                .apply(WalRecord::InsertTable {
+                    table: table.clone(),
+                })
+                .expect("ingest");
+        }
+        engine.flush().expect("flush");
+        t.elapsed().as_secs_f64()
+    };
+    // Warm-up pass so neither measured run pays first-touch costs.
+    let _ = run("warmup", std::sync::Arc::new(mate_obs::Obs::disabled()));
+    let disabled_secs = run("off", std::sync::Arc::new(mate_obs::Obs::disabled()));
+    let enabled_secs = run("on", std::sync::Arc::new(mate_obs::Obs::new()));
+    let ratio = enabled_secs / disabled_secs.max(1e-9);
+    // Generous band for a shared CI box: the enabled hub must not show a
+    // systematic regression (its per-apply cost is a few atomics), and a
+    // "speedup" beyond noise would mean the measurement itself is broken.
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "obs enabled/disabled ingest ratio out of band: {ratio:.3} \
+         ({enabled_secs:.4}s vs {disabled_secs:.4}s)"
+    );
+    ObsOverhead {
+        enabled_secs,
+        disabled_secs,
+        ratio,
+    }
 }
 
 fn main() {
@@ -58,15 +110,19 @@ fn main() {
         // ---- ingest: one WAL-durable InsertTable per lake table ---------
         let total_rows: usize = corpus.iter().map(|(_, t)| t.num_rows()).sum();
         let mut engine = Engine::create(&dir, config.clone()).expect("create engine");
+        let apply_hist = mate_obs::Histogram::new();
         let t = Instant::now();
         for (_, table) in corpus.iter() {
+            let t_apply = Instant::now();
             engine
                 .apply(WalRecord::InsertTable {
                     table: table.clone(),
                 })
                 .expect("ingest");
+            apply_hist.record(t_apply.elapsed().as_micros() as u64);
         }
         let ingest_secs = t.elapsed().as_secs_f64();
+        let apply_q = apply_hist.snapshot();
         let flushes = engine.stats().flushes;
         let segments_before = engine.num_cold_segments();
 
@@ -131,12 +187,17 @@ fn main() {
             compact_ms,
             recovery_ms,
             replayed_records,
+            apply_p50_us: apply_q.quantile(0.50),
+            apply_p95_us: apply_q.quantile(0.95),
+            apply_p99_us: apply_q.quantile(0.99),
             query_us_hot,
             query_us_merged,
             live_postings,
             cold_bytes,
         });
     }
+    // ---- obs overhead: same ingest with the hub enabled vs disabled -----
+    let overhead = measure_obs_overhead(&lakes.school, &base);
     let _ = std::fs::remove_dir_all(&base);
 
     // ---- human-readable report -----------------------------------------
@@ -179,18 +240,30 @@ fn main() {
     report.note("merged query latency includes per-query source construction + cold block decode");
     report.note("identity asserted: merged top-k == single-shot hot top-k before reporting");
     report.note("single-core metrics only (rows/s, counts, per-op latency); no parallel claims");
+    report.note(format!(
+        "obs overhead (school, same-run control): enabled {:.4}s vs disabled {:.4}s = {:.3}x",
+        overhead.enabled_secs, overhead.disabled_secs, overhead.ratio
+    ));
     report.print();
 
     // ---- machine-readable JSON ------------------------------------------
     let path = std::env::var("MATE_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".to_string());
-    let mut json = String::from("{\n  \"bench\": \"engine_ingest\",\n  \"corpora\": [\n");
+    let mut json = String::from("{\n  \"bench\": \"engine_ingest\",\n");
+    let _ = writeln!(
+        json,
+        "  \"obs_enabled_ingest_secs\": {:.4},\n  \"obs_disabled_ingest_secs\": {:.4},\n  \
+         \"obs_overhead_ratio\": {:.4},",
+        overhead.enabled_secs, overhead.disabled_secs, overhead.ratio
+    );
+    json.push_str("  \"corpora\": [\n");
     for (i, r) in rows_out.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"corpus\": \"{}\", \"tables\": {}, \"rows\": {}, \"ingest_secs\": {:.4}, \
              \"ingest_rows_per_s\": {:.1}, \"flushes\": {}, \"segments_before_compaction\": {}, \
              \"segments_after_compaction\": {}, \"compact_ms\": {:.2}, \"recovery_ms\": {:.2}, \
-             \"replayed_records\": {}, \"query_us_hot\": {:.1}, \"query_us_merged\": {:.1}, \
+             \"replayed_records\": {}, \"apply_p50_us\": {}, \"apply_p95_us\": {}, \
+             \"apply_p99_us\": {}, \"query_us_hot\": {:.1}, \"query_us_merged\": {:.1}, \
              \"live_postings\": {}, \"cold_segment_bytes\": {}}}{}",
             r.name,
             r.tables,
@@ -203,6 +276,9 @@ fn main() {
             r.compact_ms,
             r.recovery_ms,
             r.replayed_records,
+            r.apply_p50_us,
+            r.apply_p95_us,
+            r.apply_p99_us,
             r.query_us_hot,
             r.query_us_merged,
             r.live_postings,

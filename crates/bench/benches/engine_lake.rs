@@ -68,6 +68,9 @@ struct CorpusRow {
     sync_secs: f64,
     sync_rows_per_s: f64,
     sync_fsyncs: u64,
+    commit_p50_us: u64,
+    commit_p95_us: u64,
+    commit_p99_us: u64,
     grouped_secs: f64,
     grouped_rows_per_s: f64,
     grouped_fsyncs: u64,
@@ -77,6 +80,9 @@ struct CorpusRow {
     segments: usize,
     query_us_fresh: f64,
     query_us_cached: f64,
+    query_p50_us: u64,
+    query_p95_us: u64,
+    query_p99_us: u64,
     cache_hits: u64,
     cache_misses: u64,
     query_us_during_flush: f64,
@@ -118,15 +124,26 @@ fn main() {
             .iter()
             .map(|(_, t)| WalRecord::InsertTable { table: t.clone() })
             .collect();
+        // Cloning a config shares its obs hub (registry counters would
+        // aggregate across lakes); each measured lake gets its own hub so
+        // `group_syncs` et al. count that lake alone.
+        let fresh_config = || EngineConfig {
+            obs: std::sync::Arc::new(mate_obs::Obs::new()),
+            ..config.clone()
+        };
 
         // ---- baseline: one durability wait (= one fsync) per record -----
-        let lake = EngineLake::create(base.join(format!("{name}-sync")), config.clone())
+        let lake = EngineLake::create(base.join(format!("{name}-sync")), fresh_config())
             .expect("create lake");
+        let commit_hist = mate_obs::Histogram::new();
         let t = Instant::now();
         for r in &records {
+            let t_commit = Instant::now();
             lake.apply(r.clone()).expect("ingest");
+            commit_hist.record(t_commit.elapsed().as_micros() as u64);
         }
         let sync_secs = t.elapsed().as_secs_f64();
+        let commit_q = commit_hist.snapshot();
         let sync_fsyncs = lake.group_syncs();
         // Every record pays its own fsync, except the ones whose apply
         // triggered a flush — the rotation's manifest flip makes those
@@ -139,7 +156,7 @@ fn main() {
         drop(lake);
 
         // ---- grouped: one durability wait per GROUP-record batch --------
-        let lake = EngineLake::create(base.join(format!("{name}-grouped")), config.clone())
+        let lake = EngineLake::create(base.join(format!("{name}-grouped")), fresh_config())
             .expect("create lake");
         let t = Instant::now();
         for chunk in records.chunks(GROUP) {
@@ -212,6 +229,25 @@ fn main() {
         }));
         let cache_hits = lake.source_cache().hits() - h0;
         let cache_misses = lake.source_cache().misses() - m0;
+        // Per-query latency quantiles straight from the lake's obs hub:
+        // every `discover_lake` call above recorded a `discovery` span
+        // into its `span_us.discovery` histogram.
+        let query_q = if queries.is_empty() {
+            mate_obs::HistogramSnapshot::default()
+        } else {
+            let h = lake
+                .obs()
+                .histograms
+                .iter()
+                .find(|(n, _)| n == "span_us.discovery")
+                .map(|(_, h)| h.clone())
+                .expect("lake queries must record discovery spans");
+            assert!(
+                h.count() >= (queries.len() * QUERY_REPS) as u64,
+                "span histogram missing recorded queries"
+            );
+            h
+        };
 
         // ---- flush stall: force a flush mid-query ------------------------
         // Dirty the memtable so the forced flush has real work (row inserts
@@ -300,7 +336,7 @@ fn main() {
         // WRITERS threads race whole-table inserts through the staged
         // protocol; whole-table inserts commute, so the resulting lake
         // indexes exactly the same postings as the single-writer one.
-        let lake = EngineLake::create(base.join(format!("{name}-mw")), config.clone())
+        let lake = EngineLake::create(base.join(format!("{name}-mw")), fresh_config())
             .expect("create lake");
         let t = Instant::now();
         let inserted: Vec<(TableId, usize, usize)> = std::thread::scope(|scope| {
@@ -348,7 +384,7 @@ fn main() {
             base.join(format!("{name}-mw")),
             EngineConfig {
                 memtable_budget_bytes: usize::MAX,
-                ..config.clone()
+                ..fresh_config()
             },
         )
         .expect("reopen lake");
@@ -398,6 +434,9 @@ fn main() {
             sync_secs,
             sync_rows_per_s: total_rows as f64 / sync_secs.max(1e-9),
             sync_fsyncs,
+            commit_p50_us: commit_q.quantile(0.50),
+            commit_p95_us: commit_q.quantile(0.95),
+            commit_p99_us: commit_q.quantile(0.99),
             grouped_secs,
             grouped_rows_per_s: total_rows as f64 / grouped_secs.max(1e-9),
             grouped_fsyncs,
@@ -407,6 +446,9 @@ fn main() {
             segments: stats.cold_segments,
             query_us_fresh,
             query_us_cached,
+            query_p50_us: query_q.quantile(0.50),
+            query_p95_us: query_q.quantile(0.95),
+            query_p99_us: query_q.quantile(0.99),
             cache_hits,
             cache_misses,
             query_us_during_flush,
@@ -532,10 +574,12 @@ fn main() {
             json,
             "    {{\"corpus\": \"{}\", \"tables\": {}, \"rows\": {}, \
              \"per_record_ingest_secs\": {:.4}, \"per_record_rows_per_s\": {:.1}, \
-             \"per_record_fsyncs\": {}, \"grouped_ingest_secs\": {:.4}, \
+             \"per_record_fsyncs\": {}, \"commit_p50_us\": {}, \"commit_p95_us\": {}, \
+             \"commit_p99_us\": {}, \"grouped_ingest_secs\": {:.4}, \
              \"grouped_rows_per_s\": {:.1}, \"grouped_fsyncs\": {}, \"fsync_ratio\": {:.2}, \
              \"flushes\": {}, \"tiered_compactions\": {}, \"cold_segments\": {}, \
              \"query_us_fresh_source\": {:.1}, \"query_us_cached_source\": {:.1}, \
+             \"query_p50_us\": {}, \"query_p95_us\": {}, \"query_p99_us\": {}, \
              \"cache_hits\": {}, \"cache_misses\": {}, \
              \"query_us_during_flush\": {:.1}, \"flush_ms_with_open_reader\": {:.2}, \
              \"snapshot_lag_observed\": {}, \
@@ -549,6 +593,9 @@ fn main() {
             r.sync_secs,
             r.sync_rows_per_s,
             r.sync_fsyncs,
+            r.commit_p50_us,
+            r.commit_p95_us,
+            r.commit_p99_us,
             r.grouped_secs,
             r.grouped_rows_per_s,
             r.grouped_fsyncs,
@@ -558,6 +605,9 @@ fn main() {
             r.segments,
             r.query_us_fresh,
             r.query_us_cached,
+            r.query_p50_us,
+            r.query_p95_us,
+            r.query_p99_us,
             r.cache_hits,
             r.cache_misses,
             r.query_us_during_flush,

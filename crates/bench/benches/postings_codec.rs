@@ -35,6 +35,10 @@ struct CorpusRow {
     cold_load_us: f64,
     probe_ns_hot: f64,
     probe_ns_cold: f64,
+    probe_p50_ns_hot: u64,
+    probe_p99_ns_hot: u64,
+    probe_p50_ns_cold: u64,
+    probe_p99_ns_cold: u64,
     probes: usize,
     blocks_decoded: u64,
     blocks_skipped: u64,
@@ -74,20 +78,27 @@ fn main() {
         let mut scratch = ProbeScratch::new();
         let mut counters = ProbeCounters::default();
         let mut out = Vec::new();
-        let mut probe_all = |src: &dyn PostingSource| -> f64 {
+        // The mean comes from one timestamp pair around the whole loop (the
+        // historical metric, cheapest to measure); the per-probe histogram
+        // adds tail visibility at one extra clock read per probe.
+        let mut probe_all = |src: &dyn PostingSource| -> (f64, mate_obs::HistogramSnapshot) {
+            let hist = mate_obs::Histogram::new();
             let t = Instant::now();
             let mut total = 0usize;
             for v in &values {
+                let t_probe = Instant::now();
                 let list = src.find_list(v, &mut scratch).expect("known value");
                 out.clear();
                 src.collect_run(list, 0, list.len, &mut scratch, &mut out, &mut counters);
+                hist.record(t_probe.elapsed().as_nanos() as u64);
                 total += out.len();
             }
             assert_eq!(total, hot.num_postings());
-            t.elapsed().as_secs_f64() * 1e9 / values.len().max(1) as f64
+            let mean = t.elapsed().as_secs_f64() * 1e9 / values.len().max(1) as f64;
+            (mean, hist.snapshot())
         };
-        let probe_ns_hot = probe_all(hot.store());
-        let probe_ns_cold = probe_all(cold.store());
+        let (probe_ns_hot, probe_hot_q) = probe_all(hot.store());
+        let (probe_ns_cold, probe_cold_q) = probe_all(cold.store());
 
         // Block skip effectiveness: run the corpus's query sets against the
         // cold index and aggregate the discovery block counters.
@@ -117,6 +128,10 @@ fn main() {
             cold_load_us,
             probe_ns_hot,
             probe_ns_cold,
+            probe_p50_ns_hot: probe_hot_q.quantile(0.50),
+            probe_p99_ns_hot: probe_hot_q.quantile(0.99),
+            probe_p50_ns_cold: probe_cold_q.quantile(0.50),
+            probe_p99_ns_cold: probe_cold_q.quantile(0.99),
             probes: values.len(),
             blocks_decoded: decoded,
             blocks_skipped: skipped,
@@ -178,7 +193,9 @@ fn main() {
              \"compression_ratio_vs_v1\": {:.4}, \"v1_posting_bytes\": {}, \"v2_posting_bytes\": {}, \
              \"posting_ratio\": {:.4}, \"superkey_bytes\": {}, \"hot_load_us\": {:.1}, \
              \"cold_load_us\": {:.1}, \"cold_load_speedup\": {:.2}, \"probe_ns_hot\": {:.1}, \
-             \"probe_ns_cold\": {:.1}, \"probes\": {}, \"blocks_decoded\": {}, \
+             \"probe_ns_cold\": {:.1}, \"probe_p50_ns_hot\": {}, \"probe_p99_ns_hot\": {}, \
+             \"probe_p50_ns_cold\": {}, \"probe_p99_ns_cold\": {}, \
+             \"probes\": {}, \"blocks_decoded\": {}, \
              \"blocks_skipped\": {}}}{}",
             r.name,
             r.fixed_bytes,
@@ -195,6 +212,10 @@ fn main() {
             r.hot_load_us / r.cold_load_us.max(0.001),
             r.probe_ns_hot,
             r.probe_ns_cold,
+            r.probe_p50_ns_hot,
+            r.probe_p99_ns_hot,
+            r.probe_p50_ns_cold,
+            r.probe_p99_ns_cold,
             r.probes,
             r.blocks_decoded,
             r.blocks_skipped,

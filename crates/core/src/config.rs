@@ -1,5 +1,7 @@
 //! Discovery configuration.
 
+use std::sync::Arc;
+
 /// Strategy for choosing the initial query column (§6.1 / §7.5.4).
 ///
 /// The initial column determines how many posting lists are fetched; the
@@ -59,6 +61,13 @@ pub struct MateConfig {
     /// [`crate::discovery`] for the pruning protocol that keeps the §6.2
     /// filtering rules sound across workers.
     pub query_threads: usize,
+    /// Observability hub discovery records into: a `discovery` span per
+    /// query, and the clock all query timing (`DiscoveryStats::elapsed`,
+    /// per-worker busy time) is read from. Queries over an
+    /// [`EngineLake`] use the lake's hub instead (see `discover_lake`).
+    ///
+    /// [`EngineLake`]: ../../mate_index/struct.EngineLake.html
+    pub obs: Arc<mate_obs::Obs>,
 }
 
 impl Default for MateConfig {
@@ -69,6 +78,7 @@ impl Default for MateConfig {
             row_filtering: true,
             max_mappings_per_row: 10_000,
             query_threads: 1,
+            obs: Arc::new(mate_obs::Obs::new()),
         }
     }
 }

@@ -59,7 +59,7 @@ use mate_index::{
 use mate_table::{ColId, Corpus, Table, TableId};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Output of a discovery run: the top-k joinable tables plus instrumentation.
 #[derive(Debug, Clone)]
@@ -185,7 +185,10 @@ impl<'a> MateDiscovery<'a> {
     /// Panics if `q_cols` is empty, contains duplicates, or indexes columns
     /// that do not exist in `query`.
     pub fn discover(&self, query: &Table, q_cols: &[ColId], k: usize) -> DiscoveryResult {
-        let start = Instant::now();
+        let obs = self.config.obs.clone();
+        let _span = obs.span("discovery");
+        let clock = obs.clock();
+        let start_nanos = clock.now_nanos();
         validate_key(query, q_cols);
         let mut stats = DiscoveryStats::default();
 
@@ -242,6 +245,7 @@ impl<'a> MateDiscovery<'a> {
             .collect();
         candidates.sort_unstable_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         stats.candidate_tables = candidates.len();
+        stats.init_elapsed = Duration::from_nanos(clock.now_nanos().saturating_sub(start_nanos));
 
         let threads = self.config.query_threads.max(1);
         stats.query_threads = threads;
@@ -250,6 +254,7 @@ impl<'a> MateDiscovery<'a> {
             source: self.source,
             superkeys: self.superkeys,
             config: &self.config,
+            clock: clock.as_ref(),
             query,
             q_cols,
             key_map: &key_map,
@@ -261,7 +266,7 @@ impl<'a> MateDiscovery<'a> {
             Self::discover_parallel(&shared, &candidates, k, threads, &mut stats)
         };
 
-        stats.elapsed = start.elapsed();
+        stats.elapsed = Duration::from_nanos(clock.now_nanos().saturating_sub(start_nanos));
         DiscoveryResult { top_k, stats }
     }
 
@@ -321,6 +326,7 @@ impl<'a> MateDiscovery<'a> {
     ) -> Vec<TableResult> {
         // 0 while the shared top-k is not full; `j_k` once it is (admitted
         // scores are ≥ 1, so 0 is a safe sentinel).
+        // obs-exempt: pruning-protocol state shared between workers, not a metric.
         let floor = AtomicU64::new(0);
         let cursor = AtomicUsize::new(0);
         let stopped = AtomicBool::new(false);
@@ -337,6 +343,7 @@ impl<'a> MateDiscovery<'a> {
                 let stopped = &stopped;
                 let shared_topk = &shared_topk;
                 scope.spawn(move |_| {
+                    let busy_start = ctx.clock.now_nanos();
                     let mut results: Vec<(usize, u32, u64)> = Vec::new();
                     let mut worker = WorkerStats::default();
                     let mut probe = ProbeState::default();
@@ -396,6 +403,8 @@ impl<'a> MateDiscovery<'a> {
                             }
                         }
                     }
+                    worker.busy =
+                        Duration::from_nanos(ctx.clock.now_nanos().saturating_sub(busy_start));
                     *slot = Some((results, worker, hit_rule1));
                 });
             }
@@ -427,6 +436,7 @@ struct SharedCtx<'a> {
     source: &'a dyn PostingSource,
     superkeys: &'a SuperKeyStore,
     config: &'a MateConfig,
+    clock: &'a dyn mate_obs::Clock,
     query: &'a Table,
     q_cols: &'a [ColId],
     key_map: &'a QueryKeyMap,

@@ -87,6 +87,26 @@ pub fn discover_snapshot(
     result
 }
 
+/// Like [`discover_snapshot`], but also returns the query's
+/// [`QueryProfile`](mate_obs::QueryProfile): init-phase vs total time,
+/// per-worker busy time, postings probed, blocks decoded/skipped, and
+/// cache/snapshot context — everything an operator needs to explain *why*
+/// a query was slow, derived from the same [`DiscoveryStats`] the result
+/// carries (no extra measurement cost).
+///
+/// [`DiscoveryStats`]: crate::stats::DiscoveryStats
+pub fn discover_snapshot_profiled(
+    snapshot: &EngineSnapshot,
+    config: MateConfig,
+    query: &Table,
+    q_cols: &[ColId],
+    k: usize,
+) -> (DiscoveryResult, mate_obs::QueryProfile) {
+    let result = discover_snapshot(snapshot, config, query, q_cols, k);
+    let profile = result.stats.profile();
+    (result, profile)
+}
+
 /// Runs a top-k discovery over an [`EngineLake`]: clones the published
 /// snapshot (no engine lock — returns promptly even mid-flush, and never
 /// delays writers) and probes it through the lake's shared
@@ -107,11 +127,15 @@ pub fn discover_snapshot(
 /// [`DiscoveryStats::cold_cache_hits`]: crate::stats::DiscoveryStats::cold_cache_hits
 pub fn discover_lake(
     lake: &EngineLake,
-    config: MateConfig,
+    mut config: MateConfig,
     query: &Table,
     q_cols: &[ColId],
     k: usize,
 ) -> DiscoveryResult {
+    // Queries over a lake record into the lake's obs hub (its clock, its
+    // `discovery` span histogram), so one snapshot shows ingest, flush, and
+    // query activity side by side.
+    config.obs = std::sync::Arc::clone(lake.obs_handle());
     let reader = lake.reader();
     let snapshot = reader.snapshot();
     let source = reader.source();
@@ -187,6 +211,76 @@ mod tests {
         assert_eq!(second.top_k, single.top_k);
         assert!(second.stats.cold_cache_hits > 0, "repeat query hits");
         assert_eq!(second.stats.cold_cache_misses, 0, "nothing left to fill");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn queries_record_spans_profiles_and_use_the_pluggable_clock() {
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("mate-obs-query-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut engine = Engine::create(&dir, EngineConfig::default()).unwrap();
+        for t in 0..4 {
+            let mut tb = TableBuilder::new(format!("t{t}"), ["a", "b"]);
+            for i in 0..=(2 * t) {
+                tb = tb.row([format!("k{i}"), format!("v{i}")]);
+            }
+            engine.insert_table(tb.build()).unwrap();
+        }
+        engine.flush().unwrap();
+        let query = TableBuilder::new("q", ["x", "y"])
+            .row(["k0", "v0"])
+            .row(["k1", "v1"])
+            .build();
+        let key = [ColId(0), ColId(1)];
+
+        // A lake query lands a `discovery` span in the *lake's* obs hub,
+        // even though the passed config carries its own fresh hub.
+        let lake = mate_index::EngineLake::new(engine);
+        let r = discover_lake(&lake, MateConfig::default(), &query, &key, 2);
+        let snap = lake.obs();
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|(n, h)| n == "span_us.discovery" && h.count() >= 1),
+            "lake hub should hold the discovery span"
+        );
+        assert!(snap.events.iter().any(|e| e.kind == "discovery"));
+
+        // The profile condenses the same run's stats.
+        let p = r.stats.profile();
+        assert!(p.total_us >= p.init_us);
+        assert_eq!(p.worker_busy_us.len(), 1, "sequential run: one worker");
+
+        // Profiled snapshot entry point returns both halves consistently.
+        let reader = lake.reader();
+        let (res, prof) =
+            discover_snapshot_profiled(reader.snapshot(), MateConfig::default(), &query, &key, 2);
+        assert_eq!(res.top_k, r.top_k);
+        assert_eq!(prof, res.stats.profile());
+
+        // A parallel run reports one busy time per worker.
+        let cfg = MateConfig {
+            query_threads: 3,
+            ..Default::default()
+        };
+        let (_, prof) = discover_snapshot_profiled(reader.snapshot(), cfg, &query, &key, 2);
+        assert_eq!(prof.worker_busy_us.len(), 3);
+
+        // All query timing comes from the pluggable clock: under a manual
+        // clock that never advances, elapsed is exactly zero.
+        let obs = Arc::new(mate_obs::Obs::with_clock(Arc::new(
+            mate_obs::ManualClock::new(),
+        )));
+        let cfg = MateConfig {
+            obs,
+            ..Default::default()
+        };
+        let frozen = discover_snapshot(reader.snapshot(), cfg, &query, &key, 2);
+        assert_eq!(frozen.top_k, r.top_k);
+        assert_eq!(frozen.stats.elapsed, std::time::Duration::ZERO);
+        assert_eq!(frozen.stats.init_elapsed, std::time::Duration::ZERO);
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -41,7 +41,9 @@ pub mod topk;
 pub use config::{InitColumnHeuristic, MateConfig};
 pub use discovery::{DiscoveryResult, MateDiscovery, TableResult};
 pub use durable::DurableLake;
-pub use engine_query::{discover_engine, discover_lake, discover_snapshot};
+pub use engine_query::{
+    discover_engine, discover_lake, discover_snapshot, discover_snapshot_profiled,
+};
 pub use joinability::verify_table_joinability;
-pub use stats::{DiscoveryStats, WorkerStats};
+pub use stats::{export_discovery_stats, DiscoveryStats, WorkerStats};
 pub use topk::TopK;

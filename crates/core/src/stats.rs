@@ -33,6 +33,14 @@ pub struct WorkerStats {
     /// Posting blocks this worker bypassed via their skip headers without
     /// touching the payload (cold serving mode).
     pub blocks_skipped: u64,
+    /// Wall time this worker spent inside the candidate loop (busy time:
+    /// excludes waiting for work to be partitioned, includes evaluation
+    /// and verification). NOT summed by `fold_into` — per-worker busy
+    /// times are reported side by side in [`QueryProfile`], not
+    /// aggregated into run totals.
+    ///
+    /// [`QueryProfile`]: mate_obs::QueryProfile
+    pub busy: Duration,
 }
 
 impl WorkerStats {
@@ -118,6 +126,10 @@ pub struct DiscoveryStats {
     pub per_worker: Vec<WorkerStats>,
     /// Wall-clock time of the discovery run.
     pub elapsed: Duration,
+    /// Wall-clock time of the init phase alone (initial-column selection,
+    /// key-map build, candidate collection and ordering) — the prefix of
+    /// `elapsed` before the candidate loop started.
+    pub init_elapsed: Duration,
 }
 
 impl DiscoveryStats {
@@ -141,6 +153,63 @@ impl DiscoveryStats {
         } else {
             self.rows_passed_filter as f64 / self.rows_filter_checked as f64
         }
+    }
+
+    /// Condenses the run's counters into a flat [`mate_obs::QueryProfile`]
+    /// (where the query spent its time and I/O budget). For a sequential
+    /// run the single "worker"'s busy time is `elapsed - init_elapsed`.
+    pub fn profile(&self) -> mate_obs::QueryProfile {
+        let worker_busy_us = if self.per_worker.is_empty() {
+            vec![self.elapsed.saturating_sub(self.init_elapsed).as_micros() as u64]
+        } else {
+            self.per_worker
+                .iter()
+                .map(|w| w.busy.as_micros() as u64)
+                .collect()
+        };
+        mate_obs::QueryProfile {
+            init_us: self.init_elapsed.as_micros() as u64,
+            total_us: self.elapsed.as_micros() as u64,
+            worker_busy_us,
+            postings_probed: self.pl_items_fetched as u64,
+            blocks_decoded: self.blocks_decoded,
+            blocks_skipped: self.blocks_skipped,
+            cache_hits: self.cold_cache_hits,
+            cache_misses: self.cold_cache_misses,
+            snapshot_lag: self.snapshot_lag,
+        }
+    }
+}
+
+/// Mirrors the counter fields of a [`DiscoveryStats`] into `obs` as gauges
+/// under the `discovery_stats.` prefix, completing the unified metric
+/// catalog alongside `export_engine_stats` and `export_index_stats`
+/// (gauges, not counters: a stats struct is one run's snapshot — callers
+/// export the run they want visible, typically the latest).
+pub fn export_discovery_stats(obs: &mate_obs::Obs, stats: &DiscoveryStats) {
+    let pairs: [(&str, u64); 16] = [
+        ("pl_lists_fetched", stats.pl_lists_fetched as u64),
+        ("pl_items_fetched", stats.pl_items_fetched as u64),
+        ("candidate_tables", stats.candidate_tables as u64),
+        ("tables_evaluated", stats.tables_evaluated as u64),
+        ("tables_skipped_rule2", stats.tables_skipped_rule2 as u64),
+        ("stopped_early_rule1", stats.stopped_early_rule1 as u64),
+        ("rows_filter_checked", stats.rows_filter_checked as u64),
+        ("rows_passed_filter", stats.rows_passed_filter as u64),
+        (
+            "rows_verified_joinable",
+            stats.rows_verified_joinable as u64,
+        ),
+        ("false_positive_rows", stats.false_positive_rows as u64),
+        ("blocks_decoded", stats.blocks_decoded),
+        ("blocks_skipped", stats.blocks_skipped),
+        ("query_threads", stats.query_threads as u64),
+        ("snapshot_lag", stats.snapshot_lag),
+        ("elapsed_us", stats.elapsed.as_micros() as u64),
+        ("init_elapsed_us", stats.init_elapsed.as_micros() as u64),
+    ];
+    for (name, v) in pairs {
+        obs.gauge(&format!("discovery_stats.{name}")).set(v);
     }
 }
 

@@ -476,8 +476,10 @@ fn run_fault_sweep(tag: &str, sweep: SweepFault) {
             SweepFault::SyncError => fault.eio_on_nth_sync(n),
             SweepFault::Enospc => fault.enospc_on_nth_write(n),
         }
+        let obs = Arc::new(mate_obs::Obs::new());
         let cfg = EngineConfig {
             vfs: Arc::new(Arc::clone(&fault)),
+            obs: Arc::clone(&obs),
             ..config(budget)
         };
         let mut acked = 0usize;
@@ -509,6 +511,44 @@ fn run_fault_sweep(tag: &str, sweep: SweepFault) {
         // where the commit point already passed) — a survived run. Either
         // way: reopen on a clean production vfs and check the contract.
         let _ = &outcome;
+        // The engine's obs hub (attached to the FaultVfs inside
+        // `Engine::create`) must let an operator reconstruct the failure:
+        // the mirrored counter matches the harness count exactly, and each
+        // injection logged an event naming the op class and the file it hit.
+        let obs_snap = obs.snapshot();
+        assert_eq!(
+            obs_snap
+                .counters
+                .iter()
+                .find(|(name, _)| name == "vfs.faults_injected")
+                .map(|&(_, v)| v),
+            Some(fault.injected()),
+            "op {n}: injected-fault counter out of sync"
+        );
+        let fault_events: Vec<_> = obs_snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "fault_injected")
+            .collect();
+        assert!(
+            !fault_events.is_empty(),
+            "op {n}: fault fired but no event recorded"
+        );
+        let dir_str = dir.display().to_string();
+        for ev in &fault_events {
+            assert!(
+                ["Read", "Write", "Sync", "Meta"]
+                    .iter()
+                    .any(|op| ev.detail.starts_with(op)),
+                "op {n}: event lacks op-class context: {}",
+                ev.detail
+            );
+            assert!(
+                ev.detail.contains(&dir_str),
+                "op {n}: event lacks path context: {}",
+                ev.detail
+            );
+        }
         if !dir.join("MANIFEST").exists() {
             // Creation itself was interrupted before its commit point.
             assert_eq!(

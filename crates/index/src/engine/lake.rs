@@ -72,11 +72,11 @@ use super::{
 };
 use crate::wal::WalRecord;
 use mate_hash::Xash;
+use mate_obs::Obs;
 use mate_storage::{StorageError, VfsFile};
 use mate_table::{Table, TableId};
 use parking_lot::RwLock;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Locks a mutex, recovering the guard if a previous holder panicked (see
@@ -119,7 +119,11 @@ pub struct EngineLake {
     published: Mutex<Arc<EngineSnapshot>>,
     commit: Mutex<CommitQueue>,
     commit_cv: Condvar,
-    group_syncs: AtomicU64,
+    /// The wrapped engine's observability hub (cached so monitoring reads
+    /// never touch the engine lock). Registered as `lake.group_syncs`:
+    /// group fsyncs issued by this lake.
+    obs: Arc<Obs>,
+    group_syncs: Arc<mate_obs::Counter>,
 }
 
 /// An owned read snapshot of the lake: pins a consistent engine state
@@ -177,6 +181,8 @@ impl EngineLake {
         };
         let published = engine.snapshot();
         let hasher = engine.hasher;
+        let obs = Arc::clone(engine.obs());
+        let group_syncs = obs.counter("lake.group_syncs");
         EngineLake {
             engine: RwLock::new(engine),
             hasher,
@@ -184,7 +190,8 @@ impl EngineLake {
             published: Mutex::new(published),
             commit: Mutex::new(queue),
             commit_cv: Condvar::new(),
-            group_syncs: AtomicU64::new(0),
+            obs,
+            group_syncs,
         }
     }
 
@@ -211,14 +218,53 @@ impl EngineLake {
 
     /// Group fsyncs issued by this lake (each may cover many records).
     pub fn group_syncs(&self) -> u64 {
-        self.group_syncs.load(Ordering::Relaxed)
+        self.group_syncs.get()
     }
 
     /// Counter snapshot of the wrapped engine, served from the published
     /// snapshot: monitoring never contends with writers (or waits behind a
     /// flush) just to copy counters.
     pub fn stats(&self) -> EngineStats {
-        lock_recover(&self.published).stats().clone()
+        let mut stats = lock_recover(&self.published).stats().clone();
+        // The published snapshot freezes most counters, but a handful
+        // mutate *between* publishes (shard contention and fault
+        // injections tick outside the engine lock; scrub counters tick
+        // mid-pass while the pre-scrub snapshot is still published).
+        // Overlay those from ONE locked registry pass so the returned
+        // struct is internally coherent — no field can be newer than
+        // another field read in the same pass.
+        for (name, v) in self.obs.registry().counter_values() {
+            match name.as_str() {
+                "engine.shard_lock_waits" => stats.shard_lock_waits = v,
+                "engine.applies_concurrent" => stats.applies_concurrent = v,
+                "engine.scrub_runs" => stats.scrub_runs = v,
+                "engine.scrub_corruptions_found" => stats.scrub_corruptions_found = v,
+                "engine.segments_quarantined" => stats.segments_quarantined = v,
+                "engine.segments_rebuilt" => stats.segments_rebuilt = v,
+                "vfs.faults_injected" => stats.io_errors_injected = v,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// The lake's observability hub: registry metrics, the event ring
+    /// buffer, and the clock that spans read. Discovery over this lake
+    /// ([`discover_lake`]) records its spans and profiles here.
+    ///
+    /// [`discover_lake`]: ../../mate_core/engine_query/fn.discover_lake.html
+    pub fn obs_handle(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// One coherent export of everything observable about this lake: a
+    /// coherent [`EngineLake::stats`] read mirrored into `engine_stats.*`
+    /// gauges, plus every registered metric and the event log. Render it
+    /// with [`mate_obs::ObsSnapshot::to_json`] or
+    /// [`mate_obs::ObsSnapshot::to_prometheus`].
+    pub fn obs(&self) -> mate_obs::ObsSnapshot {
+        super::export_engine_stats(&self.obs, &self.stats());
+        self.obs.snapshot()
     }
 
     /// Source epoch of the currently published snapshot. A reader's
@@ -430,14 +476,19 @@ impl EngineLake {
                 let file = q.file.clone();
                 drop(q);
                 let res = match &file {
-                    Some(f) => f.sync_data(),
+                    Some(f) => {
+                        // Leader election won: this fsync commits the
+                        // whole group (span covers just the sync syscall).
+                        let _span = self.obs.span("group_commit_sync");
+                        f.sync_data()
+                    }
                     None => Err(std::io::Error::other("group-commit WAL handle unavailable")),
                 };
                 q = lock_recover(&self.commit);
                 q.syncing = false;
                 match res {
                     Ok(()) => {
-                        self.group_syncs.fetch_add(1, Ordering::Relaxed);
+                        self.group_syncs.inc();
                         if q.epoch == epoch && target > q.durable {
                             q.durable = target;
                         }

@@ -121,7 +121,11 @@ struct ColdCache {
 #[derive(Debug, Default)]
 pub struct SourceCache {
     inner: RwLock<ColdCache>,
+    // obs-exempt: per-cache delta counters read into each query's
+    // DiscoveryStats (cold_cache_hits/misses); a process-global registry
+    // counter could not give per-query deltas.
     hits: AtomicU64,
+    // obs-exempt: see `hits` above.
     misses: AtomicU64,
 }
 

@@ -180,6 +180,7 @@ use crate::updates::IndexUpdater;
 use crate::wal::{self, frame_record, WalRecord};
 use bytes::Bytes;
 use mate_hash::{HashSize, RowHasher, Xash};
+use mate_obs::Obs;
 use mate_storage::manifest::write_file_atomic_vfs;
 use mate_storage::tombstone::{decode_claims, encode_claims, Claim};
 use mate_storage::{
@@ -189,7 +190,6 @@ use mate_storage::{
 use mate_table::{Corpus, RowId, Table, TableId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Engine file names inside the directory.
@@ -236,6 +236,7 @@ fn size_class(bytes: usize) -> u32 {
 /// Process-unique engine instance ids: a [`SourceCache`] entry is keyed by
 /// (instance, epoch), so a cache can never accidentally validate against a
 /// *different* engine (e.g. after a reopen reset `source_epoch` to 0).
+// obs-exempt: identity allocator for cache validation, not a metric.
 static NEXT_ENGINE_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 fn next_engine_instance() -> u64 {
@@ -287,6 +288,13 @@ pub struct EngineConfig {
     /// Run a [`Engine::scrub`] pass automatically after every this many
     /// flushes (`0`, the default, disables the hook — scrub on demand).
     pub scrub_every_flushes: u64,
+    /// The observability hub this engine records into: its volatile
+    /// counters (shard contention, scrub, fault injections) live as
+    /// registry metrics here, and maintenance operations (flush, compact,
+    /// scrub, recovery, quarantine/rebuild, degrade) emit spans/events
+    /// when the hub is enabled. Each `EngineConfig::default()` makes a
+    /// fresh hub; share one `Arc` across engines to aggregate.
+    pub obs: Arc<Obs>,
 }
 
 fn default_apply_shards() -> usize {
@@ -308,6 +316,7 @@ impl Default for EngineConfig {
             apply_shards: default_apply_shards(),
             vfs: Arc::new(StdVfs),
             scrub_every_flushes: 0,
+            obs: Arc::new(Obs::new()),
         }
     }
 }
@@ -361,16 +370,28 @@ impl Quiesce {
     }
 }
 
-/// Contention counters of the sharded apply path (atomic: bumped by
-/// [`ShardTask::run`] outside any engine lock).
-#[derive(Debug, Default)]
+/// Contention counters of the sharded apply path: registry counter
+/// handles (bumped by [`ShardTask::run`] outside any engine lock), so
+/// they appear in the engine's metric catalog by name.
+#[derive(Debug)]
 struct ShardCounters {
     /// Shard latch acquisitions that had to block (another applier held
     /// the same shard). Disjoint-shard appliers never bump this.
-    lock_waits: AtomicU64,
+    /// Registered as `engine.shard_lock_waits`.
+    lock_waits: Arc<mate_obs::Counter>,
     /// Staged applies that entered while at least one other staged apply
     /// was still in flight (true write concurrency, loads or not).
-    concurrent: AtomicU64,
+    /// Registered as `engine.applies_concurrent`.
+    concurrent: Arc<mate_obs::Counter>,
+}
+
+impl ShardCounters {
+    fn new(obs: &Obs) -> Self {
+        ShardCounters {
+            lock_waits: obs.counter("engine.shard_lock_waits"),
+            concurrent: obs.counter("engine.applies_concurrent"),
+        }
+    }
 }
 
 /// Per-row super-key words of a table, computed **outside** every engine
@@ -428,7 +449,7 @@ impl ShardTask {
         let mut guard = match shard.store.try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
-                self.counters.lock_waits.fetch_add(1, Ordering::Relaxed);
+                self.counters.lock_waits.inc();
                 lock_plain(&shard.store)
             }
             Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
@@ -593,7 +614,12 @@ pub struct EngineStats {
     pub io_errors_injected: u64,
 }
 
-#[derive(Debug, Default)]
+/// Engine maintenance counters. Plain-`u64` fields only mutate under the
+/// engine's exclusive borrow (and every change republishes the snapshot);
+/// the scrub/quarantine family mutates during long self-healing passes
+/// that concurrent `stats()` readers can overlap, so those live as
+/// registry counters (`engine.scrub_runs`, ...) and are read atomically.
+#[derive(Debug)]
 struct Counters {
     flushes: u64,
     compactions: u64,
@@ -605,10 +631,31 @@ struct Counters {
     deltas_written: u64,
     checkpoint_delta_bytes: u64,
     checkpoint_full_bytes: u64,
-    scrub_runs: u64,
-    scrub_corruptions_found: u64,
-    segments_quarantined: u64,
-    segments_rebuilt: u64,
+    scrub_runs: Arc<mate_obs::Counter>,
+    scrub_corruptions_found: Arc<mate_obs::Counter>,
+    segments_quarantined: Arc<mate_obs::Counter>,
+    segments_rebuilt: Arc<mate_obs::Counter>,
+}
+
+impl Counters {
+    fn new(obs: &Obs) -> Self {
+        Counters {
+            flushes: 0,
+            compactions: 0,
+            wal_records: 0,
+            wal_syncs: 0,
+            replayed_records: 0,
+            checkpoints_written: 0,
+            checkpoints_skipped: 0,
+            deltas_written: 0,
+            checkpoint_delta_bytes: 0,
+            checkpoint_full_bytes: 0,
+            scrub_runs: obs.counter("engine.scrub_runs"),
+            scrub_corruptions_found: obs.counter("engine.scrub_corruptions_found"),
+            segments_quarantined: obs.counter("engine.segments_quarantined"),
+            segments_rebuilt: obs.counter("engine.segments_rebuilt"),
+        }
+    }
 }
 
 /// Error type of every fallible engine operation. An alias of
@@ -726,6 +773,9 @@ impl Engine {
     pub fn create(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         let vfs = Arc::clone(&config.vfs);
+        // Attach before the first I/O so even a fault during creation is
+        // mirrored into the hub's events.
+        vfs.attach_obs(&config.obs);
         vfs.create_dir_all(&dir)
             .io_ctx("creating engine dir", &dir)?;
         let corpus = Corpus::new();
@@ -750,6 +800,9 @@ impl Engine {
         let wal = vfs
             .open_append(&wal_path)
             .io_ctx("opening WAL", &wal_path)?;
+        config.obs.event("create", format!("{}", dir.display()));
+        let shard_counters = Arc::new(ShardCounters::new(&config.obs));
+        let counters = Counters::new(&config.obs);
         let engine = Engine {
             dir,
             vfs,
@@ -759,7 +812,7 @@ impl Engine {
             shards: new_shards(&config),
             superkeys: Arc::new(SuperKeyStore::new(config.hash_size)),
             quiesce: Arc::new(Quiesce::new()),
-            shard_counters: Arc::new(ShardCounters::default()),
+            shard_counters,
             config,
             cold: Vec::new(),
             cold_live: Vec::new(),
@@ -777,7 +830,7 @@ impl Engine {
             instance: next_engine_instance(),
             corpus_gen: 0,
             next_segment_id: 0,
-            counters: Counters::default(),
+            counters,
         };
         engine.gc_orphans();
         Ok(engine)
@@ -790,6 +843,9 @@ impl Engine {
     pub fn open(dir: impl AsRef<Path>, config: EngineConfig) -> Result<Self, StorageError> {
         let dir = dir.as_ref().to_path_buf();
         let vfs = Arc::clone(&config.vfs);
+        vfs.attach_obs(&config.obs);
+        let obs = Arc::clone(&config.obs);
+        let _recovery_span = obs.span("recovery");
         let m = Manifest::load_vfs(vfs.as_ref(), &dir.join(MANIFEST_FILE))?;
         let hash_size =
             HashSize::from_bits(m.hash_bits as usize).ok_or(StorageError::InvalidLength {
@@ -896,7 +952,8 @@ impl Engine {
             shards: new_shards(&config),
             superkeys: Arc::new(superkeys),
             quiesce: Arc::new(Quiesce::new()),
-            shard_counters: Arc::new(ShardCounters::default()),
+            shard_counters: Arc::new(ShardCounters::new(&config.obs)),
+            counters: Counters::new(&config.obs),
             config,
             cold,
             cold_live,
@@ -914,7 +971,6 @@ impl Engine {
             instance: next_engine_instance(),
             corpus_gen: m.corpus_gen,
             next_segment_id: m.next_segment_id,
-            counters: Counters::default(),
         };
 
         // Replay the WAL tail (everything after the watermark). A read
@@ -944,6 +1000,15 @@ impl Engine {
         }
         engine.wal_len = valid_len as u64;
         engine.gc_orphans();
+        obs.event(
+            "recovery",
+            format!(
+                "replayed={} segments={} trimmed={}",
+                engine.counters.replayed_records,
+                engine.cold.len(),
+                log.len() - valid_len
+            ),
+        );
         Ok(engine)
     }
 
@@ -1103,9 +1168,7 @@ impl Engine {
         self.dirty_tables.insert(tid.0);
         let mut n = lock_plain(&self.quiesce.in_flight);
         if *n > 0 {
-            self.shard_counters
-                .concurrent
-                .fetch_add(1, Ordering::Relaxed);
+            self.shard_counters.concurrent.inc();
         }
         *n += 1;
         drop(n);
@@ -1416,6 +1479,8 @@ impl Engine {
         if claimed.is_empty() {
             return Ok(false);
         }
+        let obs = Arc::clone(&self.config.obs);
+        let _span = obs.span("flush");
         // Canonical union of the shard stores (see method docs). Shards
         // partition by table id, so per-value lists concatenate without
         // duplicates.
@@ -1638,6 +1703,8 @@ impl Engine {
     fn merge_segments(&mut self, picks: &[usize]) -> Result<(), StorageError> {
         debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks ascending");
         let out_pos = *picks.last().expect("non-empty pick set");
+        let obs = Arc::clone(&self.config.obs);
+        let _span = obs.span("compact");
         self.invalidate_snapshot();
 
         // Union of the picked layers' live (owned) postings. A table is
@@ -1860,6 +1927,7 @@ impl Engine {
     /// typed error. Every later write path (and scrub itself) refuses with
     /// the same reason; reads keep serving from memory.
     fn degrade(&mut self, reason: String) -> StorageError {
+        self.config.obs.event("degraded", reason.clone());
         self.degraded = Some(reason.clone());
         StorageError::Degraded { reason }
     }
@@ -1888,7 +1956,9 @@ impl Engine {
                 reason: reason.clone(),
             });
         }
-        self.counters.scrub_runs += 1;
+        self.counters.scrub_runs.inc();
+        let obs = Arc::clone(&self.config.obs);
+        let _span = obs.span("scrub");
         let mut report = ScrubReport::default();
 
         // 1. Checkpoint ⊕ delta chain first: segment rebuilds need it as
@@ -1897,7 +1967,7 @@ impl Engine {
             Ok(c) => c,
             Err(_) => {
                 report.corruptions_found += 1;
-                self.counters.scrub_corruptions_found += 1;
+                self.counters.scrub_corruptions_found.inc();
                 self.heal_checkpoint()?;
                 report.checkpoint_rewritten = true;
                 // The heal moved the watermark (fresh generation; possibly
@@ -1914,7 +1984,7 @@ impl Engine {
                 continue;
             }
             report.corruptions_found += 1;
-            self.counters.scrub_corruptions_found += 1;
+            self.counters.scrub_corruptions_found.inc();
             self.quarantine_and_rebuild(li, &watermark)?;
             report.segments_quarantined += 1;
             report.segments_rebuilt += 1;
@@ -1924,13 +1994,20 @@ impl Engine {
         //    rewrote it as their commit point).
         if Manifest::load_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE)).is_err() {
             report.corruptions_found += 1;
-            self.counters.scrub_corruptions_found += 1;
+            self.counters.scrub_corruptions_found.inc();
             let metas: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
             self.manifest_for(metas, self.corpus_gen, self.corpus_delta_seq, self.wal_seq)
                 .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))
                 .map_err(|e| self.degrade(format!("manifest rewrite failed: {e}")))?;
             report.manifest_rewritten = true;
         }
+        obs.event(
+            "scrub_report",
+            format!(
+                "checked={} corrupt={} rebuilt={}",
+                report.segments_checked, report.corruptions_found, report.segments_rebuilt
+            ),
+        );
         Ok(report)
     }
 
@@ -2029,6 +2106,10 @@ impl Engine {
         self.invalidate_snapshot();
         let old_id = self.cold[li].id;
         let old_path = self.dir.join(seg_file(old_id));
+        self.config.obs.event(
+            "quarantine",
+            format!("seg={old_id} path={}", old_path.display()),
+        );
 
         // Preserve the corrupt bytes for post-mortem *before* anything
         // else touches disk: a crash anywhere later leaves either the old
@@ -2187,10 +2268,13 @@ impl Engine {
                     .sum()
             })
             .collect();
-        self.counters.segments_quarantined += 1;
-        self.counters.segments_rebuilt += 1;
+        self.counters.segments_quarantined.inc();
+        self.counters.segments_rebuilt.inc();
         self.source_epoch += 1;
         let _ = self.vfs.remove_file(&old_path);
+        self.config
+            .obs
+            .event("rebuild", format!("seg={old_id} rebuilt_as={seg_id}"));
         Ok(())
     }
 
@@ -2418,14 +2502,20 @@ impl Engine {
             deltas_written: self.counters.deltas_written,
             checkpoint_delta_bytes: self.counters.checkpoint_delta_bytes,
             checkpoint_full_bytes: self.counters.checkpoint_full_bytes,
-            shard_lock_waits: self.shard_counters.lock_waits.load(Ordering::Relaxed),
-            applies_concurrent: self.shard_counters.concurrent.load(Ordering::Relaxed),
-            scrub_runs: self.counters.scrub_runs,
-            scrub_corruptions_found: self.counters.scrub_corruptions_found,
-            segments_quarantined: self.counters.segments_quarantined,
-            segments_rebuilt: self.counters.segments_rebuilt,
+            shard_lock_waits: self.shard_counters.lock_waits.get(),
+            applies_concurrent: self.shard_counters.concurrent.get(),
+            scrub_runs: self.counters.scrub_runs.get(),
+            scrub_corruptions_found: self.counters.scrub_corruptions_found.get(),
+            segments_quarantined: self.counters.segments_quarantined.get(),
+            segments_rebuilt: self.counters.segments_rebuilt.get(),
             io_errors_injected: self.vfs.injected_faults(),
         }
+    }
+
+    /// The observability hub this engine records into (shared with
+    /// [`EngineConfig::obs`]).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.config.obs
     }
 
     /// Fully decodes the merged posting list of `value` (testing/tooling —
@@ -2438,6 +2528,42 @@ impl Engine {
         let mut counters = ProbeCounters::default();
         source.collect_run(handle, 0, handle.len, &mut scratch, &mut out, &mut counters);
         Some(out)
+    }
+}
+
+/// Mirrors every field of an [`EngineStats`] into `obs` as gauges under
+/// the `engine_stats.` prefix, making the pull-only struct enumerable
+/// through the unified metric catalog (one registry pass sees engine
+/// counters, vfs fault counts, and these stat gauges side by side).
+pub fn export_engine_stats(obs: &Obs, stats: &EngineStats) {
+    let pairs: [(&str, u64); 24] = [
+        ("memtable_postings", stats.memtable_postings as u64),
+        ("memtable_bytes", stats.memtable_bytes as u64),
+        ("cold_segments", stats.cold_segments as u64),
+        ("cold_bytes", stats.cold_bytes as u64),
+        ("cold_live_postings", stats.cold_live_postings as u64),
+        ("live_postings", stats.live_postings as u64),
+        ("tables", stats.tables as u64),
+        ("flushes", stats.flushes),
+        ("compactions", stats.compactions),
+        ("wal_records", stats.wal_records),
+        ("wal_syncs", stats.wal_syncs),
+        ("replayed_records", stats.replayed_records),
+        ("checkpoints_written", stats.checkpoints_written),
+        ("checkpoints_skipped", stats.checkpoints_skipped),
+        ("deltas_written", stats.deltas_written),
+        ("checkpoint_delta_bytes", stats.checkpoint_delta_bytes),
+        ("checkpoint_full_bytes", stats.checkpoint_full_bytes),
+        ("shard_lock_waits", stats.shard_lock_waits),
+        ("applies_concurrent", stats.applies_concurrent),
+        ("scrub_runs", stats.scrub_runs),
+        ("scrub_corruptions_found", stats.scrub_corruptions_found),
+        ("segments_quarantined", stats.segments_quarantined),
+        ("segments_rebuilt", stats.segments_rebuilt),
+        ("io_errors_injected", stats.io_errors_injected),
+    ];
+    for (name, v) in pairs {
+        obs.gauge(&format!("engine_stats.{name}")).set(v);
     }
 }
 
@@ -3005,7 +3131,7 @@ mod tests {
             let h = scope.spawn(move || task.run());
             // Progress-guaranteed spin: the filler thread ticks the counter
             // *before* blocking on the held latch.
-            while counters.lock_waits.load(Ordering::Relaxed) == 0 {
+            while counters.lock_waits.get() == 0 {
                 std::thread::yield_now();
             }
             drop(guard);

@@ -176,6 +176,29 @@ pub struct IndexStats {
     pub hash_bits: usize,
 }
 
+/// Mirrors every field of an [`IndexStats`] into `obs` as gauges under
+/// the `index_stats.` prefix, so the pull-only struct joins the unified
+/// metric catalog (same convention as `export_engine_stats`).
+pub fn export_index_stats(obs: &mate_obs::Obs, stats: &IndexStats) {
+    let pairs: [(&str, usize); 12] = [
+        ("num_values", stats.num_values),
+        ("num_postings", stats.num_postings),
+        ("num_superkeys", stats.num_superkeys),
+        ("posting_bytes", stats.posting_bytes),
+        ("posting_store_bytes", stats.posting_store_bytes),
+        ("posting_map_bytes", stats.posting_map_bytes),
+        ("value_arena_bytes", stats.value_arena_bytes),
+        ("on_disk_postings_bytes", stats.on_disk_postings_bytes),
+        ("heap_postings_bytes", stats.heap_postings_bytes),
+        ("superkey_bytes_per_row", stats.superkey_bytes_per_row),
+        ("superkey_bytes_per_cell", stats.superkey_bytes_per_cell),
+        ("hash_bits", stats.hash_bits),
+    ];
+    for (name, v) in pairs {
+        obs.gauge(&format!("index_stats.{name}")).set(v as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,10 +48,10 @@ pub mod wal;
 pub use builder::IndexBuilder;
 pub use cold::{ColdIndex, ColdPostingStore, ListDirectory};
 pub use engine::{
-    Engine, EngineConfig, EngineError, EngineLake, EngineSnapshot, EngineStats, LakeReader,
-    MergedSource, ScrubReport, SourceCache, WalTicket,
+    export_engine_stats, Engine, EngineConfig, EngineError, EngineLake, EngineSnapshot,
+    EngineStats, LakeReader, MergedSource, ScrubReport, SourceCache, WalTicket,
 };
-pub use index::{IndexStats, InvertedIndex};
+pub use index::{export_index_stats, IndexStats, InvertedIndex};
 pub use posting::PostingEntry;
 pub use source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 pub use store::PostingStore;

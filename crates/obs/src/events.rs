@@ -1,0 +1,130 @@
+//! Bounded ring-buffer event log.
+//!
+//! Holds the most recent `capacity` events; older entries are evicted on
+//! push. Sequence numbers are assigned under the same lock as the push,
+//! so they are gap-free and strictly ordered even under concurrency —
+//! eviction is detectable as a gap between the first retained `seq` and
+//! the previously observed one.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One entry in the event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Gap-free sequence number, starting at 0.
+    pub seq: u64,
+    /// Clock reading at record time, in microseconds.
+    pub at_micros: u64,
+    /// Taxonomy key: `flush`, `compact`, `fault_injected`, ...
+    pub kind: String,
+    /// Free-form context (path, counts, reason).
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct LogInner {
+    next_seq: u64,
+    buf: VecDeque<Event>,
+}
+
+/// The bounded event ring buffer (see module docs).
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<LogInner>,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(LogInner::default()),
+        }
+    }
+
+    /// Appends an event, evicting the oldest entry when full.
+    pub fn push(&self, at_micros: u64, kind: &str, detail: String) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(Event {
+            seq,
+            at_micros,
+            kind: kind.to_string(),
+            detail,
+        });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().buf.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained events, oldest first (the log keeps them).
+    pub fn drain_view(&self) -> Vec<Event> {
+        self.inner.lock().unwrap().buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraparound_keeps_newest_and_seqs_stay_gap_free() {
+        let log = EventLog::new(4);
+        for i in 0..10u64 {
+            log.push(i * 10, "tick", format!("{i}"));
+        }
+        let events = log.drain_view();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<_> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        let details: Vec<_> = events.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["6", "7", "8", "9"]);
+        assert_eq!(events[0].at_micros, 60);
+    }
+
+    #[test]
+    fn ordering_is_push_order() {
+        let log = EventLog::new(16);
+        log.push(5, "a", String::new());
+        log.push(5, "b", String::new());
+        log.push(4, "c", String::new());
+        let kinds: Vec<_> = log.drain_view().into_iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn concurrent_pushes_assign_unique_seqs() {
+        use std::sync::Arc;
+        let log = Arc::new(EventLog::new(4096));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..256 {
+                        log.push(0, "t", format!("{t}:{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut seqs: Vec<_> = log.drain_view().into_iter().map(|e| e.seq).collect();
+        assert_eq!(seqs.len(), 1024);
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..1024).collect::<Vec<_>>());
+    }
+}

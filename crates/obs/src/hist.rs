@@ -1,0 +1,296 @@
+//! Log-bucketed latency histogram: fixed ~2 KiB footprint, lock-free
+//! recording, mergeable snapshots, quantiles with a bounded relative
+//! error.
+//!
+//! Buckets follow an HdrHistogram-style layout: each power-of-two octave
+//! is split into `2^SUB_BITS = 4` linear sub-buckets, so any bucket's
+//! width is at most 25% of its lower bound. Quantiles report the bucket's
+//! *upper* bound, giving the two-sided guarantee
+//! `exact <= reported <= exact * 5/4` (plus one for integer rounding).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 4 linear sub-buckets per octave.
+const SUB_BITS: u32 = 2;
+/// Number of buckets covering the full `u64` range at `SUB_BITS = 2`.
+pub const BUCKETS: usize = 252;
+
+/// Index of the bucket that `v` falls into.
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & 3;
+        ((exp - SUB_BITS + 1) * 4 + sub as u32) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i < 4 {
+        i as u64
+    } else {
+        (4 + (i % 4) as u64) << (i / 4 - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+/// Concurrent log-bucketed histogram. Recording is one relaxed
+/// `fetch_add` into a bucket plus count/sum/max updates; snapshots are
+/// consistent enough for reporting (buckets are read one by one, but
+/// each value is a monotone counter).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("max", &self.max.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current contents into a mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram contents: bucket counts plus count/sum/max.
+/// Snapshots merge exactly (bucket-wise addition), so a merged snapshot
+/// is indistinguishable from a histogram fed the concatenated samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample, exact (not bucket-rounded).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value, zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (exact: bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th sample, clamped to the observed
+    /// max. Zero when empty. Error bound: `exact <= quantile(q) <=
+    /// exact * 5/4 + 1`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_layout_is_a_partition() {
+        // Every bucket's upper bound + 1 is the next bucket's lower bound,
+        // and indexing maps each boundary value into its own bucket.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1), "bucket {i}");
+            assert_eq!(bucket_index(bucket_lower(i)), i);
+            assert_eq!(bucket_index(bucket_upper(i)), i);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn bucket_width_within_25_percent() {
+        for i in 4..BUCKETS - 1 {
+            let lo = bucket_lower(i);
+            let width = bucket_upper(i) - lo + 1;
+            assert!(width * 4 <= lo, "bucket {i}: width {width} lo {lo}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1000);
+        for (q, exact) in [(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let got = s.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < {exact}");
+            assert!(got <= exact * 5 / 4 + 1, "q={q}: {got} > bound");
+        }
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4000);
+        assert_eq!(s.sum(), (0..4000u64).sum::<u64>());
+        assert_eq!(s.max(), 3999);
+    }
+
+    fn hist_of(samples: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new();
+        for &v in samples {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #[test]
+        fn merged_equals_concatenated(
+            a in proptest::collection::vec(0u64..1_000_000, 0..200),
+            b in proptest::collection::vec(0u64..1_000_000, 0..200),
+        ) {
+            let mut merged = hist_of(&a);
+            merged.merge(&hist_of(&b));
+            let mut cat = a.clone();
+            cat.extend_from_slice(&b);
+            prop_assert_eq!(merged, hist_of(&cat));
+        }
+
+        #[test]
+        fn quantile_error_within_bucket_bound(
+            mut samples in proptest::collection::vec(0u64..1_000_000, 1..300),
+            qn in 0u64..=1000,
+        ) {
+            let q = qn as f64 / 1000.0;
+            let s = hist_of(&samples);
+            samples.sort_unstable();
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let got = s.quantile(q);
+            prop_assert!(got >= exact, "{} < exact {}", got, exact);
+            prop_assert!(
+                got <= exact + exact / 4 + 1,
+                "{} above bound for exact {}", got, exact
+            );
+        }
+    }
+}

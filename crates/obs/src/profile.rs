@@ -1,0 +1,83 @@
+//! Per-query discovery profile: where one `discover_snapshot` call spent
+//! its time and I/O budget.
+
+/// Flat summary of one discovery query, returned alongside
+/// `DiscoveryStats` by the engine's profiled query path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Microseconds spent in the init phase (initial-column selection,
+    /// key-map build, candidate collection and ordering).
+    pub init_us: u64,
+    /// Total query wall time in microseconds.
+    pub total_us: u64,
+    /// Candidate-loop busy time per worker, microseconds. One entry per
+    /// worker thread; a single entry for the sequential path.
+    pub worker_busy_us: Vec<u64>,
+    /// Posting-list items fetched while probing candidates.
+    pub postings_probed: u64,
+    /// Cold-segment blocks decoded.
+    pub blocks_decoded: u64,
+    /// Cold-segment blocks skipped via block-level pruning.
+    pub blocks_skipped: u64,
+    /// Source-cache hits during the query.
+    pub cache_hits: u64,
+    /// Source-cache misses during the query.
+    pub cache_misses: u64,
+    /// Records committed after the snapshot this query read from
+    /// (staleness of the served snapshot).
+    pub snapshot_lag: u64,
+}
+
+impl QueryProfile {
+    /// Renders the profile as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let workers = self
+            .worker_busy_us
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"init_us\":{},\"total_us\":{},\"worker_busy_us\":[{}],",
+                "\"postings_probed\":{},\"blocks_decoded\":{},",
+                "\"blocks_skipped\":{},\"cache_hits\":{},",
+                "\"cache_misses\":{},\"snapshot_lag\":{}}}"
+            ),
+            self.init_us,
+            self.total_us,
+            workers,
+            self.postings_probed,
+            self.blocks_decoded,
+            self.blocks_skipped,
+            self.cache_hits,
+            self.cache_misses,
+            self.snapshot_lag,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_parses() {
+        let p = QueryProfile {
+            init_us: 10,
+            total_us: 110,
+            worker_busy_us: vec![40, 60],
+            postings_probed: 7,
+            ..QueryProfile::default()
+        };
+        let v = crate::json::parse(&p.to_json()).unwrap();
+        assert_eq!(v.get("init_us").and_then(|x| x.as_f64()), Some(10.0));
+        assert_eq!(
+            v.get("worker_busy_us")
+                .and_then(|x| x.as_arr())
+                .map(|a| a.len()),
+            Some(2)
+        );
+        assert_eq!(v.get("snapshot_lag").and_then(|x| x.as_f64()), Some(0.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Named-metric registry: counters, gauges, and histograms keyed by a
+//! dotted string name.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a short mutex and
+//! returns an `Arc` handle; callers hold the handle and record through
+//! plain atomics, so the registry lock is never on a hot path. Snapshot
+//! reads walk each kind's map under its lock in one pass, which is what
+//! makes a multi-counter read internally coherent (no counter can be
+//! observed mid-update relative to the pass).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// Monotone (well, resettable) event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (used to mirror an externally-owned counter).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The metric catalog: three name-keyed maps, one per metric kind.
+/// `BTreeMap` keeps enumeration order stable for exports and diffing.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get-or-register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get-or-register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// All counters read in one pass under the lock, name-sorted.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges read in one pass under the lock, name-sorted.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms snapshotted in one pass under the lock, name-sorted.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.counter_values(), vec![("x".to_string(), 3)]);
+    }
+
+    #[test]
+    fn enumeration_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("b.two");
+        r.counter("a.one");
+        let names: Vec<_> = r.counter_values().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a.one", "b.two"]);
+    }
+
+    #[test]
+    fn concurrent_recorders_agree() {
+        use std::sync::Arc as StdArc;
+        let r = StdArc::new(Registry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let r = StdArc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("hits");
+                    let h = r.histogram("lat");
+                    for i in 0..500u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("hits").get(), 2000);
+        assert_eq!(r.histogram("lat").count(), 2000);
+    }
+}

@@ -80,6 +80,11 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     fn injected_faults(&self) -> u64 {
         0
     }
+    /// Connects this vfs to an observability hub: fault-injecting impls
+    /// mirror their injection count into the `vfs.faults_injected`
+    /// registry counter and emit a `fault_injected` event (with op class
+    /// and path) every time a fault fires. Production impls ignore this.
+    fn attach_obs(&self, _obs: &Arc<mate_obs::Obs>) {}
 }
 
 // ------------------------------------------------------------- StdVfs ----
@@ -248,6 +253,7 @@ pub struct FaultVfs {
     ops: AtomicU64,
     injected: AtomicU64,
     armed: Mutex<Vec<Armed>>,
+    obs: Mutex<Option<Arc<mate_obs::Obs>>>,
 }
 
 impl FaultVfs {
@@ -337,9 +343,9 @@ impl FaultVfs {
         self.injected.load(Ordering::Relaxed)
     }
 
-    /// Counts one operation of `op` class and resolves the armed faults
-    /// against it.
-    fn check(&self, op: OpClass) -> Action {
+    /// Counts one operation of `op` class against `path` and resolves the
+    /// armed faults against it.
+    fn check(&self, op: OpClass, path: &Path) -> Action {
         self.ops.fetch_add(1, Ordering::Relaxed);
         let mut armed = self.armed.lock().unwrap_or_else(|e| e.into_inner());
         let mut fired: Option<FaultMode> = None;
@@ -359,6 +365,13 @@ impl FaultVfs {
             return Action::Proceed;
         };
         self.injected.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &*self.obs.lock().unwrap_or_else(|e| e.into_inner()) {
+            obs.counter("vfs.faults_injected").set(self.injected());
+            obs.event(
+                "fault_injected",
+                format!("{:?} {} ({:?})", op, path.display(), mode),
+            );
+        }
         match (mode, op) {
             (FaultMode::Error(kind), _) => Action::Fail(kind),
             (FaultMode::TornWrite { seed }, OpClass::Write) => Action::Torn { seed },
@@ -378,11 +391,12 @@ impl FaultVfs {
 struct FaultFile {
     inner: Box<dyn VfsFile>,
     state: Arc<FaultVfs>,
+    path: PathBuf,
 }
 
 impl VfsFile for FaultFile {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        match self.state.check(OpClass::Write) {
+        match self.state.check(OpClass::Write, &self.path) {
             Action::Proceed | Action::Flip { .. } => self.inner.write_all(buf),
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             Action::Torn { seed } => {
@@ -400,19 +414,19 @@ impl VfsFile for FaultFile {
         }
     }
     fn sync_data(&self) -> io::Result<()> {
-        match self.state.check(OpClass::Sync) {
+        match self.state.check(OpClass::Sync, &self.path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.sync_data(),
         }
     }
     fn sync_all(&self) -> io::Result<()> {
-        match self.state.check(OpClass::Sync) {
+        match self.state.check(OpClass::Sync, &self.path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.sync_all(),
         }
     }
     fn set_len(&self, len: u64) -> io::Result<()> {
-        match self.state.check(OpClass::Meta) {
+        match self.state.check(OpClass::Meta, &self.path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.set_len(len),
         }
@@ -421,6 +435,7 @@ impl VfsFile for FaultFile {
         Ok(Box::new(FaultFile {
             inner: self.inner.try_clone()?,
             state: Arc::clone(&self.state),
+            path: self.path.clone(),
         }))
     }
 }
@@ -430,7 +445,7 @@ impl VfsFile for FaultFile {
 /// `Arc` and wraps every handle.
 impl Vfs for Arc<FaultVfs> {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        match self.check(OpClass::Read) {
+        match self.check(OpClass::Read, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             Action::Flip { seed } => {
                 let mut data = self.inner.read(path)?;
@@ -444,7 +459,7 @@ impl Vfs for Arc<FaultVfs> {
         }
     }
     fn pread(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
-        match self.check(OpClass::Read) {
+        match self.check(OpClass::Read, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             Action::Flip { seed } => {
                 let mut data = self.inner.pread(path, offset, len)?;
@@ -458,64 +473,73 @@ impl Vfs for Arc<FaultVfs> {
         }
     }
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => Ok(Box::new(FaultFile {
                 inner: self.inner.create(path)?,
                 state: Arc::clone(self),
+                path: path.to_path_buf(),
             })),
         }
     }
     fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => Ok(Box::new(FaultFile {
                 inner: self.inner.open_append(path)?,
                 state: Arc::clone(self),
+                path: path.to_path_buf(),
             })),
         }
     }
     fn open_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => Ok(Box::new(FaultFile {
                 inner: self.inner.open_write(path)?,
                 state: Arc::clone(self),
+                path: path.to_path_buf(),
             })),
         }
     }
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, from) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.rename(from, to),
         }
     }
     fn remove_file(&self, path: &Path) -> io::Result<()> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.remove_file(path),
         }
     }
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.create_dir_all(path),
         }
     }
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        match self.check(OpClass::Sync) {
+        match self.check(OpClass::Sync, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.sync_dir(path),
         }
     }
     fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
-        match self.check(OpClass::Meta) {
+        match self.check(OpClass::Meta, path) {
             Action::Fail(kind) => Err(FaultVfs::injected_err(kind)),
             _ => self.inner.read_dir(path),
         }
     }
     fn injected_faults(&self) -> u64 {
         self.injected()
+    }
+    fn attach_obs(&self, obs: &Arc<mate_obs::Obs>) {
+        // Materialize the mirror counter immediately so the metric is
+        // enumerable even before any fault fires.
+        obs.counter("vfs.faults_injected").set(self.injected());
+        *self.obs.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(obs));
     }
 }
 
@@ -618,6 +642,33 @@ mod tests {
         assert_eq!(data[21 / 8], 1 << (21 % 8));
         // Disarmed after firing: clean read.
         assert_eq!(vfs.read(&p).unwrap(), vec![0u8; 16]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn attached_obs_records_fault_events_with_op_and_path() {
+        let dir = tmpdir("obs");
+        let vfs = Arc::new(FaultVfs::new());
+        let obs = Arc::new(mate_obs::Obs::new());
+        Vfs::attach_obs(&vfs, &obs);
+        assert_eq!(obs.counter("vfs.faults_injected").get(), 0);
+        let p = dir.join("wal");
+        let mut f = vfs.create(&p).unwrap();
+        vfs.fail_nth(1);
+        vfs.eio_on_nth_sync(1);
+        assert!(f.write_all(b"rec").is_err());
+        assert!(f.sync_data().is_err());
+        assert_eq!(obs.counter("vfs.faults_injected").get(), 2);
+        let events = obs.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].kind == "fault_injected");
+        assert!(
+            events[0].detail.starts_with("Write"),
+            "{}",
+            events[0].detail
+        );
+        assert!(events[0].detail.contains("wal"), "{}", events[0].detail);
+        assert!(events[1].detail.starts_with("Sync"), "{}", events[1].detail);
         std::fs::remove_dir_all(dir).ok();
     }
 

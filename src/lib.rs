@@ -60,7 +60,8 @@
 //! (discovery engine), [`mate_baselines`] (SCR/MCR/JOSIE baselines),
 //! [`mate_lake`] (synthetic data-lake generator), [`mate_storage`]
 //! (binary persistence), [`mate_apps`] (union search, duplicate detection,
-//! similarity joins).
+//! similarity joins), [`mate_obs`] (metrics registry, spans/events, and
+//! per-query profiles — see the README's *Observability* section).
 
 pub use mate_apps as apps;
 pub use mate_baselines as baselines;
@@ -68,6 +69,7 @@ pub use mate_core as core;
 pub use mate_hash as hash;
 pub use mate_index as index;
 pub use mate_lake as lake;
+pub use mate_obs as obs;
 pub use mate_storage as storage;
 pub use mate_table as table;
 
