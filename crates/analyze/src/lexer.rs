@@ -1,0 +1,382 @@
+//! A hand-rolled, comment/string-aware Rust lexer.
+//!
+//! The rules in this crate are substring patterns, but a naive grep would
+//! flag `panic!` inside a doc comment or `"std::fs::write"` inside a
+//! string literal. [`lex`] splits a source file into three per-line
+//! views so rules match only what the compiler would compile:
+//!
+//! * **code** — the line with every comment stripped and every literal's
+//!   *contents* blanked to spaces (the delimiting quotes remain, so the
+//!   code shape survives). Patterns match against this view.
+//! * **comment** — the text of comments on the line (used to find
+//!   exemption tokens like `panic-exempt:`).
+//! * **in_test** — whether the line belongs to a `#[cfg(test)]` item
+//!   (attribute plus the braced item it introduces, tracked by brace
+//!   depth on the code view). Test code is never scanned.
+//!
+//! Handled literal forms: `"…"` with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any number of `#`s), byte strings `b"…"` / `br#"…"#`, char
+//! literals (including `'\''`), lifetimes (`'a` is *not* a char
+//! literal), line comments `//…`, and nested block comments `/* /* */ */`.
+//! The lexer is intentionally approximate beyond that (it does not parse
+//! Rust); the fixture tests in `tests/fixtures.rs` pin the behaviors the
+//! rules rely on.
+
+/// Per-line views of one source file; see the module docs.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Original source lines, for excerpts in findings.
+    pub orig: Vec<String>,
+    /// Code view: comments stripped, literal contents blanked.
+    pub code: Vec<String>,
+    /// Comment text of each line (without the `//` / `/*` markers).
+    pub comment: Vec<String>,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+/// What the scanner is currently inside of.
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comments; the value is the nesting depth.
+    BlockComment(u32),
+    /// A `"…"` or `b"…"` string.
+    Str,
+    /// A raw string; the value is the number of `#`s in the opener.
+    RawStr(u32),
+}
+
+/// Lexes `src` into per-line views; see the module docs.
+pub fn lex(src: &str) -> LexedFile {
+    let bytes = src.as_bytes();
+    let mut code_lines: Vec<String> = Vec::new();
+    let mut comment_lines: Vec<String> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if matches!(mode, Mode::LineComment) {
+                mode = Mode::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        mode = Mode::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        mode = Mode::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    b'"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 1;
+                        continue;
+                    }
+                    b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                        // Possible raw/byte string opener: r" r#" b" br" br#"
+                        let mut j = i + 1;
+                        if b == b'b' && bytes.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let raw = j > i + 1 || b == b'r';
+                        let mut hashes = 0u32;
+                        if raw {
+                            while bytes.get(j) == Some(&b'#') {
+                                hashes += 1;
+                                j += 1;
+                            }
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            for &c in &bytes[i..=j] {
+                                code.push(c as char);
+                            }
+                            mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(b as char);
+                        i += 1;
+                        continue;
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime. A char literal is
+                        // '\…' or 'X' (one char, possibly multibyte)
+                        // closed by '; anything else is a lifetime.
+                        if bytes.get(i + 1) == Some(&b'\\') {
+                            code.push('\'');
+                            i += 2; // skip the backslash
+                            if i < bytes.len() {
+                                i += 1; // the escaped char
+                            }
+                            while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+                                i += 1; // e.g. '\u{1F600}'
+                            }
+                            if bytes.get(i) == Some(&b'\'') {
+                                code.push('\'');
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        let char_len = src[i + 1..].chars().next().map(char::len_utf8).unwrap_or(0);
+                        if char_len > 0 && bytes.get(i + 1 + char_len) == Some(&b'\'') {
+                            code.push('\'');
+                            code.push(' ');
+                            code.push('\'');
+                            i += 2 + char_len;
+                            continue;
+                        }
+                        // Lifetime (or stray quote): emit as code.
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+                push_byte(&mut code, b);
+                i += 1;
+            }
+            Mode::LineComment => {
+                push_byte(&mut comment, b);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    push_byte(&mut comment, b);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if b == b'\\' {
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        // Line continuation: keep the line accounting.
+                        code_lines.push(std::mem::take(&mut code));
+                        comment_lines.push(std::mem::take(&mut comment));
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 2; // skip the escaped char (incl. \" and \\)
+                } else if b == b'"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    let orig: Vec<String> = src.lines().map(str::to_string).collect();
+    code_lines.truncate(orig.len());
+    comment_lines.truncate(orig.len());
+    while code_lines.len() < orig.len() {
+        code_lines.push(String::new());
+        comment_lines.push(String::new());
+    }
+    let in_test = mark_test_lines(&code_lines);
+    LexedFile {
+        orig,
+        code: code_lines,
+        comment: comment_lines,
+        in_test,
+    }
+}
+
+/// Multibyte UTF-8 bytes are copied as placeholder spaces — rule patterns
+/// are pure ASCII, so only byte *positions* need to survive.
+fn push_byte(out: &mut String, b: u8) {
+    if b.is_ascii() {
+        out.push(b as char);
+    } else {
+        out.push(' ');
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Whether the `"` at `bytes[i]` is followed by `hashes` `#`s.
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    let need = hashes as usize;
+    bytes.len() > i + need && bytes[i + 1..=i + need].iter().all(|&c| c == b'#')
+}
+
+/// Tracking state for [`mark_test_lines`].
+enum TestState {
+    Normal,
+    /// Saw `#[cfg(test)]` at brace depth `d0`; waiting for the item it
+    /// introduces to open (`{`) or end braceless (`;` at `d0`).
+    Armed {
+        d0: i32,
+        entered: bool,
+    },
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item: the attribute
+/// line, then everything until the brace depth returns to the attribute's
+/// depth (or a `;` at that depth for brace-less items like
+/// `#[cfg(test)] use …;`). Stricter than the old awk gates, which stopped
+/// scanning at the *first* `#[cfg(test)]`: code after a test module is
+/// scanned again here.
+fn mark_test_lines(code_lines: &[String]) -> Vec<bool> {
+    let mut state = TestState::Normal;
+    let mut depth = 0i32;
+    let mut out = Vec::with_capacity(code_lines.len());
+    for line in code_lines {
+        let mut is_test = matches!(state, TestState::Armed { .. });
+        if let TestState::Normal = state {
+            if line.contains("#[cfg(test)]") {
+                state = TestState::Armed {
+                    d0: depth,
+                    entered: false,
+                };
+                is_test = true;
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let TestState::Armed { entered, .. } = &mut state {
+                        *entered = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let TestState::Armed { d0, entered: true } = state {
+                        if depth <= d0 {
+                            state = TestState::Normal;
+                        }
+                    }
+                }
+                ';' => {
+                    if let TestState::Armed { d0, entered: false } = state {
+                        if depth == d0 {
+                            state = TestState::Normal;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push(is_test);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked() {
+        let l = lex("let s = \"panic!(inside)\";\n");
+        assert_eq!(l.code[0], "let s = \"              \";");
+        assert!(l.comment[0].is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let l = lex("let s = r#\"std::fs::write \"quoted\" inside\"#;\n");
+        assert!(!l.code[0].contains("std::fs::write"));
+        assert!(l.code[0].ends_with("\"#;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = lex("let s = \"a\\\"b\"; let x = unwrap_marker();\n");
+        assert!(l.code[0].contains("unwrap_marker"));
+        assert!(!l.code[0].contains("a\\\"b"));
+    }
+
+    #[test]
+    fn line_comments_move_to_comment_view() {
+        let l = lex("let x = 1; // vfs-exempt: because\n");
+        assert_eq!(l.code[0], "let x = 1; ");
+        assert!(l.comment[0].contains("vfs-exempt"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still */ b\n");
+        assert_eq!(l.code[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(l.comment[0].contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_lines() {
+        let l = lex("code1 /* c1\nc2\nc3 */ code2\n");
+        assert!(l.code[0].contains("code1"));
+        assert_eq!(l.code[1].trim(), "");
+        assert!(l.code[2].contains("code2"));
+        assert!(l.comment[1].contains("c2"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("let c = '\"'; fn f<'a>(x: &'a str) {}\n");
+        // The quote inside the char literal must not open a string.
+        assert!(l.code[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let l = lex(src);
+        assert_eq!(l.in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}\n";
+        let l = lex(src);
+        assert_eq!(l.in_test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_in_string_is_ignored() {
+        let src = "let s = \"#[cfg(test)]\";\nfn prod() {}\n";
+        let l = lex(src);
+        assert_eq!(l.in_test, vec![false, false]);
+    }
+}

@@ -1,0 +1,45 @@
+//! `mate-analyze`: the workspace's project-invariant static analysis
+//! pass.
+//!
+//! The MATE engine rests on a handful of disciplines the compiler cannot
+//! check: all durability-relevant I/O goes through the `Vfs` seam, all
+//! timing/counters through the `mate_obs` hub, engine code does not
+//! panic, and every lock in `crates/index` is a rank-checked wrapper.
+//! This crate mechanizes them as named rules (R1 `vfs-seam`, R2
+//! `obs-seam`, R3 `panic-freedom`, R4 `lock-discipline`) over a
+//! hand-rolled comment/string-aware [lexer], with JSON output for
+//! CI and a blessing grammar (`// <rule>-exempt: <reason>`) for
+//! deliberate exceptions. See the README's "Correctness tooling" section
+//! for the catalog and `mate_index::engine`'s module docs for the lock
+//! ranks R4 pairs with at runtime.
+//!
+//! Run it as `cargo run -p mate-analyze -- --check`; the library surface
+//! ([`scan_source`], [`run_rules`]) exists so fixture tests can drive the
+//! rules over synthetic sources.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::to_json;
+pub use rules::{run_rules, scan_source, scan_tree, Finding, RuleId};
+
+use std::path::PathBuf;
+
+/// Finds the workspace root: walks up from `start` to the first directory
+/// whose `Cargo.toml` contains a `[workspace]` section.
+pub fn find_workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,137 @@
+//! CLI of the `mate-analyze` static analysis pass.
+//!
+//! ```text
+//! mate-analyze --check                 # run every rule
+//! mate-analyze --rule vfs --rule obs   # run specific rules
+//! mate-analyze --check --json out.json # also write the JSON report
+//! mate-analyze --list                  # print the rule catalog
+//! ```
+//!
+//! Exits 0 when no rule fires, 1 on findings, 2 on usage/I/O errors.
+
+use mate_analyze::{find_workspace_root, report, rules::RuleId, run_rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    rules: Vec<RuleId>,
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    list: bool,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mate-analyze [--check | --rule <vfs|obs|panic|lock>...] \
+     [--root <dir>] [--json <path>] [--list] [--quiet]"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        rules: Vec::new(),
+        root: None,
+        json: None,
+        list: false,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {
+                cli.rules = RuleId::ALL.to_vec();
+            }
+            "--rule" => {
+                let name = it.next().ok_or("--rule needs a name")?;
+                for part in name.split(',') {
+                    let rule = RuleId::parse(part)
+                        .ok_or_else(|| format!("unknown rule '{part}' (try --list)"))?;
+                    if !cli.rules.contains(&rule) {
+                        cli.rules.push(rule);
+                    }
+                }
+            }
+            "--root" => {
+                cli.root = Some(PathBuf::from(it.next().ok_or("--root needs a path")?));
+            }
+            "--json" => {
+                cli.json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--list" => cli.list = true,
+            "--quiet" | "-q" => cli.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for r in RuleId::ALL {
+            println!("{:<16} ({}): {}", r.name(), r.short(), r.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if cli.rules.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let root = match cli.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("error: workspace root not found (pass --root <dir>)");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match run_rules(&root, &cli.rules) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &cli.json {
+        let json = report::to_json(&cli.rules, &findings);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if findings.is_empty() {
+        if !cli.quiet {
+            let names: Vec<_> = cli.rules.iter().map(|r| r.name()).collect();
+            println!("mate-analyze: clean ({})", names.join(", "));
+        }
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!();
+        for rule in cli
+            .rules
+            .iter()
+            .filter(|r| findings.iter().any(|f| f.rule == **r))
+        {
+            eprintln!("error[{}]: {}", rule.name(), rule.describe());
+        }
+        eprintln!(
+            "mate-analyze: {} finding(s); bless deliberate exceptions with \
+             '// <rule>-exempt: <reason>' on the line above",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

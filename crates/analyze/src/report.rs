@@ -1,0 +1,88 @@
+//! Machine-readable (JSON) findings report. Hand-rolled writer — the
+//! analyzer stays dependency-free, and the schema is flat enough that
+//! escaping strings is the only real work.
+
+use crate::rules::{Finding, RuleId};
+
+/// Renders `findings` (from running `rules`) as a JSON document:
+///
+/// ```json
+/// {
+///   "tool": "mate-analyze",
+///   "rules": [{"name": "vfs-seam", "description": "..."}],
+///   "findings": [{"rule": "...", "file": "...", "line": 1, "excerpt": "..."}],
+///   "total": 0
+/// }
+/// ```
+pub fn to_json(rules: &[RuleId], findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"tool\": \"mate-analyze\",\n  \"rules\": [");
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"name\": ");
+        write_str(&mut out, r.name());
+        out.push_str(", \"description\": ");
+        write_str(&mut out, r.describe());
+        out.push('}');
+    }
+    out.push_str("\n  ],\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        write_str(&mut out, f.rule.name());
+        out.push_str(", \"file\": ");
+        write_str(&mut out, &f.file);
+        out.push_str(&format!(", \"line\": {}, \"excerpt\": ", f.line));
+        write_str(&mut out, &f.excerpt);
+        out.push('}');
+    }
+    out.push_str(&format!("\n  ],\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Appends `s` as a JSON string literal (quotes, backslashes, and control
+/// characters escaped).
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_counts() {
+        let findings = vec![Finding {
+            rule: RuleId::PanicFreedom,
+            file: "a/b.rs".to_string(),
+            line: 3,
+            excerpt: "let x = \"q\\\"".to_string(),
+        }];
+        let json = to_json(&[RuleId::PanicFreedom], &findings);
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\\\"q\\\\\\\""));
+        assert!(json.contains("\"panic-freedom\""));
+    }
+
+    #[test]
+    fn empty_report() {
+        let json = to_json(&RuleId::ALL, &[]);
+        assert!(json.contains("\"total\": 0"));
+        assert!(json.contains("\"lock-discipline\""));
+    }
+}

@@ -394,6 +394,10 @@ impl<'a> MateDiscovery<'a> {
                         };
                         results.push((at, *tid_raw, joinability));
                         if joinability > 0 {
+                            // panic-exempt: poisoning means a sibling
+                            // worker panicked, and that panic propagates
+                            // at the scope join below anyway — this
+                            // thread's result is discarded either way.
                             let mut topk = shared_topk.lock().expect("topk lock");
                             topk.update(TableId(*tid_raw), joinability);
                             if topk.is_full() {
@@ -409,12 +413,16 @@ impl<'a> MateDiscovery<'a> {
                 });
             }
         })
+        // panic-exempt: deliberate propagation — a worker's panic must
+        // surface on the calling thread, not produce a partial top-k.
         .expect("discovery worker panicked");
 
         // Deterministic merge: replay fully-evaluated tables in candidate
         // order into a fresh top-k — identical tie-breaking to sequential.
         let mut merged: Vec<(usize, u32, u64)> = Vec::new();
         for slot in outputs {
+            // panic-exempt: every worker fills its slot before its scope
+            // ends, and a panicked worker already propagated above.
             let (results, worker, hit_rule1) = slot.expect("worker did not report");
             merged.extend(results);
             stats.stopped_early_rule1 |= hit_rule1;

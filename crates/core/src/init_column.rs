@@ -34,7 +34,9 @@ pub fn select_initial_column(
                 let s = ColumnStats::compute(c, query.column(c));
                 (s.cardinality, c.0)
             })
+            // panic-exempt: min over `q_cols`, asserted non-empty above.
             .unwrap(),
+        // panic-exempt: min over `q_cols`, asserted non-empty above.
         InitColumnHeuristic::ColumnOrder => *q_cols.iter().min_by_key(|c| c.0).unwrap(),
         InitColumnHeuristic::LongestString => *q_cols
             .iter()
@@ -42,14 +44,17 @@ pub fn select_initial_column(
                 let s = ColumnStats::compute(c, query.column(c));
                 (s.max_value_len, std::cmp::Reverse(c.0))
             })
+            // panic-exempt: max over `q_cols`, asserted non-empty above.
             .unwrap(),
         InitColumnHeuristic::WorstOracle => *q_cols
             .iter()
             .max_by_key(|&&c| (pl_items_for_column(query, c, index), std::cmp::Reverse(c.0)))
+            // panic-exempt: max over `q_cols`, asserted non-empty above.
             .unwrap(),
         InitColumnHeuristic::BestOracle => *q_cols
             .iter()
             .min_by_key(|&&c| (pl_items_for_column(query, c, index), c.0))
+            // panic-exempt: min over `q_cols`, asserted non-empty above.
             .unwrap(),
         InitColumnHeuristic::Fixed(i) => {
             assert!(

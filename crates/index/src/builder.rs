@@ -113,6 +113,8 @@ impl<H: RowHasher> IndexBuilder<H> {
                 });
             }
         })
+        // panic-exempt: deliberate propagation — a build worker's panic
+        // must surface on the calling thread, not produce a partial index.
         .expect("index build worker panicked");
 
         // Merge. Super keys go in range order; posting stores are merged
@@ -126,6 +128,8 @@ impl<H: RowHasher> IndexBuilder<H> {
         let mut worker_stores: Vec<PostingStore> = Vec::with_capacity(self.threads);
         let mut next_table = 0usize;
         for slot in partials {
+            // panic-exempt: every worker fills its slot before its scope
+            // ends, and a panicked worker already propagated above.
             let (store, keys) = slot.expect("worker did not report");
             for words in keys {
                 index
@@ -207,6 +211,8 @@ fn merge_posting_stores(worker_stores: Vec<PostingStore>, threads: usize) -> Pos
             });
         }
     })
+    // panic-exempt: deliberate propagation — a merge worker's panic must
+    // surface on the calling thread, not produce a partial store.
     .expect("posting merge worker panicked");
     drop(runs);
 

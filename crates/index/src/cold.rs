@@ -38,6 +38,8 @@ use mate_storage::{postings, varint, StorageError};
 #[inline]
 fn u32_at(data: &[u8], i: usize) -> u32 {
     let at = i * 4;
+    // panic-exempt: 4-byte subslice of a directory whose length the
+    // open-time validation walk checked; `try_into` to [u8; 4] cannot fail.
     u32::from_le_bytes(data[at..at + 4].try_into().expect("validated at open"))
 }
 
@@ -91,8 +93,11 @@ impl ListDirectory {
                 let mut lo = u32_at(anchors, group * 2) as usize;
                 let mut rest = &lengths[u32_at(anchors, group * 2 + 1) as usize..];
                 for _ in group * interval..i {
+                    // panic-exempt: every varint in the length stream was
+                    // decoded once by the open-time validation walk.
                     lo += varint::read_u64(&mut rest).expect("validated at open") as usize;
                 }
+                // panic-exempt: same open-time varint validation as above.
                 let len = varint::read_u64(&mut rest).expect("validated at open") as usize;
                 (lo, lo + len)
             }
@@ -359,6 +364,8 @@ impl ColdPostingStore {
     /// Decodes the full string at a restart point, returning `(bytes, rest)`.
     fn restart_value(&self, restart: usize) -> (&[u8], &[u8]) {
         let mut at = &self.values[u32_at(&self.restarts, restart) as usize..];
+        // panic-exempt: restart offsets and their varints were decoded
+        // once by the open-time validation walk.
         let len = varint::read_u64(&mut at).expect("validated at open") as usize;
         (&at[..len], &at[len..])
     }
@@ -395,7 +402,10 @@ impl ColdPostingStore {
             .restart_interval
             .min(self.n - lo * self.restart_interval);
         for i in 1..group {
+            // panic-exempt: prefix-compression varints were decoded once
+            // by the open-time validation walk.
             let shared = varint::read_u64(&mut rest).expect("validated at open") as usize;
+            // panic-exempt: same open-time varint validation as above.
             let suffix = varint::read_u64(&mut rest).expect("validated at open") as usize;
             buf.truncate(shared);
             buf.extend_from_slice(&rest[..suffix]);
@@ -417,24 +427,29 @@ impl ColdPostingStore {
         let mut rest: &[u8] = &self.values;
         (0..self.n as u32).map(move |i| {
             if (i as usize).is_multiple_of(self.restart_interval) {
+                // panic-exempt: open-time varint validation (see bounds).
                 let len = varint::read_u64(&mut rest).expect("validated at open") as usize;
                 buf.clear();
                 buf.extend_from_slice(&rest[..len]);
                 rest = &rest[len..];
             } else {
+                // panic-exempt: open-time varint validation (see bounds).
                 let shared = varint::read_u64(&mut rest).expect("validated at open") as usize;
+                // panic-exempt: open-time varint validation (see bounds).
                 let suffix = varint::read_u64(&mut rest).expect("validated at open") as usize;
                 buf.truncate(shared);
                 buf.extend_from_slice(&rest[..suffix]);
                 rest = &rest[suffix..];
             }
             let mut raw = Vec::new();
+            // panic-exempt: every list decoded once by the open-time walk.
             postings::decode_list(self.list_bytes(i), &mut raw).expect("validated at open");
             let list = raw
                 .into_iter()
                 .map(|(t, c, r)| PostingEntry::new(t, c, r))
                 .collect();
             (
+                // panic-exempt: values were UTF-8-checked at open.
                 String::from_utf8(buf.clone()).expect("validated at open"),
                 list,
             )
@@ -457,6 +472,7 @@ impl ColdPostingStore {
 impl PostingSource for ColdPostingStore {
     fn find_list(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle> {
         let id = self.find_ordinal(value, &mut scratch.buf)?;
+        // panic-exempt: every list header decoded once by the open walk.
         let len = postings::list_count(self.list_bytes(id)).expect("validated at open");
         Some(ListHandle {
             id,
@@ -471,6 +487,7 @@ impl PostingSource for ColdPostingStore {
         f: &mut dyn FnMut(u32, u32),
     ) {
         postings::table_runs(self.list_bytes(list.id), &mut scratch.list, f)
+            // panic-exempt: every list decoded once by the open-time walk.
             .expect("validated at open");
     }
 
@@ -493,6 +510,7 @@ impl PostingSource for ColdPostingStore {
             &mut scratch.raw,
             counters,
         )
+        // panic-exempt: every list decoded once by the open-time walk.
         .expect("validated at open");
         out.extend(
             scratch

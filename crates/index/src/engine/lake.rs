@@ -16,8 +16,7 @@
 //!   - a long discovery query cannot stall a flush or compaction, and a
 //!     saturated read side cannot starve writers (the pre-snapshot design
 //!     served reads through `RwLock` read guards held for the full query;
-//!     on reader-preferring `std::sync::RwLock` builds — which this
-//!     workspace's vendored `parking_lot` wraps — that could delay
+//!     on reader-preferring `std::sync::RwLock` builds that could delay
 //!     writers indefinitely);
 //!   - a [`LakeReader`] taken before a flush/compaction stays queryable
 //!     *during and after* it, bit-identical to the corpus state it
@@ -31,8 +30,11 @@
 //!   The write side pays for this with one copy-on-write of the memtable
 //!   posting store per write batch that follows a published snapshot
 //!   (bounded by [`EngineConfig::memtable_budget_bytes`]); the corpus and
-//!   super keys copy per-*table*, not wholesale. Lock order is `engine` →
-//!   `published` → `commit`; no code path acquires them in another order.
+//!   super keys copy per-*table*, not wholesale. All three locks are
+//!   ranked ([`mate_obs::lockrank`]): `engine` (rank 10) → `commit`
+//!   (rank 20) → `published` (rank 50); the lock-rank table in the
+//!   [`engine module docs`](super) is the single source of truth, and
+//!   debug builds panic on any path acquiring them out of order.
 //! * **Group commit** — [`EngineLake::apply`] appends the record and
 //!   applies it in memory under the write lock (unsynced), then blocks
 //!   until a *covering* fsync. The first waiter becomes the leader and
@@ -67,23 +69,18 @@
 //! [`DurableLake`]: ../../mate_core/durable/struct.DurableLake.html
 
 use super::merged::SourceCache;
+use super::ranks;
 use super::{
     prepare_insert, Engine, EngineConfig, EngineSnapshot, EngineStats, MergedSource, WalTicket,
 };
 use crate::wal::WalRecord;
 use mate_hash::Xash;
+use mate_obs::lockrank::{RankedCondvar, RankedMutex, RankedRwLock};
 use mate_obs::Obs;
 use mate_storage::{StorageError, VfsFile};
 use mate_table::{Table, TableId};
-use parking_lot::RwLock;
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-
-/// Locks a mutex, recovering the guard if a previous holder panicked (see
-/// the module docs for why that is sound for the lake's queue/slot state).
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+use std::sync::Arc;
 
 /// Group-commit bookkeeping for the active WAL file.
 struct CommitQueue {
@@ -108,7 +105,7 @@ struct CommitQueue {
 /// A shared engine handle: lock-free snapshot readers, group-committed
 /// writers (see module docs).
 pub struct EngineLake {
-    engine: RwLock<Engine>,
+    engine: RankedRwLock<Engine>,
     /// Copy of the engine's row hasher, so [`EngineLake::insert_table`]
     /// can run phase A of the staged protocol (per-row super-key hashing)
     /// without touching the engine lock.
@@ -116,9 +113,9 @@ pub struct EngineLake {
     cache: Arc<SourceCache>,
     /// The most recently published snapshot — always valid, replaced (never
     /// mutated) under the engine write lock after every write batch.
-    published: Mutex<Arc<EngineSnapshot>>,
-    commit: Mutex<CommitQueue>,
-    commit_cv: Condvar,
+    published: RankedMutex<Arc<EngineSnapshot>>,
+    commit: RankedMutex<CommitQueue>,
+    commit_cv: RankedCondvar,
     /// The wrapped engine's observability hub (cached so monitoring reads
     /// never touch the engine lock). Registered as `lake.group_syncs`:
     /// group fsyncs issued by this lake.
@@ -184,12 +181,12 @@ impl EngineLake {
         let obs = Arc::clone(engine.obs());
         let group_syncs = obs.counter("lake.group_syncs");
         EngineLake {
-            engine: RwLock::new(engine),
+            engine: RankedRwLock::new(ranks::ENGINE_WRITE, engine),
             hasher,
             cache: Arc::new(SourceCache::new()),
-            published: Mutex::new(published),
-            commit: Mutex::new(queue),
-            commit_cv: Condvar::new(),
+            published: RankedMutex::new(ranks::SNAPSHOT_SLOT, published),
+            commit: RankedMutex::new(ranks::COMMIT_QUEUE, queue),
+            commit_cv: RankedCondvar::new(),
             obs,
             group_syncs,
         }
@@ -206,7 +203,7 @@ impl EngineLake {
     /// keeps the reader, no writer ever waits for it.
     pub fn reader(&self) -> LakeReader {
         LakeReader {
-            snapshot: Arc::clone(&lock_recover(&self.published)),
+            snapshot: Arc::clone(&self.published.lock()),
             cache: Arc::clone(&self.cache),
         }
     }
@@ -225,7 +222,7 @@ impl EngineLake {
     /// snapshot: monitoring never contends with writers (or waits behind a
     /// flush) just to copy counters.
     pub fn stats(&self) -> EngineStats {
-        let mut stats = lock_recover(&self.published).stats().clone();
+        let mut stats = self.published.lock().stats().clone();
         // The published snapshot freezes most counters, but a handful
         // mutate *between* publishes (shard contention and fault
         // injections tick outside the engine lock; scrub counters tick
@@ -273,7 +270,7 @@ impl EngineLake {
     /// view is behind — the snapshot-age counter surfaced in discovery
     /// stats.
     pub fn published_epoch(&self) -> u64 {
-        lock_recover(&self.published).source_epoch()
+        self.published.lock().source_epoch()
     }
 
     /// Applies one edit durably: buffered WAL append + in-memory apply
@@ -418,7 +415,7 @@ impl EngineLake {
     fn flush_budget(&self, engine: &mut Engine) -> Result<(), StorageError> {
         if let Err(e) = engine.maybe_flush() {
             engine.poison_wal();
-            let mut q = lock_recover(&self.commit);
+            let mut q = self.commit.lock();
             q.poisoned = true;
             drop(q);
             self.commit_cv.notify_all();
@@ -432,13 +429,17 @@ impl EngineLake {
     /// always, success or failure, so readers and the queue observe every
     /// in-memory transition in append order.
     fn finish_write(&self, engine: &mut Engine) {
-        *lock_recover(&self.published) = engine.snapshot();
+        // Take the snapshot (briefly holding apply-quiesce/shard-latch
+        // ranks) *before* touching the snapshot-slot lock: rank 25/30
+        // acquisitions must not happen under rank 50.
+        let snapshot = engine.snapshot();
+        *self.published.lock() = snapshot;
         self.refresh_commit(engine);
     }
 
     /// The commit-queue half of [`EngineLake::finish_write`].
     fn refresh_commit(&self, engine: &Engine) {
-        let mut q = lock_recover(&self.commit);
+        let mut q = self.commit.lock();
         if q.epoch != engine.wal_seq() {
             // Rotation: every record of the previous epoch is folded into
             // a flushed segment + checkpoint behind the manifest flip.
@@ -458,7 +459,7 @@ impl EngineLake {
     /// find no sync in flight becomes the leader and fsyncs for the whole
     /// group.
     fn wait_durable(&self, ticket: WalTicket) -> Result<(), StorageError> {
-        let mut q = lock_recover(&self.commit);
+        let mut q = self.commit.lock();
         loop {
             if q.epoch > ticket.wal_seq || (q.epoch == ticket.wal_seq && q.durable >= ticket.end) {
                 return Ok(());
@@ -484,7 +485,7 @@ impl EngineLake {
                     }
                     None => Err(std::io::Error::other("group-commit WAL handle unavailable")),
                 };
-                q = lock_recover(&self.commit);
+                q = self.commit.lock();
                 q.syncing = false;
                 match res {
                     Ok(()) => {
@@ -511,7 +512,7 @@ impl EngineLake {
                         // decision and the poison taking effect.
                         drop(q);
                         let mut engine = self.engine.write();
-                        let mut q2 = lock_recover(&self.commit);
+                        let mut q2 = self.commit.lock();
                         if q2.epoch == epoch && q2.durable < target {
                             q2.poisoned = true;
                             engine.poison_wal();
@@ -523,11 +524,11 @@ impl EngineLake {
                         // were re-locking: benign after all.
                         drop(q2);
                         drop(engine);
-                        q = lock_recover(&self.commit);
+                        q = self.commit.lock();
                     }
                 }
             } else {
-                q = self.commit_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+                q = self.commit_cv.wait(q);
             }
         }
     }

@@ -27,12 +27,14 @@
 //! the borrow checker guarantees no mutation can interleave with its
 //! lifetime.
 
+use super::ranks;
 use crate::posting::PostingEntry;
 use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 use crate::store::PostingStore;
 use mate_hash::fx::FxHashMap;
+use mate_obs::lockrank::RankedRwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// One layer of a [`MergedSource`]: either borrowed from the engine /
 /// snapshot that built the source (cold stores, snapshot-held shard
@@ -54,20 +56,13 @@ impl LayerRef<'_> {
     }
 }
 
-/// Recovers a read guard even if a previous holder panicked. The caches in
-/// this module are *memoization* state: every entry is re-derivable from
-/// the immutable layers, and the two-step fills (push a list, then insert
-/// the value pointing at it) leave at worst an orphaned list behind a
-/// panic — never a dangling reference. Propagating the poison would turn
-/// one panicking query thread into a panic in every later query.
-fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(|e| e.into_inner())
-}
-
-/// Write-side counterpart of [`read_lock`]; same recovery rationale.
-fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(|e| e.into_inner())
-}
+// Lock poisoning note: the ranked locks in this module recover poisoned
+// guards (the `lockrank` wrappers always do). That is sound here because
+// the caches are *memoization* state: every entry is re-derivable from the
+// immutable layers, and the two-step fills (push a list, then insert the
+// value pointing at it) leave at worst an orphaned list behind a panic —
+// never a dangling reference. Propagating the poison would turn one
+// panicking query thread into a panic in every later query.
 
 /// Owner value meaning "no layer owns this table" (deleted and compacted
 /// away).
@@ -118,9 +113,9 @@ struct ColdCache {
 /// probe) but are no longer inserted, so a read-mostly epoch serving a
 /// high-cardinality value stream cannot grow the cache without bound.
 /// Entries are re-derivable, so the bound never affects results.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SourceCache {
-    inner: RwLock<ColdCache>,
+    inner: RankedRwLock<ColdCache>,
     // obs-exempt: per-cache delta counters read into each query's
     // DiscoveryStats (cold_cache_hits/misses); a process-global registry
     // counter could not give per-query deltas.
@@ -133,6 +128,16 @@ pub struct SourceCache {
 /// Entries cost roughly a value string + a few runs/handles each; the
 /// cap keeps worst-case cache memory in the low hundreds of MB.
 const MAX_CACHED_VALUES: usize = 1 << 20;
+
+impl Default for SourceCache {
+    fn default() -> Self {
+        SourceCache {
+            inner: RankedRwLock::new(ranks::COLD_CACHE, ColdCache::default()),
+            hits: AtomicU64::new(0),   // obs-exempt: see the field docs above
+            misses: AtomicU64::new(0), // obs-exempt: see the field docs above
+        }
+    }
+}
 
 impl SourceCache {
     /// Creates an empty cache.
@@ -152,7 +157,7 @@ impl SourceCache {
 
     /// Distinct values currently resolved in the cache.
     pub fn cached_values(&self) -> usize {
-        read_lock(&self.inner).registry.by_value.len()
+        self.inner.read().registry.by_value.len()
     }
 }
 
@@ -212,7 +217,7 @@ pub struct MergedSource<'a> {
     /// Cross-query cold-resolution cache + the engine generation this
     /// snapshot was taken at (`None`: every probe walks the layers).
     cache: Option<(&'a SourceCache, CacheEpoch)>,
-    registry: RwLock<Registry>,
+    registry: RankedRwLock<Registry>,
 }
 
 impl std::fmt::Debug for MergedSource<'_> {
@@ -242,7 +247,7 @@ impl<'a> MergedSource<'a> {
             num_values_hint,
             num_postings,
             cache,
-            registry: RwLock::new(Registry::default()),
+            registry: RankedRwLock::new(ranks::SOURCE_REGISTRY, Registry::default()),
         }
     }
 
@@ -295,7 +300,7 @@ impl<'a> MergedSource<'a> {
         let num_cold = self.num_cold;
         if let Some((cache, key)) = self.cache {
             {
-                let inner = read_lock(&cache.inner);
+                let inner = cache.inner.read();
                 if inner.key == key {
                     if let Some(&cached) = inner.registry.by_value.get(value) {
                         cache.hits.fetch_add(1, Ordering::Relaxed);
@@ -329,7 +334,7 @@ impl<'a> MergedSource<'a> {
         };
 
         if let Some((cache, key)) = self.cache {
-            let mut inner = write_lock(&cache.inner);
+            let mut inner = cache.inner.write();
             if inner.key != key {
                 if inner.key.instance == key.instance && inner.key.epoch > key.epoch {
                     // A newer generation of the same engine already filled
@@ -368,7 +373,7 @@ impl<'a> MergedSource<'a> {
             // One guard for both the cache probe and the total lookup —
             // re-locking inside the hit path could deadlock against a
             // queued writer.
-            let reg = read_lock(&self.registry);
+            let reg = self.registry.read();
             if let Some(&cached) = reg.by_value.get(value) {
                 return cached.map(|id| ListHandle {
                     id,
@@ -391,7 +396,7 @@ impl<'a> MergedSource<'a> {
             handles.push(mem_handle);
         }
 
-        let mut reg = write_lock(&self.registry);
+        let mut reg = self.registry.write();
         // A concurrent resolver may have won the race; keep the first entry
         // so ids stay stable.
         if let Some(&cached) = reg.by_value.get(value) {
@@ -426,7 +431,7 @@ impl PostingSource for MergedSource<'_> {
         _scratch: &mut ProbeScratch,
         f: &mut dyn FnMut(u32, u32),
     ) {
-        let reg = read_lock(&self.registry);
+        let reg = self.registry.read();
         for run in &reg.lists[list.id as usize].runs {
             f(run.table, run.len);
         }
@@ -444,7 +449,7 @@ impl PostingSource for MergedSource<'_> {
         if len == 0 {
             return;
         }
-        let reg = read_lock(&self.registry);
+        let reg = self.registry.read();
         let merged = &reg.lists[list.id as usize];
         // First run overlapping `start`.
         let mut i = merged
@@ -456,6 +461,9 @@ impl PostingSource for MergedSource<'_> {
             let run = &merged.runs[i];
             let off = pos - run.virt_start;
             let take = (run.len - off).min(remaining);
+            // panic-exempt: a MergedRun is only ever built from a layer
+            // that resolved a handle (resolve() records the handle and the
+            // run together), so the slot is always Some.
             let handle = merged.handles[run.layer as usize].expect("run without a layer list");
             self.layers[run.layer as usize].get().collect_run(
                 handle,

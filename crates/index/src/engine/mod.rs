@@ -159,6 +159,33 @@
 //! flush state. [`EngineLake`] is the concurrent handle: writers behind a
 //! write lock publish snapshots; readers clone the published `Arc` and
 //! query without any engine lock, sharing one [`SourceCache`].
+//!
+//! # Lock ranks (canonical acquisition order)
+//!
+//! Every lock in this crate is a [`mate_obs::lockrank`] ranked wrapper
+//! (statically enforced by `mate-analyze` rule R4); a thread may only
+//! acquire a lock whose rank is strictly greater than every rank it
+//! already holds. Debug builds panic on the first violation; release
+//! builds pay nothing. The table (constants live in `engine::ranks`):
+//!
+//! | rank  | name            | lock                                            |
+//! |-------|-----------------|-------------------------------------------------|
+//! | 10.0  | engine-write    | `EngineLake::engine` (`RankedRwLock<Engine>`)   |
+//! | 20.0  | commit-queue    | `EngineLake::commit` group-commit queue + cv    |
+//! | 25.0  | apply-quiesce   | `Quiesce::in_flight` staged-apply rendezvous    |
+//! | 30.i  | shard-latch     | `MemShard::store` latch of shard *i* (ascending)|
+//! | 40.0  | cold-cache      | `SourceCache::inner` cold-resolution cache      |
+//! | 40.1  | source-registry | `MergedSource::registry` per-engine memo        |
+//! | 50.0  | snapshot-slot   | `EngineLake::published` snapshot slot           |
+//!
+//! Notable legal paths: a lake writer holds `engine-write` while pushing
+//! to `commit-queue` (10 → 20); a staged applier releases its shard latch
+//! *before* leaving the `apply-quiesce` rendezvous (30 dropped, then 25 —
+//! never nested); `with_updater` takes all shard latches in ascending
+//! shard order (30.0 → 30.1 → …); snapshot publication takes
+//! `snapshot-slot` only after the engine snapshot (and its brief 25/30
+//! holds) completed. `cold-cache` and `source-registry` are never nested
+//! with each other.
 
 mod lake;
 mod manifest;
@@ -180,6 +207,7 @@ use crate::updates::IndexUpdater;
 use crate::wal::{self, frame_record, WalRecord};
 use bytes::Bytes;
 use mate_hash::{HashSize, RowHasher, Xash};
+use mate_obs::lockrank::{RankedCondvar, RankedMutex, RankedMutexGuard};
 use mate_obs::Obs;
 use mate_storage::manifest::write_file_atomic_vfs;
 use mate_storage::tombstone::{decode_claims, encode_claims, Claim};
@@ -190,7 +218,7 @@ use mate_storage::{
 use mate_table::{Corpus, RowId, Table, TableId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Engine file names inside the directory.
 const MANIFEST_FILE: &str = "MANIFEST";
@@ -216,14 +244,39 @@ fn wal_file(seq: u64) -> String {
     format!("wal-{seq:08}.log")
 }
 
-/// Recovers a poisoned mutex guard: engine memtable shards hold plain data
-/// whose invariants are restored before any panic can unwind past a guard,
-/// so the poison flag carries no information here.
-fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+/// Lock-rank table of the engine (the canonical acquisition order is in
+/// the module docs above). Every lock in this crate is a
+/// [`mate_obs::lockrank`] ranked wrapper built from one of these
+/// constants, so debug builds panic on the first acquisition that
+/// violates the documented order; release builds compile the check away.
+pub(crate) mod ranks {
+    use mate_obs::lockrank::Rank;
+
+    /// The lake's engine-wide write lock (`EngineLake::engine`).
+    pub const ENGINE_WRITE: Rank = Rank::new(10, 0, "engine-write");
+    /// The lake's group-commit queue (`EngineLake::commit`).
+    pub const COMMIT_QUEUE: Rank = Rank::new(20, 0, "commit-queue");
+    /// The staged-apply rendezvous count (`Quiesce::in_flight`). Part of
+    /// the shard-latch domain: appliers take it strictly *after*
+    /// releasing their shard latch, stagers take it under the engine
+    /// write lock — both orders are increasing.
+    pub const APPLY_QUIESCE: Rank = Rank::new(25, 0, "apply-quiesce");
+    /// Latch of memtable shard `i`. Multi-shard holders (`with_updater`)
+    /// acquire in ascending shard order, which is exactly ascending
+    /// minor-rank order.
+    pub fn shard_latch(i: usize) -> Rank {
+        // Shard counts are small (defaults near the core count); minors
+        // only need to stay distinct and ascending per shard index.
+        Rank::new(30, i as u16, "shard-latch")
     }
+    /// The cold-posting resolution cache (`SourceCache::inner`).
+    pub const COLD_CACHE: Rank = Rank::new(40, 0, "cold-cache");
+    /// The merged-source registry (`MergedSource::registry`). Never
+    /// nested with [`COLD_CACHE`]; the distinct minor keeps the two
+    /// honest if that ever changes.
+    pub const SOURCE_REGISTRY: Rank = Rank::new(40, 1, "source-registry");
+    /// The published-snapshot slot (`EngineLake::published`).
+    pub const SNAPSHOT_SLOT: Rank = Rank::new(50, 0, "snapshot-slot");
 }
 
 /// Size class of a segment for the tiered policy: factor-4 byte buckets
@@ -327,27 +380,23 @@ impl Default for EngineConfig {
 /// shard write goes through `Arc::make_mut`, which copies only the chunked
 /// pieces a pinned snapshot still shares (see [`crate::store`]).
 pub(crate) struct MemShard {
-    store: Mutex<Arc<PostingStore>>,
+    store: RankedMutex<Arc<PostingStore>>,
 }
 
 fn new_shards(config: &EngineConfig) -> Arc<Vec<MemShard>> {
-    Arc::new(
-        (0..config.apply_shards.max(1))
-            .map(|_| MemShard::new())
-            .collect(),
-    )
+    Arc::new((0..config.apply_shards.max(1)).map(MemShard::new).collect())
 }
 
 impl MemShard {
-    fn new() -> Self {
+    fn new(idx: usize) -> Self {
         MemShard {
-            store: Mutex::new(Arc::new(PostingStore::new())),
+            store: RankedMutex::new(ranks::shard_latch(idx), Arc::new(PostingStore::new())),
         }
     }
 
     /// Pins the shard's current store (brief latch hold, no copy).
     fn pin(&self) -> Arc<PostingStore> {
-        Arc::clone(&lock_plain(&self.store))
+        Arc::clone(&self.store.lock())
     }
 }
 
@@ -357,15 +406,15 @@ impl MemShard {
 /// zero so they never observe a table whose corpus row exists but whose
 /// postings are still being written.
 struct Quiesce {
-    in_flight: Mutex<usize>,
-    cv: Condvar,
+    in_flight: RankedMutex<usize>,
+    cv: RankedCondvar,
 }
 
 impl Quiesce {
     fn new() -> Self {
         Quiesce {
-            in_flight: Mutex::new(0),
-            cv: Condvar::new(),
+            in_flight: RankedMutex::new(ranks::APPLY_QUIESCE, 0),
+            cv: RankedCondvar::new(),
         }
     }
 }
@@ -447,12 +496,11 @@ impl ShardTask {
     pub(crate) fn run(self) {
         let shard = &self.shards[self.shard];
         let mut guard = match shard.store.try_lock() {
-            Ok(g) => g,
-            Err(std::sync::TryLockError::WouldBlock) => {
+            Some(g) => g,
+            None => {
                 self.counters.lock_waits.inc();
-                lock_plain(&shard.store)
+                shard.store.lock()
             }
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
         };
         let store = Arc::make_mut(&mut *guard);
         let table = self.corpus.table(self.tid);
@@ -466,7 +514,7 @@ impl ShardTask {
             }
         }
         drop(guard);
-        let mut n = lock_plain(&self.quiesce.in_flight);
+        let mut n = self.quiesce.in_flight.lock();
         *n -= 1;
         if *n == 0 {
             self.quiesce.cv.notify_all();
@@ -1105,6 +1153,9 @@ impl Engine {
         let record = WalRecord::InsertTable { table };
         let ticket = self.append_frame(&record)?;
         let WalRecord::InsertTable { table } = record else {
+            // panic-exempt: `record` is the InsertTable constructed two
+            // lines above; the destructure only exists to move `table` back
+            // out after the borrow for the WAL append.
             unreachable!("constructed above")
         };
         let task = self.stage_insert(table, prep);
@@ -1166,7 +1217,7 @@ impl Engine {
         self.owners.push(Owner::Mem);
         debug_assert_eq!(self.owners.len(), self.corpus.len());
         self.dirty_tables.insert(tid.0);
-        let mut n = lock_plain(&self.quiesce.in_flight);
+        let mut n = self.quiesce.in_flight.lock();
         if *n > 0 {
             self.shard_counters.concurrent.inc();
         }
@@ -1189,12 +1240,9 @@ impl Engine {
     /// lock to finish, so waiting here while holding it cannot deadlock —
     /// but a thread must run its own staged task before calling this.
     pub(crate) fn rendezvous(&self) {
-        let mut n = lock_plain(&self.quiesce.in_flight);
+        let mut n = self.quiesce.in_flight.lock();
         while *n > 0 {
-            n = match self.quiesce.cv.wait(n) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            n = self.quiesce.cv.wait(n);
         }
     }
 
@@ -1352,8 +1400,9 @@ impl Engine {
     /// staged inserts and may touch any table).
     fn with_updater<R>(&mut self, f: impl FnOnce(&mut IndexUpdater<'_, Xash>) -> R) -> R {
         let shards = Arc::clone(&self.shards);
-        let mut guards: Vec<MutexGuard<'_, Arc<PostingStore>>> =
-            shards.iter().map(|s| lock_plain(&s.store)).collect();
+        // Ascending shard order == ascending shard-latch rank order.
+        let mut guards: Vec<RankedMutexGuard<'_, Arc<PostingStore>>> =
+            shards.iter().map(|s| s.store.lock()).collect();
         let stores: Vec<&mut PostingStore> =
             guards.iter_mut().map(|g| Arc::make_mut(&mut **g)).collect();
         let mut updater = IndexUpdater::sharded(
@@ -1387,7 +1436,7 @@ impl Engine {
         let corpus = Arc::clone(&self.corpus);
         let table = corpus.table(t);
         let shard = &self.shards[shard_of(t.0, self.shards.len())];
-        let mut guard = lock_plain(&shard.store);
+        let mut guard = shard.store.lock();
         let store = Arc::make_mut(&mut *guard);
         for (ci, col) in table.columns().iter().enumerate() {
             for (ri, v) in col.values.iter().enumerate() {
@@ -1627,7 +1676,7 @@ impl Engine {
         // to throw them away. The super keys are shared forward (per-table
         // Arc spine — cheap either way).
         for shard in self.shards.iter() {
-            *lock_plain(&shard.store) = Arc::new(PostingStore::new());
+            *shard.store.lock() = Arc::new(PostingStore::new());
         }
         self.counters.flushes += 1;
         self.source_epoch += 1;
@@ -1702,7 +1751,12 @@ impl Engine {
     ///   therefore drops every tombstone).
     fn merge_segments(&mut self, picks: &[usize]) -> Result<(), StorageError> {
         debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks ascending");
-        let out_pos = *picks.last().expect("non-empty pick set");
+        // Merging zero segments is a no-op, not a panic: both callers pick
+        // non-empty sets today, but an empty pick has an obvious graceful
+        // meaning.
+        let Some(&out_pos) = picks.last() else {
+            return Ok(());
+        };
         let obs = Arc::clone(&self.config.obs);
         let _span = obs.span("compact");
         self.invalidate_snapshot();
@@ -1844,6 +1898,8 @@ impl Engine {
         let old = std::mem::take(&mut self.cold);
         for (li, l) in old.into_iter().enumerate() {
             if li == out_pos {
+                // panic-exempt: `out_pos` occurs once in the ascending
+                // pick set, so the take runs exactly once.
                 self.cold.push(new_layer.take().expect("placed once"));
             } else if !picks.contains(&li) {
                 self.cold.push(l);
@@ -3127,7 +3183,7 @@ mod tests {
         let shards = Arc::clone(&e.shards);
 
         std::thread::scope(|scope| {
-            let guard = shards[0].store.lock().unwrap();
+            let guard = shards[0].store.lock();
             let h = scope.spawn(move || task.run());
             // Progress-guaranteed spin: the filler thread ticks the counter
             // *before* blocking on the held latch.

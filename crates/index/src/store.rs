@@ -387,6 +387,10 @@ impl PostingStore {
         let pos = self
             .postings(vid)
             .binary_search(&entry)
+            // panic-exempt: documented `# Panics` contract — a missing
+            // entry is an index/corpus divergence (a logic bug), and
+            // WAL-replay determinism requires apply to be infallible
+            // rather than silently skipping (see updates::remove_posting).
             .expect("posting entry not found");
         let r = self.ranges[vid as usize];
         let chunk = Arc::make_mut(&mut self.chunks[r.chunk as usize]);

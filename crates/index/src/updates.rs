@@ -299,6 +299,10 @@ fn insert_posting(store: &mut PostingStore, value: &str, entry: PostingEntry) {
 
 fn remove_posting(store: &mut PostingStore, value: &str, entry: PostingEntry) {
     let Some(vid) = store.lookup(value) else {
+        // panic-exempt: the WAL record being applied was validated against
+        // the corpus when first appended, so a missing value here is an
+        // index/corpus divergence (a logic bug). Returning an error instead
+        // could let a replay skip the record and diverge from the live run.
         panic!("removing posting for unindexed value {value:?}");
     };
     // An emptied run stays interned (the arena is append-only) but reads as

@@ -301,7 +301,10 @@ pub fn parse_log(data: &[u8]) -> (Vec<WalRecord>, usize) {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while let Some(header) = data.get(pos..pos + 8) {
+        // panic-exempt: 4-byte subslices of the 8-byte header the `get`
+        // above just produced; `try_into` to [u8; 4] cannot fail.
         let len = u32::from_le_bytes(header[..4].try_into().expect("fixed slice")) as usize;
+        // panic-exempt: same fixed-slice invariant as `len` above.
         let crc = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
         let Some(end) = (pos + 8).checked_add(len) else {
             break; // absurd length: treat as a torn tail

@@ -40,6 +40,7 @@ pub mod clock;
 pub mod events;
 pub mod hist;
 pub mod json;
+pub mod lockrank;
 pub mod profile;
 pub mod registry;
 pub mod snapshot;
@@ -47,6 +48,7 @@ pub mod snapshot;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use events::{Event, EventLog};
 pub use hist::{Histogram, HistogramSnapshot};
+pub use lockrank::{Rank, RankedCondvar, RankedMutex, RankedRwLock};
 pub use profile::QueryProfile;
 pub use registry::{Counter, Gauge, Registry};
 pub use snapshot::ObsSnapshot;

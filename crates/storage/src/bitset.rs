@@ -224,20 +224,23 @@ pub fn decode_bitmap(r: &mut Reader, words: &mut [u64]) -> Result<(), StorageErr
     // reader past the consumed whole bytes.
     let tail = r.get_raw(r.remaining())?;
     let mut br = BitReader::new(&tail);
-    let mut pos: i64 = -1;
+    // Position the next set bit would take if its gap were zero. Kept in
+    // u64 with a checked add: a corrupt stream can decode an arbitrarily
+    // large gap, and that must surface as a typed error, not overflow.
+    let mut next: u64 = 0;
     for _ in 0..pop {
         let q = br.unary()?;
         let rem = br.take(k)?;
         let gap = (q << k) | rem;
-        pos += gap as i64 + 1;
-        let at = usize::try_from(pos).expect("positive position");
-        if at >= bits {
-            return Err(StorageError::InvalidLength {
+        let at = next.checked_add(gap).filter(|&at| at < bits as u64).ok_or(
+            StorageError::InvalidLength {
                 context: "rice bit position",
-                value: at as u64,
-            });
-        }
+                value: gap,
+            },
+        )?;
+        let at = at as usize;
         words[at / 64] |= 1u64 << (at % 64);
+        next = at as u64 + 1;
     }
     let consumed = br.consumed();
     *r = Reader::new(tail.slice(consumed..));

@@ -59,11 +59,15 @@ pub fn unframe(data: &[u8]) -> Result<Bytes, StorageError> {
     if data.len() < 20 || &data[..8] != MAGIC {
         return Err(StorageError::BadMagic);
     }
+    // panic-exempt: 4-byte subslices of a buffer length-checked (>= 20)
+    // above; `try_into` to [u8; 4] cannot fail.
     let version = u32::from_le_bytes(data[8..12].try_into().expect("fixed slice"));
     if version != MANIFEST_VERSION {
         return Err(StorageError::UnsupportedVersion(version));
     }
+    // panic-exempt: same fixed-slice invariant as `version` above.
     let len = u32::from_le_bytes(data[12..16].try_into().expect("fixed slice")) as usize;
+    // panic-exempt: same fixed-slice invariant as `version` above.
     let crc = u32::from_le_bytes(data[16..20].try_into().expect("fixed slice"));
     if data.len() - 20 != len {
         return Err(StorageError::InvalidLength {

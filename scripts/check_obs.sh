@@ -6,46 +6,15 @@
 # not mint ad-hoc atomic counters (`AtomicU64::new(...)` or bare
 # `AtomicU64` counter fields — register a named `mate_obs::Counter` so the
 # metric shows up in the unified catalog). Test modules (behind
-# `#[cfg(test)]`, at the bottom of each file) are free; a deliberate
-# exception is blessed by a `// obs-exempt: <why>` comment on the line
-# above. The one legitimate `Instant::now()` lives in `mate_obs`'s
-# `MonotonicClock`, outside the scanned crates.
+# `#[cfg(test)]`) are free; a deliberate exception is blessed by a
+# `// obs-exempt: <why>` comment. The one legitimate `Instant::now()`
+# lives in `mate_obs`'s `MonotonicClock`, outside the scanned crates.
+#
+# Thin wrapper over the `mate-analyze` rule engine (rule R2 `obs-seam`);
+# the rule logic and its fixture tests live in `crates/analyze`.
 #
 # Usage: scripts/check_obs.sh   (exit 1 and list violations if any)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-status=0
-for file in $(find crates/core/src crates/index/src -name '*.rs' | sort); do
-    violations=$(awk '
-        # An exemption comment blesses the next code line (comments in
-        # between keep it alive).
-        /obs-exempt/ { exempt = 1 }
-        # Test modules sit at the end of the file in this codebase.
-        /#\[cfg\(test\)\]/ { exit }
-        {
-            comment = ($0 ~ /^[[:space:]]*\/\//)
-            clockish = ($0 ~ /(Instant|SystemTime)::now\(/)
-            counterish = ($0 ~ /AtomicU64::new\(/)
-            fieldish = ($0 ~ /^[[:space:]]*(pub )?[a-z_]+:[[:space:]]*AtomicU64,?[[:space:]]*$/)
-            if ((clockish || counterish || fieldish) && !comment) {
-                if (exempt) exempt = 0
-                else printf "%s:%d: %s\n", FILENAME, FNR, $0
-            } else if (!comment && $0 !~ /^[[:space:]]*$/) {
-                exempt = 0
-            }
-        }
-    ' "$file")
-    if [ -n "$violations" ]; then
-        echo "$violations"
-        status=1
-    fi
-done
-
-if [ "$status" -ne 0 ]; then
-    echo >&2
-    echo "error: ad-hoc clocks/counters outside the mate_obs seam (use the" >&2
-    echo "hub's Clock / a registered Counter, or annotate the line above" >&2
-    echo "with '// obs-exempt: <why>')." >&2
-fi
-exit "$status"
+exec cargo run -q -p mate-analyze -- --rule obs

@@ -1,46 +1,16 @@
 #!/usr/bin/env bash
 # Gate: every durability-relevant `std::fs` write inside the storage-layer
 # crates must go through the `mate_storage::Vfs` seam. A direct call is
-# allowed only in test modules (which sit at the bottom of each file,
-# behind `#[cfg(test)]`) or when annotated with a `// vfs-exempt: <why>`
-# comment on the line above. `vfs.rs` itself — the seam's `StdVfs`
-# implementation — is the one file that legitimately calls `std::fs`.
+# allowed only in test modules (behind `#[cfg(test)]`) or when blessed
+# with a `// vfs-exempt: <why>` comment. `vfs.rs` itself — the seam's
+# `StdVfs` implementation — is the one file that legitimately calls
+# `std::fs`.
+#
+# Thin wrapper over the `mate-analyze` rule engine (rule R1 `vfs-seam`);
+# the rule logic and its fixture tests live in `crates/analyze`.
 #
 # Usage: scripts/check_vfs.sh   (exit 1 and list violations if any)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-status=0
-for file in $(find crates/index/src crates/storage/src -name '*.rs' | sort); do
-    case "$file" in
-    crates/storage/src/vfs.rs) continue ;;
-    esac
-    violations=$(awk '
-        # An exemption comment blesses the next code line (comments in
-        # between keep it alive).
-        /vfs-exempt/ { exempt = 1 }
-        # Test modules sit at the end of the file in this codebase.
-        /#\[cfg\(test\)\]/ { exit }
-        {
-            comment = ($0 ~ /^[[:space:]]*\/\//)
-            writeish = ($0 ~ /std::fs::(write|copy|rename|remove_file|remove_dir|remove_dir_all|create_dir|create_dir_all|hard_link|set_permissions|File::create|File::options|OpenOptions)/)
-            if (writeish && !comment) {
-                if (exempt) exempt = 0
-                else printf "%s:%d: %s\n", FILENAME, FNR, $0
-            } else if (!comment && $0 !~ /^[[:space:]]*$/) {
-                exempt = 0
-            }
-        }
-    ' "$file")
-    if [ -n "$violations" ]; then
-        echo "$violations"
-        status=1
-    fi
-done
-
-if [ "$status" -ne 0 ]; then
-    echo >&2
-    echo "error: direct std::fs writes outside the Vfs seam (route them" >&2
-    echo "through mate_storage::Vfs, or annotate with '// vfs-exempt: <why>')." >&2
-fi
-exit "$status"
+exec cargo run -q -p mate-analyze -- --rule vfs
