@@ -84,7 +84,8 @@ impl RuleId {
                  crates/{storage,index,core} (bless: // panic-exempt: <invariant>)"
             }
             RuleId::LockDiscipline => {
-                "every lock in crates/index goes through a mate_obs::lockrank ranked \
+                "every lock in crates/index (and the shared page cache in \
+                 crates/storage/src/pager.rs) goes through a mate_obs::lockrank ranked \
                  wrapper; no raw std::sync/parking_lot guards (bless: // lock-exempt: <why>)"
             }
         }
@@ -100,13 +101,17 @@ impl RuleId {
         }
     }
 
-    /// Workspace-relative directories this rule scans.
+    /// Workspace-relative directories (or single `.rs` files) this rule
+    /// scans.
     pub fn dirs(self) -> &'static [&'static str] {
         match self {
             RuleId::VfsSeam => &["crates/index/src", "crates/storage/src"],
             RuleId::ObsSeam => &["crates/core/src", "crates/index/src"],
             RuleId::PanicFreedom => &["crates/storage/src", "crates/index/src", "crates/core/src"],
-            RuleId::LockDiscipline => &["crates/index/src"],
+            // The page cache lives in mate_storage but participates in the
+            // engine's lock-rank order (rank 55.0, `pager-cache`), so its
+            // file rides along in the discipline scan.
+            RuleId::LockDiscipline => &["crates/index/src", "crates/storage/src/pager.rs"],
         }
     }
 
@@ -279,7 +284,15 @@ pub fn scan_source(rule: RuleId, file_label: &str, source: &str) -> Vec<Finding>
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for stable output.
+/// A path that is itself a `.rs` file collects as exactly that file, so
+/// rule scopes can name single files alongside whole directories.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
     let mut entries: Vec<_> = std::fs::read_dir(dir)?
         .collect::<Result<Vec<_>, _>>()?
         .into_iter()
@@ -338,6 +351,17 @@ mod tests {
         assert!(hits("std::sync::Mutex<u32>", "Mutex<"));
         assert!(!hits("x.unwrap_or(0)", ".unwrap()"));
         assert!(hits("x.unwrap()", ".unwrap()"));
+    }
+
+    #[test]
+    fn single_file_scope_collects_exactly_that_file() {
+        // `dirs()` entries may name one `.rs` file (LockDiscipline pulls
+        // in crates/storage/src/pager.rs); the collector must treat it as
+        // a one-file scope rather than erroring on read_dir.
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/rules.rs");
+        let mut out = Vec::new();
+        rust_files(&path, &mut out).unwrap();
+        assert_eq!(out, vec![path]);
     }
 
     #[test]

@@ -61,10 +61,13 @@ pub fn discover_engine(
 ///
 /// Sets [`DiscoveryStats::snapshot_epoch`] to the snapshot's source epoch
 /// ([`DiscoveryStats::snapshot_lag`] stays 0 — a bare snapshot has no
-/// "current" state to compare against; [`discover_lake`] fills it in).
+/// "current" state to compare against; [`discover_lake`] fills it in),
+/// and records [`DiscoveryStats::pager_hits`] / `pager_misses` deltas —
+/// the page-cache traffic the query's cold probes generated.
 ///
 /// [`DiscoveryStats::snapshot_epoch`]: crate::stats::DiscoveryStats::snapshot_epoch
 /// [`DiscoveryStats::snapshot_lag`]: crate::stats::DiscoveryStats::snapshot_lag
+/// [`DiscoveryStats::pager_hits`]: crate::stats::DiscoveryStats::pager_hits
 pub fn discover_snapshot(
     snapshot: &EngineSnapshot,
     config: MateConfig,
@@ -74,6 +77,7 @@ pub fn discover_snapshot(
 ) -> DiscoveryResult {
     let source = snapshot.source();
     let hasher = snapshot.hasher();
+    let pager0 = snapshot.pager_stats();
     let mut result = MateDiscovery::from_parts(
         snapshot.corpus(),
         &source,
@@ -84,6 +88,9 @@ pub fn discover_snapshot(
     .discover(query, q_cols, k);
     result.stats.source_layers = snapshot.num_layers();
     result.stats.snapshot_epoch = snapshot.source_epoch();
+    let pager1 = snapshot.pager_stats();
+    result.stats.pager_hits = pager1.hits.saturating_sub(pager0.hits);
+    result.stats.pager_misses = pager1.misses.saturating_sub(pager0.misses);
     result
 }
 
@@ -120,11 +127,13 @@ pub fn discover_snapshot_profiled(
 /// [`DiscoveryStats::snapshot_epoch`] / `snapshot_lag` (how many
 /// structural changes the served snapshot fell behind the published state
 /// by query end), plus [`DiscoveryStats::cold_cache_hits`] /
-/// `cold_cache_misses` deltas for this query.
+/// `cold_cache_misses` and [`DiscoveryStats::pager_hits`] /
+/// `pager_misses` deltas for this query.
 ///
 /// [`DiscoveryStats::source_layers`]: crate::stats::DiscoveryStats::source_layers
 /// [`DiscoveryStats::snapshot_epoch`]: crate::stats::DiscoveryStats::snapshot_epoch
 /// [`DiscoveryStats::cold_cache_hits`]: crate::stats::DiscoveryStats::cold_cache_hits
+/// [`DiscoveryStats::pager_hits`]: crate::stats::DiscoveryStats::pager_hits
 pub fn discover_lake(
     lake: &EngineLake,
     mut config: MateConfig,
@@ -141,6 +150,7 @@ pub fn discover_lake(
     let source = reader.source();
     let hasher = snapshot.hasher();
     let (hits0, misses0) = (lake.source_cache().hits(), lake.source_cache().misses());
+    let pager0 = snapshot.pager_stats();
     let mut result = MateDiscovery::from_parts(
         snapshot.corpus(),
         &source,
@@ -156,6 +166,9 @@ pub fn discover_lake(
         .saturating_sub(snapshot.source_epoch());
     result.stats.cold_cache_hits = lake.source_cache().hits().saturating_sub(hits0);
     result.stats.cold_cache_misses = lake.source_cache().misses().saturating_sub(misses0);
+    let pager1 = snapshot.pager_stats();
+    result.stats.pager_hits = pager1.hits.saturating_sub(pager0.hits);
+    result.stats.pager_misses = pager1.misses.saturating_sub(pager0.misses);
     result
 }
 

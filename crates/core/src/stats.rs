@@ -107,6 +107,15 @@ pub struct DiscoveryStats {
     /// Cold-layer resolutions that had to walk the segment stack (see
     /// [`DiscoveryStats::cold_cache_hits`]).
     pub cold_cache_misses: u64,
+    /// Page-cache hits while faulting cold segment bytes in during this
+    /// query (set by [`crate::engine_query::discover_lake`]; approximate
+    /// under concurrency — the pager counters are engine-global, like
+    /// [`DiscoveryStats::cold_cache_hits`]). 0 when every cold layer the
+    /// query touched was resident, or when probing a plain index.
+    pub pager_hits: u64,
+    /// Page-cache fills (pread round trips) the query's cold probes
+    /// triggered (see [`DiscoveryStats::pager_hits`]).
+    pub pager_misses: u64,
     /// Source epoch of the engine snapshot that served the query (set by
     /// [`crate::engine_query::discover_snapshot`] /
     /// [`crate::engine_query::discover_lake`]; 0 when probing a plain
@@ -187,7 +196,7 @@ impl DiscoveryStats {
 /// (gauges, not counters: a stats struct is one run's snapshot — callers
 /// export the run they want visible, typically the latest).
 pub fn export_discovery_stats(obs: &mate_obs::Obs, stats: &DiscoveryStats) {
-    let pairs: [(&str, u64); 16] = [
+    let pairs: [(&str, u64); 18] = [
         ("pl_lists_fetched", stats.pl_lists_fetched as u64),
         ("pl_items_fetched", stats.pl_items_fetched as u64),
         ("candidate_tables", stats.candidate_tables as u64),
@@ -205,6 +214,8 @@ pub fn export_discovery_stats(obs: &mate_obs::Obs, stats: &DiscoveryStats) {
         ("blocks_skipped", stats.blocks_skipped),
         ("query_threads", stats.query_threads as u64),
         ("snapshot_lag", stats.snapshot_lag),
+        ("pager_hits", stats.pager_hits),
+        ("pager_misses", stats.pager_misses),
         ("elapsed_us", stats.elapsed.as_micros() as u64),
         ("init_elapsed_us", stats.init_elapsed.as_micros() as u64),
     ];

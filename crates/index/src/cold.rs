@@ -7,22 +7,28 @@
 //! column, and (with the §6.2 pruning rules) decodes only a fraction of
 //! those.
 //!
-//! [`ColdPostingStore`] keeps the v2 `index.values2` / `index.postings2`
-//! payloads as shared [`Bytes`] slices — zero-copy out of the loaded
-//! segment — and serves [`PostingSource`] probes by decoding only the
-//! blocks a probe touches into a small reusable scratch buffer:
+//! [`ColdPostingStore`] serves the v2 `index.values2` / `index.postings2`
+//! payloads through a [`SegmentSource`] — either shared [`Bytes`] slices
+//! (zero-copy out of a loaded segment, the tooling/test path) or demand-
+//! paged extents of the segment *file* through a budgeted
+//! [`mate_storage::pager::PageCache`] (the engine's serving path, so
+//! resident memory no longer grows with the cold stack). Probes decode
+//! only the bytes they touch into small reusable scratch buffers:
 //!
 //! * `find_list` binary-searches the front-coded value dictionary through
-//!   its restart index (no value strings are ever materialized);
+//!   its restart index, fetching one restart *group* (at most
+//!   `restart_interval` front-coded records) per comparison;
 //! * `table_runs` decodes only the table-id streams of a list (column/row
 //!   payloads are jumped over via their width bytes);
 //! * `collect_run` decodes only the blocks overlapping the requested range,
 //!   counting everything else as skipped.
 //!
-//! The only materialized state of a [`ColdIndex`] is the super-key store
+//! The always-materialized state of a [`ColdIndex`] is the super-key store
 //! (raw `u64` words, needed for random access during row filtering) and the
-//! tiny directory offsets. [`ColdIndex::thaw`] upgrades to a hot
-//! [`InvertedIndex`] when mutation is needed.
+//! tiny restart/list directories — the probe "page table". Open-time
+//! validation still walks every directory and stream, so probe-time
+//! decoding stays infallible in both modes. [`ColdIndex::thaw`] upgrades to
+//! a hot [`InvertedIndex`] when mutation is needed.
 //!
 //! [`PostingStore`]: crate::store::PostingStore
 
@@ -32,7 +38,9 @@ use crate::source::{ListHandle, PostingSource, ProbeCounters, ProbeScratch};
 use crate::superkeys::SuperKeyStore;
 use bytes::Bytes;
 use mate_hash::HashSize;
+use mate_storage::pager::PageCache;
 use mate_storage::{postings, varint, StorageError};
+use std::sync::Arc;
 
 /// Reads the `i`-th u32 of a little-endian u32 array stored in `data`.
 #[inline]
@@ -206,6 +214,116 @@ impl ListDirectory {
     }
 }
 
+/// Where a cold payload stream's bytes physically live.
+///
+/// A [`ColdPostingStore`] addresses its value and list streams by offsets
+/// that open-time validation has fully checked; this enum resolves those
+/// offsets to bytes either from a resident buffer or by demand-paging the
+/// backing segment file through a shared, budgeted [`PageCache`].
+#[derive(Debug, Clone)]
+pub enum SegmentSource {
+    /// The whole stream is resident in memory (tooling, tests, `thaw()`).
+    Resident(Bytes),
+    /// The stream is an extent of an immutable segment file, read page-wise
+    /// through the engine's global cache.
+    Paged {
+        /// The shared page cache filling from the segment file.
+        cache: Arc<PageCache>,
+        /// Segment id the file was registered under.
+        segment: u64,
+        /// Byte offset of this stream within the segment file.
+        offset: u64,
+        /// Stream length in bytes.
+        len: usize,
+    },
+}
+
+impl SegmentSource {
+    /// Stream length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            SegmentSource::Resident(b) => b.len(),
+            SegmentSource::Paged { len, .. } => *len,
+        }
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes resident right now (the paged variant holds none itself; its
+    /// pages are accounted to the shared cache).
+    fn resident_bytes(&self) -> usize {
+        match self {
+            SegmentSource::Resident(b) => b.len(),
+            SegmentSource::Paged { .. } => 0,
+        }
+    }
+
+    /// Reads `[lo, hi)` of the stream. Resident: a zero-copy subslice.
+    /// Paged: filled into `buf` (cleared first) via the cache.
+    fn try_read<'a>(
+        &'a self,
+        lo: usize,
+        hi: usize,
+        buf: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], StorageError> {
+        match self {
+            SegmentSource::Resident(b) => Ok(&b[lo..hi]),
+            SegmentSource::Paged {
+                cache,
+                segment,
+                offset,
+                ..
+            } => {
+                cache.read_into(*segment, *offset + lo as u64, hi - lo, buf)?;
+                Ok(&buf[..])
+            }
+        }
+    }
+
+    /// Infallible probe-path read: open-time validation guarantees the
+    /// range is well-formed, so the only failure left is I/O on a page
+    /// fill. One retry absorbs transient faults (the cache caches nothing
+    /// on a failed fill); a fill that fails twice is unrecoverable at
+    /// probe time and panics rather than serving wrong results.
+    fn read<'a>(&'a self, lo: usize, hi: usize, buf: &'a mut Vec<u8>) -> &'a [u8] {
+        match self {
+            SegmentSource::Resident(b) => &b[lo..hi],
+            SegmentSource::Paged {
+                cache,
+                segment,
+                offset,
+                ..
+            } => {
+                let start = *offset + lo as u64;
+                if cache.read_into(*segment, start, hi - lo, buf).is_err() {
+                    cache
+                        .read_into(*segment, start, hi - lo, buf)
+                        // panic-exempt: range validated at open; a doubly
+                        // failed page fill is unrecoverable probe-time I/O
+                        // (scrub/quarantine is the repair path).
+                        .expect("paged segment read failed after retry");
+                }
+                &buf[..]
+            }
+        }
+    }
+
+    /// Materializes the whole stream (tooling: `thaw`, compaction inputs).
+    pub fn to_bytes(&self) -> Result<Bytes, StorageError> {
+        match self {
+            SegmentSource::Resident(b) => Ok(b.clone()),
+            SegmentSource::Paged { .. } => {
+                let mut out = Vec::new();
+                self.try_read(0, self.len(), &mut out)?;
+                Ok(Bytes::from(out))
+            }
+        }
+    }
+}
+
 /// Posting lists served directly from v2/v3 segment payloads.
 #[derive(Debug, Clone)]
 pub struct ColdPostingStore {
@@ -216,13 +334,15 @@ pub struct ColdPostingStore {
     /// Front-coding restart interval.
     restart_interval: usize,
     /// Front-coded sorted value stream.
-    values: Bytes,
+    values: SegmentSource,
     /// Byte offset of each restart point within `values` (u32 LE array).
+    /// Always resident: this is the probe "page table".
     restarts: Bytes,
     /// Where each list lives inside `lists` (either directory layout).
+    /// Always resident, like `restarts`.
     dir: ListDirectory,
     /// Concatenated block-compressed lists ([`mate_storage::postings`]).
-    lists: Bytes,
+    lists: SegmentSource,
 }
 
 impl ColdPostingStore {
@@ -268,13 +388,76 @@ impl ColdPostingStore {
             n,
             total_postings,
             restart_interval,
-            values,
+            values: SegmentSource::Resident(values),
             restarts,
             dir,
-            lists,
+            lists: SegmentSource::Resident(lists),
         };
         store.validate_streams()?;
         Ok(store)
+    }
+
+    /// Rebinds the value and list streams of a *validated* resident store
+    /// to paged extents of the segment file (`values_off` / `lists_off`
+    /// are the streams' byte offsets within that file). The restart and
+    /// list directories are deep-copied: a `Bytes` slice would keep the
+    /// whole segment buffer alive, defeating the point of paging.
+    pub(crate) fn into_paged(
+        self,
+        cache: Arc<PageCache>,
+        segment: u64,
+        values_off: u64,
+        lists_off: u64,
+    ) -> ColdPostingStore {
+        let detach = |b: &Bytes| Bytes::from(b.to_vec());
+        let dir = match &self.dir {
+            ListDirectory::Flat { offsets } => ListDirectory::Flat {
+                offsets: detach(offsets),
+            },
+            ListDirectory::Anchored {
+                lengths,
+                anchors,
+                interval,
+            } => ListDirectory::Anchored {
+                lengths: detach(lengths),
+                anchors: detach(anchors),
+                interval: *interval,
+            },
+        };
+        ColdPostingStore {
+            n: self.n,
+            total_postings: self.total_postings,
+            restart_interval: self.restart_interval,
+            values: SegmentSource::Paged {
+                cache: Arc::clone(&cache),
+                segment,
+                offset: values_off,
+                len: self.values.len(),
+            },
+            restarts: detach(&self.restarts),
+            dir,
+            lists: SegmentSource::Paged {
+                cache,
+                segment,
+                offset: lists_off,
+                len: self.lists.len(),
+            },
+        }
+    }
+
+    /// A fully resident clone of this store (compaction inputs and
+    /// `thaw()` read whole streams; re-validation is skipped — the store
+    /// was validated when it was opened).
+    pub(crate) fn materialized(&self) -> Result<ColdPostingStore, StorageError> {
+        Ok(ColdPostingStore {
+            n: self.n,
+            total_postings: self.total_postings,
+            restart_interval: self.restart_interval,
+            values: SegmentSource::Resident(self.values.to_bytes()?),
+            restarts: self.restarts.clone(),
+            dir: self.dir.clone(),
+            lists: SegmentSource::Resident(self.lists.to_bytes()?),
+        })
     }
 
     /// Walks the value stream and every list header once, so that probe-time
@@ -285,9 +468,14 @@ impl ColdPostingStore {
     /// Payload bit-streams are never decoded (widths and byte accounting are
     /// checked instead), so this is O(values + list headers), not O(postings).
     fn validate_streams(&self) -> Result<(), StorageError> {
+        // Only resident stores are validated: `new` always constructs one,
+        // and `into_paged` rebinds a store that already passed this walk.
+        let SegmentSource::Resident(values) = &self.values else {
+            return Ok(());
+        };
         let mut cur: Vec<u8> = Vec::new();
         let mut prev: Vec<u8> = Vec::new();
-        let mut rest: &[u8] = &self.values;
+        let mut rest: &[u8] = values;
         for i in 0..self.n {
             if i % self.restart_interval == 0 {
                 // The restart index must point exactly at this record.
@@ -341,9 +529,11 @@ impl ColdPostingStore {
         }
 
         let mut scratch = mate_storage::postings::ListScratch::new();
+        let mut ext: Vec<u8> = Vec::new();
         let mut total = 0usize;
         for i in 0..self.n as u32 {
-            total += mate_storage::postings::validate_list(self.list_bytes(i), &mut scratch)?;
+            total +=
+                mate_storage::postings::validate_list(self.list_bytes(i, &mut ext), &mut scratch)?;
         }
         if total != self.total_postings {
             return Err(StorageError::InvalidLength {
@@ -354,16 +544,31 @@ impl ColdPostingStore {
         Ok(())
     }
 
-    /// Raw bytes of the `i`-th list.
+    /// Raw bytes of the `i`-th list, staged through `ext` when paged.
     #[inline]
-    fn list_bytes(&self, i: u32) -> &[u8] {
+    fn list_bytes<'a>(&'a self, i: u32, ext: &'a mut Vec<u8>) -> &'a [u8] {
         let (lo, hi) = self.dir.bounds(i as usize);
-        &self.lists[lo..hi]
+        self.lists.read(lo, hi, ext)
     }
 
-    /// Decodes the full string at a restart point, returning `(bytes, rest)`.
-    fn restart_value(&self, restart: usize) -> (&[u8], &[u8]) {
-        let mut at = &self.values[u32_at(&self.restarts, restart) as usize..];
+    /// Bytes of one restart *group*: the restart record plus the at most
+    /// `restart_interval - 1` front-coded records that follow it, ending at
+    /// the next restart (or the end of the value stream). One bounded
+    /// extent read per binary-search comparison in the paged mode.
+    fn restart_group<'a>(&'a self, restart: usize, ext: &'a mut Vec<u8>) -> &'a [u8] {
+        let lo = u32_at(&self.restarts, restart) as usize;
+        let hi = if restart + 1 < self.restarts.len() / 4 {
+            u32_at(&self.restarts, restart + 1) as usize
+        } else {
+            self.values.len()
+        };
+        self.values.read(lo, hi, ext)
+    }
+
+    /// Decodes the full string opening a restart group, returning
+    /// `(value bytes, rest of the group)`.
+    fn restart_first(group: &[u8]) -> (&[u8], &[u8]) {
+        let mut at = group;
         // panic-exempt: restart offsets and their varints were decoded
         // once by the open-time validation walk.
         let len = varint::read_u64(&mut at).expect("validated at open") as usize;
@@ -372,8 +577,8 @@ impl ColdPostingStore {
 
     /// Finds the ordinal of `value` via restart binary search plus a bounded
     /// forward scan, reconstructing at most `restart_interval` values into
-    /// `buf`.
-    fn find_ordinal(&self, value: &str, buf: &mut Vec<u8>) -> Option<u32> {
+    /// `buf`; `ext` stages one restart group at a time when paged.
+    fn find_ordinal(&self, value: &str, ext: &mut Vec<u8>, buf: &mut Vec<u8>) -> Option<u32> {
         if self.n == 0 {
             return None;
         }
@@ -383,13 +588,14 @@ impl ColdPostingStore {
         let (mut lo, mut hi) = (0usize, nrestarts);
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            if self.restart_value(mid).0 <= target {
+            if Self::restart_first(self.restart_group(mid, ext)).0 <= target {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        let (first, mut rest) = self.restart_value(lo);
+        let group_bytes = self.restart_group(lo, ext);
+        let (first, mut rest) = Self::restart_first(group_bytes);
         if first > target {
             return None; // smaller than the smallest value
         }
@@ -422,10 +628,20 @@ impl ColdPostingStore {
 
     /// Iterates `(value, decoded posting list)` pairs in sorted-value order,
     /// decoding everything — the migration/testing path, not the probe path.
+    /// A paged store materializes its value stream once up front.
     pub fn iter_decoded(&self) -> impl Iterator<Item = (String, Vec<PostingEntry>)> + '_ {
+        let values = self
+            .values
+            .to_bytes()
+            // panic-exempt: tooling-path materialization of a store that
+            // was validated at open; a failed whole-stream read here has
+            // no recovery short of scrub/quarantine.
+            .expect("cold value stream read failed");
+        let mut pos = 0usize;
         let mut buf: Vec<u8> = Vec::new();
-        let mut rest: &[u8] = &self.values;
+        let mut ext: Vec<u8> = Vec::new();
         (0..self.n as u32).map(move |i| {
+            let mut rest = &values[pos..];
             if (i as usize).is_multiple_of(self.restart_interval) {
                 // panic-exempt: open-time varint validation (see bounds).
                 let len = varint::read_u64(&mut rest).expect("validated at open") as usize;
@@ -441,9 +657,11 @@ impl ColdPostingStore {
                 buf.extend_from_slice(&rest[..suffix]);
                 rest = &rest[suffix..];
             }
+            pos = values.len() - rest.len();
             let mut raw = Vec::new();
+            let list_bytes = self.list_bytes(i, &mut ext);
             // panic-exempt: every list decoded once by the open-time walk.
-            postings::decode_list(self.list_bytes(i), &mut raw).expect("validated at open");
+            postings::decode_list(list_bytes, &mut raw).expect("validated at open");
             let list = raw
                 .into_iter()
                 .map(|(t, c, r)| PostingEntry::new(t, c, r))
@@ -456,10 +674,25 @@ impl ColdPostingStore {
         })
     }
 
-    /// Bytes of segment payload this store keeps mapped (shared `Bytes`
-    /// slices of the loaded segment — not heap copies).
+    /// Bytes of segment payload this store addresses — resident or paged
+    /// (the stable "cold stack size" statistic).
     pub fn mapped_bytes(&self) -> usize {
         self.values.len() + self.restarts.len() + self.dir.mapped_bytes() + self.lists.len()
+    }
+
+    /// Bytes this store itself keeps resident: the restart and list
+    /// directories always, plus the payload streams when not paged (a
+    /// paged store's pages are accounted to the shared cache instead).
+    pub fn resident_bytes(&self) -> usize {
+        self.values.resident_bytes()
+            + self.restarts.len()
+            + self.dir.mapped_bytes()
+            + self.lists.resident_bytes()
+    }
+
+    /// Whether the payload streams are served through a page cache.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.values, SegmentSource::Paged { .. })
     }
 
     /// Bytes of the list-offset directory alone (the `index.postings3`
@@ -471,9 +704,10 @@ impl ColdPostingStore {
 
 impl PostingSource for ColdPostingStore {
     fn find_list(&self, value: &str, scratch: &mut ProbeScratch) -> Option<ListHandle> {
-        let id = self.find_ordinal(value, &mut scratch.buf)?;
+        let ProbeScratch { buf, ext, .. } = scratch;
+        let id = self.find_ordinal(value, ext, buf)?;
         // panic-exempt: every list header decoded once by the open walk.
-        let len = postings::list_count(self.list_bytes(id)).expect("validated at open");
+        let len = postings::list_count(self.list_bytes(id, ext)).expect("validated at open");
         Some(ListHandle {
             id,
             len: len as u32,
@@ -486,7 +720,12 @@ impl PostingSource for ColdPostingStore {
         scratch: &mut ProbeScratch,
         f: &mut dyn FnMut(u32, u32),
     ) {
-        postings::table_runs(self.list_bytes(list.id), &mut scratch.list, f)
+        let ProbeScratch {
+            list: list_scratch,
+            ext,
+            ..
+        } = scratch;
+        postings::table_runs(self.list_bytes(list.id, ext), list_scratch, f)
             // panic-exempt: every list decoded once by the open-time walk.
             .expect("validated at open");
     }
@@ -501,23 +740,24 @@ impl PostingSource for ColdPostingStore {
         counters: &mut ProbeCounters,
     ) {
         let before = out.len();
-        scratch.raw.clear();
+        let ProbeScratch {
+            list: list_scratch,
+            raw,
+            ext,
+            ..
+        } = scratch;
+        raw.clear();
         postings::collect_range(
-            self.list_bytes(list.id),
+            self.list_bytes(list.id, ext),
             start as usize,
             len as usize,
-            &mut scratch.list,
-            &mut scratch.raw,
+            list_scratch,
+            raw,
             counters,
         )
         // panic-exempt: every list decoded once by the open-time walk.
         .expect("validated at open");
-        out.extend(
-            scratch
-                .raw
-                .iter()
-                .map(|&(t, c, r)| PostingEntry::new(t, c, r)),
-        );
+        out.extend(raw.iter().map(|&(t, c, r)| PostingEntry::new(t, c, r)));
         debug_assert_eq!(out.len() - before, len as usize);
     }
 

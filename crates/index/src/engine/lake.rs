@@ -213,6 +213,13 @@ impl EngineLake {
         &self.cache
     }
 
+    /// Live counters of the engine's shared page cache — the budgeted pool
+    /// every cold segment in this lake is demand-paged through. Reads the
+    /// published snapshot's handle, so this never takes the engine lock.
+    pub fn pager_stats(&self) -> mate_storage::pager::PagerStats {
+        self.published.lock().pager_stats()
+    }
+
     /// Group fsyncs issued by this lake (each may cover many records).
     pub fn group_syncs(&self) -> u64 {
         self.group_syncs.get()

@@ -23,6 +23,13 @@
 //! the multi-layer walk once. The registry is behind an `RwLock`; parallel
 //! discovery workers only ever take the read path.
 //!
+//! Cold layers opened paged fault their bytes in through the engine's
+//! shared [`PageCache`](mate_storage::pager::PageCache) *during* these
+//! probes — i.e. while this module holds the `source-registry` (or the
+//! engine's `cold-cache`) lock. That is why the pager's lock ranks
+//! strictly above both (see the rank table in [`crate::engine`]): the
+//! fault-in path acquires it last, and a page fill takes no further locks.
+//!
 //! A `MergedSource` is a *snapshot*: it borrows the engine immutably, so
 //! the borrow checker guarantees no mutation can interleave with its
 //! lifetime.

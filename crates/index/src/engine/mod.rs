@@ -177,6 +177,7 @@
 //! | 40.0  | cold-cache      | `SourceCache::inner` cold-resolution cache      |
 //! | 40.1  | source-registry | `MergedSource::registry` per-engine memo        |
 //! | 50.0  | snapshot-slot   | `EngineLake::published` snapshot slot           |
+//! | 55.0  | pager-cache     | `mate_storage::pager::PageCache::inner` page map|
 //!
 //! Notable legal paths: a lake writer holds `engine-write` while pushing
 //! to `commit-queue` (10 → 20); a staged applier releases its shard latch
@@ -185,7 +186,13 @@
 //! shard order (30.0 → 30.1 → …); snapshot publication takes
 //! `snapshot-slot` only after the engine snapshot (and its brief 25/30
 //! holds) completed. `cold-cache` and `source-registry` are never nested
-//! with each other.
+//! with each other. `pager-cache` is always acquired *last*: cold probes
+//! fault pages in while holding either 40-family lock
+//! (`MergedSource::collect_run` holds the `source-registry` read lock
+//! across the layer probe), and publishing a snapshot drops the
+//! superseded one while holding `snapshot-slot` — evicting its dead
+//! layers' pages (50 → 55). A page fill takes no further locks, so the
+//! reverse edges never exist.
 
 mod lake;
 mod manifest;
@@ -210,6 +217,7 @@ use mate_hash::{HashSize, RowHasher, Xash};
 use mate_obs::lockrank::{RankedCondvar, RankedMutex, RankedMutexGuard};
 use mate_obs::Obs;
 use mate_storage::manifest::write_file_atomic_vfs;
+use mate_storage::pager::{PageCache, DEFAULT_PAGE_SIZE};
 use mate_storage::tombstone::{decode_claims, encode_claims, Claim};
 use mate_storage::{
     postings, IoCtx as _, Reader, SegmentReader, SegmentWriter, StdVfs, StorageError, Vfs, VfsFile,
@@ -277,7 +285,18 @@ pub(crate) mod ranks {
     pub const SOURCE_REGISTRY: Rank = Rank::new(40, 1, "source-registry");
     /// The published-snapshot slot (`EngineLake::published`).
     pub const SNAPSHOT_SLOT: Rank = Rank::new(50, 0, "snapshot-slot");
+    /// The global page-cache mutex (`PageCache::inner`), defined next to
+    /// the cache in `mate_storage::pager` and re-exported here so the
+    /// whole acquisition order reads off one table. Highest rank: probes
+    /// fault pages in under the 40-family locks, and snapshot publication
+    /// evicts a superseded snapshot's pages under [`SNAPSHOT_SLOT`].
+    pub const PAGER_CACHE: Rank = mate_storage::pager::PAGER_CACHE_RANK;
 }
+
+// Compile-time guard: the pager (defined in another crate) must outrank
+// every engine lock, or the fault-in edges documented above would deadlock
+// in debug builds.
+const _: () = assert!(ranks::PAGER_CACHE.key() > ranks::SNAPSHOT_SLOT.key());
 
 /// Size class of a segment for the tiered policy: factor-4 byte buckets
 /// (`⌊log₂ bytes / 2⌋`), so segments within 4× of each other merge
@@ -341,6 +360,14 @@ pub struct EngineConfig {
     /// Run a [`Engine::scrub`] pass automatically after every this many
     /// flushes (`0`, the default, disables the hook — scrub on demand).
     pub scrub_every_flushes: u64,
+    /// Byte budget of the cold tier's shared page cache: segment files are
+    /// demand-paged through one [`PageCache`] instead of being resident in
+    /// full, so cold-tier memory is bounded by this number no matter how
+    /// large the cold stack grows. Small budgets only cost extra `pread`
+    /// fills — results are bit-identical at any setting. Per-engine (the
+    /// cache is built in [`Engine::create`]/[`Engine::open`] from
+    /// [`EngineConfig::vfs`]).
+    pub cold_cache_budget_bytes: usize,
     /// The observability hub this engine records into: its volatile
     /// counters (shard contention, scrub, fault injections) live as
     /// registry metrics here, and maintenance operations (flush, compact,
@@ -369,6 +396,7 @@ impl Default for EngineConfig {
             apply_shards: default_apply_shards(),
             vfs: Arc::new(StdVfs),
             scrub_every_flushes: 0,
+            cold_cache_budget_bytes: 64 << 20,
             obs: Arc::new(Obs::new()),
         }
     }
@@ -547,6 +575,50 @@ enum Owner {
     Cold(u32),
 }
 
+/// Keeps a cold segment's file readable for as long as any layer (engine
+/// stack or outstanding [`EngineSnapshot`]) still serves from it.
+///
+/// Paged stores read the file lazily, so "delete the file at compaction"
+/// would pull bytes out from under a snapshot that still probes the old
+/// stack. Instead, compaction/rebuild *dooms* the pin; the drop of the
+/// last `Arc` holding it evicts the segment's pages from the shared
+/// [`PageCache`] and — only if doomed — unlinks the file (best-effort;
+/// orphan GC at the next open covers a crash in between).
+pub(crate) struct SegmentFilePin {
+    vfs: Arc<dyn Vfs>,
+    pager: Arc<PageCache>,
+    id: u64,
+    path: PathBuf,
+    doomed: std::sync::atomic::AtomicBool,
+}
+
+impl SegmentFilePin {
+    fn new(vfs: Arc<dyn Vfs>, pager: Arc<PageCache>, id: u64, path: PathBuf) -> Self {
+        SegmentFilePin {
+            vfs,
+            pager,
+            id,
+            path,
+            doomed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the file for deletion once the last holder drops.
+    fn doom(&self) {
+        self.doomed
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl Drop for SegmentFilePin {
+    fn drop(&mut self) {
+        self.pager.remove_segment(self.id);
+        if self.doomed.load(std::sync::atomic::Ordering::Acquire) {
+            let _ = self.vfs.remove_file(&self.path);
+        }
+    }
+}
+
 /// One immutable cold segment loaded for serving. Fully immutable after
 /// construction (mutable bookkeeping like per-layer live-posting counts
 /// lives in [`Engine::cold_live`]), so layers are shared by reference
@@ -556,14 +628,18 @@ pub(crate) struct ColdLayer {
     id: u64,
     /// Claimed tables with write-time posting counts, sorted by table id.
     claims: Vec<Claim>,
-    /// Zero-copy posting store over the segment bytes.
+    /// Demand-paged posting store over the segment file.
     pub(crate) store: ColdPostingStore,
     /// The segment's raw `index.superkeys2` block (carried forward verbatim
     /// by compaction so the newest segment always holds the super keys as
-    /// of the WAL watermark).
+    /// of the WAL watermark). Deep-copied at open so it pins nothing but
+    /// itself.
     superkeys_block: Bytes,
     /// Segment file size.
     bytes: usize,
+    /// Keeps the backing file alive (and registered with the page cache)
+    /// until the last snapshot serving this layer drops.
+    pin: Arc<SegmentFilePin>,
 }
 
 impl ColdLayer {
@@ -755,6 +831,9 @@ pub struct Engine {
     /// The filesystem every durability-relevant I/O call goes through
     /// (shared with [`EngineConfig::vfs`]).
     vfs: Arc<dyn Vfs>,
+    /// The shared page cache every cold layer demand-pages through
+    /// (budgeted by [`EngineConfig::cold_cache_budget_bytes`]).
+    pager: Arc<PageCache>,
     hasher: Xash,
     hasher_name: String,
     corpus: Arc<Corpus>,
@@ -851,9 +930,16 @@ impl Engine {
         config.obs.event("create", format!("{}", dir.display()));
         let shard_counters = Arc::new(ShardCounters::new(&config.obs));
         let counters = Counters::new(&config.obs);
+        let pager = Arc::new(PageCache::new(
+            Arc::clone(&vfs),
+            DEFAULT_PAGE_SIZE,
+            config.cold_cache_budget_bytes,
+        ));
+        pager.attach_obs(&config.obs);
         let engine = Engine {
             dir,
             vfs,
+            pager,
             hasher,
             hasher_name: "Xash".to_string(),
             corpus: Arc::new(corpus),
@@ -920,14 +1006,25 @@ impl Engine {
             )?;
             persist::apply_corpus_delta(&mut corpus, payload)?;
         }
+        let pager = Arc::new(PageCache::new(
+            Arc::clone(&vfs),
+            DEFAULT_PAGE_SIZE,
+            config.cold_cache_budget_bytes,
+        ));
+        pager.attach_obs(&config.obs);
         let mut superkeys = SuperKeyStore::new(hash_size);
         let mut cold = Vec::with_capacity(m.segments.len());
         for (i, sm) in m.segments.iter().enumerate() {
             let seg_path = dir.join(seg_file(sm.id));
+            // The whole file is resident only inside this iteration: the
+            // open-time walk validates every stream (so paged probes stay
+            // infallible), then the resident buffer is swapped for paged
+            // extents and dropped — steady-state cold memory is whatever
+            // the page cache holds under its budget.
             let data = Bytes::from(vfs.read(&seg_path).io_ctx("reading segment", &seg_path)?);
             let bytes = data.len();
             let seg = SegmentReader::open(data)?;
-            let store = persist::read_cold_store(&seg)?;
+            let store = persist::read_cold_store_paged(&seg, &pager, sm.id)?;
             let claims = decode_claims(&mut Reader::new(seg.block("engine.claims")?))?;
             if let Some(last) = claims.last() {
                 if last.0 as usize >= corpus.len() {
@@ -937,7 +1034,8 @@ impl Engine {
                     });
                 }
             }
-            let superkeys_block = seg.block("index.superkeys2")?;
+            // Deep copy: a `Bytes` slice would pin the whole file buffer.
+            let superkeys_block = Bytes::from(seg.block("index.superkeys2")?.to_vec());
             if i + 1 == m.segments.len() {
                 // Newest segment: authoritative super keys as of the WAL
                 // watermark.
@@ -950,12 +1048,19 @@ impl Engine {
                 }
                 persist::read_superkeys(&seg, hash_size, &mut superkeys)?;
             }
+            pager.register_segment(sm.id, &seg_path);
             cold.push(Arc::new(ColdLayer {
                 id: sm.id,
                 claims,
                 store,
                 superkeys_block,
                 bytes,
+                pin: Arc::new(SegmentFilePin::new(
+                    Arc::clone(&vfs),
+                    Arc::clone(&pager),
+                    sm.id,
+                    seg_path,
+                )),
             }));
         }
         if superkeys.num_tables() != corpus.len() {
@@ -994,6 +1099,7 @@ impl Engine {
         let mut engine = Engine {
             dir,
             vfs,
+            pager,
             hasher: Xash::new(hash_size),
             hasher_name: m.hasher_name.clone(),
             corpus: Arc::new(corpus),
@@ -1087,6 +1193,38 @@ impl Engine {
                 let _ = self.vfs.remove_file(&self.dir.join(name));
             }
         }
+    }
+
+    /// Opens the just-written segment `bytes` (file `seg-<seg_id>.seg`,
+    /// already durable) for paged serving: parses and stream-validates the
+    /// resident buffer — so later paged probes are infallible — then swaps
+    /// it for demand-paged extents over the file and registers the file
+    /// with the page cache. The resident buffer is dropped on return.
+    fn open_paged_layer(
+        &self,
+        seg_id: u64,
+        bytes: &Bytes,
+        claims: Vec<Claim>,
+    ) -> Result<ColdLayer, StorageError> {
+        let path = self.dir.join(seg_file(seg_id));
+        let seg = SegmentReader::open(bytes.clone())?;
+        let store = persist::read_cold_store_paged(&seg, &self.pager, seg_id)?;
+        // Deep copy: a `Bytes` slice would pin the whole segment buffer.
+        let superkeys_block = Bytes::from(seg.block("index.superkeys2")?.to_vec());
+        self.pager.register_segment(seg_id, &path);
+        Ok(ColdLayer {
+            id: seg_id,
+            claims,
+            store,
+            superkeys_block,
+            bytes: bytes.len(),
+            pin: Arc::new(SegmentFilePin::new(
+                Arc::clone(&self.vfs),
+                Arc::clone(&self.pager),
+                seg_id,
+                path,
+            )),
+        })
     }
 
     // ----------------------------------------------------------- writing --
@@ -1611,17 +1749,9 @@ impl Engine {
         let new_seq = self.wal_seq + 1;
         write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(wal_file(new_seq)), &[])?;
 
-        // Load the flushed segment back for serving (re-validates it).
-        let seg = SegmentReader::open(bytes.clone())?;
-        let store = persist::read_cold_store(&seg)?;
-        let superkeys_block = seg.block("index.superkeys2")?;
-        let layer = ColdLayer {
-            id: seg_id,
-            claims,
-            store,
-            superkeys_block,
-            bytes: bytes.len(),
-        };
+        // Load the flushed segment back for paged serving (re-validates
+        // the buffer before the resident copy is dropped).
+        let layer = self.open_paged_layer(seg_id, &bytes, claims)?;
 
         // Commit point: the manifest flip.
         let mut segments: Vec<SegmentMeta> = self.cold.iter().map(|l| l.meta()).collect();
@@ -1768,7 +1898,12 @@ impl Engine {
         let mut counts = vec![0u64; self.corpus.len()];
         for &li in picks {
             let layer = &self.cold[li];
-            for (value, list) in layer.store.iter_decoded() {
+            // Materialize one input at a time (fallible paged reads become
+            // typed errors here, not probe panics); the resident copy is
+            // dropped before the next input loads, so compaction's peak
+            // resident overhead is one segment, not the whole pick set.
+            let resident = layer.store.materialized()?;
+            for (value, list) in resident.iter_decoded() {
                 let kept: Vec<PostingEntry> = list
                     .into_iter()
                     .filter(|e| self.owners.get(e.table.index()) == Some(&Owner::Cold(li as u32)))
@@ -1834,16 +1969,7 @@ impl Engine {
         let bytes = sw.finish();
         write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(seg_file(seg_id)), &bytes)?;
 
-        let seg = SegmentReader::open(bytes.clone())?;
-        let store = persist::read_cold_store(&seg)?;
-        let superkeys_block = seg.block("index.superkeys2")?;
-        let layer = ColdLayer {
-            id: seg_id,
-            claims,
-            store,
-            superkeys_block,
-            bytes: bytes.len(),
-        };
+        let layer = self.open_paged_layer(seg_id, &bytes, claims)?;
 
         // Compaction is when the corpus delta chain folds: materialize
         // checkpoint ⊕ deltas **from disk** into a fresh full checkpoint
@@ -1878,7 +2004,6 @@ impl Engine {
             .save_vfs(self.vfs.as_ref(), &self.dir.join(MANIFEST_FILE))?;
 
         // ---- commit -----------------------------------------------------
-        let removed: Vec<u64> = picks.iter().map(|&li| self.cold[li].id).collect();
         if let Some((gen, payload)) = folded {
             let old_gen = self.corpus_gen;
             let old_chain = self.corpus_delta_seq;
@@ -1897,11 +2022,18 @@ impl Engine {
         let mut new_layer = Some(Arc::new(layer));
         let old = std::mem::take(&mut self.cold);
         for (li, l) in old.into_iter().enumerate() {
-            if li == out_pos {
-                // panic-exempt: `out_pos` occurs once in the ascending
-                // pick set, so the take runs exactly once.
-                self.cold.push(new_layer.take().expect("placed once"));
-            } else if !picks.contains(&li) {
+            if picks.contains(&li) {
+                // Merged away: the file goes once the last snapshot still
+                // serving this layer drops its `Arc` (immediately, when
+                // nothing pins it). Deleting eagerly would tear pages out
+                // from under paged readers of older snapshots.
+                l.pin.doom();
+                if li == out_pos {
+                    // panic-exempt: `out_pos` occurs once in the ascending
+                    // pick set, so the take runs exactly once.
+                    self.cold.push(new_layer.take().expect("placed once"));
+                }
+            } else {
                 self.cold.push(l);
             }
         }
@@ -1934,9 +2066,6 @@ impl Engine {
             .collect();
         self.counters.compactions += 1;
         self.source_epoch += 1;
-        for id in removed {
-            let _ = self.vfs.remove_file(&self.dir.join(seg_file(id)));
-        }
         Ok(())
     }
 
@@ -2067,25 +2196,49 @@ impl Engine {
         Ok(report)
     }
 
-    /// Full validation of one cold segment's on-disk file: re-read, CRC-
-    /// check every block the engine ever consumes, and cross-check the
-    /// decoded claims against the in-memory layer.
+    /// Full validation of one cold segment's on-disk file, streamed in
+    /// page-size preads so scrub's resident overhead stays bounded: every
+    /// block CRC is re-verified (which is exactly what detects rot — the
+    /// file is immutable and its structure was stream-validated at open),
+    /// every block the engine consumes must be present, and the decoded
+    /// claims and hash size are cross-checked against the in-memory layer.
     fn verify_segment(&self, li: usize) -> Result<(), StorageError> {
         let layer = &self.cold[li];
         let path = self.dir.join(seg_file(layer.id));
-        let data = Bytes::from(self.vfs.read(&path).io_ctx("reading segment", &path)?);
-        let seg = SegmentReader::open(data)?;
-        // Decoding the cold store CRC-checks the meta/dictionary/posting
-        // blocks; the remaining blocks are checked by direct access.
-        persist::read_cold_store(&seg)?;
-        let claims = decode_claims(&mut Reader::new(seg.block("engine.claims")?))?;
+        let blocks = mate_storage::segment::verify_segment_file(
+            self.vfs.as_ref(),
+            &path,
+            self.pager.page_size(),
+            &["index.meta", "engine.claims"],
+        )?;
+        let block = |name: &str| -> Result<Bytes, StorageError> {
+            blocks
+                .iter()
+                .find(|(n, _)| n == name)
+                .and_then(|(_, b)| b.clone())
+                .ok_or_else(|| StorageError::MissingBlock(name.to_string()))
+        };
+        let present = |name: &str| blocks.iter().any(|(n, _)| n == name);
+        for required in ["index.superkeys2", "index.values2"] {
+            if !present(required) {
+                return Err(StorageError::MissingBlock(required.to_string()));
+            }
+        }
+        if !present("index.postings3") && !present("index.postings2") {
+            return Err(StorageError::MissingBlock("index.postings2".to_string()));
+        }
+        let claims = decode_claims(&mut Reader::new(block("engine.claims")?))?;
         if claims != layer.claims {
             return Err(StorageError::ChecksumMismatch {
                 block: "engine.claims (drifted from manifest state)".to_string(),
             });
         }
-        seg.block("index.superkeys2")?;
-        let (size, _) = persist::read_meta(&seg)?;
+        let mut meta = Reader::new(block("index.meta")?);
+        let bits = meta.get_varint()? as usize;
+        let size = HashSize::from_bits(bits).ok_or(StorageError::InvalidLength {
+            context: "hash size",
+            value: bits as u64,
+        })?;
         if size != self.hash_size() {
             return Err(StorageError::InvalidLength {
                 context: "segment hash size",
@@ -2170,15 +2323,25 @@ impl Engine {
         // Preserve the corrupt bytes for post-mortem *before* anything
         // else touches disk: a crash anywhere later leaves either the old
         // manifest (still referencing the corrupt file — no worse than
-        // before) or the healed state.
+        // before) or the healed state. The copy streams page-size chunks
+        // (never the whole file) and is best-effort by design: a partial
+        // quarantine copy of an already-corrupt file loses nothing.
         let qdir = self.dir.join(QUARANTINE_DIR);
-        if let Ok(bytes) = self.vfs.read(&old_path) {
-            let _ = self.vfs.create_dir_all(&qdir);
-            let qpath = qdir.join(seg_file(old_id));
-            if let Ok(mut f) = self.vfs.create(&qpath) {
-                let _ = f.write_all(&bytes);
-                let _ = f.sync_all();
+        let _ = self.vfs.create_dir_all(&qdir);
+        let qpath = qdir.join(seg_file(old_id));
+        if let Ok(mut f) = self.vfs.create(&qpath) {
+            let chunk = self.pager.page_size();
+            let mut off = 0u64;
+            while let Ok(part) = self.vfs.pread(&old_path, off, chunk) {
+                if part.is_empty() || f.write_all(&part).is_err() {
+                    break;
+                }
+                off += part.len() as u64;
+                if part.len() < chunk {
+                    break;
+                }
             }
+            let _ = f.sync_all();
         }
 
         // Watermark-time ownership from the claim stack alone (newest
@@ -2263,19 +2426,11 @@ impl Engine {
         write_file_atomic_vfs(self.vfs.as_ref(), &self.dir.join(seg_file(seg_id)), &bytes)
             .map_err(|e| self.degrade(format!("segment {old_id} rebuild write failed: {e}")))?;
 
-        let seg = SegmentReader::open(bytes.clone())
-            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
-        let store = persist::read_cold_store(&seg)
-            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
-        let superkeys_block = seg
-            .block("index.superkeys2")
-            .map_err(|e| self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))?;
-        let layer = ColdLayer {
-            id: seg_id,
-            claims,
-            store,
-            superkeys_block,
-            bytes: bytes.len(),
+        let layer = match self.open_paged_layer(seg_id, &bytes, claims) {
+            Ok(layer) => layer,
+            Err(e) => {
+                return Err(self.degrade(format!("segment {old_id} rebuild did not verify: {e}")))
+            }
         };
 
         // Commit point: the manifest names the rebuilt segment at the same
@@ -2296,7 +2451,12 @@ impl Engine {
 
         // ---- commit -----------------------------------------------------
         self.next_segment_id += 1;
-        self.cold[li] = Arc::new(layer);
+        let old_layer = std::mem::replace(&mut self.cold[li], Arc::new(layer));
+        // The corrupt file is gone once its last pin drops (a quarantine
+        // copy was preserved above); snapshots still serving the old layer
+        // keep the file until then.
+        old_layer.pin.doom();
+        drop(old_layer);
         // Re-resolve ownership against the new stack (memtable ownership
         // outranks cold claims and is untouched).
         for owner in &mut self.owners {
@@ -2327,7 +2487,6 @@ impl Engine {
         self.counters.segments_quarantined.inc();
         self.counters.segments_rebuilt.inc();
         self.source_epoch += 1;
-        let _ = self.vfs.remove_file(&old_path);
         self.config
             .obs
             .event("rebuild", format!("seg={old_id} rebuilt_as={seg_id}"));
@@ -2432,6 +2591,7 @@ impl Engine {
             mem,
             superkeys: Arc::clone(&self.superkeys),
             cold: self.cold.clone(),
+            pager: Arc::clone(&self.pager),
             owners: Arc::new(self.owners_u32()),
             hasher: self.hasher,
             instance: self.instance,
@@ -2574,6 +2734,13 @@ impl Engine {
         &self.config.obs
     }
 
+    /// The shared page cache the cold tier demand-pages through. Its
+    /// [`PageCache::stats`] expose the `pager.{hits, misses, evictions,
+    /// resident_bytes}` counters (also mirrored into [`Engine::obs`]).
+    pub fn pager(&self) -> &Arc<PageCache> {
+        &self.pager
+    }
+
     /// Fully decodes the merged posting list of `value` (testing/tooling —
     /// the serving path never materializes whole lists).
     pub fn decoded_postings(&self, value: &str) -> Option<Vec<PostingEntry>> {
@@ -2687,6 +2854,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The pager lock must rank strictly above every lock held while it
+    /// is acquired: the 40-family probe locks (probes fault pages in
+    /// under them) and the snapshot slot (publication drops the
+    /// superseded snapshot — and evicts its pages — while holding it).
+    /// This is the whole reason the constant is re-exported into the
+    /// `ranks` table.
+    #[test]
+    fn pager_rank_is_the_last_acquired() {
+        assert!(ranks::PAGER_CACHE.key() > ranks::COLD_CACHE.key());
+        assert!(ranks::PAGER_CACHE.key() > ranks::SOURCE_REGISTRY.key());
+        assert!(ranks::PAGER_CACHE.key() > ranks::SNAPSHOT_SLOT.key());
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub struct EngineSnapshot {
     pub(super) mem: Vec<Arc<PostingStore>>,
     pub(super) superkeys: Arc<SuperKeyStore>,
     pub(super) cold: Vec<Arc<ColdLayer>>,
+    /// The engine's shared page cache (cold layers in `cold` read through
+    /// it; holding it here keeps pager stats reachable from any reader).
+    pub(super) pager: Arc<mate_storage::pager::PageCache>,
     /// Table id → serving layer in [`MergedSource`] layout.
     pub(super) owners: Arc<Vec<u32>>,
     pub(super) hasher: Xash,
@@ -113,6 +116,15 @@ impl EngineSnapshot {
     /// Engine counter values at snapshot time.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// Live counters of the shared page cache the snapshot's cold layers
+    /// read through. Unlike [`EngineSnapshot::stats`] this is *not* a
+    /// point-in-time copy — the cache is shared with the engine and other
+    /// snapshots, so hits/misses keep moving; readers diff two calls to
+    /// attribute paging activity to a query.
+    pub fn pager_stats(&self) -> mate_storage::pager::PagerStats {
+        self.pager.stats()
     }
 
     /// A merged [`PostingSource`] over the snapshot's layers. Construct one

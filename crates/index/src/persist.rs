@@ -31,6 +31,7 @@ use crate::posting::PostingEntry;
 use crate::superkeys::SuperKeyStore;
 use bytes::Bytes;
 use mate_hash::HashSize;
+use mate_storage::pager::PageCache;
 use mate_storage::postings::{self, RawPosting};
 use mate_storage::{
     varint, DictBuilder, Dictionary, IoCtx as _, Reader, SegmentReader, SegmentWriter, StdVfs,
@@ -38,6 +39,7 @@ use mate_storage::{
 };
 use mate_table::{Column, Corpus, Table, TableId};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Front-coding restart interval of the v2 value dictionary.
 pub const VALUE_RESTART_INTERVAL: usize = 16;
@@ -533,7 +535,39 @@ pub(crate) fn has_cold_postings(seg: &SegmentReader) -> bool {
 /// validating the directories (zero-copy: the returned store shares the
 /// segment's `Bytes`).
 pub(crate) fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, StorageError> {
-    let mut vr = Reader::new(seg.block("index.values2")?);
+    read_cold_store_parts(seg).map(|(store, _, _)| store)
+}
+
+/// [`read_cold_store`] plus the paged rebind: the fully validated resident
+/// store is rebound so its value and list streams are served as extents of
+/// the segment file through `cache` (registered there as `segment_id`).
+/// All validation already ran against the resident bytes, so paged probes
+/// inherit the same infallibility.
+pub(crate) fn read_cold_store_paged(
+    seg: &SegmentReader,
+    cache: &Arc<PageCache>,
+    segment_id: u64,
+) -> Result<ColdPostingStore, StorageError> {
+    let (store, values_in, lists_in) = read_cold_store_parts(seg)?;
+    let values_off = seg.block_offset("index.values2")? + values_in;
+    let pname = if seg.block_names().contains(&"index.postings3") {
+        "index.postings3"
+    } else {
+        "index.postings2"
+    };
+    let lists_off = seg.block_offset(pname)? + lists_in;
+    Ok(store.into_paged(Arc::clone(cache), segment_id, values_off, lists_off))
+}
+
+/// Core cold-store parse; also returns the byte offsets of the value
+/// stream within `index.values2` and of the list payload within the
+/// postings block, so a paged caller can resolve them to file extents.
+fn read_cold_store_parts(
+    seg: &SegmentReader,
+) -> Result<(ColdPostingStore, u64, u64), StorageError> {
+    let vblock = seg.block("index.values2")?;
+    let vblock_len = vblock.len();
+    let mut vr = Reader::new(vblock);
     let n = vr.get_varint()? as usize;
     let restart_interval = vr.get_varint()? as usize;
     if restart_interval == 0 {
@@ -559,6 +593,7 @@ pub(crate) fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, S
             value: stream_len as u64,
         });
     }
+    let values_in_block = (vblock_len - vr.remaining()) as u64;
     let values = vr.get_raw(stream_len)?;
     let restarts = vr.get_raw(n.div_ceil(restart_interval) * 4)?;
     if !vr.is_exhausted() {
@@ -570,11 +605,13 @@ pub(crate) fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, S
     }
 
     let v3 = seg.block_names().contains(&"index.postings3");
-    let mut pr = Reader::new(seg.block(if v3 {
+    let pblock = seg.block(if v3 {
         "index.postings3"
     } else {
         "index.postings2"
-    })?);
+    })?;
+    let pblock_len = pblock.len();
+    let mut pr = Reader::new(pblock);
     let pn = pr.get_varint()? as usize;
     if pn != n {
         return Err(StorageError::InvalidLength {
@@ -628,7 +665,8 @@ pub(crate) fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, S
         let lists = pr.get_raw(pr.remaining())?;
         (ListDirectory::Flat { offsets }, lists)
     };
-    ColdPostingStore::new(
+    let lists_in_block = (pblock_len - lists.len()) as u64;
+    let store = ColdPostingStore::new(
         n,
         total_postings,
         restart_interval,
@@ -636,7 +674,8 @@ pub(crate) fn read_cold_store(seg: &SegmentReader) -> Result<ColdPostingStore, S
         restarts,
         dir,
         lists,
-    )
+    )?;
+    Ok((store, values_in_block, lists_in_block))
 }
 
 /// Deserializes an index from segment bytes into the hot in-memory form.

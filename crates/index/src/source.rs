@@ -40,12 +40,14 @@ pub struct ListHandle {
 pub use mate_storage::postings::BlockCounters as ProbeCounters;
 
 /// Reusable per-worker probe state: skip-directory, stream, and decoded-
-/// tuple buffers for cold decodes. Hot probes ignore it.
+/// tuple buffers for cold decodes, plus an extent staging buffer for
+/// demand-paged reads. Hot probes ignore it.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
     pub(crate) list: ListScratch,
     pub(crate) raw: Vec<mate_storage::postings::RawPosting>,
     pub(crate) buf: Vec<u8>,
+    pub(crate) ext: Vec<u8>,
 }
 
 impl ProbeScratch {

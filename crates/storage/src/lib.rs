@@ -20,6 +20,10 @@
 //!   detected at load time.
 //! * [`manifest`] — CRC-framed state files with atomic (tmp + rename +
 //!   fsync) replacement, for the multi-segment engine's manifest.
+//! * [`pager`] — a budgeted [`pager::PageCache`] that demand-pages
+//!   immutable segment files in fixed-size pages via `Vfs::pread`, with
+//!   CLOCK eviction, so the cold tier's resident memory is bounded by a
+//!   global byte budget instead of the total cold-stack size.
 //! * [`tombstone`] — delta-coded segment claim sets: which tables a segment
 //!   owns, with zero-count claims acting as tombstones that mask older
 //!   segments.
@@ -37,6 +41,7 @@ pub mod crc32;
 pub mod dict;
 pub mod error;
 pub mod manifest;
+pub mod pager;
 pub mod postings;
 pub mod segment;
 pub mod tombstone;
@@ -46,5 +51,6 @@ pub mod vfs;
 pub use codec::{Reader, Writer};
 pub use dict::{DictBuilder, Dictionary};
 pub use error::{IoCtx, StorageError};
+pub use pager::{PageCache, PagerStats, DEFAULT_PAGE_SIZE};
 pub use segment::{SegmentReader, SegmentWriter};
 pub use vfs::{FaultVfs, StdVfs, Vfs, VfsFile};

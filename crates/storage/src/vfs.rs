@@ -21,8 +21,11 @@
 //! fault was armed.
 //!
 //! Operations deliberately mirror what the engine's fsync discipline
-//! needs, nothing more: whole-file read (+ `pread` for tooling), create /
-//! append / write-mode open, rename, remove, directory create/sync/list.
+//! needs, nothing more: whole-file read, positional `pread` (the cold
+//! serving path — every [`pager::PageCache`](crate::pager::PageCache)
+//! fill, so read faults and bit flips fire on demand-paged probes too),
+//! create / append / write-mode open, rename, remove, directory
+//! create/sync/list.
 //! Anything outside this surface inside `crates/{index,storage}/src` is
 //! either test code or carries a `// vfs-exempt:` comment (enforced by
 //! `scripts/check_vfs.sh`).
@@ -57,6 +60,8 @@ pub trait Vfs: Send + Sync + fmt::Debug {
     /// Reads the entire file.
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Reads `len` bytes at byte `offset` (short reads at EOF allowed).
+    /// This is the page-cache fill primitive: the paged cold tier serves
+    /// every probe through it.
     fn pread(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
     /// Creates (truncating) a file for writing.
     fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;

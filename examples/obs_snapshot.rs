@@ -105,6 +105,38 @@ fn main() {
         gauges.contains_key("discovery_stats.candidate_tables"),
         "discovery catalog missing"
     );
+    // The paged cold tier mirrors its page-cache traffic: the discovery
+    // query faulted cold pages in, so every `pager.*` metric must appear
+    // in the JSON export AND carry the same value on the Prometheus side
+    // (the round-trip the ops pipeline depends on).
+    let prom = snap.to_prometheus();
+    for name in ["pager.hits", "pager.misses", "pager.evictions"] {
+        let v = counters
+            .get(name)
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("counter {name} missing from JSON export"));
+        let line = format!("{} {}", name.replace('.', "_"), v as u64);
+        assert!(prom.contains(&line), "Prometheus export missing `{line}`");
+    }
+    let resident = gauges
+        .get("pager.resident_bytes")
+        .and_then(|v| v.as_f64())
+        .expect("pager.resident_bytes gauge missing");
+    assert!(prom.contains(&format!("pager_resident_bytes {}", resident as u64)));
+    assert!(
+        hists.contains_key("pager.fills_us"),
+        "pager fill-latency histogram missing"
+    );
+    assert!(prom.contains("pager_fills_us_count"));
+    let pager_misses = counters
+        .get("pager.misses")
+        .and_then(|v| v.as_f64())
+        .unwrap();
+    assert!(
+        pager_misses > 0.0,
+        "a query over flushed segments must fault pages in"
+    );
+
     let events = doc.get("events").and_then(|v| v.as_arr()).expect("events");
     assert!(!events.is_empty(), "lifecycle must leave events");
     assert!(
